@@ -1,0 +1,593 @@
+//! The adequation heuristic: greedy list scheduling of the algorithm graph
+//! onto the architecture graph.
+//!
+//! This reimplements the core of SynDEx's "adequation" (Grandpierre &
+//! Sorel, MEMOCODE 2003): at each step, among the *candidate* operations
+//! (all predecessors scheduled), map the most urgent one onto the
+//! processor that completes it earliest, inserting the required
+//! communications on the media. Urgency is the *schedule pressure*: the
+//! candidate's best completion time plus the optimistic critical path
+//! remaining below it — operations on the global critical path are placed
+//! first, which is what makes the heuristic competitive with much more
+//! expensive searches on control-dominated graphs.
+
+use std::collections::HashMap;
+
+use ecl_sim::TimeNs;
+
+use crate::algorithm::{AlgorithmGraph, OpId};
+use crate::architecture::{ArchitectureGraph, MediumId, MediumKind, ProcId};
+use crate::schedule::{Schedule, ScheduledComm, ScheduledOp};
+use crate::timing::TimingDb;
+use crate::AaaError;
+
+/// Candidate-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MappingPolicy {
+    /// Schedule-pressure list scheduling (the SynDEx heuristic): pick the
+    /// candidate with the longest `finish + remaining critical path`, map
+    /// it to its earliest-finishing processor.
+    SchedulePressure,
+    /// Plain earliest-finish-time: pick the candidate/processor pair with
+    /// the globally smallest finish time (HEFT-like, ablation baseline).
+    EarliestFinish,
+    /// Uniformly random candidate and processor (seeded, deterministic) —
+    /// the quality floor for experiment E9.
+    Random {
+        /// PRNG seed (xorshift64).
+        seed: u64,
+    },
+}
+
+/// Options controlling [`adequation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdequationOptions {
+    /// Candidate-selection policy.
+    pub policy: MappingPolicy,
+}
+
+impl Default for AdequationOptions {
+    fn default() -> Self {
+        AdequationOptions {
+            policy: MappingPolicy::SchedulePressure,
+        }
+    }
+}
+
+/// Minimal deterministic PRNG so the `Random` baseline needs no external
+/// dependency.
+struct XorShift64(u64);
+
+impl XorShift64 {
+    fn new(seed: u64) -> Self {
+        XorShift64(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CommPlan {
+    medium: MediumId,
+    start: TimeNs,
+    end: TimeNs,
+    data_units: u32,
+    src_op: OpId,
+    from: ProcId,
+}
+
+struct State<'a> {
+    alg: &'a AlgorithmGraph,
+    arch: &'a ArchitectureGraph,
+    db: &'a TimingDb,
+    proc_free: Vec<TimeNs>,
+    medium_free: Vec<TimeNs>,
+    /// Earliest instant at which `op`'s output is available on `proc`.
+    data_avail: HashMap<(OpId, ProcId), TimeNs>,
+    placed: Vec<Option<ScheduledOp>>,
+    comms: Vec<ScheduledComm>,
+}
+
+impl State<'_> {
+    /// Plans the arrival of `src`'s data on `target`, returning the comm to
+    /// insert (`None` if the data is already available there) and the
+    /// availability instant. Does not mutate the state.
+    fn plan_arrival(
+        &self,
+        src: OpId,
+        target: ProcId,
+        data_units: u32,
+    ) -> Result<(Option<CommPlan>, TimeNs), AaaError> {
+        if let Some(&t) = self.data_avail.get(&(src, target)) {
+            return Ok((None, t));
+        }
+        let owner = self.placed[src.index()]
+            .as_ref()
+            .expect("predecessor scheduled")
+            .proc;
+        let ready = self.data_avail[&(src, owner)];
+        let mut best: Option<CommPlan> = None;
+        for m in self.arch.media_between(owner, target) {
+            let start = self.medium_free[m.index()].max(ready);
+            let end = start + self.arch.transfer_time(m, data_units);
+            if best.is_none_or(|b| end < b.end) {
+                best = Some(CommPlan {
+                    medium: m,
+                    start,
+                    end,
+                    data_units,
+                    src_op: src,
+                    from: owner,
+                });
+            }
+        }
+        match best {
+            Some(plan) => Ok((Some(plan), plan.end)),
+            None => Err(AaaError::NoRoute {
+                from: self.arch.proc_name(owner).to_string(),
+                to: self.arch.proc_name(target).to_string(),
+            }),
+        }
+    }
+
+    /// Earliest start/finish of `op` on `proc`, with the comms it would
+    /// require. Returns `None` if `op` cannot execute on `proc`.
+    fn evaluate(
+        &self,
+        op: OpId,
+        proc: ProcId,
+    ) -> Result<Option<(TimeNs, TimeNs, Vec<CommPlan>)>, AaaError> {
+        let Some(wcet) = self.db.wcet(op, proc) else {
+            return Ok(None);
+        };
+        let mut est = self.proc_free[proc.index()];
+        let mut plans = Vec::new();
+        for e in self.alg.edges().iter().filter(|e| e.dst == op) {
+            match self.plan_arrival(e.src, proc, e.data_units) {
+                Ok((plan, avail)) => {
+                    est = est.max(avail);
+                    if let Some(p) = plan {
+                        plans.push(p);
+                    }
+                }
+                Err(AaaError::NoRoute { .. }) => return Ok(None),
+                Err(other) => return Err(other),
+            }
+        }
+        // NOTE: `plans` computed against the *current* medium availability;
+        // if two predecessors pick the same medium the commit step
+        // re-plans sequentially, so the tentative estimate is a lower
+        // bound — standard for list scheduling.
+        Ok(Some((est, est + wcet, plans)))
+    }
+
+    /// Commits `op` on `proc`: re-plans and inserts the communications
+    /// sequentially, then places the operation.
+    fn commit(&mut self, op: OpId, proc: ProcId) -> Result<(), AaaError> {
+        let wcet = self.db.wcet(op, proc).expect("validated by evaluate");
+        let mut est = self.proc_free[proc.index()];
+        let edges: Vec<_> = self
+            .alg
+            .edges()
+            .iter()
+            .filter(|e| e.dst == op)
+            .copied()
+            .collect();
+        for e in edges {
+            let (plan, avail) = self.plan_arrival(e.src, proc, e.data_units)?;
+            if let Some(p) = plan {
+                self.medium_free[p.medium.index()] = p.end;
+                self.comms.push(ScheduledComm {
+                    src_op: p.src_op,
+                    from: p.from,
+                    to: proc,
+                    medium: p.medium,
+                    start: p.start,
+                    end: p.end,
+                    data_units: p.data_units,
+                });
+                // Broadcast media deliver to every connected processor.
+                match self.arch.medium_kind(p.medium) {
+                    MediumKind::Bus => {
+                        for &q in self.arch.medium_procs(p.medium) {
+                            self.data_avail.entry((e.src, q)).or_insert(p.end);
+                        }
+                    }
+                    MediumKind::PointToPoint => {
+                        self.data_avail.entry((e.src, proc)).or_insert(p.end);
+                    }
+                }
+            }
+            est = est.max(avail.max(self.data_avail[&(e.src, proc)]));
+        }
+        let slot = ScheduledOp {
+            op,
+            proc,
+            start: est,
+            end: est + wcet,
+        };
+        self.proc_free[proc.index()] = slot.end;
+        self.data_avail.insert((op, proc), slot.end);
+        self.placed[op.index()] = Some(slot);
+        Ok(())
+    }
+}
+
+/// Optimistic remaining critical path below each operation (its own
+/// minimal WCET included, communications ignored).
+fn tails(
+    alg: &AlgorithmGraph,
+    arch: &ArchitectureGraph,
+    db: &TimingDb,
+) -> Result<Vec<TimeNs>, AaaError> {
+    let order = alg.topo_order()?;
+    let procs: Vec<ProcId> = arch.processors().collect();
+    let mut tail = vec![TimeNs::ZERO; alg.len()];
+    for &op in order.iter().rev() {
+        let own = db.min_wcet(op, procs.iter().copied(), alg.name(op))?;
+        let below = alg
+            .succs(op)
+            .into_iter()
+            .map(|s| tail[s.index()])
+            .max()
+            .unwrap_or(TimeNs::ZERO);
+        tail[op.index()] = own + below;
+    }
+    Ok(tail)
+}
+
+/// Runs the adequation: distributes and schedules `alg` onto `arch` using
+/// the WCETs in `db`.
+///
+/// # Errors
+///
+/// * [`AaaError::InvalidGraph`] if the architecture has no processors.
+/// * [`AaaError::CyclicAlgorithm`] for a cyclic algorithm graph.
+/// * [`AaaError::Unimplementable`] if some operation has no capable
+///   processor.
+/// * [`AaaError::NoRoute`] if a required transfer has no medium.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+pub fn adequation(
+    alg: &AlgorithmGraph,
+    arch: &ArchitectureGraph,
+    db: &TimingDb,
+    options: AdequationOptions,
+) -> Result<Schedule, AaaError> {
+    if arch.num_processors() == 0 {
+        return Err(AaaError::InvalidGraph {
+            reason: "architecture has no processors".into(),
+        });
+    }
+    alg.topo_order()?; // cycle check up front
+    let tail = tails(alg, arch, db)?;
+    let procs: Vec<ProcId> = arch.processors().collect();
+
+    let mut state = State {
+        alg,
+        arch,
+        db,
+        proc_free: vec![TimeNs::ZERO; arch.num_processors()],
+        medium_free: vec![TimeNs::ZERO; arch.num_media()],
+        data_avail: HashMap::new(),
+        placed: vec![None; alg.len()],
+        comms: Vec::new(),
+    };
+    let mut rng = match options.policy {
+        MappingPolicy::Random { seed } => Some(XorShift64::new(seed)),
+        _ => None,
+    };
+
+    let mut remaining = alg.len();
+    while remaining > 0 {
+        // Candidates: unscheduled ops whose predecessors are all placed.
+        let candidates: Vec<OpId> = alg
+            .ops()
+            .filter(|&o| state.placed[o.index()].is_none())
+            .filter(|&o| {
+                alg.preds(o)
+                    .iter()
+                    .all(|p| state.placed[p.index()].is_some())
+            })
+            .collect();
+        debug_assert!(!candidates.is_empty(), "DAG always has a candidate");
+
+        // Evaluate each candidate's best processor.
+        let mut evals: Vec<(OpId, ProcId, TimeNs)> = Vec::new(); // (op, best proc, finish)
+        for &c in &candidates {
+            let mut best: Option<(ProcId, TimeNs)> = None;
+            for &p in &procs {
+                if let Some((_, finish, _)) = state.evaluate(c, p)? {
+                    if best.is_none_or(|(_, bf)| finish < bf) {
+                        best = Some((p, finish));
+                    }
+                }
+            }
+            let (bp, bf) = best.ok_or_else(|| AaaError::Unimplementable {
+                op: alg.name(c).to_string(),
+            })?;
+            evals.push((c, bp, bf));
+        }
+
+        // Select per policy.
+        let (op, proc) = match options.policy {
+            MappingPolicy::SchedulePressure => {
+                // pressure = finish + optimistic remaining path below (op's
+                // own WCET subtracted since finish already includes it).
+                let pick = evals
+                    .iter()
+                    .max_by_key(|(c, _, f)| {
+                        let below = tail[c.index()];
+                        (*f + below, std::cmp::Reverse(*c))
+                    })
+                    .expect("non-empty");
+                (pick.0, pick.1)
+            }
+            MappingPolicy::EarliestFinish => {
+                let pick = evals
+                    .iter()
+                    .min_by_key(|(c, _, f)| (*f, *c))
+                    .expect("non-empty");
+                (pick.0, pick.1)
+            }
+            MappingPolicy::Random { .. } => {
+                let rng = rng.as_mut().expect("seeded above");
+                let (c, _, _) = evals[rng.below(evals.len())];
+                // Pick uniformly among processors able to run it.
+                let able: Vec<ProcId> = procs
+                    .iter()
+                    .copied()
+                    .filter(|&p| {
+                        db.wcet(c, p).is_some()
+                            && matches!(state.evaluate(c, p), Ok(Some(_)))
+                    })
+                    .collect();
+                (c, able[rng.below(able.len())])
+            }
+        };
+        state.commit(op, proc)?;
+        remaining -= 1;
+    }
+
+    let ops = state.placed.into_iter().map(|s| s.expect("all placed")).collect();
+    Ok(Schedule::from_parts(ops, state.comms))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: i64) -> TimeNs {
+        TimeNs::from_micros(v)
+    }
+
+    /// sensor -> {f1, f2} -> join -> actuator, uniform WCETs.
+    fn diamond() -> (AlgorithmGraph, Vec<OpId>) {
+        let mut alg = AlgorithmGraph::new();
+        let s = alg.add_sensor("s");
+        let f1 = alg.add_function("f1");
+        let f2 = alg.add_function("f2");
+        let j = alg.add_function("join");
+        let a = alg.add_actuator("a");
+        alg.add_edge(s, f1, 1).unwrap();
+        alg.add_edge(s, f2, 1).unwrap();
+        alg.add_edge(f1, j, 1).unwrap();
+        alg.add_edge(f2, j, 1).unwrap();
+        alg.add_edge(j, a, 1).unwrap();
+        (alg, vec![s, f1, f2, j, a])
+    }
+
+    fn arch_n(n: usize, latency_us: i64, per_unit_us: i64) -> ArchitectureGraph {
+        let mut arch = ArchitectureGraph::new();
+        let procs: Vec<ProcId> = (0..n)
+            .map(|i| arch.add_processor(format!("p{i}"), "arm"))
+            .collect();
+        if n > 1 {
+            arch.add_bus("bus", &procs, us(latency_us), us(per_unit_us))
+                .unwrap();
+        }
+        arch
+    }
+
+    fn uniform_db(alg: &AlgorithmGraph, wcet_us: i64) -> TimingDb {
+        let mut db = TimingDb::new();
+        for op in alg.ops() {
+            db.set_default(op, us(wcet_us));
+        }
+        db
+    }
+
+    #[test]
+    fn single_processor_chains_sequentially() {
+        let (alg, ops) = diamond();
+        let arch = arch_n(1, 0, 0);
+        let db = uniform_db(&alg, 100);
+        let s = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        s.validate(&alg, &arch).unwrap();
+        assert_eq!(s.makespan(), us(500));
+        assert!(s.comms().is_empty());
+        // Sensor first, actuator last.
+        assert_eq!(s.slot(ops[0]).unwrap().start, TimeNs::ZERO);
+        assert_eq!(s.slot(ops[4]).unwrap().end, us(500));
+    }
+
+    #[test]
+    fn two_processors_exploit_parallelism_when_comm_is_cheap() {
+        let (alg, _) = diamond();
+        let arch = arch_n(2, 1, 0); // nearly free comm
+        let db = uniform_db(&alg, 100);
+        let s = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        s.validate(&alg, &arch).unwrap();
+        // f1 and f2 can run in parallel: makespan < 500us sequential.
+        assert!(
+            s.makespan() < us(500),
+            "expected speedup, got {}",
+            s.makespan()
+        );
+        assert!(!s.comms().is_empty());
+    }
+
+    #[test]
+    fn expensive_comm_keeps_everything_local() {
+        let (alg, _) = diamond();
+        let arch = arch_n(2, 10_000, 1_000);
+        let db = uniform_db(&alg, 100);
+        let s = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        s.validate(&alg, &arch).unwrap();
+        // With comm latency 100x the WCET, distributing can only hurt; the
+        // heuristic must keep the makespan at the sequential bound.
+        assert_eq!(s.makespan(), us(500));
+        assert!(s.comms().is_empty());
+    }
+
+    #[test]
+    fn heterogeneity_respected() {
+        // f can only run on p1.
+        let mut alg = AlgorithmGraph::new();
+        let s = alg.add_sensor("s");
+        let f = alg.add_function("f");
+        alg.add_edge(s, f, 1).unwrap();
+        let mut arch = ArchitectureGraph::new();
+        let p0 = arch.add_processor("p0", "arm");
+        let p1 = arch.add_processor("p1", "dsp");
+        arch.add_bus("bus", &[p0, p1], us(1), us(1)).unwrap();
+        let mut db = TimingDb::new();
+        db.set(s, p0, us(10));
+        db.set(f, p1, us(10)); // f has no entry for p0
+        let sched = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        sched.validate(&alg, &arch).unwrap();
+        assert_eq!(sched.slot(f).unwrap().proc, p1);
+        assert_eq!(sched.slot(s).unwrap().proc, p0);
+        assert_eq!(sched.comms().len(), 1);
+    }
+
+    #[test]
+    fn unimplementable_detected() {
+        let mut alg = AlgorithmGraph::new();
+        let f = alg.add_function("f");
+        let _ = f;
+        let arch = arch_n(1, 0, 0);
+        let db = TimingDb::new(); // empty: f cannot run anywhere
+        assert!(matches!(
+            adequation(&alg, &arch, &db, AdequationOptions::default()),
+            Err(AaaError::Unimplementable { .. })
+        ));
+    }
+
+    #[test]
+    fn no_processors_rejected() {
+        let alg = AlgorithmGraph::new();
+        let arch = ArchitectureGraph::new();
+        let db = TimingDb::new();
+        assert!(matches!(
+            adequation(&alg, &arch, &db, AdequationOptions::default()),
+            Err(AaaError::InvalidGraph { .. })
+        ));
+    }
+
+    #[test]
+    fn no_route_detected() {
+        // Two processors, no medium, but f forced onto p1 while its input
+        // is produced on p0.
+        let mut alg = AlgorithmGraph::new();
+        let s = alg.add_sensor("s");
+        let f = alg.add_function("f");
+        alg.add_edge(s, f, 1).unwrap();
+        let mut arch = ArchitectureGraph::new();
+        let p0 = arch.add_processor("p0", "arm");
+        let p1 = arch.add_processor("p1", "arm");
+        let mut db = TimingDb::new();
+        db.set(s, p0, us(10));
+        db.set(f, p1, us(10));
+        let r = adequation(&alg, &arch, &db, AdequationOptions::default());
+        assert!(matches!(r, Err(AaaError::Unimplementable { .. })), "{r:?}");
+    }
+
+    #[test]
+    fn policies_all_produce_valid_schedules() {
+        let (alg, _) = diamond();
+        let arch = arch_n(3, 5, 1);
+        let db = uniform_db(&alg, 100);
+        for policy in [
+            MappingPolicy::SchedulePressure,
+            MappingPolicy::EarliestFinish,
+            MappingPolicy::Random { seed: 42 },
+            MappingPolicy::Random { seed: 7 },
+        ] {
+            let s = adequation(&alg, &arch, &db, AdequationOptions { policy }).unwrap();
+            s.validate(&alg, &arch).unwrap();
+        }
+    }
+
+    #[test]
+    fn pressure_no_worse_than_random() {
+        let (alg, _) = diamond();
+        let arch = arch_n(2, 20, 5);
+        let db = uniform_db(&alg, 100);
+        let sp = adequation(&alg, &arch, &db, AdequationOptions::default())
+            .unwrap()
+            .makespan();
+        // Best of a few random seeds.
+        let rnd = (0..5)
+            .map(|seed| {
+                adequation(
+                    &alg,
+                    &arch,
+                    &db,
+                    AdequationOptions {
+                        policy: MappingPolicy::Random { seed },
+                    },
+                )
+                .unwrap()
+                .makespan()
+            })
+            .min()
+            .unwrap();
+        assert!(sp <= rnd, "pressure {sp} vs best random {rnd}");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (alg, _) = diamond();
+        let arch = arch_n(2, 5, 1);
+        let db = uniform_db(&alg, 100);
+        let a = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        let b = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        assert_eq!(a.ops(), b.ops());
+        assert_eq!(a.comms(), b.comms());
+    }
+
+    #[test]
+    fn bus_broadcast_reuses_transfer() {
+        // One producer read by two consumers pinned on a remote processor:
+        // the data crosses the bus once.
+        let mut alg = AlgorithmGraph::new();
+        let s = alg.add_sensor("s");
+        let f1 = alg.add_function("f1");
+        let f2 = alg.add_function("f2");
+        alg.add_edge(s, f1, 8).unwrap();
+        alg.add_edge(s, f2, 8).unwrap();
+        let mut arch = ArchitectureGraph::new();
+        let p0 = arch.add_processor("p0", "arm");
+        let p1 = arch.add_processor("p1", "arm");
+        arch.add_bus("bus", &[p0, p1], us(10), us(1)).unwrap();
+        let mut db = TimingDb::new();
+        db.set(s, p0, us(10));
+        db.set(f1, p1, us(10));
+        db.set(f2, p1, us(10));
+        let sched = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        sched.validate(&alg, &arch).unwrap();
+        assert_eq!(sched.comms().len(), 1, "{:?}", sched.comms());
+    }
+}

@@ -1,0 +1,248 @@
+//! Schedule analysis: critical path, parallelism profile, speedup, and an
+//! ASCII Gantt chart.
+//!
+//! These are the numbers a designer reads off the SynDEx adequation window
+//! before deciding whether the distribution is worth its communications.
+
+use ecl_sim::TimeNs;
+
+use crate::algorithm::AlgorithmGraph;
+use crate::architecture::{ArchitectureGraph, ProcId};
+use crate::schedule::Schedule;
+use crate::timing::TimingDb;
+use crate::AaaError;
+
+/// Summary metrics of one schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleReport {
+    /// Completion instant of the last activity.
+    pub makespan: TimeNs,
+    /// Lower bound: the longest WCET chain through the algorithm graph
+    /// (communications ignored) — no schedule can beat it.
+    pub critical_path: TimeNs,
+    /// Sum of all computation WCETs — the single-processor makespan.
+    pub sequential_time: TimeNs,
+    /// `sequential_time / makespan` (the achieved speedup).
+    pub speedup: f64,
+    /// `makespan / critical_path` (1.0 = optimal w.r.t. the bound).
+    pub efficiency_vs_bound: f64,
+    /// Per-processor busy fraction of the makespan.
+    pub utilization: Vec<(ProcId, f64)>,
+    /// Total time the media carry data.
+    pub comm_time: TimeNs,
+}
+
+/// The optimistic critical path: the longest chain of minimal WCETs.
+///
+/// # Errors
+///
+/// Propagates cycle detection and unimplementable-operation errors.
+pub fn critical_path(
+    alg: &AlgorithmGraph,
+    arch: &ArchitectureGraph,
+    db: &TimingDb,
+) -> Result<TimeNs, AaaError> {
+    let order = alg.topo_order()?;
+    let procs: Vec<ProcId> = arch.processors().collect();
+    let mut longest = vec![TimeNs::ZERO; alg.len()];
+    let mut best = TimeNs::ZERO;
+    for &op in &order {
+        let own = db.min_wcet(op, procs.iter().copied(), alg.name(op))?;
+        let above = alg
+            .preds(op)
+            .into_iter()
+            .map(|p| longest[p.index()])
+            .max()
+            .unwrap_or(TimeNs::ZERO);
+        longest[op.index()] = above + own;
+        best = best.max(longest[op.index()]);
+    }
+    Ok(best)
+}
+
+/// Builds the full [`ScheduleReport`].
+///
+/// # Errors
+///
+/// Propagates [`critical_path`] errors.
+pub fn report(
+    schedule: &Schedule,
+    alg: &AlgorithmGraph,
+    arch: &ArchitectureGraph,
+    db: &TimingDb,
+) -> Result<ScheduleReport, AaaError> {
+    let makespan = schedule.makespan();
+    let cp = critical_path(alg, arch, db)?;
+    let sequential: TimeNs = schedule.ops().iter().map(|s| s.end - s.start).sum();
+    let comm_time: TimeNs = schedule.comms().iter().map(|c| c.end - c.start).sum();
+    let speedup = if makespan > TimeNs::ZERO {
+        sequential.as_nanos() as f64 / makespan.as_nanos() as f64
+    } else {
+        1.0
+    };
+    let efficiency = if cp > TimeNs::ZERO {
+        makespan.as_nanos() as f64 / cp.as_nanos() as f64
+    } else {
+        1.0
+    };
+    Ok(ScheduleReport {
+        makespan,
+        critical_path: cp,
+        sequential_time: sequential,
+        speedup,
+        efficiency_vs_bound: efficiency,
+        utilization: arch
+            .processors()
+            .map(|p| (p, schedule.utilization(p)))
+            .collect(),
+        comm_time,
+    })
+}
+
+/// Renders an ASCII Gantt chart (`width` columns spanning the makespan).
+///
+/// Each processor and medium gets one row; `#` marks busy time, `.` idle.
+pub fn gantt(
+    schedule: &Schedule,
+    alg: &AlgorithmGraph,
+    arch: &ArchitectureGraph,
+    width: usize,
+) -> String {
+    let _ = alg;
+    let makespan = schedule.makespan();
+    let width = width.max(10);
+    let col = |t: TimeNs| -> usize {
+        if makespan <= TimeNs::ZERO {
+            return 0;
+        }
+        ((t.as_nanos() as f64 / makespan.as_nanos() as f64) * width as f64).round() as usize
+    };
+    let mut out = String::new();
+    let label_w = arch
+        .processors()
+        .map(|p| arch.proc_name(p).len())
+        .chain(arch.media().map(|m| arch.medium_name(m).len()))
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    for p in arch.processors() {
+        let mut row = vec!['.'; width];
+        for s in schedule.proc_sequence(p) {
+            for cell in row
+                .iter_mut()
+                .take(col(s.end).min(width))
+                .skip(col(s.start))
+            {
+                *cell = '#';
+            }
+        }
+        out.push_str(&format!(
+            "{:<label_w$} |{}|\n",
+            arch.proc_name(p),
+            row.iter().collect::<String>()
+        ));
+    }
+    for m in arch.media() {
+        let mut row = vec!['.'; width];
+        for c in schedule.medium_sequence(m) {
+            for cell in row
+                .iter_mut()
+                .take(col(c.end).min(width))
+                .skip(col(c.start))
+            {
+                *cell = '=';
+            }
+        }
+        out.push_str(&format!(
+            "{:<label_w$} |{}|\n",
+            arch.medium_name(m),
+            row.iter().collect::<String>()
+        ));
+    }
+    out.push_str(&format!(
+        "{:<label_w$}  0{:>w$}\n",
+        "",
+        format!("{makespan}"),
+        w = width
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adequation::{adequation, AdequationOptions};
+
+    fn us(v: i64) -> TimeNs {
+        TimeNs::from_micros(v)
+    }
+
+    fn fixture() -> (AlgorithmGraph, ArchitectureGraph, TimingDb, Schedule) {
+        let mut alg = AlgorithmGraph::new();
+        let s = alg.add_sensor("s");
+        let f1 = alg.add_function("f1");
+        let f2 = alg.add_function("f2");
+        let a = alg.add_actuator("a");
+        alg.add_edge(s, f1, 1).unwrap();
+        alg.add_edge(s, f2, 1).unwrap();
+        alg.add_edge(f1, a, 1).unwrap();
+        alg.add_edge(f2, a, 1).unwrap();
+        let mut arch = ArchitectureGraph::new();
+        let p0 = arch.add_processor("p0", "arm");
+        let p1 = arch.add_processor("p1", "arm");
+        arch.add_bus("bus", &[p0, p1], us(1), us(1)).unwrap();
+        let mut db = TimingDb::new();
+        for op in alg.ops() {
+            db.set_default(op, us(100));
+        }
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        (alg, arch, db, schedule)
+    }
+
+    #[test]
+    fn critical_path_of_diamond() {
+        let (alg, arch, db, _) = fixture();
+        // s -> f -> a: 3 * 100us.
+        assert_eq!(critical_path(&alg, &arch, &db).unwrap(), us(300));
+    }
+
+    #[test]
+    fn report_is_consistent() {
+        let (alg, arch, db, schedule) = fixture();
+        let rep = report(&schedule, &alg, &arch, &db).unwrap();
+        assert_eq!(rep.sequential_time, us(400));
+        assert!(rep.makespan >= rep.critical_path);
+        assert!(rep.speedup >= 1.0 && rep.speedup <= 2.0);
+        assert!(rep.efficiency_vs_bound >= 1.0);
+        assert_eq!(rep.utilization.len(), 2);
+        for (_, u) in &rep.utilization {
+            assert!((0.0..=1.0).contains(u));
+        }
+    }
+
+    #[test]
+    fn gantt_shape() {
+        let (alg, arch, _, schedule) = fixture();
+        let chart = gantt(&schedule, &alg, &arch, 40);
+        let lines: Vec<&str> = chart.lines().collect();
+        // two processors + one medium + axis
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('#'));
+        assert!(lines[0].starts_with("p0"));
+        assert!(lines[2].starts_with("bus"));
+    }
+
+    #[test]
+    fn empty_schedule_report() {
+        let alg = AlgorithmGraph::new();
+        let mut arch = ArchitectureGraph::new();
+        arch.add_processor("p0", "arm");
+        let db = TimingDb::new();
+        let schedule = Schedule::default();
+        let rep = report(&schedule, &alg, &arch, &db).unwrap();
+        assert_eq!(rep.makespan, TimeNs::ZERO);
+        assert_eq!(rep.speedup, 1.0);
+        let chart = gantt(&schedule, &alg, &arch, 20);
+        assert!(chart.contains("p0"));
+    }
+}

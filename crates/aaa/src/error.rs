@@ -1,0 +1,142 @@
+use std::error::Error;
+use std::fmt;
+
+use ecl_sim::TimeNs;
+
+/// Errors produced while building AAA models or running the adequation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AaaError {
+    /// An operation id did not belong to the algorithm graph.
+    UnknownOp {
+        /// The offending index.
+        index: usize,
+    },
+    /// A processor id did not belong to the architecture graph.
+    UnknownProcessor {
+        /// The offending index.
+        index: usize,
+    },
+    /// A medium id did not belong to the architecture graph.
+    UnknownMedium {
+        /// The offending index.
+        index: usize,
+    },
+    /// The algorithm graph contains a dependency cycle.
+    CyclicAlgorithm {
+        /// Names of operations on the residual cycle.
+        ops: Vec<String>,
+    },
+    /// Graph construction data was inconsistent (duplicate edge, self-loop,
+    /// bad conditioning, empty bus, ...).
+    InvalidGraph {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// No processor can execute an operation (empty WCET row).
+    Unimplementable {
+        /// The operation's name.
+        op: String,
+    },
+    /// Two processors that must exchange data share no communication
+    /// medium.
+    NoRoute {
+        /// Source processor name.
+        from: String,
+        /// Destination processor name.
+        to: String,
+    },
+    /// A produced schedule failed validation.
+    InvalidSchedule {
+        /// Explanation of the violated property.
+        reason: String,
+    },
+    /// A `.sdx` project file failed to parse.
+    ParseSdx {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Explanation of the syntax or reference error.
+        reason: String,
+    },
+    /// A timing value was invalid (negative WCET, ...).
+    InvalidTiming {
+        /// Explanation of the violation.
+        reason: String,
+        /// The offending value.
+        value: TimeNs,
+    },
+}
+
+impl fmt::Display for AaaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AaaError::UnknownOp { index } => write!(f, "unknown operation id {index}"),
+            AaaError::UnknownProcessor { index } => write!(f, "unknown processor id {index}"),
+            AaaError::UnknownMedium { index } => write!(f, "unknown medium id {index}"),
+            AaaError::CyclicAlgorithm { ops } => {
+                write!(f, "algorithm graph has a cycle through: {}", ops.join(" -> "))
+            }
+            AaaError::InvalidGraph { reason } => write!(f, "invalid graph: {reason}"),
+            AaaError::Unimplementable { op } => {
+                write!(f, "operation '{op}' has no processor able to execute it")
+            }
+            AaaError::NoRoute { from, to } => {
+                write!(f, "no communication medium connects '{from}' to '{to}'")
+            }
+            AaaError::InvalidSchedule { reason } => write!(f, "invalid schedule: {reason}"),
+            AaaError::ParseSdx { line, reason } => {
+                write!(f, "sdx parse error at line {line}: {reason}")
+            }
+            AaaError::InvalidTiming { reason, value } => {
+                write!(f, "invalid timing value {value}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for AaaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = vec![
+            AaaError::UnknownOp { index: 1 },
+            AaaError::UnknownProcessor { index: 1 },
+            AaaError::UnknownMedium { index: 1 },
+            AaaError::CyclicAlgorithm {
+                ops: vec!["a".into(), "b".into()],
+            },
+            AaaError::InvalidGraph {
+                reason: "x".into(),
+            },
+            AaaError::Unimplementable { op: "f".into() },
+            AaaError::NoRoute {
+                from: "p0".into(),
+                to: "p1".into(),
+            },
+            AaaError::InvalidSchedule {
+                reason: "overlap".into(),
+            },
+            AaaError::ParseSdx {
+                line: 3,
+                reason: "bad token".into(),
+            },
+            AaaError::InvalidTiming {
+                reason: "negative".into(),
+                value: TimeNs::from_nanos(-1),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AaaError>();
+    }
+}

@@ -1,0 +1,446 @@
+//! The static, non-preemptive schedule produced by the adequation.
+
+use ecl_sim::TimeNs;
+use serde::{Deserialize, Serialize};
+
+use crate::algorithm::{AlgorithmGraph, OpId, OpKind};
+use crate::architecture::{ArchitectureGraph, MediumId, ProcId};
+use crate::AaaError;
+
+/// One computation slot: operation `op` executes on `proc` during
+/// `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledOp {
+    /// The scheduled operation.
+    pub op: OpId,
+    /// The processor executing it.
+    pub proc: ProcId,
+    /// Start instant (relative to the period origin).
+    pub start: TimeNs,
+    /// Completion instant.
+    pub end: TimeNs,
+}
+
+/// One communication slot: the data produced by `src_op` moves from `from`
+/// to `to` over `medium` during `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduledComm {
+    /// The operation whose output is transferred.
+    pub src_op: OpId,
+    /// Owning (sending) processor.
+    pub from: ProcId,
+    /// Requesting (receiving) processor.
+    pub to: ProcId,
+    /// The medium carrying the transfer.
+    pub medium: MediumId,
+    /// Transfer start instant.
+    pub start: TimeNs,
+    /// Transfer completion instant.
+    pub end: TimeNs,
+    /// Amount of data moved.
+    pub data_units: u32,
+}
+
+/// A complete static schedule: one total order of computations per
+/// processor and of communications per medium.
+///
+/// Produced by [`adequation`](crate::adequation); consumed by the paper's
+/// graph-of-delays translation (`ecl-core`) and by
+/// [`codegen`](crate::codegen).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Schedule {
+    pub(crate) ops: Vec<ScheduledOp>,
+    pub(crate) comms: Vec<ScheduledComm>,
+}
+
+impl Schedule {
+    /// Creates a schedule from raw slots (mainly for tests; prefer
+    /// [`adequation`](crate::adequation)).
+    pub fn from_parts(ops: Vec<ScheduledOp>, comms: Vec<ScheduledComm>) -> Self {
+        let mut s = Schedule { ops, comms };
+        s.ops.sort_by_key(|o| (o.start, o.op));
+        s.comms.sort_by_key(|c| (c.start, c.src_op, c.to));
+        s
+    }
+
+    /// All computation slots, ordered by start instant.
+    pub fn ops(&self) -> &[ScheduledOp] {
+        &self.ops
+    }
+
+    /// All communication slots, ordered by start instant.
+    pub fn comms(&self) -> &[ScheduledComm] {
+        &self.comms
+    }
+
+    /// The slot of operation `op`, if scheduled.
+    pub fn slot(&self, op: OpId) -> Option<&ScheduledOp> {
+        self.ops.iter().find(|s| s.op == op)
+    }
+
+    /// The computation sequence of processor `p`, in execution order.
+    pub fn proc_sequence(&self, p: ProcId) -> Vec<&ScheduledOp> {
+        self.ops.iter().filter(|s| s.proc == p).collect()
+    }
+
+    /// The transfer sequence of medium `m`, in execution order.
+    pub fn medium_sequence(&self, m: MediumId) -> Vec<&ScheduledComm> {
+        self.comms.iter().filter(|c| c.medium == m).collect()
+    }
+
+    /// The completion instant of the last computation or communication.
+    pub fn makespan(&self) -> TimeNs {
+        let op_end = self.ops.iter().map(|s| s.end).max().unwrap_or(TimeNs::ZERO);
+        let comm_end = self
+            .comms
+            .iter()
+            .map(|c| c.end)
+            .max()
+            .unwrap_or(TimeNs::ZERO);
+        op_end.max(comm_end)
+    }
+
+    /// Fraction of the makespan during which processor `p` computes
+    /// (`0.0` for an empty schedule).
+    pub fn utilization(&self, p: ProcId) -> f64 {
+        let total = self.makespan();
+        if total <= TimeNs::ZERO {
+            return 0.0;
+        }
+        let busy: TimeNs = self
+            .ops
+            .iter()
+            .filter(|s| s.proc == p)
+            .map(|s| s.end - s.start)
+            .sum();
+        busy.as_nanos() as f64 / total.as_nanos() as f64
+    }
+
+    /// Completion instants of the sensor operations — the per-input
+    /// sampling latencies `Ls_j` of the paper's eq. (1) when the schedule
+    /// starts at the period origin.
+    pub fn sensor_instants(&self, alg: &AlgorithmGraph) -> Vec<(OpId, TimeNs)> {
+        self.kind_instants(alg, OpKind::Sensor)
+    }
+
+    /// Completion instants of the actuator operations — the per-output
+    /// actuation latencies `La_j` of the paper's eq. (2).
+    pub fn actuator_instants(&self, alg: &AlgorithmGraph) -> Vec<(OpId, TimeNs)> {
+        self.kind_instants(alg, OpKind::Actuator)
+    }
+
+    fn kind_instants(&self, alg: &AlgorithmGraph, kind: OpKind) -> Vec<(OpId, TimeNs)> {
+        self.ops
+            .iter()
+            .filter(|s| alg.kind(s.op) == kind)
+            .map(|s| (s.op, s.end))
+            .collect()
+    }
+
+    /// Checks the structural soundness of the schedule against its
+    /// algorithm and architecture:
+    ///
+    /// 1. every operation scheduled exactly once, with `start <= end`;
+    /// 2. no overlap within a processor or a medium;
+    /// 3. every data dependency satisfied — same-processor predecessors
+    ///    complete before the consumer starts; cross-processor ones have a
+    ///    communication slot that starts after the producer ends and
+    ///    finishes before the consumer starts, on a medium connecting the
+    ///    two processors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AaaError::InvalidSchedule`] naming the violated property.
+    pub fn validate(
+        &self,
+        alg: &AlgorithmGraph,
+        arch: &ArchitectureGraph,
+    ) -> Result<(), AaaError> {
+        let bad = |reason: String| Err(AaaError::InvalidSchedule { reason });
+        // 1. coverage and sanity
+        for op in alg.ops() {
+            let count = self.ops.iter().filter(|s| s.op == op).count();
+            if count != 1 {
+                return bad(format!(
+                    "operation '{}' scheduled {count} times",
+                    alg.name(op)
+                ));
+            }
+        }
+        for s in &self.ops {
+            if s.end < s.start {
+                return bad(format!("operation '{}' ends before it starts", alg.name(s.op)));
+            }
+            arch.check_proc(s.proc)
+                .map_err(|_| AaaError::InvalidSchedule {
+                    reason: format!("operation '{}' on unknown processor", alg.name(s.op)),
+                })?;
+        }
+        // 2. non-overlap per processor
+        for p in arch.processors() {
+            let mut seq = self.proc_sequence(p);
+            seq.sort_by_key(|s| s.start);
+            for w in seq.windows(2) {
+                if w[1].start < w[0].end {
+                    return bad(format!(
+                        "operations '{}' and '{}' overlap on {}",
+                        alg.name(w[0].op),
+                        alg.name(w[1].op),
+                        arch.proc_name(p)
+                    ));
+                }
+            }
+        }
+        // ... and per medium
+        for m in arch.media() {
+            let mut seq = self.medium_sequence(m);
+            seq.sort_by_key(|c| c.start);
+            for w in seq.windows(2) {
+                if w[1].start < w[0].end {
+                    return bad(format!(
+                        "transfers of '{}' and '{}' overlap on {}",
+                        alg.name(w[0].src_op),
+                        alg.name(w[1].src_op),
+                        arch.medium_name(m)
+                    ));
+                }
+            }
+        }
+        // 3. dependencies
+        for e in alg.edges() {
+            let ps = self.slot(e.src).expect("covered above");
+            let pd = self.slot(e.dst).expect("covered above");
+            if ps.proc == pd.proc {
+                if ps.end > pd.start {
+                    return bad(format!(
+                        "'{}' starts before its predecessor '{}' completes",
+                        alg.name(e.dst),
+                        alg.name(e.src)
+                    ));
+                }
+            } else {
+                let ok = self.comms.iter().any(|c| {
+                    c.src_op == e.src
+                        && c.to == pd.proc
+                        && c.start >= ps.end
+                        && c.end <= pd.start
+                        && arch.medium_procs(c.medium).contains(&c.from)
+                        && arch.medium_procs(c.medium).contains(&c.to)
+                });
+                // A broadcast transfer to a third processor also delivers
+                // the data here if the medium reaches pd.proc.
+                let ok_broadcast = ok
+                    || self.comms.iter().any(|c| {
+                        c.src_op == e.src
+                            && c.start >= ps.end
+                            && c.end <= pd.start
+                            && arch.medium_procs(c.medium).contains(&pd.proc)
+                    });
+                if !ok_broadcast {
+                    return bad(format!(
+                        "no communication delivers '{}' from {} to {} before '{}' starts",
+                        alg.name(e.src),
+                        arch.proc_name(ps.proc),
+                        arch.proc_name(pd.proc),
+                        alg.name(e.dst)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders a human-readable Gantt-style listing of the schedule.
+    pub fn render(&self, alg: &AlgorithmGraph, arch: &ArchitectureGraph) -> String {
+        let mut s = String::new();
+        for p in arch.processors() {
+            s.push_str(&format!("processor {}:\n", arch.proc_name(p)));
+            for slot in self.proc_sequence(p) {
+                s.push_str(&format!(
+                    "  [{} .. {}] {}\n",
+                    slot.start,
+                    slot.end,
+                    alg.name(slot.op)
+                ));
+            }
+        }
+        for m in arch.media() {
+            s.push_str(&format!("medium {}:\n", arch.medium_name(m)));
+            for c in self.medium_sequence(m) {
+                s.push_str(&format!(
+                    "  [{} .. {}] {} : {} -> {}\n",
+                    c.start,
+                    c.end,
+                    alg.name(c.src_op),
+                    arch.proc_name(c.from),
+                    arch.proc_name(c.to)
+                ));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (AlgorithmGraph, ArchitectureGraph) {
+        let mut alg = AlgorithmGraph::new();
+        let s = alg.add_sensor("s");
+        let f = alg.add_function("f");
+        let a = alg.add_actuator("a");
+        alg.add_edge(s, f, 1).unwrap();
+        alg.add_edge(f, a, 1).unwrap();
+        let mut arch = ArchitectureGraph::new();
+        let p0 = arch.add_processor("p0", "arm");
+        let p1 = arch.add_processor("p1", "arm");
+        arch.add_bus("bus", &[p0, p1], TimeNs::from_micros(10), TimeNs::from_micros(1))
+            .unwrap();
+        (alg, arch)
+    }
+
+    fn ms(v: i64) -> TimeNs {
+        TimeNs::from_millis(v)
+    }
+
+    fn valid_split_schedule() -> Schedule {
+        // s,f on p0; a on p1 with a comm in between.
+        Schedule::from_parts(
+            vec![
+                ScheduledOp {
+                    op: OpId(0),
+                    proc: ProcId(0),
+                    start: ms(0),
+                    end: ms(1),
+                },
+                ScheduledOp {
+                    op: OpId(1),
+                    proc: ProcId(0),
+                    start: ms(1),
+                    end: ms(3),
+                },
+                ScheduledOp {
+                    op: OpId(2),
+                    proc: ProcId(1),
+                    start: ms(4),
+                    end: ms(5),
+                },
+            ],
+            vec![ScheduledComm {
+                src_op: OpId(1),
+                from: ProcId(0),
+                to: ProcId(1),
+                medium: MediumId(0),
+                start: ms(3),
+                end: ms(4),
+                data_units: 1,
+            }],
+        )
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        let (alg, arch) = toy();
+        let s = valid_split_schedule();
+        s.validate(&alg, &arch).unwrap();
+        assert_eq!(s.makespan(), ms(5));
+        assert_eq!(s.proc_sequence(ProcId(0)).len(), 2);
+        assert_eq!(s.medium_sequence(MediumId(0)).len(), 1);
+        assert!((s.utilization(ProcId(0)) - 0.6).abs() < 1e-12);
+        assert!((s.utilization(ProcId(1)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn io_instants() {
+        let (alg, _arch) = toy();
+        let s = valid_split_schedule();
+        assert_eq!(s.sensor_instants(&alg), vec![(OpId(0), ms(1))]);
+        assert_eq!(s.actuator_instants(&alg), vec![(OpId(2), ms(5))]);
+    }
+
+    #[test]
+    fn missing_op_rejected() {
+        let (alg, arch) = toy();
+        let mut s = valid_split_schedule();
+        s.ops.pop();
+        assert!(matches!(
+            s.validate(&alg, &arch),
+            Err(AaaError::InvalidSchedule { .. })
+        ));
+    }
+
+    #[test]
+    fn overlap_on_processor_rejected() {
+        let (alg, arch) = toy();
+        let mut s = valid_split_schedule();
+        // Make f start before s ends on the same processor.
+        s.ops[1].start = TimeNs::from_micros(500);
+        assert!(s.validate(&alg, &arch).is_err());
+    }
+
+    #[test]
+    fn missing_comm_rejected() {
+        let (alg, arch) = toy();
+        let mut s = valid_split_schedule();
+        s.comms.clear();
+        let err = s.validate(&alg, &arch).unwrap_err();
+        assert!(err.to_string().contains("no communication"));
+    }
+
+    #[test]
+    fn late_comm_rejected() {
+        let (alg, arch) = toy();
+        let mut s = valid_split_schedule();
+        // Comm finishes after the consumer starts.
+        s.comms[0].end = ms(4) + TimeNs::from_micros(1);
+        assert!(s.validate(&alg, &arch).is_err());
+    }
+
+    #[test]
+    fn dependency_order_on_same_proc_rejected() {
+        let (alg, arch) = toy();
+        let s = Schedule::from_parts(
+            vec![
+                ScheduledOp {
+                    op: OpId(0),
+                    proc: ProcId(0),
+                    start: ms(2),
+                    end: ms(3),
+                },
+                ScheduledOp {
+                    op: OpId(1),
+                    proc: ProcId(0),
+                    start: ms(0),
+                    end: ms(1),
+                },
+                ScheduledOp {
+                    op: OpId(2),
+                    proc: ProcId(0),
+                    start: ms(4),
+                    end: ms(5),
+                },
+            ],
+            vec![],
+        );
+        assert!(s.validate(&alg, &arch).is_err());
+    }
+
+    #[test]
+    fn render_lists_everything() {
+        let (alg, arch) = toy();
+        let s = valid_split_schedule();
+        let text = s.render(&alg, &arch);
+        assert!(text.contains("processor p0"));
+        assert!(text.contains("medium bus"));
+        assert!(text.contains("f"));
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::default();
+        assert_eq!(s.makespan(), TimeNs::ZERO);
+        assert_eq!(s.utilization(ProcId(0)), 0.0);
+        assert!(s.slot(OpId(0)).is_none());
+    }
+}

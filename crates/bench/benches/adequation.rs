@@ -1,0 +1,97 @@
+//! Criterion benches of the adequation heuristic: scaling with the number
+//! of operations and processors, and the policy ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ecl_aaa::{
+    adequation, AdequationOptions, AlgorithmGraph, ArchitectureGraph, MappingPolicy, TimeNs,
+    TimingDb,
+};
+
+/// A layered synthetic algorithm graph: `layers` layers of `width`
+/// operations, each depending on two operations of the previous layer.
+fn layered(layers: usize, width: usize) -> AlgorithmGraph {
+    let mut alg = AlgorithmGraph::new();
+    let mut prev = Vec::new();
+    for l in 0..layers {
+        let mut cur = Vec::new();
+        for w in 0..width {
+            let op = if l == 0 {
+                alg.add_sensor(format!("s{w}"))
+            } else if l == layers - 1 {
+                alg.add_actuator(format!("a{w}"))
+            } else {
+                alg.add_function(format!("f{l}_{w}"))
+            };
+            if l > 0 {
+                let p1: &usize = &prev[w % prev.len()];
+                let p2: &usize = &prev[(w + 1) % prev.len()];
+                for p in [p1, p2] {
+                    let src = alg.ops().nth(*p).expect("exists");
+                    let _ = alg.add_edge(src, op, 4);
+                }
+            }
+            cur.push(alg.ops().count() - 1);
+            let _ = &cur;
+        }
+        prev = cur;
+    }
+    alg
+}
+
+fn target(n_procs: usize) -> ArchitectureGraph {
+    let mut arch = ArchitectureGraph::new();
+    let ps: Vec<_> = (0..n_procs)
+        .map(|i| arch.add_processor(format!("p{i}"), "arm"))
+        .collect();
+    if n_procs > 1 {
+        arch.add_bus("bus", &ps, TimeNs::from_micros(20), TimeNs::from_micros(1))
+            .expect("valid");
+    }
+    arch
+}
+
+fn uniform(alg: &AlgorithmGraph) -> TimingDb {
+    let mut db = TimingDb::new();
+    for op in alg.ops() {
+        db.set_default(op, TimeNs::from_micros(100));
+    }
+    db
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adequation_scaling");
+    for (layers, width) in [(4usize, 4usize), (6, 8), (8, 12)] {
+        let alg = layered(layers, width);
+        let db = uniform(&alg);
+        for procs in [2usize, 4] {
+            let arch = target(procs);
+            let id = format!("{}ops_{procs}procs", alg.len());
+            g.bench_with_input(BenchmarkId::from_parameter(&id), &id, |bench, _| {
+                bench.iter(|| {
+                    adequation(&alg, &arch, &db, AdequationOptions::default()).expect("ok")
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let alg = layered(6, 8);
+    let db = uniform(&alg);
+    let arch = target(3);
+    let mut g = c.benchmark_group("adequation_policies");
+    for (name, policy) in [
+        ("pressure", MappingPolicy::SchedulePressure),
+        ("eft", MappingPolicy::EarliestFinish),
+        ("random", MappingPolicy::Random { seed: 1 }),
+    ] {
+        g.bench_function(name, |bench| {
+            bench.iter(|| adequation(&alg, &arch, &db, AdequationOptions { policy }).expect("ok"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Criterion benches of the co-simulation pipeline: ideal loop, graph-of-
+//! delays synthesis, and the scheduled end-to-end run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ecl_aaa::{adequation, AdequationOptions, TimeNs};
+use ecl_bench::{dc_motor_loop, split_scenario};
+use ecl_core::cosim;
+use ecl_core::delays::{self, DelayGraphConfig};
+use ecl_sim::Model;
+
+fn bench_ideal(c: &mut Criterion) {
+    let spec = dc_motor_loop(1.0).expect("valid");
+    c.bench_function("cosim_ideal_1s", |bench| {
+        bench.iter(|| cosim::run_ideal(&spec).expect("ok"))
+    });
+}
+
+fn bench_delay_graph_build(c: &mut Criterion) {
+    let scenario = split_scenario(
+        4,
+        1,
+        TimeNs::from_millis(1),
+        TimeNs::from_micros(100),
+        TimeNs::from_millis(2),
+    )
+    .expect("valid");
+    let schedule = adequation(
+        &scenario.alg,
+        &scenario.arch,
+        &scenario.db,
+        AdequationOptions::default(),
+    )
+    .expect("ok");
+    c.bench_function("delay_graph_build", |bench| {
+        bench.iter(|| {
+            let mut model = Model::new();
+            delays::build(
+                &mut model,
+                &scenario.alg,
+                &scenario.arch,
+                &schedule,
+                TimeNs::from_millis(50),
+                DelayGraphConfig::default(),
+            )
+            .expect("ok")
+        })
+    });
+}
+
+fn bench_scheduled(c: &mut Criterion) {
+    let spec = dc_motor_loop(1.0).expect("valid");
+    let scenario = split_scenario(
+        2,
+        1,
+        TimeNs::from_millis(4),
+        TimeNs::from_micros(200),
+        TimeNs::from_millis(10),
+    )
+    .expect("valid");
+    let schedule = adequation(
+        &scenario.alg,
+        &scenario.arch,
+        &scenario.db,
+        AdequationOptions::default(),
+    )
+    .expect("ok");
+    c.bench_function("cosim_scheduled_1s", |bench| {
+        bench.iter(|| {
+            cosim::run_scheduled(&spec, &scenario.alg, &scenario.io, &schedule, &scenario.arch)
+                .expect("ok")
+        })
+    });
+}
+
+criterion_group!(benches, bench_ideal, bench_delay_graph_build, bench_scheduled);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E11 — cost vs sampling period under a fixed implementation.
+//!
+//! With the computation and bus times fixed, sweeping the sampling period
+//! exposes the design trade-off the methodology lets engineers explore
+//! early: the implementation penalty grows as the schedule fills the
+//! period, and the loop becomes infeasible (schedule overrun) below a
+//! crossover period — found in simulation, not on the bench.
+
+use ecl_aaa::{adequation, AdequationOptions, TimeNs};
+use ecl_bench::{lqr_loop, split_scenario, table};
+use ecl_control::plants;
+use ecl_core::cosim;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Fixed implementation: ~8.5 ms of computation + bus per period.
+    let bus = TimeNs::from_millis(2);
+    let io_wcet = TimeNs::from_micros(100);
+    let compute = TimeNs::from_millis(4);
+    let scenario = split_scenario(2, 1, bus, io_wcet, compute)?;
+    let schedule = adequation(
+        &scenario.alg,
+        &scenario.arch,
+        &scenario.db,
+        AdequationOptions::default(),
+    )?;
+    let makespan = schedule.makespan();
+    println!("E11 — cost vs sampling period (fixed schedule, makespan {makespan})\n");
+
+    let plant = plants::dc_motor();
+    let mut rows = Vec::new();
+    for ts_ms in [100i64, 50, 25, 15, 12, 10, 8] {
+        let ts = ts_ms as f64 * 1e-3;
+        let spec = lqr_loop(plant.sys.clone(), ts, vec![1.0, 0.0], 1.5)?;
+        let ideal = cosim::run_ideal(&spec)?;
+        let row = if makespan > TimeNs::from_millis(ts_ms) {
+            vec![
+                format!("{ts_ms}"),
+                format!("{:.6}", ideal.cost),
+                "overrun".into(),
+                "n/a".into(),
+            ]
+        } else {
+            let run = cosim::run_scheduled(
+                &spec,
+                &scenario.alg,
+                &scenario.io,
+                &schedule,
+                &scenario.arch,
+            )?;
+            vec![
+                format!("{ts_ms}"),
+                format!("{:.6}", ideal.cost),
+                format!("{:.6}", run.cost),
+                format!("{:+.1}%", (run.cost / ideal.cost - 1.0) * 100.0),
+            ]
+        };
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        table(
+            &["Ts [ms]", "ideal cost", "implemented cost", "penalty"],
+            &rows
+        )
+    );
+    println!("\nexpected shape: the implementation penalty grows monotonically");
+    println!("as the fixed schedule fills a shrinking Ts, and the loop becomes");
+    println!("infeasible once the makespan ({makespan}) exceeds Ts — the");
+    println!("feasibility crossover the co-simulation finds before any");
+    println!("hardware exists. (The ideal column stays nearly flat: the");
+    println!("well-damped motor gains little from faster sampling while the");
+    println!("control-effort term grows slightly.)");
+    Ok(())
+}

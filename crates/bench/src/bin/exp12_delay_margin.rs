@@ -1,0 +1,139 @@
+//! E12 — analytic delay margin vs co-simulated latency tolerance.
+//!
+//! Classical loop-shaping predicts that a loop tolerates at most
+//! `τ_max = φ_m / ω_gc` of extra delay before instability. The
+//! methodology's co-simulation measures the *actual* tolerance of the
+//! sampled distributed loop. This experiment computes both for the DC
+//! motor under an increasingly aggressive LQR and checks the expected
+//! relation: the co-simulated serviceability threshold (latency at which
+//! the cost degrades by 10%) shrinks as the analytic margin shrinks —
+//! sampling and the ZOH consume part of the continuous-time margin, and
+//! degradation long precedes outright instability.
+
+use ecl_aaa::{adequation, AdequationOptions, AlgorithmGraph, ArchitectureGraph, TimeNs, TimingDb};
+use ecl_bench::table;
+use ecl_control::{c2d_zoh, dlqr, frequency, plants};
+use ecl_core::cosim::{self, DisturbanceKind, LoopSpec};
+use ecl_core::translate::IoMap;
+use ecl_linalg::Mat;
+
+/// Single-processor schedule whose actuation latency is exactly `lat`.
+fn latency_schedule(
+    n_inputs: usize,
+    lat: TimeNs,
+) -> (AlgorithmGraph, IoMap, ArchitectureGraph, ecl_aaa::Schedule) {
+    let law = ecl_core::translate::ControlLawSpec::monolithic("law", n_inputs, 1);
+    let (alg, io) = law.to_algorithm().expect("valid");
+    let mut arch = ArchitectureGraph::new();
+    arch.add_processor("ecu", "arm");
+    let tiny = TimeNs::from_micros(1);
+    let mut db = TimingDb::new();
+    for &s in io.sensors.iter().chain(&io.actuators) {
+        db.set_default(s, tiny);
+    }
+    let compute = lat - tiny * (n_inputs as i64 + 1);
+    db.set_default(io.stages[0], compute.max(tiny));
+    let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).expect("ok");
+    (alg, io, arch, schedule)
+}
+
+/// Finds (by bisection over the latency) the largest actuation latency the
+/// co-simulated loop tolerates before its cost exceeds `blowup` times the
+/// ideal cost.
+fn cosim_tolerance(spec: &LoopSpec, ideal_cost: f64, ts: TimeNs, blowup: f64) -> TimeNs {
+    let stable = |lat: TimeNs| -> bool {
+        let (alg, io, arch, schedule) = latency_schedule(spec.plant.state_dim(), lat);
+        match cosim::run_scheduled(spec, &alg, &io, &schedule, &arch) {
+            Ok(run) => run.cost.is_finite() && run.cost < blowup * ideal_cost,
+            Err(_) => false,
+        }
+    };
+    let mut lo = TimeNs::from_micros(10);
+    let mut hi = ts - TimeNs::from_micros(10);
+    if !stable(lo) {
+        return TimeNs::ZERO;
+    }
+    if stable(hi) {
+        return hi;
+    }
+    for _ in 0..12 {
+        let mid = (lo + hi) / 2;
+        if stable(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let plant = plants::dc_motor();
+    let ts = plant.ts;
+    println!("E12 — analytic delay margin vs co-simulated latency tolerance");
+    println!(
+        "plant: dc-motor, Ts = {} ms, serviceability = cost within +10% of ideal\n",
+        ts * 1e3
+    );
+
+    let mut rows = Vec::new();
+    for r_weight in [1e-2, 1e-3, 1e-4, 1e-5] {
+        let dss = c2d_zoh(&plant.sys, ts)?;
+        let lqr = dlqr(&dss, &Mat::diag(&[10.0, 1.0]), &Mat::diag(&[r_weight]))?;
+        let spec = LoopSpec {
+            plant: plant.sys.clone(),
+            n_controls: 1,
+            x0: vec![1.0, 0.0],
+            feedback: lqr.k.clone(),
+            input_memory: None,
+            ts,
+            horizon: 2.0,
+            q_weight: 1.0,
+            r_weight,
+            disturbance: DisturbanceKind::None,
+        };
+        let ideal = cosim::run_ideal(&spec)?;
+
+        // Analytic: continuous loop transfer K (sI - A)^-1 B.
+        let loop_tf = frequency::state_feedback_loop(&plant.sys, &lqr.k)?;
+        let m = frequency::margins(&loop_tf, 1e-3, 1e5)?;
+        let (wgc, pm, dm) = match m {
+            Some(m) => (m.omega_gc, m.phase_margin_deg, m.delay_margin),
+            None => (f64::NAN, f64::NAN, f64::INFINITY),
+        };
+        // The sampled loop spends ~Ts/2 of delay margin on the ZOH.
+        let dm_sampled = dm - ts / 2.0;
+
+        let tolerance = cosim_tolerance(&spec, ideal.cost, TimeNs::from_secs_f64(ts), 1.10);
+        rows.push(vec![
+            format!("{r_weight:.0e}"),
+            format!("{wgc:.1}"),
+            format!("{pm:.0}"),
+            format!("{:.1}", dm * 1e3),
+            format!("{:.1}", dm_sampled.max(0.0) * 1e3),
+            format!("{:.1}", tolerance.as_secs_f64() * 1e3),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "R weight",
+                "wgc [rad/s]",
+                "PM [deg]",
+                "analytic tau_max [ms]",
+                "minus ZOH [ms]",
+                "co-sim tolerance [ms]"
+            ],
+            &rows
+        )
+    );
+    println!("\nexpected shape: faster loops (smaller R) have higher crossover");
+    println!("and smaller delay margins, and the co-simulated serviceability");
+    println!("threshold shrinks in the same order. The threshold sits well");
+    println!("below the instability margin (10% degradation long precedes");
+    println!("divergence) and is capped at Ts minus the I/O WCETs — the");
+    println!("schedule must fit the period, so the gentle R = 1e-2 loop never");
+    println!("reaches its threshold within one period.");
+    Ok(())
+}

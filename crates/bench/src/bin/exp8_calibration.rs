@@ -1,0 +1,81 @@
+//! E8 — the methodology's payoff: ideal vs implemented vs calibrated.
+//!
+//! Runs the full lifecycle (design → adequation → co-simulate → calibrate)
+//! on three plants over the same 2-ECU target and reports the quadratic
+//! costs. The claim being reproduced: co-simulating the implementation
+//! early and calibrating the law against the measured latency recovers
+//! most of the degradation *without* iterating through a physical
+//! integration phase.
+
+use ecl_aaa::{AdequationOptions, TimeNs};
+use ecl_bench::{split_scenario, table};
+use ecl_control::plants::{self, Plant};
+use ecl_core::cosim::DisturbanceKind;
+use ecl_core::lifecycle::{self, LifecycleInputs};
+use ecl_linalg::Mat;
+
+fn run_case(plant: &Plant, x0: Vec<f64>, horizon: f64) -> Vec<String> {
+    let n = plant.sys.state_dim();
+    // Latency budget scaled to the plant's period: ~55% of Ts.
+    let period = TimeNs::from_secs_f64(plant.ts);
+    let bus = TimeNs::from_nanos((period.as_nanos() as f64 * 0.08) as i64);
+    let compute = TimeNs::from_nanos((period.as_nanos() as f64 * 0.25) as i64);
+    let io_wcet = TimeNs::from_nanos((period.as_nanos() as f64 * 0.005) as i64);
+    let scenario = split_scenario(n, 1, bus, io_wcet, compute).expect("valid scenario");
+
+    let mut q = Mat::identity(n);
+    q[(0, 0)] = 10.0;
+    let inputs = LifecycleInputs {
+        plant: plant.sys.clone(),
+        n_controls: 1,
+        x0,
+        ts: plant.ts,
+        horizon,
+        lqr_q: q,
+        lqr_r: Mat::diag(&[1e-3]),
+        q_weight: 1.0,
+        r_weight: 1e-3,
+        law: scenario.law.clone(),
+        arch: scenario.arch,
+        db: scenario.db,
+        adequation: AdequationOptions::default(),
+        disturbance: DisturbanceKind::None,
+    };
+    let rep = lifecycle::run(&inputs).expect("lifecycle ok");
+    vec![
+        plant.name.into(),
+        format!("{}", rep.latency.mean_actuation()),
+        format!("{:.6}", rep.ideal.cost),
+        format!("{:.6}", rep.implemented.cost),
+        format!("{:.6}", rep.calibrated.cost),
+        format!("{:+.1}%", rep.degradation() * 100.0),
+        format!("{:.0}%", rep.calibration_recovery() * 100.0),
+    ]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("E8 — lifecycle payoff: ideal vs implemented vs calibrated\n");
+    let rows = vec![
+        run_case(&plants::dc_motor(), vec![1.0, 0.0], 1.5),
+        run_case(&plants::inverted_pendulum(), vec![0.0, 0.0, 0.1, 0.0], 3.0),
+        run_case(&plants::cruise_control(), vec![5.0], 20.0),
+    ];
+    println!(
+        "{}",
+        table(
+            &[
+                "plant",
+                "mean La",
+                "ideal",
+                "implemented",
+                "calibrated",
+                "degradation",
+                "recovered"
+            ],
+            &rows
+        )
+    );
+    println!("\nexpected shape: implemented > calibrated >= ideal on every");
+    println!("plant; the delay-aware redesign recovers most of the loss.");
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! F1 — paper Fig. 1: the timing of input/output operations under a real
+//! implementation.
+//!
+//! Co-simulates the DC-motor loop on a 2-ECU target and prints, per
+//! sampling period `k`, the sampling instants `I_j(k)`, actuation instants
+//! `O_j(k)` and the latencies `Ls_j(k) = I_j(k) − k·Ts`,
+//! `La_j(k) = O_j(k) − k·Ts` of the paper's equations (1)–(2), plus an
+//! ASCII rendering of one period's timeline.
+
+use ecl_aaa::{adequation, AdequationOptions, TimeNs};
+use ecl_bench::{dc_motor_loop, split_scenario, table};
+use ecl_core::cosim;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = dc_motor_loop(0.6)?;
+    let scenario = split_scenario(
+        2,
+        1,
+        TimeNs::from_millis(4),
+        TimeNs::from_micros(300),
+        TimeNs::from_millis(12),
+    )?;
+    let schedule = adequation(
+        &scenario.alg,
+        &scenario.arch,
+        &scenario.db,
+        AdequationOptions::default(),
+    )?;
+    schedule.validate(&scenario.alg, &scenario.arch)?;
+
+    let run = cosim::run_scheduled(&spec, &scenario.alg, &scenario.io, &schedule, &scenario.arch)?;
+    let ts = TimeNs::from_secs_f64(spec.ts);
+
+    println!("F1 — implementation effect on the timing of I/O operations");
+    println!("plant: dc-motor, Ts = {ts}, target: 2 ECUs + CAN-like bus\n");
+
+    let periods = run.sample_instants[0].len().min(8);
+    let mut rows = Vec::new();
+    for k in 0..periods {
+        let origin = ts * k as i64;
+        let mut row = vec![k.to_string()];
+        for j in 0..run.sample_instants.len() {
+            let i_jk = run.sample_instants[j][k];
+            row.push(format!("{i_jk}"));
+            row.push(format!("{}", i_jk - origin));
+        }
+        for j in 0..run.actuation_instants.len() {
+            let o_jk = run.actuation_instants[j][k];
+            row.push(format!("{o_jk}"));
+            row.push(format!("{}", o_jk - origin));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        table(
+            &["k", "I_0(k)", "Ls_0(k)", "I_1(k)", "Ls_1(k)", "O_0(k)", "La_0(k)"],
+            &rows
+        )
+    );
+
+    // One-period ASCII timeline (40 columns spanning [0, Ts)).
+    println!("one period timeline (each column = Ts/40):");
+    let cols = 40usize;
+    let pos = |t: TimeNs| -> usize {
+        ((t.as_nanos() as f64 / ts.as_nanos() as f64) * cols as f64) as usize
+    };
+    let mut line = vec!['.'; cols + 1];
+    line[0] = 'k';
+    for j in 0..run.sample_instants.len() {
+        let p = pos(run.sample_instants[j][0]).min(cols);
+        line[p] = char::from_digit(j as u32, 10).unwrap_or('s');
+    }
+    for inst in &run.actuation_instants {
+        let p = pos(inst[0]).min(cols);
+        line[p] = 'A';
+    }
+    println!("  {}", line.iter().collect::<String>());
+    println!("  k = period start, digits = input samplings I_j, A = actuation O_0\n");
+
+    let rep = run.latency_report()?;
+    println!("summary:\n{}", rep.render());
+    Ok(())
+}

@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing blocks.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BlockError {
+    /// Matrix/vector dimensions handed to a constructor were inconsistent.
+    InvalidDimensions {
+        /// The block type being constructed.
+        block: &'static str,
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// A scalar parameter was outside its valid range.
+    InvalidParameter {
+        /// The block type being constructed.
+        block: &'static str,
+        /// The parameter name.
+        parameter: &'static str,
+        /// Explanation of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::InvalidDimensions { block, reason } => {
+                write!(f, "invalid dimensions for {block}: {reason}")
+            }
+            BlockError::InvalidParameter {
+                block,
+                parameter,
+                reason,
+            } => write!(f, "invalid parameter '{parameter}' for {block}: {reason}"),
+        }
+    }
+}
+
+impl Error for BlockError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let e = BlockError::InvalidDimensions {
+            block: "StateSpaceCt",
+            reason: "A must be square".into(),
+        };
+        assert!(e.to_string().contains("StateSpaceCt"));
+        let e = BlockError::InvalidParameter {
+            block: "Clock",
+            parameter: "period",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("period"));
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BlockError>();
+    }
+}

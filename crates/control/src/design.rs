@@ -1,0 +1,289 @@
+//! Controller synthesis: discrete LQR, pole placement (Ackermann), and
+//! observer design.
+
+use ecl_linalg::{lu::Lu, solve_dare, DareOptions, Mat};
+
+use crate::ss::DiscreteSs;
+use crate::ControlError;
+
+/// Result of a discrete LQR synthesis: the state-feedback gain and the
+/// Riccati solution.
+///
+/// The control law is `u_k = −K·x_k`; the optimal infinite-horizon cost
+/// from state `x0` is `x0ᵀ·P·x0`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dlqr {
+    /// State-feedback gain (`m × n`).
+    pub k: Mat,
+    /// Stabilizing Riccati solution (`n × n`, symmetric).
+    pub p: Mat,
+}
+
+/// Discrete-time LQR: minimizes `Σ xᵀQx + uᵀRu` for the sampled model.
+///
+/// # Errors
+///
+/// * [`ControlError::InvalidDimensions`] if `Q`/`R` do not match the model.
+/// * Propagated [`ControlError::Linalg`] if the DARE iteration fails
+///   (non-stabilizable pair, indefinite `R`, ...).
+///
+/// # Examples
+///
+/// ```
+/// use ecl_control::{c2d_zoh, dlqr, plants};
+/// use ecl_linalg::Mat;
+/// # fn main() -> Result<(), ecl_control::ControlError> {
+/// let plant = plants::dc_motor();
+/// let dss = c2d_zoh(&plant.sys, 0.01)?;
+/// let lqr = dlqr(&dss, &Mat::identity(2), &Mat::diag(&[0.5]))?;
+/// assert_eq!(lqr.k.rows(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dlqr(sys: &DiscreteSs, q: &Mat, r: &Mat) -> Result<Dlqr, ControlError> {
+    let n = sys.state_dim();
+    let m = sys.input_dim();
+    if q.shape() != (n, n) {
+        return Err(ControlError::InvalidDimensions {
+            reason: format!("Q must be {n}x{n}, got {}x{}", q.rows(), q.cols()),
+        });
+    }
+    if r.shape() != (m, m) {
+        return Err(ControlError::InvalidDimensions {
+            reason: format!("R must be {m}x{m}, got {}x{}", r.rows(), r.cols()),
+        });
+    }
+    let p = solve_dare(sys.a(), sys.b(), q, r, DareOptions::default())?;
+    // K = (R + BᵀPB)⁻¹ BᵀPA
+    let bt = sys.b().transpose();
+    let g = r.add(&bt.matmul(&p)?.matmul(sys.b())?)?;
+    let bpa = bt.matmul(&p)?.matmul(sys.a())?;
+    let k = Lu::factor(&g)?.solve_mat(&bpa)?;
+    Ok(Dlqr { k, p })
+}
+
+/// Builds monic characteristic-polynomial coefficients from real roots.
+///
+/// Returns `[c0, c1, ..., c_{n-1}]` such that the polynomial is
+/// `λⁿ + c_{n-1}·λ^{n-1} + … + c0`.
+///
+/// # Examples
+///
+/// ```
+/// // (λ - 0.5)(λ - 0.2) = λ² - 0.7λ + 0.1
+/// let c = ecl_control::charpoly_from_real_poles(&[0.5, 0.2]);
+/// assert!((c[0] - 0.1).abs() < 1e-12);
+/// assert!((c[1] + 0.7).abs() < 1e-12);
+/// ```
+pub fn charpoly_from_real_poles(poles: &[f64]) -> Vec<f64> {
+    // coeffs of Π (λ - p), ascending order, excluding the leading 1.
+    let mut c = vec![1.0]; // start with polynomial "1"
+    for &p in poles {
+        // multiply by (λ - p)
+        let mut next = vec![0.0; c.len() + 1];
+        for (i, &ci) in c.iter().enumerate() {
+            next[i + 1] += ci; // λ * ci λ^i
+            next[i] -= p * ci;
+        }
+        c = next;
+    }
+    c.pop(); // drop the leading 1
+    c
+}
+
+/// Ackermann pole placement for single-input systems.
+///
+/// Computes `K` such that the closed loop `A − B·K` has the characteristic
+/// polynomial `λⁿ + c_{n-1}λ^{n-1} + … + c0` described by `charpoly`
+/// (ascending coefficients, as produced by [`charpoly_from_real_poles`]).
+///
+/// # Errors
+///
+/// * [`ControlError::NotSynthesizable`] if the system is not single-input
+///   or not controllable.
+/// * [`ControlError::InvalidDimensions`] if `charpoly.len() != n`.
+pub fn acker(a: &Mat, b: &Mat, charpoly: &[f64]) -> Result<Mat, ControlError> {
+    let n = a.rows();
+    if !a.is_square() || b.rows() != n {
+        return Err(ControlError::InvalidDimensions {
+            reason: "A must be square and B conformable".into(),
+        });
+    }
+    if b.cols() != 1 {
+        return Err(ControlError::NotSynthesizable {
+            reason: format!("Ackermann requires a single input, got {}", b.cols()),
+        });
+    }
+    if charpoly.len() != n {
+        return Err(ControlError::InvalidDimensions {
+            reason: format!(
+                "characteristic polynomial needs {n} coefficients, got {}",
+                charpoly.len()
+            ),
+        });
+    }
+    // Controllability matrix Wc = [B, AB, ..., A^{n-1}B].
+    let mut wc = Mat::zeros(n, n);
+    let mut col = b.clone();
+    for j in 0..n {
+        for i in 0..n {
+            wc[(i, j)] = col[(i, 0)];
+        }
+        col = a.matmul(&col)?;
+    }
+    let lu = Lu::factor(&wc).map_err(|_| ControlError::NotSynthesizable {
+        reason: "system is not controllable (singular controllability matrix)".into(),
+    })?;
+    // φ(A) = Aⁿ + c_{n-1}A^{n-1} + ... + c0 I, Horner-style.
+    let mut phi = Mat::identity(n); // will become A^n + ...
+    for k in (0..n).rev() {
+        phi = phi.matmul(a)?;
+        phi = phi.add(&Mat::identity(n).scaled(charpoly[k]))?;
+        // After the loop from top power down: phi = ((I·A + c_{n-1}I)·A + c_{n-2}I)·A ...
+    }
+    // K = eₙᵀ Wc⁻¹ φ(A): solve Wcᵀ z = eₙ, then K = zᵀ φ(A).
+    // Simpler: X = Wc⁻¹ φ(A), K = last row of X.
+    let x = lu.solve_mat(&phi)?;
+    let mut k_mat = Mat::zeros(1, n);
+    for j in 0..n {
+        k_mat[(0, j)] = x[(n - 1, j)];
+    }
+    Ok(k_mat)
+}
+
+/// Luenberger observer gain by duality: places the poles of `A − L·C`.
+///
+/// `charpoly` describes the desired observer characteristic polynomial in
+/// ascending coefficients (see [`charpoly_from_real_poles`]).
+///
+/// # Errors
+///
+/// Same as [`acker`], requiring a single output.
+pub fn observer_gain(a: &Mat, c: &Mat, charpoly: &[f64]) -> Result<Mat, ControlError> {
+    if c.rows() != 1 {
+        return Err(ControlError::NotSynthesizable {
+            reason: format!("observer design requires a single output, got {}", c.rows()),
+        });
+    }
+    let l_t = acker(&a.transpose(), &c.transpose(), charpoly)?;
+    Ok(l_t.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discretize::c2d_zoh;
+    use crate::ss::StateSpace;
+
+    fn double_integrator_d(ts: f64) -> DiscreteSs {
+        let sys = StateSpace::new(
+            Mat::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap(),
+            Mat::col_vec(&[0.0, 1.0]),
+            Mat::from_rows(&[&[1.0, 0.0]]).unwrap(),
+            Mat::zeros(1, 1),
+        )
+        .unwrap();
+        c2d_zoh(&sys, ts).unwrap()
+    }
+
+    fn spectral_radius_2x2(m: &Mat) -> f64 {
+        let tr = m.trace();
+        let det = m[(0, 0)] * m[(1, 1)] - m[(0, 1)] * m[(1, 0)];
+        let disc = tr * tr - 4.0 * det;
+        if disc >= 0.0 {
+            let s = disc.sqrt();
+            ((tr + s) / 2.0).abs().max(((tr - s) / 2.0).abs())
+        } else {
+            det.abs().sqrt()
+        }
+    }
+
+    #[test]
+    fn dlqr_stabilizes_double_integrator() {
+        let d = double_integrator_d(0.1);
+        let lqr = dlqr(&d, &Mat::identity(2), &Mat::diag(&[1.0])).unwrap();
+        let acl = d.a().sub(&d.b().matmul(&lqr.k).unwrap()).unwrap();
+        assert!(spectral_radius_2x2(&acl) < 1.0);
+        // P is symmetric positive on the diagonal.
+        assert!((lqr.p[(0, 1)] - lqr.p[(1, 0)]).abs() < 1e-9);
+        assert!(lqr.p[(0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn dlqr_dimension_checks() {
+        let d = double_integrator_d(0.1);
+        assert!(dlqr(&d, &Mat::identity(3), &Mat::identity(1)).is_err());
+        assert!(dlqr(&d, &Mat::identity(2), &Mat::identity(2)).is_err());
+    }
+
+    #[test]
+    fn charpoly_roots_roundtrip() {
+        let c = charpoly_from_real_poles(&[0.5]);
+        assert_eq!(c.len(), 1);
+        assert!((c[0] + 0.5).abs() < 1e-12);
+        let c = charpoly_from_real_poles(&[1.0, 2.0, 3.0]);
+        // (λ-1)(λ-2)(λ-3) = λ³ -6λ² +11λ -6
+        assert!((c[0] + 6.0).abs() < 1e-12);
+        assert!((c[1] - 11.0).abs() < 1e-12);
+        assert!((c[2] + 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acker_places_poles_exactly() {
+        let d = double_integrator_d(0.1);
+        let want = [0.5, 0.6];
+        let cp = charpoly_from_real_poles(&want);
+        let k = acker(d.a(), d.b(), &cp).unwrap();
+        let acl = d.a().sub(&d.b().matmul(&k).unwrap()).unwrap();
+        // Closed-loop char poly: trace = sum of poles, det = product.
+        assert!((acl.trace() - 1.1).abs() < 1e-9, "trace {}", acl.trace());
+        let det = acl[(0, 0)] * acl[(1, 1)] - acl[(0, 1)] * acl[(1, 0)];
+        assert!((det - 0.3).abs() < 1e-9, "det {det}");
+    }
+
+    #[test]
+    fn acker_deadbeat() {
+        // All poles at zero: A_cl is nilpotent, (A_cl)² = 0.
+        let d = double_integrator_d(0.2);
+        let cp = charpoly_from_real_poles(&[0.0, 0.0]);
+        let k = acker(d.a(), d.b(), &cp).unwrap();
+        let acl = d.a().sub(&d.b().matmul(&k).unwrap()).unwrap();
+        let sq = acl.matmul(&acl).unwrap();
+        assert!(sq.norm_inf() < 1e-9, "{sq:?}");
+    }
+
+    #[test]
+    fn acker_rejects_uncontrollable() {
+        // B in the null direction: x2 unreachable.
+        let a = Mat::diag(&[0.5, 0.7]);
+        let b = Mat::col_vec(&[1.0, 0.0]);
+        let cp = charpoly_from_real_poles(&[0.1, 0.2]);
+        assert!(matches!(
+            acker(&a, &b, &cp),
+            Err(ControlError::NotSynthesizable { .. })
+        ));
+    }
+
+    #[test]
+    fn acker_requires_siso_and_matching_len() {
+        let d = double_integrator_d(0.1);
+        let b2 = Mat::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        assert!(acker(d.a(), &b2, &[0.0, 0.0]).is_err());
+        assert!(acker(d.a(), d.b(), &[0.0]).is_err());
+    }
+
+    #[test]
+    fn observer_gain_places_estimator_poles() {
+        let d = double_integrator_d(0.1);
+        let cp = charpoly_from_real_poles(&[0.2, 0.3]);
+        let l = observer_gain(d.a(), d.c(), &cp).unwrap();
+        assert_eq!(l.shape(), (2, 1));
+        let acl = d.a().sub(&l.matmul(d.c()).unwrap()).unwrap();
+        assert!((acl.trace() - 0.5).abs() < 1e-9);
+        let det = acl[(0, 0)] * acl[(1, 1)] - acl[(0, 1)] * acl[(1, 0)];
+        assert!((det - 0.06).abs() < 1e-9);
+        // Multi-output rejected.
+        let c2 = Mat::identity(2);
+        assert!(observer_gain(d.a(), &c2, &cp).is_err());
+    }
+}

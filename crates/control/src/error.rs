@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+use ecl_linalg::LinalgError;
+
+/// Errors produced by the control toolbox.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ControlError {
+    /// Model matrices had inconsistent dimensions.
+    InvalidDimensions {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+    /// A scalar parameter (sampling period, delay, ...) was out of range.
+    InvalidParameter {
+        /// Parameter name.
+        parameter: &'static str,
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// The system does not satisfy a structural requirement
+    /// (controllability, SISO shape, ...).
+    NotSynthesizable {
+        /// Explanation of the failed requirement.
+        reason: String,
+    },
+    /// An underlying linear-algebra kernel failed.
+    Linalg(LinalgError),
+}
+
+impl fmt::Display for ControlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControlError::InvalidDimensions { reason } => {
+                write!(f, "invalid model dimensions: {reason}")
+            }
+            ControlError::InvalidParameter { parameter, reason } => {
+                write!(f, "invalid parameter '{parameter}': {reason}")
+            }
+            ControlError::NotSynthesizable { reason } => {
+                write!(f, "synthesis requirement not met: {reason}")
+            }
+            ControlError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+        }
+    }
+}
+
+impl Error for ControlError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ControlError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for ControlError {
+    fn from(e: LinalgError) -> Self {
+        ControlError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ControlError::from(LinalgError::Singular { pivot: 0 });
+        assert!(e.to_string().contains("linear algebra"));
+        assert!(Error::source(&e).is_some());
+        let e = ControlError::InvalidParameter {
+            parameter: "ts",
+            reason: "negative".into(),
+        };
+        assert!(e.to_string().contains("ts"));
+        assert!(Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ControlError>();
+    }
+}

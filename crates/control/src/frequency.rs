@@ -1,0 +1,337 @@
+//! Frequency-domain analysis of continuous LTI systems.
+//!
+//! The latency a distributed implementation injects into a loop eats
+//! phase margin at the gain-crossover frequency; the classic back-of-the-
+//! envelope bound is the **delay margin** `τ_max = φ_m / ω_gc`. This
+//! module computes frequency responses without complex-matrix machinery —
+//! `(jωI − A)x = b` is solved as a real `2n × 2n` system — and derives
+//! gain/phase/delay margins for SISO loop transfers. Experiment E12
+//! compares the analytic delay margin against the latency tolerance the
+//! co-simulation observes.
+
+use ecl_linalg::{lu::Lu, Mat};
+
+use crate::ss::StateSpace;
+use crate::ControlError;
+
+/// One point of a SISO frequency response.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreqPoint {
+    /// Angular frequency (rad/s).
+    pub omega: f64,
+    /// Real part of `G(jω)`.
+    pub re: f64,
+    /// Imaginary part of `G(jω)`.
+    pub im: f64,
+}
+
+impl FreqPoint {
+    /// Magnitude `|G(jω)|`.
+    pub fn magnitude(&self) -> f64 {
+        (self.re * self.re + self.im * self.im).sqrt()
+    }
+
+    /// Phase in radians, in `(−π, π]`.
+    pub fn phase(&self) -> f64 {
+        self.im.atan2(self.re)
+    }
+}
+
+/// Stability margins of a SISO open-loop transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Margins {
+    /// Gain-crossover frequency `ω_gc` where `|L| = 1` (rad/s).
+    pub omega_gc: f64,
+    /// Phase margin `180° + ∠L(jω_gc)` in degrees.
+    pub phase_margin_deg: f64,
+    /// Delay margin `φ_m / ω_gc` in seconds — the extra loop delay that
+    /// erases the phase margin.
+    pub delay_margin: f64,
+}
+
+fn check_siso(sys: &StateSpace) -> Result<(), ControlError> {
+    if sys.input_dim() != 1 || sys.output_dim() != 1 {
+        return Err(ControlError::InvalidDimensions {
+            reason: format!(
+                "frequency analysis requires a SISO system, got {} inputs x {} outputs",
+                sys.input_dim(),
+                sys.output_dim()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Evaluates `G(jω) = C (jωI − A)⁻¹ B + D` for a SISO system.
+///
+/// # Errors
+///
+/// * [`ControlError::InvalidDimensions`] for a non-SISO system.
+/// * [`ControlError::Linalg`] if `jω` is an eigenvalue of `A` (the solve
+///   is singular — evaluate slightly off the pole).
+pub fn response(sys: &StateSpace, omega: f64) -> Result<FreqPoint, ControlError> {
+    check_siso(sys)?;
+    let n = sys.state_dim();
+    if n == 0 {
+        let d = sys.d()[(0, 0)];
+        return Ok(FreqPoint {
+            omega,
+            re: d,
+            im: 0.0,
+        });
+    }
+    // (jwI - A)(xr + j xi) = b  =>  [[-A, -wI], [wI, -A]] [xr; xi] = [b; 0]
+    let mut m = Mat::zeros(2 * n, 2 * n);
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = -sys.a()[(i, j)];
+            m[(n + i, n + j)] = -sys.a()[(i, j)];
+        }
+        m[(i, n + i)] = -omega;
+        m[(n + i, i)] = omega;
+    }
+    let mut rhs = vec![0.0; 2 * n];
+    for i in 0..n {
+        rhs[i] = sys.b()[(i, 0)];
+    }
+    let x = Lu::factor(&m)?.solve(&rhs)?;
+    let mut re = sys.d()[(0, 0)];
+    let mut im = 0.0;
+    for j in 0..n {
+        re += sys.c()[(0, j)] * x[j];
+        im += sys.c()[(0, j)] * x[n + j];
+    }
+    Ok(FreqPoint { omega, re, im })
+}
+
+/// Evaluates the response over a logarithmic frequency grid
+/// (`n_points` between `omega_min` and `omega_max`).
+///
+/// # Errors
+///
+/// Same as [`response`], plus [`ControlError::InvalidParameter`] for a
+/// degenerate grid.
+pub fn bode(
+    sys: &StateSpace,
+    omega_min: f64,
+    omega_max: f64,
+    n_points: usize,
+) -> Result<Vec<FreqPoint>, ControlError> {
+    if !(omega_min > 0.0) || !(omega_max > omega_min) || n_points < 2 {
+        return Err(ControlError::InvalidParameter {
+            parameter: "grid",
+            reason: format!(
+                "need 0 < omega_min < omega_max and >= 2 points, got [{omega_min}, {omega_max}] x {n_points}"
+            ),
+        });
+    }
+    let ratio = (omega_max / omega_min).ln();
+    (0..n_points)
+        .map(|k| {
+            let w = omega_min * (ratio * k as f64 / (n_points - 1) as f64).exp();
+            response(sys, w)
+        })
+        .collect()
+}
+
+/// Computes the stability margins of a SISO open-loop transfer `L(s)`.
+///
+/// Scans a logarithmic grid for the gain crossover (`|L| = 1`), refines it
+/// by bisection, and reports the phase and delay margins. Returns
+/// `Ok(None)` when `|L|` never crosses unity on the grid (no finite
+/// crossover — an unconditionally low- or high-gain loop).
+///
+/// # Errors
+///
+/// Same as [`bode`].
+pub fn margins(
+    sys: &StateSpace,
+    omega_min: f64,
+    omega_max: f64,
+) -> Result<Option<Margins>, ControlError> {
+    let grid = bode(sys, omega_min, omega_max, 400)?;
+    let mut bracket = None;
+    for w in grid.windows(2) {
+        let (m0, m1) = (w[0].magnitude(), w[1].magnitude());
+        if (m0 - 1.0) * (m1 - 1.0) <= 0.0 && m0 != m1 {
+            bracket = Some((w[0].omega, w[1].omega));
+            break;
+        }
+    }
+    let Some((mut lo, mut hi)) = bracket else {
+        return Ok(None);
+    };
+    for _ in 0..80 {
+        let mid = (lo * hi).sqrt();
+        let m = response(sys, mid)?.magnitude();
+        let m_lo = response(sys, lo)?.magnitude();
+        if (m_lo - 1.0) * (m - 1.0) <= 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let omega_gc = (lo * hi).sqrt();
+    let phase = response(sys, omega_gc)?.phase();
+    let pm_rad = std::f64::consts::PI + phase;
+    Ok(Some(Margins {
+        omega_gc,
+        phase_margin_deg: pm_rad.to_degrees(),
+        delay_margin: pm_rad / omega_gc,
+    }))
+}
+
+/// The open-loop transfer `L(s) = K (sI − A)⁻¹ B` of a full-state-feedback
+/// loop (loop broken at the single plant input).
+///
+/// # Errors
+///
+/// Returns [`ControlError::InvalidDimensions`] if the plant is not
+/// single-input or `k` is not `1 × n`.
+pub fn state_feedback_loop(sys: &StateSpace, k: &Mat) -> Result<StateSpace, ControlError> {
+    if sys.input_dim() != 1 {
+        return Err(ControlError::InvalidDimensions {
+            reason: format!("loop transfer needs a single input, got {}", sys.input_dim()),
+        });
+    }
+    if k.shape() != (1, sys.state_dim()) {
+        return Err(ControlError::InvalidDimensions {
+            reason: format!(
+                "gain must be 1x{}, got {}x{}",
+                sys.state_dim(),
+                k.rows(),
+                k.cols()
+            ),
+        });
+    }
+    StateSpace::new(
+        sys.a().clone(),
+        sys.b().clone(),
+        k.clone(),
+        Mat::zeros(1, 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lag(tau: f64) -> StateSpace {
+        // G(s) = 1 / (tau s + 1)
+        StateSpace::new(
+            Mat::diag(&[-1.0 / tau]),
+            Mat::col_vec(&[1.0 / tau]),
+            Mat::row_vec(&[1.0]),
+            Mat::zeros(1, 1),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn first_order_lag_closed_form() {
+        // |G(jw)| = 1/sqrt(1 + (w tau)^2), phase = -atan(w tau).
+        let sys = lag(2.0);
+        for w in [0.1, 0.5, 2.0, 10.0] {
+            let p = response(&sys, w).unwrap();
+            let expect_mag = 1.0 / (1.0 + (2.0 * w).powi(2)).sqrt();
+            assert!((p.magnitude() - expect_mag).abs() < 1e-10, "w={w}");
+            assert!((p.phase() + (2.0 * w).atan()).abs() < 1e-10, "w={w}");
+        }
+    }
+
+    #[test]
+    fn dc_gain_matches_static_solve() {
+        let sys = StateSpace::from_tf(&[3.0], &[1.0, 2.0, 3.0]).unwrap();
+        let p = response(&sys, 1e-6).unwrap();
+        assert!((p.magnitude() - 1.0).abs() < 1e-4, "dc gain {}", p.magnitude());
+    }
+
+    #[test]
+    fn integrator_rolls_off_at_minus_90() {
+        // L(s) = 1/s: |L| = 1/w, phase -90 deg.
+        let sys = StateSpace::new(
+            Mat::zeros(1, 1),
+            Mat::col_vec(&[1.0]),
+            Mat::row_vec(&[1.0]),
+            Mat::zeros(1, 1),
+        )
+        .unwrap();
+        let p = response(&sys, 2.0).unwrap();
+        assert!((p.magnitude() - 0.5).abs() < 1e-10);
+        assert!((p.phase().to_degrees() + 90.0).abs() < 1e-8);
+        // Margins: crossover at w = 1, PM = 90 deg, delay margin pi/2.
+        let m = margins(&sys, 1e-2, 1e2).unwrap().unwrap();
+        assert!((m.omega_gc - 1.0).abs() < 1e-3);
+        assert!((m.phase_margin_deg - 90.0).abs() < 1e-2);
+        assert!((m.delay_margin - std::f64::consts::FRAC_PI_2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn double_integrator_with_pd_margins() {
+        // L(s) = (s + 1) / s²: crossover ~1.27 rad/s, PM ~52 deg.
+        let sys = StateSpace::from_tf(&[1.0, 1.0], &[1.0, 0.0, 0.0]).unwrap();
+        let m = margins(&sys, 1e-2, 1e2).unwrap().unwrap();
+        assert!((m.omega_gc - 1.272).abs() < 0.01, "wgc {}", m.omega_gc);
+        assert!(
+            (m.phase_margin_deg - 51.8).abs() < 0.5,
+            "pm {}",
+            m.phase_margin_deg
+        );
+        assert!(m.delay_margin > 0.5 && m.delay_margin < 0.8);
+    }
+
+    #[test]
+    fn no_crossover_returns_none() {
+        // |L| < 1 everywhere: a lag with dc gain 0.1.
+        let sys = StateSpace::new(
+            Mat::diag(&[-1.0]),
+            Mat::col_vec(&[0.1]),
+            Mat::row_vec(&[1.0]),
+            Mat::zeros(1, 1),
+        )
+        .unwrap();
+        assert!(margins(&sys, 1e-2, 1e2).unwrap().is_none());
+    }
+
+    #[test]
+    fn bode_grid_shape_and_validation() {
+        let sys = lag(1.0);
+        let pts = bode(&sys, 0.01, 100.0, 50).unwrap();
+        assert_eq!(pts.len(), 50);
+        assert!(pts[0].omega < pts[49].omega);
+        assert!(pts.windows(2).all(|w| w[0].magnitude() >= w[1].magnitude()));
+        assert!(bode(&sys, 0.0, 1.0, 10).is_err());
+        assert!(bode(&sys, 1.0, 0.5, 10).is_err());
+        assert!(bode(&sys, 0.1, 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn siso_required() {
+        let mimo = StateSpace::new(
+            Mat::identity(2).scaled(-1.0),
+            Mat::identity(2),
+            Mat::identity(2),
+            Mat::zeros(2, 2),
+        )
+        .unwrap();
+        assert!(response(&mimo, 1.0).is_err());
+    }
+
+    #[test]
+    fn state_feedback_loop_transfer() {
+        use crate::design::dlqr;
+        use crate::discretize::c2d_zoh;
+        use crate::plants;
+        let p = plants::dc_motor();
+        let d = c2d_zoh(&p.sys, p.ts).unwrap();
+        let lqr = dlqr(&d, &Mat::identity(2), &Mat::diag(&[0.1])).unwrap();
+        let l = state_feedback_loop(&p.sys, &lqr.k).unwrap();
+        // A stabilizing LQR loop has healthy margins (LQR guarantees
+        // PM >= 60 deg in continuous time; the ZOH design is close).
+        let m = margins(&l, 1e-3, 1e4).unwrap().unwrap();
+        assert!(m.phase_margin_deg > 45.0, "pm {}", m.phase_margin_deg);
+        assert!(m.delay_margin > 0.0);
+        // Shape errors rejected.
+        assert!(state_feedback_loop(&p.sys, &Mat::zeros(2, 2)).is_err());
+    }
+}

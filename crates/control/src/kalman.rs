@@ -1,0 +1,179 @@
+//! Steady-state Kalman filter design (dual of the LQR problem).
+//!
+//! The distributed implementations this workspace studies often sample
+//! noisy sensors; a steady-state Kalman gain provides the standard
+//! estimator to pair with LQR state feedback (LQG). The filter Riccati
+//! equation is the dual of the control one, so the solver reuses
+//! [`ecl_linalg::solve_dare`] on transposed data.
+
+use ecl_linalg::{lu::Lu, solve_dare, DareOptions, Mat};
+
+use crate::ss::DiscreteSs;
+use crate::ControlError;
+
+/// Result of a steady-state Kalman design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kalman {
+    /// The steady-state filter gain `L` (`n × p`): the measurement update
+    /// is `x̂⁺ = Ad·x̂ + Bd·u + L·(y − Cd·x̂)`.
+    pub l: Mat,
+    /// The steady-state a-priori error covariance `P`.
+    pub p: Mat,
+}
+
+/// Designs the steady-state Kalman gain for the sampled model with process
+/// noise covariance `Q` (`n × n`, entering through the state) and
+/// measurement noise covariance `R` (`p × p`).
+///
+/// # Errors
+///
+/// * [`ControlError::InvalidDimensions`] for mismatched covariances.
+/// * Propagated Riccati failures (undetectable pair, singular innovation
+///   covariance).
+///
+/// # Examples
+///
+/// ```
+/// use ecl_control::{c2d_zoh, kalman, plants};
+/// use ecl_linalg::Mat;
+/// # fn main() -> Result<(), ecl_control::ControlError> {
+/// let p = plants::dc_motor();
+/// let d = c2d_zoh(&p.sys, p.ts)?;
+/// let kf = kalman::design(&d, &Mat::identity(2).scaled(1e-4), &Mat::diag(&[1e-2]))?;
+/// assert_eq!(kf.l.shape(), (2, 1));
+/// # Ok(())
+/// # }
+/// ```
+pub fn design(sys: &DiscreteSs, q: &Mat, r: &Mat) -> Result<Kalman, ControlError> {
+    let n = sys.state_dim();
+    let p_out = sys.output_dim();
+    if q.shape() != (n, n) {
+        return Err(ControlError::InvalidDimensions {
+            reason: format!("Q must be {n}x{n}, got {}x{}", q.rows(), q.cols()),
+        });
+    }
+    if r.shape() != (p_out, p_out) {
+        return Err(ControlError::InvalidDimensions {
+            reason: format!(
+                "R must be {p_out}x{p_out}, got {}x{}",
+                r.rows(),
+                r.cols()
+            ),
+        });
+    }
+    // Dual DARE: substitute A -> Aᵀ, B -> Cᵀ.
+    let p = solve_dare(
+        &sys.a().transpose(),
+        &sys.c().transpose(),
+        q,
+        r,
+        DareOptions::default(),
+    )?;
+    // L = A P Cᵀ (C P Cᵀ + R)⁻¹.
+    let pct = p.matmul(&sys.c().transpose())?;
+    let s = sys.c().matmul(&pct)?.add(r)?;
+    // Solve Sᵀ Xᵀ = (A P Cᵀ)ᵀ for X = A P Cᵀ S⁻¹.
+    let apc = sys.a().matmul(&pct)?;
+    let lt = Lu::factor(&s.transpose())?.solve_mat(&apc.transpose())?;
+    Ok(Kalman {
+        l: lt.transpose(),
+        p,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discretize::c2d_zoh;
+    use crate::plants;
+    use crate::stability;
+
+    fn motor() -> DiscreteSs {
+        let p = plants::dc_motor();
+        c2d_zoh(&p.sys, p.ts).unwrap()
+    }
+
+    #[test]
+    fn estimator_dynamics_stable() {
+        let d = motor();
+        let kf = design(&d, &Mat::identity(2).scaled(1e-4), &Mat::diag(&[1e-2])).unwrap();
+        // A - L C must be Schur stable.
+        let acl = d.a().sub(&kf.l.matmul(d.c()).unwrap()).unwrap();
+        let rho = ecl_linalg::spectral_radius(&acl).unwrap();
+        assert!(rho < 1.0, "estimator unstable: {rho}");
+    }
+
+    #[test]
+    fn covariance_symmetric_positive_diagonal() {
+        let d = motor();
+        let kf = design(&d, &Mat::identity(2).scaled(1e-3), &Mat::diag(&[1e-2])).unwrap();
+        assert!((kf.p[(0, 1)] - kf.p[(1, 0)]).abs() < 1e-10);
+        assert!(kf.p[(0, 0)] > 0.0 && kf.p[(1, 1)] > 0.0);
+    }
+
+    #[test]
+    fn more_measurement_noise_means_smaller_gain() {
+        let d = motor();
+        let quiet = design(&d, &Mat::identity(2).scaled(1e-4), &Mat::diag(&[1e-4])).unwrap();
+        let noisy = design(&d, &Mat::identity(2).scaled(1e-4), &Mat::diag(&[1.0])).unwrap();
+        assert!(
+            noisy.l.norm_fro() < quiet.l.norm_fro(),
+            "noisy {} vs quiet {}",
+            noisy.l.norm_fro(),
+            quiet.l.norm_fro()
+        );
+    }
+
+    #[test]
+    fn estimator_converges_in_simulation() {
+        // Run the filter against the true model from a wrong initial
+        // estimate; the error must shrink.
+        let d = motor();
+        let kf = design(&d, &Mat::identity(2).scaled(1e-6), &Mat::diag(&[1e-6])).unwrap();
+        let mut x = vec![1.0, 0.0];
+        let mut xh = vec![0.0, 0.0];
+        let u = [0.5];
+        for _ in 0..200 {
+            let y = d.c().matvec(&x).unwrap();
+            let yh = d.c().matvec(&xh).unwrap();
+            let innov: Vec<f64> = y.iter().zip(&yh).map(|(a, b)| a - b).collect();
+            let ax = d.a().matvec(&x).unwrap();
+            let bu = d.b().matvec(&u).unwrap();
+            x = ax.iter().zip(&bu).map(|(a, b)| a + b).collect();
+            let axh = d.a().matvec(&xh).unwrap();
+            let li = kf.l.matvec(&innov).unwrap();
+            xh = axh
+                .iter()
+                .zip(&bu)
+                .zip(&li)
+                .map(|((a, b), l)| a + b + l)
+                .collect();
+        }
+        let err = ((x[0] - xh[0]).powi(2) + (x[1] - xh[1]).powi(2)).sqrt();
+        assert!(err < 1e-3, "estimation error {err}");
+    }
+
+    #[test]
+    fn dimension_checks() {
+        let d = motor();
+        assert!(design(&d, &Mat::identity(3), &Mat::diag(&[1.0])).is_err());
+        assert!(design(&d, &Mat::identity(2), &Mat::identity(2)).is_err());
+    }
+
+    #[test]
+    fn works_on_multi_output_plant() {
+        let p = plants::quarter_car();
+        let d = c2d_zoh(&p.sys, p.ts).unwrap();
+        let kf = design(
+            &d,
+            &Mat::identity(4).scaled(1e-5),
+            &Mat::identity(2).scaled(1e-4),
+        )
+        .unwrap();
+        assert_eq!(kf.l.shape(), (4, 2));
+        let acl = d.a().sub(&kf.l.matmul(d.c()).unwrap()).unwrap();
+        assert!(ecl_linalg::spectral_radius(&acl).unwrap() < 1.0);
+        // And the plant is stable so poles_dt agrees.
+        assert!(stability::is_stable_dt(&d).unwrap());
+    }
+}

@@ -1,0 +1,62 @@
+//! Control-engineering toolbox: plants, discretization, synthesis and
+//! performance metrics.
+//!
+//! This crate supplies the *control design* half of the DATE 2008
+//! methodology: the continuous plant models and discrete control laws whose
+//! interplay with the computing implementation the co-simulation exposes.
+//!
+//! * [`StateSpace`] / [`DiscreteSs`] — linear time-invariant models,
+//! * [`c2d_zoh`] / [`c2d_tustin`] — discretization (the paper's step from
+//!   synthesized control laws to digitally executable ones),
+//! * [`c2d_zoh_delayed`] — sampled model with a fractional input delay
+//!   (Åström–Wittenmark), the kernel of the *calibration* phase,
+//! * [`dlqr`], [`acker`], [`observer_gain`] — controller synthesis,
+//! * [`plants`] — the benchmark plants (DC motor, inverted pendulum,
+//!   quarter-car active suspension, cruise control),
+//! * [`metrics`] — IAE/ISE/ITAE/quadratic cost, overshoot, settling time.
+//!
+//! # Examples
+//!
+//! Discretize a DC motor and design an LQR state-feedback law:
+//!
+//! ```
+//! use ecl_control::{c2d_zoh, dlqr, plants};
+//! use ecl_linalg::Mat;
+//!
+//! # fn main() -> Result<(), ecl_control::ControlError> {
+//! let plant = plants::dc_motor();
+//! let dss = c2d_zoh(&plant.sys, plant.ts)?;
+//! let q = Mat::identity(dss.state_dim());
+//! let r = Mat::identity(dss.input_dim()).scaled(0.1);
+//! let lqr = dlqr(&dss, &q, &r)?;
+//! assert_eq!(lqr.k.shape(), (1, 2));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![allow(
+    // `!(x > 0.0)` deliberately treats NaN as invalid; partial_cmp would
+    // obscure that.
+    clippy::neg_cmp_op_on_partial_ord,
+    // Index loops mirror the textbook matrix formulas they implement.
+    clippy::needless_range_loop
+)]
+
+#![warn(missing_docs)]
+
+mod design;
+mod discretize;
+mod error;
+pub mod frequency;
+pub mod kalman;
+pub mod lqg;
+pub mod metrics;
+pub mod plants;
+mod ss;
+pub mod stability;
+
+pub use design::{acker, charpoly_from_real_poles, dlqr, observer_gain, Dlqr};
+pub use discretize::{c2d_tustin, c2d_zoh, c2d_zoh_delayed, DelayedDiscreteSs};
+pub use error::ControlError;
+pub use ss::{DiscreteSs, StateSpace};

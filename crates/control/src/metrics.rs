@@ -1,0 +1,280 @@
+//! Control-performance metrics over sampled trajectories.
+//!
+//! All functions take parallel `times`/`values` slices (seconds / signal)
+//! as produced by the simulation probes, integrate with the trapezoid rule,
+//! and are the quantities reported by the benchmark harness when comparing
+//! the ideal (stroboscopic) design against the implemented one.
+
+/// Integral of absolute error `∫ |r − y| dt`.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn iae(times: &[f64], values: &[f64], reference: f64) -> f64 {
+    trapz(times, values, |y, _t| (reference - y).abs())
+}
+
+/// Integral of squared error `∫ (r − y)² dt`.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn ise(times: &[f64], values: &[f64], reference: f64) -> f64 {
+    trapz(times, values, |y, _t| (reference - y).powi(2))
+}
+
+/// Time-weighted integral of absolute error `∫ t·|r − y| dt`.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn itae(times: &[f64], values: &[f64], reference: f64) -> f64 {
+    trapz(times, values, |y, t| t * (reference - y).abs())
+}
+
+/// Quadratic (LQ-style) cost `∫ qy·(r − y)² + ru·u² dt` over paired output
+/// and control trajectories. The control trajectory is linearly resampled
+/// onto the output time grid.
+///
+/// # Panics
+///
+/// Panics if either pair of slices disagrees in length, or the output
+/// trace is empty while the control trace is not.
+pub fn quadratic_cost(
+    times: &[f64],
+    y: &[f64],
+    u_times: &[f64],
+    u: &[f64],
+    qy: f64,
+    ru: f64,
+    reference: f64,
+) -> f64 {
+    assert_eq!(times.len(), y.len(), "output slices disagree");
+    assert_eq!(u_times.len(), u.len(), "control slices disagree");
+    let mut acc = 0.0;
+    for i in 1..times.len() {
+        let dt = times[i] - times[i - 1];
+        if dt <= 0.0 {
+            continue;
+        }
+        let cost_at = |j: usize| {
+            let e = reference - y[j];
+            let uv = sample(u_times, u, times[j]);
+            qy * e * e + ru * uv * uv
+        };
+        acc += 0.5 * dt * (cost_at(i - 1) + cost_at(i));
+    }
+    acc
+}
+
+/// Percentage overshoot of a step response relative to the reference
+/// (`0.0` if the response never exceeds it). `initial` anchors the step
+/// size.
+///
+/// # Panics
+///
+/// Panics if `reference == initial`.
+pub fn overshoot(values: &[f64], reference: f64, initial: f64) -> f64 {
+    assert!(
+        reference != initial,
+        "reference must differ from the initial value"
+    );
+    let span = reference - initial;
+    let peak = values
+        .iter()
+        .map(|&y| (y - initial) / span)
+        .fold(f64::NEG_INFINITY, f64::max);
+    ((peak - 1.0) * 100.0).max(0.0)
+}
+
+/// Time (seconds) after which the response stays within `band` (fraction,
+/// e.g. `0.02`) of the reference; `None` if it never settles.
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length or `band <= 0`.
+pub fn settling_time(times: &[f64], values: &[f64], reference: f64, band: f64) -> Option<f64> {
+    assert_eq!(times.len(), values.len(), "slices disagree");
+    assert!(band > 0.0, "band must be positive");
+    let tol = band * reference.abs().max(1e-12);
+    let mut settle: Option<f64> = None;
+    for (&t, &y) in times.iter().zip(values) {
+        if (y - reference).abs() <= tol {
+            settle.get_or_insert(t);
+        } else {
+            settle = None;
+        }
+    }
+    settle
+}
+
+/// Steady-state error: mean of `r − y` over the trailing `fraction` of the
+/// trace (e.g. `0.1` for the last tenth).
+///
+/// # Panics
+///
+/// Panics if the slices disagree, are empty, or `fraction` is outside
+/// `(0, 1]`.
+pub fn steady_state_error(times: &[f64], values: &[f64], reference: f64, fraction: f64) -> f64 {
+    assert_eq!(times.len(), values.len(), "slices disagree");
+    assert!(!values.is_empty(), "empty trace");
+    assert!(fraction > 0.0 && fraction <= 1.0, "fraction out of range");
+    let t_end = *times.last().expect("non-empty");
+    let t_start = t_end - fraction * (t_end - times[0]);
+    let tail: Vec<f64> = times
+        .iter()
+        .zip(values)
+        .filter(|(&t, _)| t >= t_start)
+        .map(|(_, &y)| reference - y)
+        .collect();
+    tail.iter().sum::<f64>() / tail.len() as f64
+}
+
+/// Root-mean-square of a signal (useful for disturbance-rejection scores).
+///
+/// # Panics
+///
+/// Panics if the slices disagree in length.
+pub fn rms(times: &[f64], values: &[f64]) -> f64 {
+    assert_eq!(times.len(), values.len(), "slices disagree");
+    if times.len() < 2 {
+        return values.first().map_or(0.0, |v| v.abs());
+    }
+    let span = times.last().expect("non-empty") - times[0];
+    if span <= 0.0 {
+        return values.first().map_or(0.0, |v| v.abs());
+    }
+    (trapz(times, values, |y, _| y * y) / span).sqrt()
+}
+
+fn trapz(times: &[f64], values: &[f64], f: impl Fn(f64, f64) -> f64) -> f64 {
+    assert_eq!(times.len(), values.len(), "slices disagree");
+    let mut acc = 0.0;
+    for i in 1..times.len() {
+        let dt = times[i] - times[i - 1];
+        if dt <= 0.0 {
+            continue; // duplicate instants from event discontinuities
+        }
+        acc += 0.5 * dt * (f(values[i - 1], times[i - 1]) + f(values[i], times[i]));
+    }
+    acc
+}
+
+fn sample(times: &[f64], values: &[f64], t: f64) -> f64 {
+    if times.is_empty() {
+        return 0.0;
+    }
+    if t <= times[0] {
+        return values[0];
+    }
+    if t >= *times.last().expect("non-empty") {
+        return *values.last().expect("non-empty");
+    }
+    let idx = times.partition_point(|&x| x <= t);
+    let (t0, t1) = (times[idx - 1], times[idx]);
+    let (v0, v1) = (values[idx - 1], values[idx]);
+    if t1 == t0 {
+        v1
+    } else {
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iae_of_constant_error() {
+        // e = 1 over [0, 2] -> IAE = 2.
+        let t = [0.0, 1.0, 2.0];
+        let y = [0.0, 0.0, 0.0];
+        assert!((iae(&t, &y, 1.0) - 2.0).abs() < 1e-12);
+        assert!((ise(&t, &y, 1.0) - 2.0).abs() < 1e-12);
+        // ITAE of constant error 1: ∫ t dt = 2.
+        assert!((itae(&t, &y, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ise_penalizes_larger_errors_more() {
+        let t = [0.0, 1.0];
+        let small = [0.9, 0.9];
+        let large = [0.0, 0.0];
+        let ratio = ise(&t, &large, 1.0) / ise(&t, &small, 1.0);
+        assert!((ratio - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_instants_skipped() {
+        // Event discontinuity recorded twice at t = 1.
+        let t = [0.0, 1.0, 1.0, 2.0];
+        let y = [0.0, 0.0, 1.0, 1.0];
+        assert!((iae(&t, &y, 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overshoot_cases() {
+        assert_eq!(overshoot(&[0.0, 0.5, 1.0], 1.0, 0.0), 0.0);
+        assert!((overshoot(&[0.0, 1.2, 1.0], 1.0, 0.0) - 20.0).abs() < 1e-9);
+        // Downward step: overshoot means undershooting below the target.
+        assert!((overshoot(&[1.0, -0.1, 0.0], 0.0, 1.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn settling_time_finds_last_entry_into_band() {
+        let t = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y = [0.0, 1.1, 0.99, 1.01, 1.0];
+        let st = settling_time(&t, &y, 1.0, 0.02).unwrap();
+        assert_eq!(st, 2.0);
+        // Never settles.
+        assert!(settling_time(&t, &[0.0; 5], 1.0, 0.02).is_none());
+    }
+
+    #[test]
+    fn steady_state_error_tail_mean() {
+        let t = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y = [0.0, 0.5, 0.9, 0.95, 0.95];
+        let e = steady_state_error(&t, &y, 1.0, 0.25);
+        assert!((e - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quadratic_cost_combines_terms() {
+        let t = [0.0, 1.0];
+        let y = [0.0, 0.0]; // e = 1
+        let u = [2.0, 2.0];
+        let j = quadratic_cost(&t, &y, &t, &u, 1.0, 0.5, 1.0);
+        // ∫ 1 + 0.5·4 dt = 3.
+        assert!((j - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_cost_resamples_u() {
+        let ty = [0.0, 1.0, 2.0];
+        let y = [1.0, 1.0, 1.0]; // zero error
+        let tu = [0.0, 2.0];
+        let u = [0.0, 2.0]; // ramp in u
+        let j = quadratic_cost(&ty, &y, &tu, &u, 1.0, 1.0, 1.0);
+        // ∫ t² dt over [0,2] = 8/3, trapezoid on 3 points: 0.5·(0+1) + 0.5·(1+4) = 3.
+        assert!((j - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_of_sine_like() {
+        let n = 10_000;
+        let t: Vec<f64> = (0..n).map(|i| i as f64 / (n - 1) as f64).collect();
+        let y: Vec<f64> = t
+            .iter()
+            .map(|&ti| (2.0 * std::f64::consts::PI * ti).sin())
+            .collect();
+        assert!((rms(&t, &y) - 1.0 / 2.0f64.sqrt()).abs() < 1e-3);
+        assert_eq!(rms(&[0.0], &[3.0]), 3.0);
+        assert_eq!(rms(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference must differ")]
+    fn overshoot_rejects_degenerate_step() {
+        overshoot(&[0.0], 1.0, 1.0);
+    }
+}

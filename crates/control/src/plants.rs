@@ -1,0 +1,217 @@
+//! Benchmark plants from the embedded-control literature.
+//!
+//! Each constructor returns a [`Plant`]: the continuous model, a suggested
+//! sampling period, and naming metadata. These are the plants exercised by
+//! the paper's companion works — the automotive case study sketched in the
+//! conclusion (active suspension over a multi-ECU network, Kocik et al.
+//! 2005) and the latency-sensitivity studies of Cervin et al. 2003.
+
+use ecl_linalg::Mat;
+
+use crate::ss::StateSpace;
+use crate::ControlError;
+
+/// A named continuous plant with a recommended sampling period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plant {
+    /// Human-readable plant name.
+    pub name: &'static str,
+    /// The continuous-time model.
+    pub sys: StateSpace,
+    /// A reasonable sampling period (seconds) for digital control.
+    pub ts: f64,
+    /// Index of the control input among the model inputs (the remaining
+    /// inputs are disturbances).
+    pub control_input: usize,
+    /// Index of the primary controlled output.
+    pub controlled_output: usize,
+}
+
+fn build(
+    name: &'static str,
+    a: Mat,
+    b: Mat,
+    c: Mat,
+    d: Mat,
+    ts: f64,
+) -> Result<Plant, ControlError> {
+    Ok(Plant {
+        name,
+        sys: StateSpace::new(a, b, c, d)?,
+        ts,
+        control_input: 0,
+        controlled_output: 0,
+    })
+}
+
+/// A permanent-magnet DC motor (speed control).
+///
+/// States `[ω (rad/s), i (A)]`, input armature voltage `V`, output `ω`.
+///
+/// ```text
+/// J·ω̇ = Kt·i − b·ω
+/// L·i̇ = −R·i − Ke·ω + V
+/// ```
+///
+/// Parameters (classic tutorial values): `J = 0.01 kg·m²`,
+/// `b = 0.1 N·m·s`, `Kt = Ke = 0.01`, `R = 1 Ω`, `L = 0.5 H`.
+///
+/// # Panics
+///
+/// Never panics: the fixed matrices are consistent by construction.
+pub fn dc_motor() -> Plant {
+    let (j, b, k, r, l) = (0.01, 0.1, 0.01, 1.0, 0.5);
+    let a = Mat::from_rows(&[&[-b / j, k / j], &[-k / l, -r / l]]).expect("rectangular");
+    let bm = Mat::col_vec(&[0.0, 1.0 / l]);
+    let c = Mat::row_vec(&[1.0, 0.0]);
+    let d = Mat::zeros(1, 1);
+    build("dc-motor", a, bm, c, d, 0.05).expect("consistent dims")
+}
+
+/// An inverted pendulum on a cart, linearized around the upright position.
+///
+/// States `[x, ẋ, θ, θ̇]`, input cart force `F`, outputs `[x, θ]`.
+/// Parameters (classic tutorial values): cart mass `M = 0.5 kg`, pendulum
+/// mass `m = 0.2 kg`, friction `b = 0.1 N/m/s`, pendulum length to CoM
+/// `l = 0.3 m`, inertia `I = 0.006 kg·m²`.
+///
+/// The open loop is unstable — the canonical stress test for
+/// implementation-induced latency (an unstable pole amplifies every
+/// microsecond of delay).
+pub fn inverted_pendulum() -> Plant {
+    let (mc, m, b, l, i_p, g) = (0.5, 0.2, 0.1, 0.3, 0.006, 9.81);
+    let den = i_p * (mc + m) + mc * m * l * l;
+    let a = Mat::from_rows(&[
+        &[0.0, 1.0, 0.0, 0.0],
+        &[
+            0.0,
+            -(i_p + m * l * l) * b / den,
+            m * m * g * l * l / den,
+            0.0,
+        ],
+        &[0.0, 0.0, 0.0, 1.0],
+        &[0.0, -m * l * b / den, m * g * l * (mc + m) / den, 0.0],
+    ])
+    .expect("rectangular");
+    let bm = Mat::col_vec(&[0.0, (i_p + m * l * l) / den, 0.0, m * l / den]);
+    let c = Mat::from_rows(&[&[1.0, 0.0, 0.0, 0.0], &[0.0, 0.0, 1.0, 0.0]]).expect("rectangular");
+    let d = Mat::zeros(2, 1);
+    let mut p = build("inverted-pendulum", a, bm, c, d, 0.01).expect("consistent dims");
+    p.controlled_output = 1; // regulate the angle
+    p
+}
+
+/// A quarter-car active suspension.
+///
+/// States `[x1 = z_s − z_u (suspension deflection), x2 = ż_s,
+/// x3 = z_u − z_r (tire deflection), x4 = ż_u]`; inputs `[F (active
+/// force), ż_r (road velocity)]`; outputs `[x1, x2]`.
+///
+/// Parameters: sprung mass `ms = 250 kg`, unsprung mass `mu = 35 kg`,
+/// suspension stiffness `ks = 16 kN/m`, damping `cs = 1 kN·s/m`, tire
+/// stiffness `kt = 160 kN/m`. This is the automotive workload of the
+/// paper's case-study domain.
+pub fn quarter_car() -> Plant {
+    let (ms, mu, ks, cs, kt) = (250.0, 35.0, 16_000.0, 1_000.0, 160_000.0);
+    let a = Mat::from_rows(&[
+        &[0.0, 1.0, 0.0, -1.0],
+        &[-ks / ms, -cs / ms, 0.0, cs / ms],
+        &[0.0, 0.0, 0.0, 1.0],
+        &[ks / mu, cs / mu, -kt / mu, -cs / mu],
+    ])
+    .expect("rectangular");
+    let b = Mat::from_rows(&[
+        &[0.0, 0.0],
+        &[1.0 / ms, 0.0],
+        &[0.0, -1.0],
+        &[-1.0 / mu, 0.0],
+    ])
+    .expect("rectangular");
+    let c = Mat::from_rows(&[&[1.0, 0.0, 0.0, 0.0], &[0.0, 1.0, 0.0, 0.0]]).expect("rectangular");
+    let d = Mat::zeros(2, 2);
+    build("quarter-car-suspension", a, b, c, d, 0.005).expect("consistent dims")
+}
+
+/// Cruise control: a vehicle as a first-order lag.
+///
+/// State `v` (m/s), input traction force `u` (N), output `v`.
+/// `m·v̇ = u − b·v` with `m = 1000 kg`, `b = 50 N·s/m`.
+pub fn cruise_control() -> Plant {
+    let (m, b) = (1000.0, 50.0);
+    let a = Mat::diag(&[-b / m]);
+    let bm = Mat::col_vec(&[1.0 / m]);
+    let c = Mat::row_vec(&[1.0]);
+    let d = Mat::zeros(1, 1);
+    build("cruise-control", a, bm, c, d, 0.1).expect("consistent dims")
+}
+
+/// All benchmark plants, for sweep-style experiments.
+pub fn all() -> Vec<Plant> {
+    vec![
+        dc_motor(),
+        inverted_pendulum(),
+        quarter_car(),
+        cruise_control(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discretize::c2d_zoh;
+
+    #[test]
+    fn shapes_are_consistent() {
+        for p in all() {
+            assert!(p.sys.state_dim() >= 1);
+            assert!(p.control_input < p.sys.input_dim());
+            assert!(p.controlled_output < p.sys.output_dim());
+            assert!(p.ts > 0.0);
+            assert!(!p.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn dc_motor_is_stable() {
+        // Both eigenvalues negative: trace < 0 and det > 0 for the 2x2 A.
+        let p = dc_motor();
+        let a = p.sys.a();
+        let det = a[(0, 0)] * a[(1, 1)] - a[(0, 1)] * a[(1, 0)];
+        assert!(a.trace() < 0.0 && det > 0.0);
+    }
+
+    #[test]
+    fn pendulum_is_unstable() {
+        // ZOH-discretized A must have spectral radius > 1: check that the
+        // powers of Ad diverge.
+        let p = inverted_pendulum();
+        let d = c2d_zoh(&p.sys, p.ts).unwrap();
+        let mut m = d.a().clone();
+        for _ in 0..400 {
+            m = m.matmul(d.a()).unwrap();
+        }
+        assert!(m.norm_inf() > 1.0, "pendulum should diverge open loop");
+    }
+
+    #[test]
+    fn quarter_car_statics() {
+        // With zero active force and zero road input, the suspension is
+        // stable: simulate the discretized model from a deflected state.
+        let p = quarter_car();
+        let d = c2d_zoh(&p.sys, p.ts).unwrap();
+        let y = d
+            .simulate(&[0.05, 0.0, 0.0, 0.0], 4000, |_| vec![0.0, 0.0])
+            .unwrap();
+        let last = y.last().unwrap();
+        assert!(last[0].abs() < 1e-3, "deflection decays, got {}", last[0]);
+    }
+
+    #[test]
+    fn cruise_steady_state_gain() {
+        // dc gain = 1/b = 0.02 m/s per N.
+        let p = cruise_control();
+        let d = c2d_zoh(&p.sys, p.ts).unwrap();
+        let y = d.simulate(&[0.0], 3000, |_| vec![100.0]).unwrap();
+        assert!((y.last().unwrap()[0] - 2.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,406 @@
+//! Linear time-invariant state-space models.
+
+use ecl_linalg::Mat;
+
+use crate::ControlError;
+
+/// Validates that `(a, b, c, d)` form a consistent state-space quadruple
+/// and returns `(n, m, p)`.
+fn check_dims(a: &Mat, b: &Mat, c: &Mat, d: &Mat) -> Result<(usize, usize, usize), ControlError> {
+    if !a.is_square() {
+        return Err(ControlError::InvalidDimensions {
+            reason: format!("A must be square, got {}x{}", a.rows(), a.cols()),
+        });
+    }
+    let n = a.rows();
+    let m = b.cols();
+    let p = c.rows();
+    if b.rows() != n {
+        return Err(ControlError::InvalidDimensions {
+            reason: format!("B must have {n} rows, got {}", b.rows()),
+        });
+    }
+    if c.cols() != n {
+        return Err(ControlError::InvalidDimensions {
+            reason: format!("C must have {n} cols, got {}", c.cols()),
+        });
+    }
+    if d.shape() != (p, m) {
+        return Err(ControlError::InvalidDimensions {
+            reason: format!(
+                "D must be {p}x{m}, got {}x{}",
+                d.rows(),
+                d.cols()
+            ),
+        });
+    }
+    if m == 0 || p == 0 {
+        return Err(ControlError::InvalidDimensions {
+            reason: format!("need at least one input and one output, got m={m}, p={p}"),
+        });
+    }
+    Ok((n, m, p))
+}
+
+/// A continuous-time LTI system `ẋ = A·x + B·u`, `y = C·x + D·u`.
+///
+/// # Examples
+///
+/// ```
+/// use ecl_control::StateSpace;
+/// use ecl_linalg::Mat;
+/// # fn main() -> Result<(), ecl_control::ControlError> {
+/// // First-order lag 1/(s+1).
+/// let sys = StateSpace::new(
+///     Mat::diag(&[-1.0]),
+///     Mat::col_vec(&[1.0]),
+///     Mat::row_vec(&[1.0]),
+///     Mat::zeros(1, 1),
+/// )?;
+/// assert_eq!(sys.state_dim(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSpace {
+    a: Mat,
+    b: Mat,
+    c: Mat,
+    d: Mat,
+}
+
+impl StateSpace {
+    /// Creates a continuous state-space model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidDimensions`] for inconsistent shapes.
+    pub fn new(a: Mat, b: Mat, c: Mat, d: Mat) -> Result<Self, ControlError> {
+        check_dims(&a, &b, &c, &d)?;
+        Ok(StateSpace { a, b, c, d })
+    }
+
+    /// The `A` matrix.
+    pub fn a(&self) -> &Mat {
+        &self.a
+    }
+    /// The `B` matrix.
+    pub fn b(&self) -> &Mat {
+        &self.b
+    }
+    /// The `C` matrix.
+    pub fn c(&self) -> &Mat {
+        &self.c
+    }
+    /// The `D` matrix.
+    pub fn d(&self) -> &Mat {
+        &self.d
+    }
+
+    /// Number of states.
+    pub fn state_dim(&self) -> usize {
+        self.a.rows()
+    }
+    /// Number of inputs.
+    pub fn input_dim(&self) -> usize {
+        self.b.cols()
+    }
+    /// Number of outputs.
+    pub fn output_dim(&self) -> usize {
+        self.c.rows()
+    }
+
+    /// Builds a SISO model from transfer-function coefficients in
+    /// controllable canonical form.
+    ///
+    /// `num` and `den` are ordered from the highest power downwards; the
+    /// transfer function must be strictly proper (`num.len() < den.len()`)
+    /// and the leading denominator coefficient non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidParameter`] for an improper or
+    /// degenerate fraction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ecl_control::StateSpace;
+    /// # fn main() -> Result<(), ecl_control::ControlError> {
+    /// // 1 / (s² + 2s + 1)
+    /// let sys = StateSpace::from_tf(&[1.0], &[1.0, 2.0, 1.0])?;
+    /// assert_eq!(sys.state_dim(), 2);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn from_tf(num: &[f64], den: &[f64]) -> Result<Self, ControlError> {
+        if den.is_empty() || den[0] == 0.0 {
+            return Err(ControlError::InvalidParameter {
+                parameter: "den",
+                reason: "leading denominator coefficient must be non-zero".into(),
+            });
+        }
+        if num.is_empty() || num.len() >= den.len() {
+            return Err(ControlError::InvalidParameter {
+                parameter: "num",
+                reason: format!(
+                    "transfer function must be strictly proper (num degree {} < den degree {})",
+                    num.len().saturating_sub(1),
+                    den.len() - 1
+                ),
+            });
+        }
+        let n = den.len() - 1;
+        // Normalize by the leading denominator coefficient.
+        let den_n: Vec<f64> = den.iter().map(|&x| x / den[0]).collect();
+        let num_n: Vec<f64> = num.iter().map(|&x| x / den[0]).collect();
+        // Controllable canonical form.
+        let mut a = Mat::zeros(n, n);
+        for i in 0..n - 1 {
+            a[(i, i + 1)] = 1.0;
+        }
+        for j in 0..n {
+            a[(n - 1, j)] = -den_n[n - j];
+        }
+        let mut b = Mat::zeros(n, 1);
+        b[(n - 1, 0)] = 1.0;
+        let mut c = Mat::zeros(1, n);
+        // num padded to length n (low-order first alignment).
+        for (k, &coef) in num_n.iter().rev().enumerate() {
+            c[(0, k)] = coef;
+        }
+        let d = Mat::zeros(1, 1);
+        StateSpace::new(a, b, c, d)
+    }
+}
+
+/// A discrete-time LTI system `x⁺ = Ad·x + Bd·u`, `y = Cd·x + Dd·u` with an
+/// attached sampling period.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteSs {
+    a: Mat,
+    b: Mat,
+    c: Mat,
+    d: Mat,
+    ts: f64,
+}
+
+impl DiscreteSs {
+    /// Creates a discrete state-space model with sampling period `ts`
+    /// seconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidDimensions`] for inconsistent shapes
+    /// or [`ControlError::InvalidParameter`] for a non-positive `ts`.
+    pub fn new(a: Mat, b: Mat, c: Mat, d: Mat, ts: f64) -> Result<Self, ControlError> {
+        check_dims(&a, &b, &c, &d)?;
+        if !(ts > 0.0) || !ts.is_finite() {
+            return Err(ControlError::InvalidParameter {
+                parameter: "ts",
+                reason: format!("sampling period must be positive and finite, got {ts}"),
+            });
+        }
+        Ok(DiscreteSs { a, b, c, d, ts })
+    }
+
+    /// The `Ad` matrix.
+    pub fn a(&self) -> &Mat {
+        &self.a
+    }
+    /// The `Bd` matrix.
+    pub fn b(&self) -> &Mat {
+        &self.b
+    }
+    /// The `Cd` matrix.
+    pub fn c(&self) -> &Mat {
+        &self.c
+    }
+    /// The `Dd` matrix.
+    pub fn d(&self) -> &Mat {
+        &self.d
+    }
+    /// The sampling period in seconds.
+    pub fn ts(&self) -> f64 {
+        self.ts
+    }
+
+    /// Number of states.
+    pub fn state_dim(&self) -> usize {
+        self.a.rows()
+    }
+    /// Number of inputs.
+    pub fn input_dim(&self) -> usize {
+        self.b.cols()
+    }
+    /// Number of outputs.
+    pub fn output_dim(&self) -> usize {
+        self.c.rows()
+    }
+
+    /// Simulates the model for `steps` samples under the input sequence
+    /// produced by `u_of_k`, starting from `x0`, and returns the output
+    /// sequence (one `Vec<f64>` of length `p` per step).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::InvalidDimensions`] if `x0` or the produced
+    /// input vectors have the wrong length.
+    pub fn simulate(
+        &self,
+        x0: &[f64],
+        steps: usize,
+        mut u_of_k: impl FnMut(usize) -> Vec<f64>,
+    ) -> Result<Vec<Vec<f64>>, ControlError> {
+        let n = self.state_dim();
+        if x0.len() != n {
+            return Err(ControlError::InvalidDimensions {
+                reason: format!("x0 has {} entries, expected {n}", x0.len()),
+            });
+        }
+        let mut x = x0.to_vec();
+        let mut out = Vec::with_capacity(steps);
+        for k in 0..steps {
+            let u = u_of_k(k);
+            if u.len() != self.input_dim() {
+                return Err(ControlError::InvalidDimensions {
+                    reason: format!(
+                        "input at step {k} has {} entries, expected {}",
+                        u.len(),
+                        self.input_dim()
+                    ),
+                });
+            }
+            let mut y = self.c.matvec(&x)?;
+            let du = self.d.matvec(&u)?;
+            for (yi, dui) in y.iter_mut().zip(&du) {
+                *yi += dui;
+            }
+            out.push(y);
+            let ax = self.a.matvec(&x)?;
+            let bu = self.b.matvec(&u)?;
+            x = ax.iter().zip(&bu).map(|(a, b)| a + b).collect();
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lag() -> StateSpace {
+        StateSpace::new(
+            Mat::diag(&[-1.0]),
+            Mat::col_vec(&[1.0]),
+            Mat::row_vec(&[1.0]),
+            Mat::zeros(1, 1),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dims_checked() {
+        assert!(StateSpace::new(
+            Mat::zeros(2, 3),
+            Mat::zeros(2, 1),
+            Mat::zeros(1, 2),
+            Mat::zeros(1, 1)
+        )
+        .is_err());
+        assert!(StateSpace::new(
+            Mat::zeros(2, 2),
+            Mat::zeros(3, 1),
+            Mat::zeros(1, 2),
+            Mat::zeros(1, 1)
+        )
+        .is_err());
+        assert!(StateSpace::new(
+            Mat::zeros(2, 2),
+            Mat::zeros(2, 1),
+            Mat::zeros(1, 3),
+            Mat::zeros(1, 1)
+        )
+        .is_err());
+        assert!(StateSpace::new(
+            Mat::zeros(2, 2),
+            Mat::zeros(2, 1),
+            Mat::zeros(1, 2),
+            Mat::zeros(2, 2)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let s = lag();
+        assert_eq!(s.state_dim(), 1);
+        assert_eq!(s.input_dim(), 1);
+        assert_eq!(s.output_dim(), 1);
+        assert_eq!(s.a()[(0, 0)], -1.0);
+        assert_eq!(s.b()[(0, 0)], 1.0);
+        assert_eq!(s.c()[(0, 0)], 1.0);
+        assert_eq!(s.d()[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn from_tf_canonical_form() {
+        // G(s) = (s + 2) / (s² + 3s + 5)
+        let s = StateSpace::from_tf(&[1.0, 2.0], &[1.0, 3.0, 5.0]).unwrap();
+        assert_eq!(s.state_dim(), 2);
+        // Companion last row: [-5, -3]
+        assert_eq!(s.a()[(1, 0)], -5.0);
+        assert_eq!(s.a()[(1, 1)], -3.0);
+        assert_eq!(s.a()[(0, 1)], 1.0);
+        // C = [2, 1] (constant term first)
+        assert_eq!(s.c()[(0, 0)], 2.0);
+        assert_eq!(s.c()[(0, 1)], 1.0);
+    }
+
+    #[test]
+    fn from_tf_rejects_improper() {
+        assert!(StateSpace::from_tf(&[1.0, 0.0], &[1.0, 1.0]).is_err());
+        assert!(StateSpace::from_tf(&[1.0], &[0.0, 1.0]).is_err());
+        assert!(StateSpace::from_tf(&[], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn discrete_validation() {
+        let a = Mat::diag(&[0.5]);
+        let b = Mat::col_vec(&[1.0]);
+        let c = Mat::row_vec(&[1.0]);
+        let d = Mat::zeros(1, 1);
+        assert!(DiscreteSs::new(a.clone(), b.clone(), c.clone(), d.clone(), 0.1).is_ok());
+        assert!(DiscreteSs::new(a, b, c, d, 0.0).is_err());
+    }
+
+    #[test]
+    fn discrete_simulation_geometric() {
+        // x+ = 0.5 x + u, y = x: step response 0, 1, 1.5, 1.75, ...
+        let dss = DiscreteSs::new(
+            Mat::diag(&[0.5]),
+            Mat::col_vec(&[1.0]),
+            Mat::row_vec(&[1.0]),
+            Mat::zeros(1, 1),
+            1.0,
+        )
+        .unwrap();
+        let y = dss.simulate(&[0.0], 4, |_| vec![1.0]).unwrap();
+        let flat: Vec<f64> = y.into_iter().map(|v| v[0]).collect();
+        assert_eq!(flat, vec![0.0, 1.0, 1.5, 1.75]);
+    }
+
+    #[test]
+    fn simulate_checks_dims() {
+        let dss = DiscreteSs::new(
+            Mat::diag(&[0.5]),
+            Mat::col_vec(&[1.0]),
+            Mat::row_vec(&[1.0]),
+            Mat::zeros(1, 1),
+            1.0,
+        )
+        .unwrap();
+        assert!(dss.simulate(&[0.0, 1.0], 1, |_| vec![1.0]).is_err());
+        assert!(dss.simulate(&[0.0], 1, |_| vec![1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! Pole-based stability analysis for continuous and discrete LTI models.
+//!
+//! Built on [`ecl_linalg::eigenvalues`]; used to verify designs before
+//! co-simulation and to report the closed-loop pole pattern after a
+//! calibration redesign.
+
+use ecl_linalg::{eigenvalues, Eigenvalue, Mat};
+
+use crate::ss::{DiscreteSs, StateSpace};
+use crate::ControlError;
+
+/// One pole of a system with its modal characteristics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pole {
+    /// Real part (continuous) or real component of `z` (discrete).
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+    /// Magnitude `|λ|` — the stability measure in discrete time.
+    pub magnitude: f64,
+    /// Damping ratio `ζ` of the equivalent second-order mode
+    /// (continuous-time interpretation; 1.0 for real stable poles).
+    pub damping: f64,
+    /// Natural frequency `ωn` in rad/s (continuous-time interpretation;
+    /// `0.0` for a pole at the origin).
+    pub natural_freq: f64,
+}
+
+fn pole_from_ct(re: f64, im: f64) -> Pole {
+    let wn = (re * re + im * im).sqrt();
+    let damping = if wn == 0.0 { 1.0 } else { -re / wn };
+    Pole {
+        re,
+        im,
+        magnitude: wn,
+        damping,
+        natural_freq: wn,
+    }
+}
+
+fn pole_from_dt(re: f64, im: f64, ts: f64) -> Pole {
+    let mag = (re * re + im * im).sqrt();
+    // Map z back to s = ln(z)/Ts for the modal interpretation.
+    if mag == 0.0 {
+        return Pole {
+            re,
+            im,
+            magnitude: 0.0,
+            damping: 1.0,
+            natural_freq: 0.0,
+        };
+    }
+    let s_re = mag.ln() / ts;
+    let s_im = im.atan2(re) / ts;
+    let wn = (s_re * s_re + s_im * s_im).sqrt();
+    Pole {
+        re,
+        im,
+        magnitude: mag,
+        damping: if wn == 0.0 { 1.0 } else { -s_re / wn },
+        natural_freq: wn,
+    }
+}
+
+/// The poles of a continuous-time model.
+///
+/// # Errors
+///
+/// Propagates eigenvalue-computation failures.
+pub fn poles_ct(sys: &StateSpace) -> Result<Vec<Pole>, ControlError> {
+    Ok(eigenvalues(sys.a())?
+        .into_iter()
+        .map(|(re, im)| pole_from_ct(re, im))
+        .collect())
+}
+
+/// The poles of a discrete-time model (with the continuous-equivalent
+/// damping/frequency annotation).
+///
+/// # Errors
+///
+/// Propagates eigenvalue-computation failures.
+pub fn poles_dt(sys: &DiscreteSs) -> Result<Vec<Pole>, ControlError> {
+    Ok(eigenvalues(sys.a())?
+        .into_iter()
+        .map(|(re, im)| pole_from_dt(re, im, sys.ts()))
+        .collect())
+}
+
+/// `true` if every continuous pole has a strictly negative real part.
+///
+/// # Errors
+///
+/// Propagates eigenvalue-computation failures.
+pub fn is_stable_ct(sys: &StateSpace) -> Result<bool, ControlError> {
+    Ok(poles_ct(sys)?.iter().all(|p| p.re < 0.0))
+}
+
+/// `true` if every discrete pole lies strictly inside the unit circle.
+///
+/// # Errors
+///
+/// Propagates eigenvalue-computation failures.
+pub fn is_stable_dt(sys: &DiscreteSs) -> Result<bool, ControlError> {
+    Ok(poles_dt(sys)?.iter().all(|p| p.magnitude < 1.0))
+}
+
+/// Eigenvalues of the discrete closed loop `Ad − Bd·K`.
+///
+/// # Errors
+///
+/// Returns [`ControlError::InvalidDimensions`] for a mismatched gain, plus
+/// eigenvalue failures.
+pub fn closed_loop_poles_dt(sys: &DiscreteSs, k: &Mat) -> Result<Vec<Eigenvalue>, ControlError> {
+    if k.shape() != (sys.input_dim(), sys.state_dim()) {
+        return Err(ControlError::InvalidDimensions {
+            reason: format!(
+                "gain must be {}x{}, got {}x{}",
+                sys.input_dim(),
+                sys.state_dim(),
+                k.rows(),
+                k.cols()
+            ),
+        });
+    }
+    let acl = sys.a().sub(&sys.b().matmul(k)?)?;
+    Ok(eigenvalues(&acl)?)
+}
+
+/// The spectral radius of the discrete closed loop `Ad − Bd·K`
+/// (`< 1` means stable; the margin `1 − ρ` is a robustness hint).
+///
+/// # Errors
+///
+/// Same as [`closed_loop_poles_dt`].
+pub fn closed_loop_radius_dt(sys: &DiscreteSs, k: &Mat) -> Result<f64, ControlError> {
+    Ok(closed_loop_poles_dt(sys, k)?
+        .into_iter()
+        .map(|(re, im)| (re * re + im * im).sqrt())
+        .fold(0.0, f64::max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::dlqr;
+    use crate::discretize::c2d_zoh;
+    use crate::plants;
+
+    #[test]
+    fn dc_motor_stable_pendulum_not() {
+        assert!(is_stable_ct(&plants::dc_motor().sys).unwrap());
+        assert!(!is_stable_ct(&plants::inverted_pendulum().sys).unwrap());
+        assert!(is_stable_ct(&plants::quarter_car().sys).unwrap());
+        assert!(is_stable_ct(&plants::cruise_control().sys).unwrap());
+    }
+
+    #[test]
+    fn zoh_maps_stability() {
+        for p in plants::all() {
+            let d = c2d_zoh(&p.sys, p.ts).unwrap();
+            assert_eq!(
+                is_stable_ct(&p.sys).unwrap(),
+                is_stable_dt(&d).unwrap(),
+                "{}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn pole_mapping_exp_relation() {
+        // Discrete poles of ZOH are exp(s_i Ts); damping/frequency must
+        // round-trip for a complex pair.
+        let sys = StateSpace::from_tf(&[1.0], &[1.0, 0.8, 4.0]).unwrap(); // wn=2, z=0.2
+        let ts = 0.05;
+        let d = c2d_zoh(&sys, ts).unwrap();
+        let poles = poles_dt(&d).unwrap();
+        for p in &poles {
+            assert!((p.natural_freq - 2.0).abs() < 1e-6, "{p:?}");
+            assert!((p.damping - 0.2).abs() < 1e-6, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn lqr_closed_loop_stable_with_margin() {
+        let p = plants::inverted_pendulum();
+        let d = c2d_zoh(&p.sys, p.ts).unwrap();
+        let gain = dlqr(&d, &Mat::identity(4), &Mat::diag(&[0.1])).unwrap();
+        let rho = closed_loop_radius_dt(&d, &gain.k).unwrap();
+        assert!(rho < 1.0, "rho {rho}");
+        // Open loop is unstable.
+        let rho_open = ecl_linalg::spectral_radius(d.a()).unwrap();
+        assert!(rho_open > 1.0);
+    }
+
+    #[test]
+    fn gain_shape_checked() {
+        let p = plants::dc_motor();
+        let d = c2d_zoh(&p.sys, p.ts).unwrap();
+        assert!(closed_loop_poles_dt(&d, &Mat::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn real_stable_pole_has_unit_damping() {
+        let sys = StateSpace::from_tf(&[1.0], &[1.0, 3.0]).unwrap();
+        let poles = poles_ct(&sys).unwrap();
+        assert_eq!(poles.len(), 1);
+        assert!((poles[0].damping - 1.0).abs() < 1e-12);
+        assert!((poles[0].natural_freq - 3.0).abs() < 1e-12);
+    }
+}

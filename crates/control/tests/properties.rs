@@ -1,0 +1,127 @@
+//! Property-based tests of the control toolbox.
+
+use ecl_control::{
+    acker, c2d_zoh, c2d_zoh_delayed, charpoly_from_real_poles, dlqr, stability, StateSpace,
+};
+use ecl_linalg::{spectral_radius, Mat};
+use proptest::prelude::*;
+
+prop_compose! {
+    /// A random stable second-order plant in controllable canonical form.
+    fn stable_siso()(wn in 0.5f64..10.0, zeta in 0.05f64..2.0) -> StateSpace {
+        StateSpace::from_tf(&[wn * wn], &[1.0, 2.0 * zeta * wn, wn * wn]).expect("proper")
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// ZOH discretization maps continuous stability into the unit circle
+    /// for any second-order plant and period.
+    #[test]
+    fn zoh_preserves_stability(sys in stable_siso(), ts in 0.001f64..1.0) {
+        let d = c2d_zoh(&sys, ts).expect("ok");
+        prop_assert!(stability::is_stable_dt(&d).expect("eigs"));
+        prop_assert!(spectral_radius(d.a()).expect("eigs") < 1.0);
+    }
+
+    /// LQR always stabilizes the sampled double integrator, for any
+    /// positive weights.
+    #[test]
+    fn dlqr_always_stabilizes(
+        ts in 0.01f64..0.5,
+        q0 in 0.1f64..100.0,
+        r0 in 0.001f64..10.0,
+    ) {
+        let sys = StateSpace::new(
+            Mat::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).expect("ok"),
+            Mat::col_vec(&[0.0, 1.0]),
+            Mat::from_rows(&[&[1.0, 0.0]]).expect("ok"),
+            Mat::zeros(1, 1),
+        ).expect("ok");
+        let d = c2d_zoh(&sys, ts).expect("ok");
+        let gain = dlqr(&d, &Mat::diag(&[q0, q0]), &Mat::diag(&[r0])).expect("solves");
+        let rho = stability::closed_loop_radius_dt(&d, &gain.k).expect("eigs");
+        prop_assert!(rho < 1.0, "rho {rho} with q={q0} r={r0} ts={ts}");
+    }
+
+    /// Cheaper control (smaller R) never increases the optimal cost-to-go
+    /// (P is monotone in R).
+    #[test]
+    fn dlqr_cost_monotone_in_r(ts in 0.01f64..0.2, r_hi in 0.1f64..10.0) {
+        let sys = StateSpace::new(
+            Mat::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).expect("ok"),
+            Mat::col_vec(&[0.0, 1.0]),
+            Mat::from_rows(&[&[1.0, 0.0]]).expect("ok"),
+            Mat::zeros(1, 1),
+        ).expect("ok");
+        let d = c2d_zoh(&sys, ts).expect("ok");
+        let q = Mat::identity(2);
+        let cheap = dlqr(&d, &q, &Mat::diag(&[r_hi / 10.0])).expect("solves");
+        let dear = dlqr(&d, &q, &Mat::diag(&[r_hi])).expect("solves");
+        // Compare x0' P x0 for a probe state.
+        let x0 = [1.0, 0.5];
+        let cost = |p: &Mat| {
+            let px = p.matvec(&x0).expect("ok");
+            x0.iter().zip(&px).map(|(a, b)| a * b).sum::<f64>()
+        };
+        prop_assert!(cost(&cheap.p) <= cost(&dear.p) + 1e-9);
+    }
+
+    /// Ackermann places the characteristic polynomial exactly: trace and
+    /// determinant of the closed loop match the requested poles.
+    #[test]
+    fn acker_places_trace_det(
+        p1 in -0.9f64..0.9,
+        p2 in -0.9f64..0.9,
+        ts in 0.05f64..0.5,
+    ) {
+        let sys = StateSpace::new(
+            Mat::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).expect("ok"),
+            Mat::col_vec(&[0.0, 1.0]),
+            Mat::from_rows(&[&[1.0, 0.0]]).expect("ok"),
+            Mat::zeros(1, 1),
+        ).expect("ok");
+        let d = c2d_zoh(&sys, ts).expect("ok");
+        let cp = charpoly_from_real_poles(&[p1, p2]);
+        let k = acker(d.a(), d.b(), &cp).expect("controllable");
+        let acl = d.a().sub(&d.b().matmul(&k).expect("ok")).expect("ok");
+        prop_assert!((acl.trace() - (p1 + p2)).abs() < 1e-7);
+        let det = acl[(0, 0)] * acl[(1, 1)] - acl[(0, 1)] * acl[(1, 0)];
+        prop_assert!((det - p1 * p2).abs() < 1e-7);
+    }
+
+    /// The delayed-ZOH input matrices partition the plain ZOH input
+    /// response: Γ0 + Γ1 equals Bd mapped through nothing for A = 0, and
+    /// more generally Φ(τ)·∫₀^{Ts−τ} + ∫ over [Ts−τ, Ts] ... we check the
+    /// directly provable identity Γ0(τ=0) = Bd and Γ1(τ=Ts) = Bd.
+    #[test]
+    fn delayed_zoh_limits(sys in stable_siso(), ts in 0.01f64..0.5) {
+        let plain = c2d_zoh(&sys, ts).expect("ok");
+        let d0 = c2d_zoh_delayed(&sys, ts, 0.0).expect("ok");
+        let dfull = c2d_zoh_delayed(&sys, ts, ts).expect("ok");
+        prop_assert!(d0.gamma0.approx_eq(plain.b(), 1e-9));
+        prop_assert!(d0.gamma1.norm_inf() < 1e-9);
+        prop_assert!(dfull.gamma1.approx_eq(plain.b(), 1e-9));
+        prop_assert!(dfull.gamma0.norm_inf() < 1e-9);
+        prop_assert!(d0.phi.approx_eq(plain.a(), 1e-9));
+    }
+
+    /// The augmented delayed model under zero delay behaves like the plain
+    /// sampled model: identical step responses on the physical states.
+    #[test]
+    fn augmented_zero_delay_equals_plain(sys in stable_siso(), ts in 0.02f64..0.3) {
+        let plain = c2d_zoh(&sys, ts).expect("ok");
+        let aug = c2d_zoh_delayed(&sys, ts, 0.0)
+            .expect("ok")
+            .augmented(sys.c())
+            .expect("ok");
+        let y_plain = plain.simulate(&[0.0, 0.0], 30, |_| vec![1.0]).expect("ok");
+        let y_aug = aug
+            .simulate(&[0.0, 0.0, 0.0], 30, |_| vec![1.0])
+            .expect("ok");
+        for (a, b) in y_plain.iter().zip(&y_aug) {
+            prop_assert!((a[0] - b[0]).abs() < 1e-9);
+        }
+    }
+}

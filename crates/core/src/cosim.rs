@@ -1,0 +1,944 @@
+//! Closed-loop co-simulation drivers.
+//!
+//! [`run_ideal`] simulates the loop under the *stroboscopic model* (paper
+//! Fig. 2): one activation clock samples every input, runs the controller,
+//! and applies every output at the same instant — the assumption control
+//! engineers design under. [`run_scheduled`] simulates the same loop with
+//! the **graph of delays** (paper Fig. 3) synthesized from a SynDEx
+//! schedule: sampling, computation and actuation are re-activated at the
+//! instants of the distributed implementation, exposing its impact on
+//! control performance *before any code runs on a target*.
+
+use ecl_aaa::{AlgorithmGraph, ArchitectureGraph, Schedule, TimeNs};
+use ecl_blocks::{add_clock, Constant, DiscreteStateSpace, SampleHold, SampledNoise, StateSpaceCt};
+use ecl_control::metrics;
+use ecl_control::StateSpace;
+use ecl_linalg::Mat;
+use ecl_sim::{BlockId, Model, SimOptions, SimResult, Simulator};
+
+use crate::delays::{self, DelayGraphConfig};
+use crate::latency::{latencies, LatencyReport};
+use crate::translate::IoMap;
+use crate::CoreError;
+
+/// Disturbance applied to the plant's non-control inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DisturbanceKind {
+    /// Disturbance inputs held at zero.
+    None,
+    /// Zero-order-hold Gaussian noise redrawn each period (road profile,
+    /// load torque, ...), deterministically seeded.
+    Noise {
+        /// Standard deviation.
+        std_dev: f64,
+        /// PRNG seed.
+        seed: u64,
+    },
+}
+
+/// Description of a sampled-data regulation loop.
+///
+/// The plant's first `n_controls` inputs are driven by the controller; any
+/// remaining inputs are disturbances. The controller samples the full
+/// plant state and applies the static law `u = −K·x` (or the
+/// delay-compensated law `u_k = −Kx·x_k − Ku·u_{k-1}` when `input_memory`
+/// is set — the output of the calibration phase).
+#[derive(Debug, Clone)]
+pub struct LoopSpec {
+    /// Continuous plant.
+    pub plant: StateSpace,
+    /// Number of control inputs (prefix of the plant inputs).
+    pub n_controls: usize,
+    /// Initial plant state (the regulation experiment's perturbation).
+    pub x0: Vec<f64>,
+    /// State-feedback gain `K` (`n_controls × n_states`).
+    pub feedback: Mat,
+    /// Optional previous-input gain `Ku` (`n_controls × n_controls`) for
+    /// the delay-compensated law.
+    pub input_memory: Option<Mat>,
+    /// Sampling period (seconds).
+    pub ts: f64,
+    /// Simulation horizon (seconds).
+    pub horizon: f64,
+    /// State weight of the quadratic evaluation cost.
+    pub q_weight: f64,
+    /// Control weight of the quadratic evaluation cost.
+    pub r_weight: f64,
+    /// Disturbance on the non-control plant inputs.
+    pub disturbance: DisturbanceKind,
+}
+
+impl LoopSpec {
+    fn validate(&self) -> Result<(), CoreError> {
+        let n = self.plant.state_dim();
+        let bad = |reason: String| Err(CoreError::InvalidInput { reason });
+        if self.n_controls == 0 || self.n_controls > self.plant.input_dim() {
+            return bad(format!(
+                "n_controls = {} out of range for a plant with {} inputs",
+                self.n_controls,
+                self.plant.input_dim()
+            ));
+        }
+        if self.x0.len() != n {
+            return bad(format!("x0 has {} entries, plant has {n} states", self.x0.len()));
+        }
+        if self.feedback.shape() != (self.n_controls, n) {
+            return bad(format!(
+                "feedback gain must be {}x{n}, got {}x{}",
+                self.n_controls,
+                self.feedback.rows(),
+                self.feedback.cols()
+            ));
+        }
+        if let Some(ku) = &self.input_memory {
+            if ku.shape() != (self.n_controls, self.n_controls) {
+                return bad(format!(
+                    "input-memory gain must be {0}x{0}, got {1}x{2}",
+                    self.n_controls,
+                    ku.rows(),
+                    ku.cols()
+                ));
+            }
+        }
+        if !(self.ts > 0.0) || !(self.horizon > 0.0) {
+            return bad("ts and horizon must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// Builds the controller block implementing the law.
+    fn controller(&self) -> Result<DiscreteStateSpace, CoreError> {
+        let n = self.plant.state_dim();
+        let m = self.n_controls;
+        let neg_k: Vec<f64> = self.feedback.as_slice().iter().map(|v| -v).collect();
+        let blk = match &self.input_memory {
+            None => DiscreteStateSpace::static_gain(m, n, neg_k)?,
+            Some(ku) => {
+                // State x_c = u_{k-1}: u_k = −Ku·x_c − Kx·x_k, latched
+                // pre-update; x_c⁺ = u_k.
+                let neg_ku: Vec<f64> = ku.as_slice().iter().map(|v| -v).collect();
+                DiscreteStateSpace::new(
+                    m,
+                    n,
+                    m,
+                    neg_ku.clone(),
+                    neg_k.clone(),
+                    neg_ku,
+                    neg_k,
+                    vec![0.0; m],
+                )?
+            }
+        };
+        Ok(blk)
+    }
+}
+
+/// Result of a closed-loop run.
+#[derive(Debug, Clone)]
+pub struct LoopResult {
+    /// The raw simulation output (probes `x0..`, `u0..`).
+    pub result: SimResult,
+    /// Quadratic cost `q·Σᵢ∫xᵢ² + r·Σⱼ∫uⱼ²`.
+    pub cost: f64,
+    /// Sampling instants `I_j(k)` per controller input.
+    pub sample_instants: Vec<Vec<TimeNs>>,
+    /// Actuation instants `O_j(k)` per controller output.
+    pub actuation_instants: Vec<Vec<TimeNs>>,
+    /// Sampling period used (seconds).
+    pub ts: f64,
+}
+
+impl LoopResult {
+    /// The latency report (paper eq. 1–2) of this run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if some activation misses its
+    /// period (the schedule overruns `Ts`).
+    pub fn latency_report(&self) -> Result<LatencyReport, CoreError> {
+        let period = TimeNs::from_secs_f64(self.ts);
+        let mut rep = LatencyReport::default();
+        for s in &self.sample_instants {
+            rep.sampling.push(latencies(s, period)?);
+        }
+        for a in &self.actuation_instants {
+            rep.actuation.push(latencies(a, period)?);
+        }
+        Ok(rep)
+    }
+}
+
+/// The blocks shared by the ideal and scheduled assemblies.
+struct LoopModel {
+    model: Model,
+    sample_sh: Vec<BlockId>,
+    controller: BlockId,
+    act_sh: Vec<BlockId>,
+    /// Clock driving the disturbance sources (and the stroboscopic loop).
+    base_clock: BlockId,
+}
+
+/// Builds plant + S/H + controller and the probes; activation wiring is
+/// left to the caller.
+fn assemble(spec: &LoopSpec) -> Result<LoopModel, CoreError> {
+    spec.validate()?;
+    let n = spec.plant.state_dim();
+    let m_total = spec.plant.input_dim();
+    let mc = spec.n_controls;
+    let mut model = Model::new();
+    let period = TimeNs::from_secs_f64(spec.ts);
+    let base_clock = add_clock(&mut model, "base_clock", period, TimeNs::ZERO)?;
+
+    // Plant with full-state output (C = I, D = 0) so the controller can
+    // sample the state; evaluation metrics read the same probes.
+    let plant = model.add_block(
+        "plant",
+        StateSpaceCt::new(
+            n,
+            m_total,
+            n,
+            spec.plant.a().as_slice().to_vec(),
+            spec.plant.b().as_slice().to_vec(),
+            Mat::identity(n).into_vec(),
+            vec![0.0; n * m_total],
+            spec.x0.clone(),
+        )?,
+    );
+
+    // Input samplers: one S/H per plant state.
+    let mut sample_sh = Vec::with_capacity(n);
+    for j in 0..n {
+        let sh = model.add_block(format!("sample_x{j}"), SampleHold::new(spec.x0[j]));
+        model.connect(plant, j, sh, 0)?;
+        sample_sh.push(sh);
+    }
+
+    // Controller.
+    let controller = model.add_block("controller", spec.controller()?);
+    for (j, &sh) in sample_sh.iter().enumerate() {
+        model.connect(sh, 0, controller, j)?;
+    }
+
+    // Output holds: one per control, feeding the plant.
+    let mut act_sh = Vec::with_capacity(mc);
+    for j in 0..mc {
+        let sh = model.add_block(format!("hold_u{j}"), SampleHold::new(0.0));
+        model.connect(controller, j, sh, 0)?;
+        model.connect(sh, 0, plant, j)?;
+        act_sh.push(sh);
+    }
+
+    // Disturbance inputs.
+    for j in mc..m_total {
+        match spec.disturbance {
+            DisturbanceKind::None => {
+                let z = model.add_block(format!("dist{j}"), Constant::new(0.0));
+                model.connect(z, 0, plant, j)?;
+            }
+            DisturbanceKind::Noise { std_dev, seed } => {
+                let nz = model.add_block(
+                    format!("dist{j}"),
+                    SampledNoise::new(0.0, std_dev, seed.wrapping_add(j as u64)),
+                );
+                model.connect(nz, 0, plant, j)?;
+                model.connect_event(base_clock, 0, nz, 0)?;
+            }
+        }
+    }
+
+    // Probes.
+    for j in 0..n {
+        model.probe(format!("x{j}"), plant, j)?;
+    }
+    for (j, &sh) in act_sh.iter().enumerate() {
+        model.probe(format!("u{j}"), sh, 0)?;
+    }
+
+    Ok(LoopModel {
+        model,
+        sample_sh,
+        controller,
+        act_sh,
+        base_clock,
+    })
+}
+
+fn finish(
+    spec: &LoopSpec,
+    lm: LoopModel,
+) -> Result<LoopResult, CoreError> {
+    let mut sim = Simulator::new(lm.model, SimOptions::default())?;
+    let result = sim.run(TimeNs::from_secs_f64(spec.horizon))?;
+
+    let n = spec.plant.state_dim();
+    let mut cost = 0.0;
+    for j in 0..n {
+        let sig = result
+            .signal(&format!("x{j}"))
+            .expect("probe registered in assemble");
+        cost += spec.q_weight * metrics::ise(sig.times(), sig.values(), 0.0);
+    }
+    for j in 0..spec.n_controls {
+        let sig = result
+            .signal(&format!("u{j}"))
+            .expect("probe registered in assemble");
+        cost += spec.r_weight * metrics::ise(sig.times(), sig.values(), 0.0);
+    }
+
+    let sample_instants = lm
+        .sample_sh
+        .iter()
+        .map(|&sh| result.activation_times(sh, Some(0)))
+        .collect();
+    let actuation_instants = lm
+        .act_sh
+        .iter()
+        .map(|&sh| result.activation_times(sh, Some(0)))
+        .collect();
+
+    Ok(LoopResult {
+        result,
+        cost,
+        sample_instants,
+        actuation_instants,
+        ts: spec.ts,
+    })
+}
+
+/// Description of a sampled-data loop closed through *measured outputs*
+/// (output feedback): the controller is an arbitrary discrete compensator
+/// mapping the plant's `p` outputs to its `m` controls — typically the
+/// LQG compensator from [`ecl_control::lqg::compensator`].
+#[derive(Debug, Clone)]
+pub struct OutputLoopSpec {
+    /// Continuous plant; its real `C`/`D` define what is measured.
+    pub plant: StateSpace,
+    /// Number of control inputs (prefix of the plant inputs).
+    pub n_controls: usize,
+    /// Initial plant state.
+    pub x0: Vec<f64>,
+    /// The discrete compensator (`p` measurement inputs → `m` control
+    /// outputs); its sampling period must equal `ts`.
+    pub compensator: ecl_control::DiscreteSs,
+    /// Sampling period (seconds).
+    pub ts: f64,
+    /// Simulation horizon (seconds).
+    pub horizon: f64,
+    /// Output weight of the quadratic evaluation cost.
+    pub q_weight: f64,
+    /// Control weight of the quadratic evaluation cost.
+    pub r_weight: f64,
+    /// Disturbance on the non-control plant inputs.
+    pub disturbance: DisturbanceKind,
+}
+
+impl OutputLoopSpec {
+    fn validate(&self) -> Result<(), CoreError> {
+        let bad = |reason: String| Err(CoreError::InvalidInput { reason });
+        if self.n_controls == 0 || self.n_controls > self.plant.input_dim() {
+            return bad(format!(
+                "n_controls = {} out of range for a plant with {} inputs",
+                self.n_controls,
+                self.plant.input_dim()
+            ));
+        }
+        if self.x0.len() != self.plant.state_dim() {
+            return bad(format!(
+                "x0 has {} entries, plant has {} states",
+                self.x0.len(),
+                self.plant.state_dim()
+            ));
+        }
+        if self.compensator.input_dim() != self.plant.output_dim() {
+            return bad(format!(
+                "compensator consumes {} measurements, plant produces {}",
+                self.compensator.input_dim(),
+                self.plant.output_dim()
+            ));
+        }
+        if self.compensator.output_dim() != self.n_controls {
+            return bad(format!(
+                "compensator produces {} controls, loop needs {}",
+                self.compensator.output_dim(),
+                self.n_controls
+            ));
+        }
+        if !(self.ts > 0.0) || !(self.horizon > 0.0) {
+            return bad("ts and horizon must be positive".into());
+        }
+        if (self.compensator.ts() - self.ts).abs() > 1e-12 {
+            return bad(format!(
+                "compensator period {} disagrees with loop period {}",
+                self.compensator.ts(),
+                self.ts
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builds plant (real outputs) + measurement S/H + compensator + holds.
+fn assemble_output(spec: &OutputLoopSpec) -> Result<LoopModel, CoreError> {
+    spec.validate()?;
+    let n = spec.plant.state_dim();
+    let p = spec.plant.output_dim();
+    let m_total = spec.plant.input_dim();
+    let mc = spec.n_controls;
+    let mut model = Model::new();
+    let period = TimeNs::from_secs_f64(spec.ts);
+    let base_clock = add_clock(&mut model, "base_clock", period, TimeNs::ZERO)?;
+
+    let plant = model.add_block(
+        "plant",
+        StateSpaceCt::new(
+            n,
+            m_total,
+            p,
+            spec.plant.a().as_slice().to_vec(),
+            spec.plant.b().as_slice().to_vec(),
+            spec.plant.c().as_slice().to_vec(),
+            spec.plant.d().as_slice().to_vec(),
+            spec.x0.clone(),
+        )?,
+    );
+
+    let mut sample_sh = Vec::with_capacity(p);
+    for j in 0..p {
+        let sh = model.add_block(format!("sample_y{j}"), SampleHold::new(0.0));
+        model.connect(plant, j, sh, 0)?;
+        sample_sh.push(sh);
+    }
+
+    let comp = &spec.compensator;
+    let controller = model.add_block(
+        "compensator",
+        DiscreteStateSpace::new(
+            comp.state_dim(),
+            p,
+            mc,
+            comp.a().as_slice().to_vec(),
+            comp.b().as_slice().to_vec(),
+            comp.c().as_slice().to_vec(),
+            comp.d().as_slice().to_vec(),
+            vec![0.0; comp.state_dim()],
+        )?,
+    );
+    for (j, &sh) in sample_sh.iter().enumerate() {
+        model.connect(sh, 0, controller, j)?;
+    }
+
+    let mut act_sh = Vec::with_capacity(mc);
+    for j in 0..mc {
+        let sh = model.add_block(format!("hold_u{j}"), SampleHold::new(0.0));
+        model.connect(controller, j, sh, 0)?;
+        model.connect(sh, 0, plant, j)?;
+        act_sh.push(sh);
+    }
+
+    for j in mc..m_total {
+        match spec.disturbance {
+            DisturbanceKind::None => {
+                let z = model.add_block(format!("dist{j}"), Constant::new(0.0));
+                model.connect(z, 0, plant, j)?;
+            }
+            DisturbanceKind::Noise { std_dev, seed } => {
+                let nz = model.add_block(
+                    format!("dist{j}"),
+                    SampledNoise::new(0.0, std_dev, seed.wrapping_add(j as u64)),
+                );
+                model.connect(nz, 0, plant, j)?;
+                model.connect_event(base_clock, 0, nz, 0)?;
+            }
+        }
+    }
+
+    // Probe the measured outputs (as `x{j}` so `finish` computes the cost
+    // over them uniformly) and the controls.
+    for j in 0..p {
+        model.probe(format!("x{j}"), plant, j)?;
+    }
+    for (j, &sh) in act_sh.iter().enumerate() {
+        model.probe(format!("u{j}"), sh, 0)?;
+    }
+
+    Ok(LoopModel {
+        model,
+        sample_sh,
+        controller,
+        act_sh,
+        base_clock,
+    })
+}
+
+fn finish_output(spec: &OutputLoopSpec, lm: LoopModel) -> Result<LoopResult, CoreError> {
+    let mut sim = Simulator::new(lm.model, SimOptions::default())?;
+    let result = sim.run(TimeNs::from_secs_f64(spec.horizon))?;
+    let mut cost = 0.0;
+    for j in 0..spec.plant.output_dim() {
+        let sig = result
+            .signal(&format!("x{j}"))
+            .expect("probe registered in assemble_output");
+        cost += spec.q_weight * metrics::ise(sig.times(), sig.values(), 0.0);
+    }
+    for j in 0..spec.n_controls {
+        let sig = result
+            .signal(&format!("u{j}"))
+            .expect("probe registered in assemble_output");
+        cost += spec.r_weight * metrics::ise(sig.times(), sig.values(), 0.0);
+    }
+    let sample_instants = lm
+        .sample_sh
+        .iter()
+        .map(|&sh| result.activation_times(sh, Some(0)))
+        .collect();
+    let actuation_instants = lm
+        .act_sh
+        .iter()
+        .map(|&sh| result.activation_times(sh, Some(0)))
+        .collect();
+    Ok(LoopResult {
+        result,
+        cost,
+        sample_instants,
+        actuation_instants,
+        ts: spec.ts,
+    })
+}
+
+/// Simulates an output-feedback loop under the stroboscopic model.
+///
+/// # Errors
+///
+/// Propagates specification-validation and simulation errors.
+pub fn run_output_ideal(spec: &OutputLoopSpec) -> Result<LoopResult, CoreError> {
+    let mut lm = assemble_output(spec)?;
+    for &sh in &lm.sample_sh.clone() {
+        lm.model.connect_event(lm.base_clock, 0, sh, 0)?;
+    }
+    lm.model.connect_event(lm.base_clock, 0, lm.controller, 0)?;
+    for &sh in &lm.act_sh.clone() {
+        lm.model.connect_event(lm.base_clock, 0, sh, 0)?;
+    }
+    finish_output(spec, lm)
+}
+
+/// Simulates an output-feedback loop re-activated by the graph of delays
+/// synthesized from `schedule`. There must be one sensor operation per
+/// plant output and one actuator per control.
+///
+/// # Errors
+///
+/// Same as [`run_scheduled`].
+pub fn run_output_scheduled(
+    spec: &OutputLoopSpec,
+    alg: &AlgorithmGraph,
+    io: &IoMap,
+    schedule: &Schedule,
+    arch: &ArchitectureGraph,
+) -> Result<LoopResult, CoreError> {
+    let p = spec.plant.output_dim();
+    if io.sensors.len() != p {
+        return Err(CoreError::InvalidInput {
+            reason: format!(
+                "law has {} sensors but the plant has {p} measured outputs",
+                io.sensors.len()
+            ),
+        });
+    }
+    if io.actuators.len() != spec.n_controls {
+        return Err(CoreError::InvalidInput {
+            reason: format!(
+                "law has {} actuators but the loop has {} controls",
+                io.actuators.len(),
+                spec.n_controls
+            ),
+        });
+    }
+    let mut lm = assemble_output(spec)?;
+    let period = TimeNs::from_secs_f64(spec.ts);
+    let dg = delays::build(
+        &mut lm.model,
+        alg,
+        arch,
+        schedule,
+        period,
+        DelayGraphConfig::default(),
+    )?;
+    for (j, &op) in io.sensors.iter().enumerate() {
+        dg.activate_on_completion(&mut lm.model, op, lm.sample_sh[j], 0)?;
+    }
+    let compute = *io.stages.last().ok_or_else(|| CoreError::InvalidInput {
+        reason: "law has no computation stage".into(),
+    })?;
+    dg.activate_on_completion(&mut lm.model, compute, lm.controller, 0)?;
+    for (j, &op) in io.actuators.iter().enumerate() {
+        dg.activate_on_completion(&mut lm.model, op, lm.act_sh[j], 0)?;
+    }
+    finish_output(spec, lm)
+}
+
+/// Simulates the loop under the stroboscopic model (paper Fig. 2): one
+/// clock activates sampling, control and actuation simultaneously.
+///
+/// # Errors
+///
+/// Propagates specification-validation and simulation errors.
+pub fn run_ideal(spec: &LoopSpec) -> Result<LoopResult, CoreError> {
+    let mut lm = assemble(spec)?;
+    // Activation order at each tick: sample all inputs, run the
+    // controller, apply all outputs — deliveries happen in wiring order.
+    for &sh in &lm.sample_sh.clone() {
+        lm.model.connect_event(lm.base_clock, 0, sh, 0)?;
+    }
+    lm.model.connect_event(lm.base_clock, 0, lm.controller, 0)?;
+    for &sh in &lm.act_sh.clone() {
+        lm.model.connect_event(lm.base_clock, 0, sh, 0)?;
+    }
+    finish(spec, lm)
+}
+
+/// Simulates the loop with the graph of delays synthesized from
+/// `schedule` (paper Fig. 3): each Sample/Hold and the controller are
+/// re-activated at the distributed implementation's instants.
+///
+/// `io` maps the translated algorithm graph's sensors/actuators to the
+/// loop's inputs/outputs: there must be one sensor per plant state and one
+/// actuator per control.
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidInput`] if `io` does not match the loop shape or
+///   the schedule overruns the period.
+/// * Propagated wiring/simulation errors.
+pub fn run_scheduled(
+    spec: &LoopSpec,
+    alg: &AlgorithmGraph,
+    io: &IoMap,
+    schedule: &Schedule,
+    arch: &ArchitectureGraph,
+) -> Result<LoopResult, CoreError> {
+    run_scheduled_with(spec, alg, io, schedule, arch, |_| {
+        Ok(DelayGraphConfig::default())
+    })
+}
+
+/// Like [`run_scheduled`], but lets the caller extend the model (e.g. add
+/// the block producing a condition variable's value) and supply the
+/// [`DelayGraphConfig`] — required when the algorithm graph contains
+/// conditioned operations (paper §3.2.2).
+///
+/// # Errors
+///
+/// Same as [`run_scheduled`], plus whatever `configure` returns.
+pub fn run_scheduled_with(
+    spec: &LoopSpec,
+    alg: &AlgorithmGraph,
+    io: &IoMap,
+    schedule: &Schedule,
+    arch: &ArchitectureGraph,
+    configure: impl FnOnce(&mut Model) -> Result<DelayGraphConfig, CoreError>,
+) -> Result<LoopResult, CoreError> {
+    let n = spec.plant.state_dim();
+    if io.sensors.len() != n {
+        return Err(CoreError::InvalidInput {
+            reason: format!(
+                "law has {} sensors but the plant has {n} sampled states",
+                io.sensors.len()
+            ),
+        });
+    }
+    if io.actuators.len() != spec.n_controls {
+        return Err(CoreError::InvalidInput {
+            reason: format!(
+                "law has {} actuators but the loop has {} controls",
+                io.actuators.len(),
+                spec.n_controls
+            ),
+        });
+    }
+    let mut lm = assemble(spec)?;
+    let period = TimeNs::from_secs_f64(spec.ts);
+    let config = configure(&mut lm.model)?;
+    let dg = delays::build(&mut lm.model, alg, arch, schedule, period, config)?;
+    for (j, &op) in io.sensors.iter().enumerate() {
+        dg.activate_on_completion(&mut lm.model, op, lm.sample_sh[j], 0)?;
+    }
+    let compute = *io.stages.last().ok_or_else(|| CoreError::InvalidInput {
+        reason: "law has no computation stage".into(),
+    })?;
+    dg.activate_on_completion(&mut lm.model, compute, lm.controller, 0)?;
+    for (j, &op) in io.actuators.iter().enumerate() {
+        dg.activate_on_completion(&mut lm.model, op, lm.act_sh[j], 0)?;
+    }
+    finish(spec, lm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_aaa::{adequation, AdequationOptions};
+    use ecl_control::{c2d_zoh, dlqr, plants};
+
+    use crate::translate::{uniform_timing, ControlLawSpec};
+
+    fn us(v: i64) -> TimeNs {
+        TimeNs::from_micros(v)
+    }
+
+    fn dc_motor_spec() -> LoopSpec {
+        let plant = plants::dc_motor();
+        let dss = c2d_zoh(&plant.sys, plant.ts).unwrap();
+        let lqr = dlqr(&dss, &Mat::identity(2), &Mat::diag(&[0.1])).unwrap();
+        LoopSpec {
+            plant: plant.sys,
+            n_controls: 1,
+            x0: vec![1.0, 0.0],
+            feedback: lqr.k,
+            input_memory: None,
+            ts: plant.ts,
+            horizon: 2.0,
+            q_weight: 1.0,
+            r_weight: 0.1,
+            disturbance: DisturbanceKind::None,
+        }
+    }
+
+    #[test]
+    fn ideal_loop_regulates_to_zero() {
+        let spec = dc_motor_spec();
+        let r = run_ideal(&spec).unwrap();
+        let x0 = r.result.signal("x0").unwrap();
+        assert!(x0.values()[0] > 0.9, "starts at x0");
+        assert!(
+            x0.last().unwrap().1.abs() < 0.02,
+            "regulated, got {}",
+            x0.last().unwrap().1
+        );
+        assert!(r.cost > 0.0 && r.cost.is_finite());
+        // One sampling instant per period, zero latency.
+        let rep = r.latency_report().unwrap();
+        assert_eq!(rep.mean_actuation(), TimeNs::ZERO);
+        assert_eq!(rep.worst_jitter(), TimeNs::ZERO);
+    }
+
+    #[test]
+    fn scheduled_loop_shows_latency_and_costs_more() {
+        // Aggressive LQR (cheap control) on the DC motor: the tighter the
+        // loop, the more implementation latency hurts (Cervin et al. 2003).
+        let plant = plants::dc_motor();
+        let dss = c2d_zoh(&plant.sys, plant.ts).unwrap();
+        let lqr = dlqr(&dss, &Mat::diag(&[10.0, 1.0]), &Mat::diag(&[1e-3])).unwrap();
+        let spec = LoopSpec {
+            plant: plant.sys,
+            n_controls: 1,
+            x0: vec![1.0, 0.0],
+            feedback: lqr.k,
+            input_memory: None,
+            ts: plant.ts,
+            horizon: 1.0,
+            q_weight: 1.0,
+            r_weight: 1e-3,
+            disturbance: DisturbanceKind::None,
+        };
+        let ideal = run_ideal(&spec).unwrap();
+
+        // Distribute over two ECUs with a slow bus: sensor+actuator pinned
+        // on ecu0, control on ecu1 — actuation latency near the full
+        // period (Ts = 50 ms).
+        let law = ControlLawSpec::monolithic("lqr", 2, 1);
+        let (alg, io) = law.to_algorithm().unwrap();
+        let mut arch = ArchitectureGraph::new();
+        let p0 = arch.add_processor("ecu0", "arm");
+        let p1 = arch.add_processor("ecu1", "arm");
+        arch.add_bus("can", &[p0, p1], TimeNs::from_millis(8), us(10))
+            .unwrap();
+        let mut db = uniform_timing(&alg, &io, us(200), TimeNs::from_millis(18));
+        // Pin I/O on ecu0, compute on ecu1.
+        for &s in io.sensors.iter().chain(&io.actuators) {
+            db.forbid(s, p1);
+        }
+        db.forbid(io.stages[0], p0);
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        schedule.validate(&alg, &arch).unwrap();
+        assert!(schedule.makespan() <= TimeNs::from_millis(50));
+
+        let implemented = run_scheduled(&spec, &alg, &io, &schedule, &arch).unwrap();
+        let rep = implemented.latency_report().unwrap();
+        // Actuation waits for two bus crossings + compute: >> 20 ms.
+        assert!(
+            rep.mean_actuation() > TimeNs::from_millis(20),
+            "mean actuation latency {}",
+            rep.mean_actuation()
+        );
+        // Implementation latency degrades the quadratic cost.
+        assert!(
+            implemented.cost > ideal.cost * 1.05,
+            "ideal {} vs implemented {}",
+            ideal.cost,
+            implemented.cost
+        );
+    }
+
+    #[test]
+    fn spec_validation_catches_shape_errors() {
+        let mut spec = dc_motor_spec();
+        spec.x0 = vec![1.0];
+        assert!(run_ideal(&spec).is_err());
+        let mut spec = dc_motor_spec();
+        spec.feedback = Mat::zeros(2, 2);
+        assert!(run_ideal(&spec).is_err());
+        let mut spec = dc_motor_spec();
+        spec.n_controls = 5;
+        assert!(run_ideal(&spec).is_err());
+        let mut spec = dc_motor_spec();
+        spec.ts = 0.0;
+        assert!(run_ideal(&spec).is_err());
+        let mut spec = dc_motor_spec();
+        spec.input_memory = Some(Mat::zeros(2, 2));
+        assert!(run_ideal(&spec).is_err());
+    }
+
+    #[test]
+    fn io_shape_mismatch_rejected() {
+        let spec = dc_motor_spec();
+        let law = ControlLawSpec::monolithic("lqr", 1, 1); // 1 sensor != 2 states
+        let (alg, io) = law.to_algorithm().unwrap();
+        let mut arch = ArchitectureGraph::new();
+        arch.add_processor("ecu0", "arm");
+        let db = uniform_timing(&alg, &io, us(10), us(10));
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        assert!(run_scheduled(&spec, &alg, &io, &schedule, &arch).is_err());
+    }
+
+    #[test]
+    fn noise_disturbance_excites_quarter_car() {
+        let plant = plants::quarter_car();
+        let dss = c2d_zoh(&plant.sys, plant.ts).unwrap();
+        let lqr = dlqr(
+            &dss,
+            &Mat::identity(4),
+            &Mat::from_rows(&[&[1e-4, 0.0], &[0.0, 1e-4]]).unwrap(),
+        )
+        .unwrap();
+        let spec = LoopSpec {
+            plant: plant.sys,
+            n_controls: 1,
+            x0: vec![0.0; 4],
+            feedback: lqr.k.block(0, 0, 1, 4).unwrap(),
+            input_memory: None,
+            ts: plant.ts,
+            horizon: 0.5,
+            q_weight: 1.0,
+            r_weight: 1e-6,
+            disturbance: DisturbanceKind::Noise {
+                std_dev: 0.5,
+                seed: 9,
+            },
+        };
+        let r = run_ideal(&spec).unwrap();
+        // Road noise produces non-zero motion from a zero initial state.
+        assert!(r.cost > 0.0, "cost {}", r.cost);
+    }
+
+    #[test]
+    fn input_memory_controller_shape() {
+        let mut spec = dc_motor_spec();
+        spec.input_memory = Some(Mat::diag(&[0.1]));
+        let r = run_ideal(&spec).unwrap();
+        assert!(r.cost.is_finite());
+    }
+
+    fn lqg_spec() -> OutputLoopSpec {
+        use ecl_control::{kalman, lqg};
+        let plant = plants::dc_motor();
+        let dss = c2d_zoh(&plant.sys, plant.ts).unwrap();
+        let gain = dlqr(&dss, &Mat::diag(&[10.0, 1.0]), &Mat::diag(&[1e-2])).unwrap();
+        let kf = kalman::design(
+            &dss,
+            &Mat::identity(2).scaled(1e-4),
+            &Mat::diag(&[1e-4]),
+        )
+        .unwrap();
+        let comp = lqg::compensator(&dss, &gain, &kf).unwrap();
+        OutputLoopSpec {
+            plant: plant.sys,
+            n_controls: 1,
+            x0: vec![1.0, 0.0],
+            compensator: comp,
+            ts: plant.ts,
+            horizon: 2.0,
+            q_weight: 1.0,
+            r_weight: 1e-2,
+            disturbance: DisturbanceKind::None,
+        }
+    }
+
+    #[test]
+    fn lqg_output_feedback_regulates() {
+        let spec = lqg_spec();
+        let r = run_output_ideal(&spec).unwrap();
+        let y = r.result.signal("x0").unwrap();
+        assert!(y.values()[0] > 0.9);
+        assert!(
+            y.last().unwrap().1.abs() < 0.05,
+            "output did not regulate: {}",
+            y.last().unwrap().1
+        );
+        // One sampling per period per measured output (only 1 here).
+        assert_eq!(r.sample_instants.len(), 1);
+        let rep = r.latency_report().unwrap();
+        assert_eq!(rep.mean_actuation(), TimeNs::ZERO);
+    }
+
+    #[test]
+    fn lqg_scheduled_shows_latency_degradation() {
+        let spec = lqg_spec();
+        let ideal = run_output_ideal(&spec).unwrap();
+        // One sensor (the measured speed), one actuator, over the split
+        // 2-ECU target with heavy latency.
+        let law = ControlLawSpec::monolithic("lqg", 1, 1);
+        let (alg, io) = law.to_algorithm().unwrap();
+        let mut arch = ArchitectureGraph::new();
+        let p0 = arch.add_processor("ecu0", "arm");
+        let p1 = arch.add_processor("ecu1", "arm");
+        arch.add_bus("can", &[p0, p1], TimeNs::from_millis(8), us(10))
+            .unwrap();
+        let mut db = uniform_timing(&alg, &io, us(200), TimeNs::from_millis(18));
+        for &s in io.sensors.iter().chain(&io.actuators) {
+            db.forbid(s, p1);
+        }
+        db.forbid(io.stages[0], p0);
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        let run = run_output_scheduled(&spec, &alg, &io, &schedule, &arch).unwrap();
+        assert!(
+            run.cost > ideal.cost,
+            "ideal {} vs implemented {}",
+            ideal.cost,
+            run.cost
+        );
+        let rep = run.latency_report().unwrap();
+        assert!(rep.mean_actuation() > TimeNs::from_millis(20));
+    }
+
+    #[test]
+    fn output_spec_validation() {
+        let good = lqg_spec();
+        let mut bad = good.clone();
+        bad.n_controls = 2;
+        assert!(run_output_ideal(&bad).is_err());
+        let mut bad = good.clone();
+        bad.x0 = vec![0.0];
+        assert!(run_output_ideal(&bad).is_err());
+        let mut bad = good.clone();
+        bad.ts = good.ts * 2.0; // disagrees with the compensator period
+        assert!(run_output_ideal(&bad).is_err());
+        // Sensor-count mismatch in the scheduled variant.
+        let law = ControlLawSpec::monolithic("lqg", 2, 1); // 2 sensors != 1 output
+        let (alg, io) = law.to_algorithm().unwrap();
+        let mut arch = ArchitectureGraph::new();
+        arch.add_processor("ecu0", "arm");
+        let db = uniform_timing(&alg, &io, us(10), us(10));
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        assert!(run_output_scheduled(&good, &alg, &io, &schedule, &arch).is_err());
+    }
+}

@@ -1,0 +1,675 @@
+//! Graph-of-delays synthesis (paper §3.2).
+//!
+//! Given the static schedule produced by the adequation, this module
+//! builds, inside an `ecl-sim` [`Model`], the Scicos event sub-graph that
+//! replays the schedule's temporal behaviour:
+//!
+//! * **Sequencing** (§3.2.1, Fig. 4) — every computation and communication
+//!   slot becomes an [`EventDelay`] whose duration is the slot's length;
+//!   chaining the delays in schedule order reproduces each operation's
+//!   start and completion instants.
+//! * **Synchronization** (§3.2.3) — when an operation must wait for both
+//!   its processor predecessor *and* data arriving over a medium, a
+//!   [`Synchronization`] block joins the corresponding completion events;
+//!   it fires at the *latest* of them, exactly like the rendezvous in the
+//!   generated executive.
+//! * **Conditioning** (§3.2.2, Fig. 5) — operations conditioned on a
+//!   branch variable are routed through an [`EventSelect`] whose
+//!   *condition mapping* reads a regular signal of the model; each branch
+//!   gets its own delay chain, so branches of unequal execution time
+//!   produce the activation jitter the paper warns about.
+//!
+//! The returned [`DelayGraph`] exposes, for every operation, the event
+//! that marks its completion; connecting the completion events of sensor
+//! and actuator operations to the model's Sample/Hold blocks makes the
+//! co-simulation sample and actuate at the implementation's instants — the
+//! `I_j(k)` and `O_j(k)` of the paper's equations (1)–(2).
+
+use std::collections::HashMap;
+
+use ecl_aaa::{AlgorithmGraph, ArchitectureGraph, OpId, Schedule, TimeNs};
+use ecl_blocks::{add_clock, ConditionMapping, EventDelay, EventSelect, Synchronization};
+use ecl_sim::{BlockId, Model};
+
+use crate::CoreError;
+
+/// Where a condition variable's value can be read in the model, and how it
+/// maps to a branch index.
+pub struct ConditionSource {
+    /// Block whose regular output carries the condition value.
+    pub block: BlockId,
+    /// Output port index on that block.
+    pub output: usize,
+    /// Condition mapping (paper §3.2.2): value → branch index.
+    pub mapping: ConditionMapping,
+}
+
+impl std::fmt::Debug for ConditionSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConditionSource")
+            .field("block", &self.block)
+            .field("output", &self.output)
+            .finish()
+    }
+}
+
+/// Configuration of the synthesis.
+#[derive(Debug, Default)]
+pub struct DelayGraphConfig {
+    /// One [`ConditionSource`] per condition variable of the algorithm
+    /// graph. Required iff the graph has conditioned operations.
+    pub condition_sources: HashMap<OpId, ConditionSource>,
+}
+
+/// The synthesized graph of delays.
+#[derive(Debug)]
+pub struct DelayGraph {
+    /// The period clock driving the whole structure.
+    pub clock: BlockId,
+    /// Per-operation completion event (the operation's own delay block).
+    op_done: HashMap<OpId, (BlockId, usize)>,
+    /// Event sources signalling an operation's completion for *successor
+    /// chaining*: for a conditioned operation these are the tails of every
+    /// branch of its group (exactly one fires per period).
+    op_ready: HashMap<OpId, Vec<(BlockId, usize)>>,
+    /// The `EventSelect` block of each condition variable, for inspection.
+    selectors: HashMap<OpId, BlockId>,
+}
+
+impl DelayGraph {
+    /// The event `(block, event output)` marking `op`'s completion.
+    ///
+    /// For a conditioned operation this event only fires on periods where
+    /// its branch is selected.
+    pub fn completion(&self, op: OpId) -> Option<(BlockId, usize)> {
+        self.op_done.get(&op).copied()
+    }
+
+    /// Connects `op`'s completion event to event input `port` of `target`
+    /// — the call that re-activates a Sample/Hold or controller block at
+    /// the implementation's instant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] for an unknown operation, and
+    /// propagates wiring errors.
+    pub fn activate_on_completion(
+        &self,
+        model: &mut Model,
+        op: OpId,
+        target: BlockId,
+        port: usize,
+    ) -> Result<(), CoreError> {
+        let &(b, o) = self.op_done.get(&op).ok_or_else(|| CoreError::InvalidInput {
+            reason: format!("operation {op} is not part of the delay graph"),
+        })?;
+        model.connect_event(b, o, target, port)?;
+        Ok(())
+    }
+
+    /// The `EventSelect` synthesized for condition variable `var`, if any.
+    pub fn selector(&self, var: OpId) -> Option<BlockId> {
+        self.selectors.get(&var).copied()
+    }
+}
+
+/// Joins one or more event sources onto `target`'s event input `port`.
+///
+/// A single source connects directly; several sources go through a fresh
+/// [`Synchronization`] block (the rendezvous fires at the latest source).
+/// Sources listed as alternatives (`any_of`) are merged onto the same
+/// synchronization input.
+fn join(
+    model: &mut Model,
+    name: &str,
+    sources: &[Vec<(BlockId, usize)>],
+    target: BlockId,
+    port: usize,
+) -> Result<(), CoreError> {
+    match sources.len() {
+        0 => Err(CoreError::InvalidInput {
+            reason: format!("'{name}' has no activation source"),
+        }),
+        1 => {
+            for &(b, o) in &sources[0] {
+                model.connect_event(b, o, target, port)?;
+            }
+            Ok(())
+        }
+        n => {
+            let sync = model.add_block(format!("sync_{name}"), Synchronization::new(n)?);
+            for (i, alt) in sources.iter().enumerate() {
+                for &(b, o) in alt {
+                    model.connect_event(b, o, sync, i)?;
+                }
+            }
+            model.connect_event(sync, 0, target, port)?;
+            Ok(())
+        }
+    }
+}
+
+/// Synthesizes the graph of delays for `schedule` inside `model`.
+///
+/// `period` is the control period `Ts`; the schedule's makespan must fit
+/// within it (the paper's schedules are single-period, non-pipelined).
+///
+/// # Errors
+///
+/// * [`CoreError::InvalidInput`] if the makespan exceeds the period, a
+///   condition variable lacks a [`ConditionSource`], or a conditioned
+///   group spans several processors.
+/// * Propagated model-wiring errors.
+pub fn build(
+    model: &mut Model,
+    alg: &AlgorithmGraph,
+    arch: &ArchitectureGraph,
+    schedule: &Schedule,
+    period: TimeNs,
+    config: DelayGraphConfig,
+) -> Result<DelayGraph, CoreError> {
+    if schedule.makespan() > period {
+        return Err(CoreError::InvalidInput {
+            reason: format!(
+                "schedule makespan {} exceeds the period {period}; the loop cannot sustain Ts",
+                schedule.makespan()
+            ),
+        });
+    }
+    let clock = add_clock(model, "delay_clock", period, TimeNs::ZERO)?;
+    let clock_src: Vec<(BlockId, usize)> = vec![(clock, 0)];
+
+    // ---- group conditioned operations by condition variable ------------
+    // group_of[op] = condition variable if conditioned.
+    let mut groups: HashMap<OpId, Vec<OpId>> = HashMap::new();
+    for op in alg.ops() {
+        if let Some(c) = alg.condition(op) {
+            groups.entry(c.variable).or_default().push(op);
+        }
+    }
+    for members in groups.values_mut() {
+        // Deterministic order: by schedule start, then id.
+        members.sort_by_key(|&o| (schedule.slot(o).map(|s| s.start), o));
+    }
+
+    let mut dg = DelayGraph {
+        clock,
+        op_done: HashMap::new(),
+        op_ready: HashMap::new(),
+        selectors: HashMap::new(),
+    };
+
+    // ---- per-operation delay blocks -------------------------------------
+    for s in schedule.ops() {
+        let dur = s.end - s.start;
+        let blk = model.add_block(
+            format!("dly_{}", alg.name(s.op)),
+            EventDelay::new(dur).map_err(|e| CoreError::InvalidInput {
+                reason: e.to_string(),
+            })?,
+        );
+        dg.op_done.insert(s.op, (blk, 0));
+        dg.op_ready.insert(s.op, vec![(blk, 0)]);
+    }
+
+    // For conditioned groups: successors outside the group wait on the
+    // tails of *all* branches (exactly one fires per period).
+    for (var, members) in &groups {
+        let mut tails: Vec<(BlockId, usize)> = Vec::new();
+        let mut branches: HashMap<usize, Vec<OpId>> = HashMap::new();
+        for &m in members {
+            let c = alg.condition(m).expect("grouped because conditioned");
+            branches.entry(c.branch).or_default().push(m);
+        }
+        for ops in branches.values() {
+            let &tail = ops.last().expect("non-empty branch");
+            tails.push(dg.op_done[&tail]);
+        }
+        tails.sort();
+        for &m in members {
+            dg.op_ready.insert(m, tails.clone());
+        }
+        let _ = var;
+    }
+
+    // ---- per-communication delay blocks ----------------------------------
+    let mut comm_done: Vec<(BlockId, usize)> = Vec::new();
+    for (i, c) in schedule.comms().iter().enumerate() {
+        let dur = c.end - c.start;
+        let blk = model.add_block(
+            format!(
+                "comm_{}_{}_to_{}",
+                alg.name(c.src_op),
+                arch.proc_name(c.from),
+                arch.proc_name(c.to)
+            ),
+            EventDelay::new(dur).map_err(|e| CoreError::InvalidInput {
+                reason: e.to_string(),
+            })?,
+        );
+        let _ = i;
+        comm_done.push((blk, 0));
+    }
+
+    // ---- helper lookups --------------------------------------------------
+    // Previous computation slot on the same processor.
+    let prev_on_proc = |op: OpId| -> Option<OpId> {
+        let slot = schedule.slot(op)?;
+        schedule
+            .proc_sequence(slot.proc)
+            .iter()
+            .filter(|s| s.start < slot.start)
+            .max_by_key(|s| s.start)
+            .map(|s| s.op)
+    };
+    // The communication delivering `src`'s data to processor `proc` in
+    // time for `before` — earliest qualifying transfer (broadcast-aware).
+    let delivering_comm = |src: OpId, proc: ecl_aaa::ProcId, before: TimeNs| -> Option<usize> {
+        schedule
+            .comms()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| {
+                c.src_op == src && c.end <= before && arch.medium_procs(c.medium).contains(&proc)
+            })
+            .min_by_key(|(_, c)| c.end)
+            .map(|(i, _)| i)
+    };
+
+    // ---- wire communications ---------------------------------------------
+    for (i, c) in schedule.comms().iter().enumerate() {
+        let mut sources: Vec<Vec<(BlockId, usize)>> = Vec::new();
+        // Producer completion.
+        sources.push(dg.op_ready[&c.src_op].clone());
+        // Previous transfer on the same medium.
+        let prev = schedule
+            .comms()
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.medium == c.medium && o.start < c.start)
+            .max_by_key(|(_, o)| o.start)
+            .map(|(j, _)| j);
+        match prev {
+            Some(j) => sources.push(vec![comm_done[j]]),
+            None => sources.push(clock_src.clone()),
+        }
+        let name = format!("comm{i}");
+        let (target, port) = (comm_done[i].0, 0);
+        join(model, &name, &sources, target, port)?;
+    }
+
+    // ---- wire computations -------------------------------------------------
+    // Conditioned groups get an EventSelect; plain operations get direct
+    // precondition joins.
+    let mut handled: HashMap<OpId, bool> = HashMap::new();
+
+    // Validate conditioned groups up front: a source must exist for every
+    // condition variable, and a group must sit on one processor (paper
+    // Fig. 5: a conditional branch inside one processor's sequence).
+    for (var, members) in &groups {
+        if !config.condition_sources.contains_key(var) {
+            return Err(CoreError::InvalidInput {
+                reason: format!(
+                    "condition variable '{}' has no ConditionSource in the config",
+                    alg.name(*var)
+                ),
+            });
+        }
+        let procs: Vec<_> = members
+            .iter()
+            .filter_map(|&m| schedule.slot(m).map(|s| s.proc))
+            .collect();
+        if procs.windows(2).any(|w| w[0] != w[1]) {
+            return Err(CoreError::InvalidInput {
+                reason: format!(
+                    "conditioned group of '{}' spans several processors",
+                    alg.name(*var)
+                ),
+            });
+        }
+    }
+
+    // The EventSelect blocks take ownership of the condition mappings.
+    let mut sources_by_var = config.condition_sources;
+
+    for (var, members) in &groups {
+        let src = sources_by_var
+            .remove(var)
+            .expect("validated in the loop above");
+        let mut branches: HashMap<usize, Vec<OpId>> = HashMap::new();
+        for &m in members {
+            branches
+                .entry(alg.condition(m).expect("conditioned").branch)
+                .or_default()
+                .push(m);
+        }
+        let n_branches = branches.keys().max().expect("non-empty") + 1;
+        let select = model.add_block(
+            format!("select_{}", alg.name(*var)),
+            EventSelect::new(n_branches, src.mapping)?,
+        );
+        model.connect(src.block, src.output, select, 0)?;
+        dg.selectors.insert(*var, select);
+
+        // Group preconditions: previous non-group op on the processor (or
+        // the clock), plus comm arrivals needed by any member from outside
+        // the group, plus the condition variable's own completion if it
+        // runs on another processor (then it arrives via a comm anyway).
+        let head = members
+            .iter()
+            .min_by_key(|&&m| schedule.slot(m).map(|s| s.start))
+            .copied()
+            .expect("non-empty");
+        let mut sources: Vec<Vec<(BlockId, usize)>> = Vec::new();
+        let mut prev = prev_on_proc(head);
+        // Skip group-internal predecessors (other branches of this group).
+        while let Some(p) = prev {
+            if members.contains(&p) {
+                prev = prev_on_proc(p);
+            } else {
+                break;
+            }
+        }
+        match prev {
+            Some(p) => sources.push(dg.op_ready[&p].clone()),
+            None => sources.push(clock_src.clone()),
+        }
+        let group_proc = schedule.slot(head).map(|s| s.proc);
+        for &m in members {
+            let slot = schedule.slot(m).expect("scheduled");
+            for e in alg.edges().iter().filter(|e| e.dst == m) {
+                if members.contains(&e.src) {
+                    continue;
+                }
+                let pslot = schedule.slot(e.src).expect("scheduled");
+                if Some(pslot.proc) != group_proc {
+                    if let Some(ci) = delivering_comm(e.src, slot.proc, slot.start) {
+                        let s = vec![comm_done[ci]];
+                        if !sources.contains(&s) {
+                            sources.push(s);
+                        }
+                    }
+                }
+            }
+        }
+        join(
+            model,
+            &format!("group_{}", alg.name(*var)),
+            &sources,
+            select,
+            0,
+        )?;
+
+        // Per-branch internal chains: select output k -> first member of
+        // branch k -> ... -> tail.
+        for (branch, ops) in &branches {
+            let mut prev_evt: (BlockId, usize) = (select, *branch);
+            for &m in ops {
+                let (blk, _) = dg.op_done[&m];
+                model.connect_event(prev_evt.0, prev_evt.1, blk, 0)?;
+                prev_evt = (blk, 0);
+            }
+        }
+        for &m in members {
+            handled.insert(m, true);
+        }
+    }
+
+    // Plain operations.
+    for s in schedule.ops() {
+        if handled.get(&s.op).copied().unwrap_or(false) {
+            continue;
+        }
+        let mut sources: Vec<Vec<(BlockId, usize)>> = Vec::new();
+        match prev_on_proc(s.op) {
+            Some(p) => sources.push(dg.op_ready[&p].clone()),
+            None => sources.push(clock_src.clone()),
+        }
+        for e in alg.edges().iter().filter(|e| e.dst == s.op) {
+            let pslot = schedule.slot(e.src).expect("scheduled");
+            if pslot.proc != s.proc {
+                if let Some(ci) = delivering_comm(e.src, s.proc, s.start) {
+                    let src = vec![comm_done[ci]];
+                    if !sources.contains(&src) {
+                        sources.push(src);
+                    }
+                }
+            }
+        }
+        let (target, _) = dg.op_done[&s.op];
+        join(model, alg.name(s.op), &sources, target, 0)?;
+    }
+
+    Ok(dg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_aaa::{adequation, AdequationOptions, ArchitectureGraph, TimingDb};
+    use ecl_blocks::{Constant, Scope};
+    use ecl_sim::{SimOptions, Simulator};
+
+    fn us(v: i64) -> TimeNs {
+        TimeNs::from_micros(v)
+    }
+
+    /// 3-op chain on one processor, checks Fig. 4 sequencing instants.
+    #[test]
+    fn sequencing_reproduces_schedule_instants() {
+        let mut alg = AlgorithmGraph::new();
+        let s = alg.add_sensor("s");
+        let f = alg.add_function("f");
+        let a = alg.add_actuator("a");
+        alg.add_edge(s, f, 1).unwrap();
+        alg.add_edge(f, a, 1).unwrap();
+        let mut arch = ArchitectureGraph::new();
+        arch.add_processor("p0", "arm");
+        let mut db = TimingDb::new();
+        db.set_default(s, us(100));
+        db.set_default(f, us(300));
+        db.set_default(a, us(50));
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+
+        let mut model = Model::new();
+        let dg = build(
+            &mut model,
+            &alg,
+            &arch,
+            &schedule,
+            TimeNs::from_millis(1),
+            DelayGraphConfig::default(),
+        )
+        .unwrap();
+
+        // Observe each completion with a scope on a constant input.
+        let c = model.add_block("c", Constant::new(0.0));
+        let mut scopes = Vec::new();
+        for op in [s, f, a] {
+            let sc = model.add_block(format!("sc_{op}"), Scope::new());
+            model.connect(c, 0, sc, 0).unwrap();
+            dg.activate_on_completion(&mut model, op, sc, 0).unwrap();
+            scopes.push(sc);
+        }
+        let mut sim = Simulator::new(model, SimOptions::default()).unwrap();
+        let r = sim.run(TimeNs::from_millis(2)).unwrap();
+        let times = |sc| r.activation_times(sc, Some(0));
+        // Period 0: s done at 100us, f at 400us, a at 450us; period 1 at +1ms.
+        assert_eq!(times(scopes[0]), vec![us(100), us(1100)]);
+        assert_eq!(times(scopes[1]), vec![us(400), us(1400)]);
+        assert_eq!(times(scopes[2]), vec![us(450), us(1450)]);
+    }
+
+    /// Two processors + bus: the synchronization fires at the comm arrival.
+    #[test]
+    fn synchronization_reproduces_comm_arrival() {
+        let mut alg = AlgorithmGraph::new();
+        let s = alg.add_sensor("s");
+        let f = alg.add_function("f");
+        alg.add_edge(s, f, 2).unwrap();
+        let mut arch = ArchitectureGraph::new();
+        let p0 = arch.add_processor("p0", "arm");
+        let p1 = arch.add_processor("p1", "arm");
+        arch.add_bus("bus", &[p0, p1], us(10), us(5)).unwrap();
+        let mut db = TimingDb::new();
+        db.set(s, p0, us(100));
+        db.set(f, p1, us(200)); // forces distribution
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        schedule.validate(&alg, &arch).unwrap();
+        // comm: starts 100, lasts 10 + 2*5 = 20 -> f runs 120..320.
+        let slot_f = schedule.slot(f).unwrap();
+        assert_eq!(slot_f.start, us(120));
+
+        let mut model = Model::new();
+        let dg = build(
+            &mut model,
+            &alg,
+            &arch,
+            &schedule,
+            TimeNs::from_millis(1),
+            DelayGraphConfig::default(),
+        )
+        .unwrap();
+        let c = model.add_block("c", Constant::new(0.0));
+        let sc = model.add_block("sc", Scope::new());
+        model.connect(c, 0, sc, 0).unwrap();
+        dg.activate_on_completion(&mut model, f, sc, 0).unwrap();
+        let mut sim = Simulator::new(model, SimOptions::default()).unwrap();
+        let r = sim.run(TimeNs::from_millis(1)).unwrap();
+        assert_eq!(r.activation_times(sc, Some(0)), vec![us(320)]);
+    }
+
+    /// Conditioning: two branches of unequal duration produce jitter.
+    #[test]
+    fn conditioning_routes_and_jitters() {
+        let mut alg = AlgorithmGraph::new();
+        let s = alg.add_sensor("s");
+        let mode = alg.add_function("mode");
+        let fast = alg.add_function("fast");
+        let slow = alg.add_function("slow");
+        let a = alg.add_actuator("a");
+        alg.add_edge(s, mode, 1).unwrap();
+        alg.set_condition(fast, mode, 0).unwrap();
+        alg.set_condition(slow, mode, 1).unwrap();
+        alg.add_edge(fast, a, 1).unwrap();
+        alg.add_edge(slow, a, 1).unwrap();
+        let mut arch = ArchitectureGraph::new();
+        arch.add_processor("p0", "arm");
+        let mut db = TimingDb::new();
+        db.set_default(s, us(10));
+        db.set_default(mode, us(10));
+        db.set_default(fast, us(50));
+        db.set_default(slow, us(400));
+        db.set_default(a, us(10));
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+
+        // Condition signal: a constant selecting branch 1 (slow).
+        let mut model = Model::new();
+        let cond = model.add_block("cond", Constant::new(1.0));
+        let mut cfg = DelayGraphConfig::default();
+        cfg.condition_sources.insert(
+            mode,
+            ConditionSource {
+                block: cond,
+                output: 0,
+                mapping: Box::new(|v| v as usize),
+            },
+        );
+        let dg = build(
+            &mut model,
+            &alg,
+            &arch,
+            &schedule,
+            TimeNs::from_millis(1),
+            cfg,
+        )
+        .unwrap();
+        assert!(dg.selector(mode).is_some());
+
+        let c = model.add_block("c", Constant::new(0.0));
+        let sc = model.add_block("sc", Scope::new());
+        model.connect(c, 0, sc, 0).unwrap();
+        dg.activate_on_completion(&mut model, a, sc, 0).unwrap();
+        let mut sim = Simulator::new(model, SimOptions::default()).unwrap();
+        let r = sim.run(TimeNs::from_millis(1)).unwrap();
+        let t = r.activation_times(sc, Some(0));
+        assert_eq!(t.len(), 1);
+        // Branch 1 (slow): s(10) + mode(10) + slow(400) + a(10) = 430us.
+        assert_eq!(t[0], us(430));
+    }
+
+    #[test]
+    fn conditioning_without_source_rejected() {
+        let mut alg = AlgorithmGraph::new();
+        let mode = alg.add_function("mode");
+        let f = alg.add_function("f");
+        alg.set_condition(f, mode, 0).unwrap();
+        let mut arch = ArchitectureGraph::new();
+        arch.add_processor("p0", "arm");
+        let mut db = TimingDb::new();
+        db.set_default(mode, us(10));
+        db.set_default(f, us(10));
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        let mut model = Model::new();
+        let r = build(
+            &mut model,
+            &alg,
+            &arch,
+            &schedule,
+            TimeNs::from_millis(1),
+            DelayGraphConfig::default(),
+        );
+        assert!(matches!(r, Err(CoreError::InvalidInput { .. })));
+    }
+
+    #[test]
+    fn makespan_exceeding_period_rejected() {
+        let mut alg = AlgorithmGraph::new();
+        let f = alg.add_function("f");
+        let mut arch = ArchitectureGraph::new();
+        arch.add_processor("p0", "arm");
+        let mut db = TimingDb::new();
+        db.set_default(f, TimeNs::from_millis(2));
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        let mut model = Model::new();
+        let r = build(
+            &mut model,
+            &alg,
+            &arch,
+            &schedule,
+            TimeNs::from_millis(1),
+            DelayGraphConfig::default(),
+        );
+        assert!(matches!(r, Err(CoreError::InvalidInput { .. })));
+    }
+
+    #[test]
+    fn unknown_op_activation_rejected() {
+        let mut alg = AlgorithmGraph::new();
+        let f = alg.add_function("f");
+        let ghost = {
+            let mut other = AlgorithmGraph::new();
+            other.add_function("a");
+            other.add_function("b")
+        };
+        let mut arch = ArchitectureGraph::new();
+        arch.add_processor("p0", "arm");
+        let mut db = TimingDb::new();
+        db.set_default(f, us(10));
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        let mut model = Model::new();
+        let dg = build(
+            &mut model,
+            &alg,
+            &arch,
+            &schedule,
+            TimeNs::from_millis(1),
+            DelayGraphConfig::default(),
+        )
+        .unwrap();
+        let sc = model.add_block("sc", Scope::new());
+        assert!(dg
+            .activate_on_completion(&mut model, ghost, sc, 0)
+            .is_err());
+    }
+}

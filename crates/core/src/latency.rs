@@ -1,0 +1,239 @@
+//! Sampling and actuation latency analysis — the paper's equations (1)
+//! and (2).
+//!
+//! Given the activation instants of an input Sample/Hold (its `I_j(k)`) or
+//! an output hold (`O_j(k)`), [`latencies`] computes the per-period
+//! latency series `L_j(k) = t_j(k) − k·Ts` and [`LatencySeries::stats`]
+//! summarizes it (mean, extremes, jitter).
+
+use ecl_sim::TimeNs;
+
+use crate::CoreError;
+
+/// A per-period latency series `L_j(k)`, `k = 0..`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencySeries {
+    values: Vec<TimeNs>,
+}
+
+/// Summary statistics of a latency series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Smallest latency observed.
+    pub min: TimeNs,
+    /// Largest latency observed.
+    pub max: TimeNs,
+    /// Mean latency (integer nanoseconds, rounded down).
+    pub mean: TimeNs,
+    /// Jitter `max − min`.
+    pub jitter: TimeNs,
+}
+
+impl LatencySeries {
+    /// The per-period latency values.
+    pub fn values(&self) -> &[TimeNs] {
+        &self.values
+    }
+
+    /// Number of recorded periods.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if no period was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Summary statistics, or `None` for an empty series.
+    pub fn stats(&self) -> Option<LatencyStats> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let min = *self.values.iter().min().expect("non-empty");
+        let max = *self.values.iter().max().expect("non-empty");
+        let sum: i64 = self.values.iter().map(|t| t.as_nanos()).sum();
+        let mean = TimeNs::from_nanos(sum / self.values.len() as i64);
+        Some(LatencyStats {
+            min,
+            max,
+            mean,
+            jitter: max - min,
+        })
+    }
+}
+
+/// Computes the latency series from one activation instant per period.
+///
+/// The `k`-th activation is matched against the grid instant `k·Ts`
+/// (eq. 1–2 of the paper). The activations must be complete — one per
+/// period, in order — which is what the graph of delays produces.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidInput`] if `period` is non-positive or an
+/// activation falls outside `[k·Ts, (k+1)·Ts)` (indicating a missed or
+/// duplicated period, i.e. the schedule does not sustain `Ts`).
+pub fn latencies(activations: &[TimeNs], period: TimeNs) -> Result<LatencySeries, CoreError> {
+    if period <= TimeNs::ZERO {
+        return Err(CoreError::InvalidInput {
+            reason: format!("period must be positive, got {period}"),
+        });
+    }
+    let mut values = Vec::with_capacity(activations.len());
+    for (k, &t) in activations.iter().enumerate() {
+        let origin = period * k as i64;
+        let lat = t - origin;
+        if lat.is_negative() || lat >= period {
+            return Err(CoreError::InvalidInput {
+                reason: format!(
+                    "activation {k} at {t} is outside its period [{origin}, {})",
+                    origin + period
+                ),
+            });
+        }
+        values.push(lat);
+    }
+    Ok(LatencySeries { values })
+}
+
+/// Latency report for a whole loop: one series per controller input and
+/// output.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyReport {
+    /// `Ls_j(k)` per controller input `j` (paper eq. 1).
+    pub sampling: Vec<LatencySeries>,
+    /// `La_j(k)` per controller output `j` (paper eq. 2).
+    pub actuation: Vec<LatencySeries>,
+}
+
+impl LatencyReport {
+    /// Mean actuation latency across outputs and periods — the `τ` fed to
+    /// the calibration redesign. `TimeNs::ZERO` when nothing was recorded.
+    pub fn mean_actuation(&self) -> TimeNs {
+        let (mut sum, mut n) = (0i64, 0i64);
+        for s in &self.actuation {
+            for v in s.values() {
+                sum += v.as_nanos();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            TimeNs::ZERO
+        } else {
+            TimeNs::from_nanos(sum / n)
+        }
+    }
+
+    /// Largest jitter over all sampling and actuation series.
+    pub fn worst_jitter(&self) -> TimeNs {
+        self.sampling
+            .iter()
+            .chain(&self.actuation)
+            .filter_map(|s| s.stats())
+            .map(|st| st.jitter)
+            .max()
+            .unwrap_or(TimeNs::ZERO)
+    }
+
+    /// Renders the report as an aligned text table (one row per I/O).
+    pub fn render(&self) -> String {
+        let mut s = String::from("io        |      min |      max |     mean |   jitter\n");
+        s.push_str("----------+----------+----------+----------+---------\n");
+        let mut row = |label: String, st: Option<LatencyStats>| {
+            if let Some(st) = st {
+                s.push_str(&format!(
+                    "{label:<10}| {:>8} | {:>8} | {:>8} | {:>8}\n",
+                    st.min.to_string(),
+                    st.max.to_string(),
+                    st.mean.to_string(),
+                    st.jitter.to_string()
+                ));
+            }
+        };
+        for (j, series) in self.sampling.iter().enumerate() {
+            row(format!("Ls[{j}]"), series.stats());
+        }
+        for (j, series) in self.actuation.iter().enumerate() {
+            row(format!("La[{j}]"), series.stats());
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(v: i64) -> TimeNs {
+        TimeNs::from_micros(v)
+    }
+
+    #[test]
+    fn constant_latency_series() {
+        let period = TimeNs::from_millis(1);
+        let acts: Vec<TimeNs> = (0..5).map(|k| period * k + us(120)).collect();
+        let s = latencies(&acts, period).unwrap();
+        assert_eq!(s.len(), 5);
+        assert!(s.values().iter().all(|&v| v == us(120)));
+        let st = s.stats().unwrap();
+        assert_eq!(st.min, us(120));
+        assert_eq!(st.max, us(120));
+        assert_eq!(st.mean, us(120));
+        assert_eq!(st.jitter, TimeNs::ZERO);
+    }
+
+    #[test]
+    fn jitter_captured() {
+        let period = TimeNs::from_millis(1);
+        let lats = [us(100), us(300), us(100), us(500)];
+        let acts: Vec<TimeNs> = lats
+            .iter()
+            .enumerate()
+            .map(|(k, &l)| period * k as i64 + l)
+            .collect();
+        let st = latencies(&acts, period).unwrap().stats().unwrap();
+        assert_eq!(st.min, us(100));
+        assert_eq!(st.max, us(500));
+        assert_eq!(st.jitter, us(400));
+        assert_eq!(st.mean, us(250));
+    }
+
+    #[test]
+    fn out_of_period_activation_rejected() {
+        let period = TimeNs::from_millis(1);
+        // Second activation lands in period 2 instead of 1: overrun.
+        let acts = [us(100), TimeNs::from_millis(2) + us(100)];
+        assert!(latencies(&acts, period).is_err());
+        // Negative latency impossible.
+        let acts = [-us(1)];
+        assert!(latencies(&acts, period).is_err());
+        assert!(latencies(&[], TimeNs::ZERO).is_err());
+    }
+
+    #[test]
+    fn empty_series() {
+        let s = latencies(&[], TimeNs::from_millis(1)).unwrap();
+        assert!(s.is_empty());
+        assert!(s.stats().is_none());
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let period = TimeNs::from_millis(1);
+        let mk = |lat: i64| {
+            let acts: Vec<TimeNs> = (0..3).map(|k| period * k + us(lat)).collect();
+            latencies(&acts, period).unwrap()
+        };
+        let rep = LatencyReport {
+            sampling: vec![mk(50)],
+            actuation: vec![mk(200), mk(400)],
+        };
+        assert_eq!(rep.mean_actuation(), us(300));
+        assert_eq!(rep.worst_jitter(), TimeNs::ZERO);
+        let text = rep.render();
+        assert!(text.contains("Ls[0]"));
+        assert!(text.contains("La[1]"));
+        assert_eq!(LatencyReport::default().mean_actuation(), TimeNs::ZERO);
+    }
+}

@@ -1,0 +1,256 @@
+//! Automatic translation of a discrete control law into a SynDEx algorithm
+//! graph (the ECLIPSE Scicos→SynDEx translator).
+//!
+//! The control engineer's discrete sub-diagram — `p` sampled inputs, a set
+//! of computation stages, `m` actuated outputs — maps structurally onto an
+//! [`AlgorithmGraph`]: one *sensor* operation per controller input, one
+//! *function* operation per computation stage, one *actuator* operation per
+//! controller output. The returned [`IoMap`] remembers which operation
+//! plays which role so the graph-of-delays synthesis can re-activate the
+//! right Sample/Hold blocks.
+
+use ecl_aaa::{AlgorithmGraph, OpId, TimeNs, TimingDb};
+
+use crate::CoreError;
+
+/// Correspondence between the control law's I/O and the operations of the
+/// translated algorithm graph.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IoMap {
+    /// One sensor operation per controller input, in input order
+    /// (`j = 0..p` of the paper's `Ls_j`).
+    pub sensors: Vec<OpId>,
+    /// The computation stages, in declaration order.
+    pub stages: Vec<OpId>,
+    /// One actuator operation per controller output, in output order
+    /// (`j = 0..m` of the paper's `La_j`).
+    pub actuators: Vec<OpId>,
+}
+
+/// Declarative description of a control law's computational structure.
+///
+/// The simplest law is [`ControlLawSpec::monolithic`]: every input feeds
+/// one computation which feeds every output. Multi-stage laws add named
+/// stages with explicit dependencies (e.g. a filter stage per input before
+/// the control stage), which gives the adequation parallelism to exploit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlLawSpec {
+    name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    /// `(name, input dependencies, stage dependencies)`.
+    stages: Vec<(String, Vec<usize>, Vec<usize>)>,
+    /// For each output: the stage producing it.
+    output_sources: Vec<usize>,
+    /// Data units carried by every edge.
+    data_units: u32,
+}
+
+impl ControlLawSpec {
+    /// A single-stage law: `p` inputs → one computation → `m` outputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` or `m == 0` — a control law must sample and
+    /// actuate something.
+    pub fn monolithic(name: impl Into<String>, p: usize, m: usize) -> Self {
+        assert!(p > 0 && m > 0, "control law needs inputs and outputs");
+        let name = name.into();
+        ControlLawSpec {
+            inputs: (0..p).map(|j| format!("{name}_in{j}")).collect(),
+            outputs: (0..m).map(|j| format!("{name}_out{j}")).collect(),
+            stages: vec![(format!("{name}_step"), (0..p).collect(), vec![])],
+            output_sources: vec![0; m],
+            data_units: 4,
+            name,
+        }
+    }
+
+    /// A pipelined law: one pre-filter stage per input, all feeding the
+    /// control stage — the shape that benefits from a distributed
+    /// implementation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p == 0` or `m == 0`.
+    pub fn filtered(name: impl Into<String>, p: usize, m: usize) -> Self {
+        assert!(p > 0 && m > 0, "control law needs inputs and outputs");
+        let name = name.into();
+        let mut stages: Vec<(String, Vec<usize>, Vec<usize>)> = (0..p)
+            .map(|j| (format!("{name}_filter{j}"), vec![j], vec![]))
+            .collect();
+        stages.push((format!("{name}_step"), vec![], (0..p).collect()));
+        ControlLawSpec {
+            inputs: (0..p).map(|j| format!("{name}_in{j}")).collect(),
+            outputs: (0..m).map(|j| format!("{name}_out{j}")).collect(),
+            output_sources: vec![p; m],
+            stages,
+            data_units: 4,
+            name,
+        }
+    }
+
+    /// Sets the data volume (in media units) carried by every edge,
+    /// builder-style.
+    pub fn with_data_units(mut self, units: u32) -> Self {
+        self.data_units = units;
+        self
+    }
+
+    /// The law's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of sampled inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of actuated outputs.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Translates the law into an algorithm graph plus its [`IoMap`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if a stage or output references
+    /// a non-existent dependency (only possible with hand-built specs).
+    pub fn to_algorithm(&self) -> Result<(AlgorithmGraph, IoMap), CoreError> {
+        let mut alg = AlgorithmGraph::new();
+        let mut io = IoMap::default();
+        for name in &self.inputs {
+            io.sensors.push(alg.add_sensor(name.clone()));
+        }
+        for (name, input_deps, stage_deps) in &self.stages {
+            let op = alg.add_function(name.clone());
+            for &j in input_deps {
+                let s = *self.lookup(&io.sensors, j, "input")?;
+                alg.add_edge(s, op, self.data_units)?;
+            }
+            for &k in stage_deps {
+                let s = *self.lookup(&io.stages, k, "stage")?;
+                alg.add_edge(s, op, self.data_units)?;
+            }
+            io.stages.push(op);
+        }
+        for (j, name) in self.outputs.iter().enumerate() {
+            let op = alg.add_actuator(name.clone());
+            let src = *self.lookup(&io.stages, self.output_sources[j], "output source")?;
+            alg.add_edge(src, op, self.data_units)?;
+            io.actuators.push(op);
+        }
+        Ok((alg, io))
+    }
+
+    fn lookup<'a>(
+        &self,
+        v: &'a [OpId],
+        idx: usize,
+        what: &str,
+    ) -> Result<&'a OpId, CoreError> {
+        v.get(idx).ok_or_else(|| CoreError::InvalidInput {
+            reason: format!("{what} index {idx} out of range in law '{}'", self.name),
+        })
+    }
+}
+
+/// Convenience: builds a uniform WCET table for a translated law — sensors
+/// and actuators cost `io_wcet` (driver + conversion), each computation
+/// stage costs `compute_wcet`.
+pub fn uniform_timing(
+    alg: &AlgorithmGraph,
+    io: &IoMap,
+    io_wcet: TimeNs,
+    compute_wcet: TimeNs,
+) -> TimingDb {
+    let mut db = TimingDb::new();
+    for &s in io.sensors.iter().chain(&io.actuators) {
+        db.set_default(s, io_wcet);
+    }
+    for &f in &io.stages {
+        db.set_default(f, compute_wcet);
+    }
+    let _ = alg;
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ecl_aaa::OpKind;
+
+    #[test]
+    fn monolithic_structure() {
+        let spec = ControlLawSpec::monolithic("pid", 2, 1);
+        let (alg, io) = spec.to_algorithm().unwrap();
+        assert_eq!(io.sensors.len(), 2);
+        assert_eq!(io.stages.len(), 1);
+        assert_eq!(io.actuators.len(), 1);
+        assert_eq!(alg.len(), 4);
+        // sensors -> stage -> actuator
+        assert_eq!(alg.preds(io.stages[0]).len(), 2);
+        assert_eq!(alg.preds(io.actuators[0]), vec![io.stages[0]]);
+        assert_eq!(alg.kind(io.sensors[0]), OpKind::Sensor);
+        assert_eq!(alg.kind(io.actuators[0]), OpKind::Actuator);
+        assert!(alg.topo_order().is_ok());
+        assert_eq!(spec.num_inputs(), 2);
+        assert_eq!(spec.num_outputs(), 1);
+        assert_eq!(spec.name(), "pid");
+    }
+
+    #[test]
+    fn filtered_structure_has_parallel_prefilters() {
+        let spec = ControlLawSpec::filtered("lqr", 3, 2);
+        let (alg, io) = spec.to_algorithm().unwrap();
+        assert_eq!(io.stages.len(), 4); // 3 filters + 1 step
+        let step = io.stages[3];
+        assert_eq!(alg.preds(step).len(), 3);
+        // Each filter depends on exactly one sensor: they can run in
+        // parallel on different processors.
+        for k in 0..3 {
+            assert_eq!(alg.preds(io.stages[k]), vec![io.sensors[k]]);
+        }
+        // Both actuators read from the final stage.
+        for &a in &io.actuators {
+            assert_eq!(alg.preds(a), vec![step]);
+        }
+    }
+
+    #[test]
+    fn data_units_applied_to_edges() {
+        let spec = ControlLawSpec::monolithic("c", 1, 1).with_data_units(16);
+        let (alg, _) = spec.to_algorithm().unwrap();
+        assert!(alg.edges().iter().all(|e| e.data_units == 16));
+    }
+
+    #[test]
+    fn uniform_timing_covers_all_ops() {
+        let spec = ControlLawSpec::monolithic("c", 2, 1);
+        let (alg, io) = spec.to_algorithm().unwrap();
+        let db = uniform_timing(
+            &alg,
+            &io,
+            TimeNs::from_micros(20),
+            TimeNs::from_micros(300),
+        );
+        // Every op has a WCET on an arbitrary processor id.
+        let mut arch = ecl_aaa::ArchitectureGraph::new();
+        let p = arch.add_processor("p", "arm");
+        for op in alg.ops() {
+            assert!(db.wcet(op, p).is_some(), "missing wcet for {op}");
+        }
+        assert_eq!(
+            db.wcet(io.stages[0], p),
+            Some(TimeNs::from_micros(300))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs inputs")]
+    fn zero_inputs_panic() {
+        let _ = ControlLawSpec::monolithic("x", 0, 1);
+    }
+}

@@ -1,0 +1,424 @@
+//! Eigenvalues of small dense real matrices.
+//!
+//! Implements the classic dense pipeline: reduction to upper Hessenberg
+//! form by Householder reflections, then the shifted QR iteration (Wilkinson
+//! shift on the trailing 2×2) with deflation. Eigenvalues are returned as
+//! `(re, im)` pairs; complex eigenvalues of real matrices come in conjugate
+//! pairs.
+//!
+//! Control loops use this for pole inspection and stability verdicts
+//! (`ecl-control::stability`); matrices are tiny (order ≤ 10), so the
+//! implementation favours robustness over performance.
+
+use crate::{LinalgError, Mat};
+
+/// An eigenvalue of a real matrix, as a `(re, im)` pair.
+pub type Eigenvalue = (f64, f64);
+
+/// Reduces `a` to upper Hessenberg form in place via Householder
+/// reflections (similarity transform, eigenvalues preserved).
+fn hessenberg(a: &mut Mat) {
+    let n = a.rows();
+    for k in 0..n.saturating_sub(2) {
+        // Householder vector annihilating column k below the subdiagonal.
+        let mut alpha = 0.0;
+        for i in (k + 1)..n {
+            alpha += a[(i, k)] * a[(i, k)];
+        }
+        alpha = alpha.sqrt();
+        if alpha == 0.0 {
+            continue;
+        }
+        if a[(k + 1, k)] > 0.0 {
+            alpha = -alpha;
+        }
+        let mut v = vec![0.0; n];
+        v[k + 1] = a[(k + 1, k)] - alpha;
+        for i in (k + 2)..n {
+            v[i] = a[(i, k)];
+        }
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        // A <- (I - 2vvᵀ/vᵀv) A (I - 2vvᵀ/vᵀv)
+        // Left multiply.
+        for j in 0..n {
+            let mut dot = 0.0;
+            for i in (k + 1)..n {
+                dot += v[i] * a[(i, j)];
+            }
+            let f = 2.0 * dot / vnorm2;
+            for i in (k + 1)..n {
+                a[(i, j)] -= f * v[i];
+            }
+        }
+        // Right multiply.
+        for i in 0..n {
+            let mut dot = 0.0;
+            for j in (k + 1)..n {
+                dot += a[(i, j)] * v[j];
+            }
+            let f = 2.0 * dot / vnorm2;
+            for j in (k + 1)..n {
+                a[(i, j)] -= f * v[j];
+            }
+        }
+        // Enforce exact zeros below the subdiagonal in column k.
+        a[(k + 1, k)] = alpha;
+        for i in (k + 2)..n {
+            a[(i, k)] = 0.0;
+        }
+    }
+}
+
+/// Eigenvalues of the trailing/leading 2×2 block `[[a, b], [c, d]]`.
+fn eig2(a: f64, b: f64, c: f64, d: f64) -> [Eigenvalue; 2] {
+    let tr = a + d;
+    let det = a * d - b * c;
+    let disc = tr * tr / 4.0 - det;
+    if disc >= 0.0 {
+        let s = disc.sqrt();
+        [(tr / 2.0 + s, 0.0), (tr / 2.0 - s, 0.0)]
+    } else {
+        let s = (-disc).sqrt();
+        [(tr / 2.0, s), (tr / 2.0, -s)]
+    }
+}
+
+/// Computes all eigenvalues of a square real matrix.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] for a rectangular input.
+/// * [`LinalgError::NonFinite`] if the input contains NaN/infinity.
+/// * [`LinalgError::NoConvergence`] if the QR iteration fails to deflate
+///   (does not occur for well-scaled control matrices; the budget is
+///   generous).
+///
+/// # Examples
+///
+/// ```
+/// use ecl_linalg::{eigenvalues, Mat};
+/// # fn main() -> Result<(), ecl_linalg::LinalgError> {
+/// let a = Mat::from_rows(&[&[0.0, 1.0], &[-1.0, 0.0]])?; // rotation: ±i
+/// let mut eigs = eigenvalues(&a)?;
+/// eigs.sort_by(|x, y| x.1.partial_cmp(&y.1).expect("finite"));
+/// assert!((eigs[0].1 + 1.0).abs() < 1e-10);
+/// assert!((eigs[1].1 - 1.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn eigenvalues(a: &Mat) -> Result<Vec<Eigenvalue>, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite { op: "eigenvalues" });
+    }
+    let n = a.rows();
+    match n {
+        0 => return Ok(vec![]),
+        1 => return Ok(vec![(a[(0, 0)], 0.0)]),
+        2 => return Ok(eig2(a[(0, 0)], a[(0, 1)], a[(1, 0)], a[(1, 1)]).to_vec()),
+        _ => {}
+    }
+
+    let mut h = a.clone();
+    hessenberg(&mut h);
+    let mut eigs: Vec<Eigenvalue> = Vec::with_capacity(n);
+    let mut hi = n; // active block is h[0..hi, 0..hi]
+    let scale = h.norm_inf().max(1.0);
+    let eps = f64::EPSILON * scale;
+    let mut budget = 200 * n;
+
+    while hi > 0 {
+        if hi == 1 {
+            eigs.push((h[(0, 0)], 0.0));
+            break;
+        }
+        // Deflate: find the last negligible subdiagonal in the active block.
+        let mut split = None;
+        for i in (1..hi).rev() {
+            let sub = h[(i, i - 1)].abs();
+            if sub <= eps * (h[(i, i)].abs() + h[(i - 1, i - 1)].abs()).max(eps) {
+                split = Some(i);
+                break;
+            }
+        }
+        if let Some(i) = split {
+            if i == hi - 1 {
+                // 1x1 block deflates.
+                eigs.push((h[(hi - 1, hi - 1)], 0.0));
+                hi -= 1;
+                continue;
+            }
+            if i == hi - 2 {
+                // 2x2 block deflates.
+                let e = eig2(
+                    h[(hi - 2, hi - 2)],
+                    h[(hi - 2, hi - 1)],
+                    h[(hi - 1, hi - 2)],
+                    h[(hi - 1, hi - 1)],
+                );
+                eigs.extend_from_slice(&e);
+                hi -= 2;
+                continue;
+            }
+        }
+        // Trailing 2x2 might itself be complex: if the whole active block
+        // is exactly 2, resolve it directly.
+        if hi == 2 {
+            let e = eig2(h[(0, 0)], h[(0, 1)], h[(1, 0)], h[(1, 1)]);
+            eigs.extend_from_slice(&e);
+            break;
+        }
+
+        if budget == 0 {
+            return Err(LinalgError::NoConvergence {
+                algorithm: "qr_eigenvalues",
+                iterations: 200 * n,
+                residual: h[(hi - 1, hi - 2)].abs(),
+            });
+        }
+        budget -= 1;
+
+        // Wilkinson shift from the trailing 2x2 of the active block.
+        let (am, bm, cm, dm) = (
+            h[(hi - 2, hi - 2)],
+            h[(hi - 2, hi - 1)],
+            h[(hi - 1, hi - 2)],
+            h[(hi - 1, hi - 1)],
+        );
+        let pair = eig2(am, bm, cm, dm);
+        // Pick the shift closest to dm; for complex pairs use the real part
+        // (an ad-hoc real shift — adequate for these sizes; the double
+        // subdiagonal test above handles complex deflation).
+        let mu = if pair[0].1 == 0.0 {
+            if (pair[0].0 - dm).abs() < (pair[1].0 - dm).abs() {
+                pair[0].0
+            } else {
+                pair[1].0
+            }
+        } else {
+            pair[0].0
+        };
+
+        // Shifted QR step on the active block via Givens rotations.
+        // H - mu I = QR ; H <- R Q + mu I, done implicitly column by column.
+        let m = hi;
+        let mut cs = vec![0.0; m];
+        let mut sn = vec![0.0; m];
+        for i in 0..m {
+            h[(i, i)] -= mu;
+        }
+        // QR by Givens on the subdiagonal.
+        for i in 0..m - 1 {
+            let (x, y) = (h[(i, i)], h[(i + 1, i)]);
+            let r = (x * x + y * y).sqrt();
+            let (c, s) = if r == 0.0 { (1.0, 0.0) } else { (x / r, y / r) };
+            cs[i] = c;
+            sn[i] = s;
+            for j in i..m {
+                let (t1, t2) = (h[(i, j)], h[(i + 1, j)]);
+                h[(i, j)] = c * t1 + s * t2;
+                h[(i + 1, j)] = -s * t1 + c * t2;
+            }
+        }
+        // RQ.
+        for i in 0..m - 1 {
+            let (c, s) = (cs[i], sn[i]);
+            for k in 0..=(i + 1).min(m - 1) {
+                let (t1, t2) = (h[(k, i)], h[(k, i + 1)]);
+                h[(k, i)] = c * t1 + s * t2;
+                h[(k, i + 1)] = -s * t1 + c * t2;
+            }
+        }
+        for i in 0..m {
+            h[(i, i)] += mu;
+        }
+    }
+    Ok(eigs)
+}
+
+/// The spectral radius `max |λ|` of a square real matrix.
+///
+/// # Errors
+///
+/// Same as [`eigenvalues`].
+///
+/// # Examples
+///
+/// ```
+/// use ecl_linalg::{spectral_radius, Mat};
+/// # fn main() -> Result<(), ecl_linalg::LinalgError> {
+/// let a = Mat::diag(&[0.5, -0.9]);
+/// assert!((spectral_radius(&a)? - 0.9).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn spectral_radius(a: &Mat) -> Result<f64, LinalgError> {
+    Ok(eigenvalues(a)?
+        .into_iter()
+        .map(|(re, im)| (re * re + im * im).sqrt())
+        .fold(0.0, f64::max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_real(mut eigs: Vec<Eigenvalue>) -> Vec<f64> {
+        eigs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        eigs.into_iter().map(|(re, _)| re).collect()
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let a = Mat::diag(&[3.0, -1.0, 0.5]);
+        let eigs = eigenvalues(&a).unwrap();
+        assert_eq!(eigs.len(), 3);
+        let re = sorted_real(eigs.clone());
+        assert!((re[0] + 1.0).abs() < 1e-10);
+        assert!((re[1] - 0.5).abs() < 1e-10);
+        assert!((re[2] - 3.0).abs() < 1e-10);
+        assert!(eigs.iter().all(|e| e.1 == 0.0));
+    }
+
+    #[test]
+    fn triangular_matrix_eigs_on_diagonal() {
+        let a = Mat::from_rows(&[
+            &[2.0, 5.0, -3.0],
+            &[0.0, -1.0, 4.0],
+            &[0.0, 0.0, 0.5],
+        ])
+        .unwrap();
+        let re = sorted_real(eigenvalues(&a).unwrap());
+        assert!((re[0] + 1.0).abs() < 1e-9);
+        assert!((re[1] - 0.5).abs() < 1e-9);
+        assert!((re[2] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn companion_matrix_known_roots() {
+        // λ³ - 6λ² + 11λ - 6 = (λ-1)(λ-2)(λ-3)
+        let a = Mat::from_rows(&[
+            &[0.0, 1.0, 0.0],
+            &[0.0, 0.0, 1.0],
+            &[6.0, -11.0, 6.0],
+        ])
+        .unwrap();
+        let re = sorted_real(eigenvalues(&a).unwrap());
+        for (got, want) in re.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-7, "{re:?}");
+        }
+    }
+
+    #[test]
+    fn complex_pair_from_rotation_block() {
+        // Block diag(rotation(w), 2.0): eigenvalues cos±i·sin and 2.
+        let (c, s) = (0.6f64, 0.8f64);
+        let a = Mat::from_rows(&[
+            &[c, -s, 0.0],
+            &[s, c, 0.0],
+            &[0.0, 0.0, 2.0],
+        ])
+        .unwrap();
+        let eigs = eigenvalues(&a).unwrap();
+        let mut complex: Vec<_> = eigs.iter().filter(|e| e.1 != 0.0).collect();
+        complex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+        assert_eq!(complex.len(), 2, "{eigs:?}");
+        assert!((complex[0].0 - c).abs() < 1e-8);
+        assert!((complex[0].1 + s).abs() < 1e-8);
+        assert!((complex[1].1 - s).abs() < 1e-8);
+        assert!(eigs.iter().any(|e| (e.0 - 2.0).abs() < 1e-8 && e.1 == 0.0));
+    }
+
+    #[test]
+    fn four_by_four_mixed_spectrum() {
+        // Two rotation blocks of different radius.
+        let a = Mat::from_rows(&[
+            &[0.5, -0.5, 0.0, 0.0],
+            &[0.5, 0.5, 0.0, 0.0],
+            &[0.0, 0.0, 0.0, -2.0],
+            &[0.0, 0.0, 2.0, 0.0],
+        ])
+        .unwrap();
+        let rho = spectral_radius(&a).unwrap();
+        assert!((rho - 2.0).abs() < 1e-8, "{rho}");
+        let eigs = eigenvalues(&a).unwrap();
+        assert_eq!(eigs.len(), 4);
+        // Radii: sqrt(0.5) twice and 2 twice.
+        let mut radii: Vec<f64> = eigs
+            .iter()
+            .map(|(re, im)| (re * re + im * im).sqrt())
+            .collect();
+        radii.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        assert!((radii[0] - 0.5f64.sqrt()).abs() < 1e-8);
+        assert!((radii[3] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn trace_and_det_invariants() {
+        let a = Mat::from_rows(&[
+            &[1.0, 2.0, 3.0, 1.0],
+            &[0.5, -1.0, 0.0, 2.0],
+            &[2.0, 0.1, 0.7, -1.0],
+            &[0.0, 1.5, -0.5, 0.2],
+        ])
+        .unwrap();
+        let eigs = eigenvalues(&a).unwrap();
+        let sum_re: f64 = eigs.iter().map(|e| e.0).sum();
+        assert!((sum_re - a.trace()).abs() < 1e-6, "trace {sum_re}");
+        // Product of eigenvalues = det (via LU).
+        let det = crate::lu::Lu::factor(&a).unwrap().det();
+        // Complex product: multiply pairs as |λ|² for conjugates.
+        let mut prod_re = 1.0;
+        let mut prod_im = 0.0;
+        for (re, im) in &eigs {
+            let (nr, ni) = (prod_re * re - prod_im * im, prod_re * im + prod_im * re);
+            prod_re = nr;
+            prod_im = ni;
+        }
+        assert!(prod_im.abs() < 1e-5);
+        assert!(
+            (prod_re - det).abs() < 1e-5 * det.abs().max(1.0),
+            "det {prod_re} vs {det}"
+        );
+    }
+
+    #[test]
+    fn small_sizes() {
+        assert!(eigenvalues(&Mat::zeros(0, 0)).unwrap().is_empty());
+        assert_eq!(eigenvalues(&Mat::diag(&[7.0])).unwrap(), vec![(7.0, 0.0)]);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(eigenvalues(&Mat::zeros(2, 3)).is_err());
+        let mut a = Mat::identity(2);
+        a[(0, 0)] = f64::NAN;
+        assert!(eigenvalues(&a).is_err());
+    }
+
+    #[test]
+    fn hessenberg_preserves_eigenvalues() {
+        let a = Mat::from_rows(&[
+            &[4.0, 1.0, -2.0, 2.0],
+            &[1.0, 2.0, 0.0, 1.0],
+            &[-2.0, 0.0, 3.0, -2.0],
+            &[2.0, 1.0, -2.0, -1.0],
+        ])
+        .unwrap();
+        let mut h = a.clone();
+        hessenberg(&mut h);
+        // Hessenberg shape: zeros below the subdiagonal.
+        for i in 2..4 {
+            for j in 0..i - 1 {
+                assert!(h[(i, j)].abs() < 1e-12, "h[{i}][{j}] = {}", h[(i, j)]);
+            }
+        }
+        // Similarity: trace preserved.
+        assert!((h.trace() - a.trace()).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,121 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the linear-algebra kernels.
+///
+/// Every fallible operation in this crate returns `Result<_, LinalgError>`;
+/// the variants carry enough context to pinpoint which shape or numerical
+/// precondition was violated.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable name of the operation (e.g. `"mul"`).
+        op: &'static str,
+        /// Shape `(rows, cols)` of the left operand.
+        lhs: (usize, usize),
+        /// Shape `(rows, cols)` of the right operand.
+        rhs: (usize, usize),
+    },
+    /// A square matrix was required but a rectangular one was supplied.
+    NotSquare {
+        /// Shape `(rows, cols)` of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// A matrix was singular (or numerically singular) during factorization.
+    Singular {
+        /// Index of the pivot column where factorization broke down.
+        pivot: usize,
+    },
+    /// An iterative solver failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the iterative algorithm (e.g. `"dare"`).
+        algorithm: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm at the last iteration.
+        residual: f64,
+    },
+    /// Construction data was inconsistent (e.g. ragged rows).
+    InvalidData {
+        /// Explanation of what was wrong with the input.
+        reason: String,
+    },
+    /// A non-finite value (NaN or infinity) appeared where finite data is
+    /// required.
+    NonFinite {
+        /// Human-readable name of the operation that detected the value.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, got {}x{}", shape.0, shape.1)
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            LinalgError::NoConvergence {
+                algorithm,
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            LinalgError::InvalidData { reason } => write!(f, "invalid matrix data: {reason}"),
+            LinalgError::NonFinite { op } => {
+                write!(f, "non-finite value encountered in {op}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<LinalgError> = vec![
+            LinalgError::ShapeMismatch {
+                op: "mul",
+                lhs: (2, 3),
+                rhs: (4, 5),
+            },
+            LinalgError::NotSquare { shape: (2, 3) },
+            LinalgError::Singular { pivot: 1 },
+            LinalgError::NoConvergence {
+                algorithm: "dare",
+                iterations: 100,
+                residual: 1.0,
+            },
+            LinalgError::InvalidData {
+                reason: "ragged rows".into(),
+            },
+            LinalgError::NonFinite { op: "expm" },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,222 @@
+//! Matrix exponential via scaling-and-squaring with a degree-13 Padé
+//! approximant (Higham 2005).
+//!
+//! Zero-order-hold discretization of a continuous plant `ẋ = A·x + B·u`
+//! computes `Ad = exp(A·Ts)` and `Bd = ∫₀^Ts exp(A·s) ds · B`; both are
+//! obtained from one call to [`expm`] on an augmented block matrix (see
+//! `ecl-control`). This module provides the [`expm`] kernel itself.
+
+use crate::lu::Lu;
+use crate::{LinalgError, Mat};
+
+/// Padé-13 coefficients (Higham, *The scaling and squaring method for the
+/// matrix exponential revisited*, SIAM J. Matrix Anal. 2005, Table A.1).
+const PADE13: [f64; 14] = [
+    64764752532480000.0,
+    32382376266240000.0,
+    7771770303897600.0,
+    1187353796428800.0,
+    129060195264000.0,
+    10559470521600.0,
+    670442572800.0,
+    33522128640.0,
+    1323241920.0,
+    40840800.0,
+    960960.0,
+    16380.0,
+    182.0,
+    1.0,
+];
+
+/// θ₁₃ threshold from Higham 2005: ‖A‖₁ below this needs no scaling.
+const THETA_13: f64 = 5.371920351148152;
+
+fn norm_1(a: &Mat) -> f64 {
+    (0..a.cols())
+        .map(|j| (0..a.rows()).map(|i| a[(i, j)].abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+/// Computes the matrix exponential `exp(A)`.
+///
+/// Uses scaling-and-squaring with the degree-13 Padé approximant; accurate
+/// to near machine precision for the small, moderately scaled matrices that
+/// arise in plant discretization.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] if `a` is rectangular.
+/// * [`LinalgError::NonFinite`] if `a` contains NaN or infinity.
+/// * [`LinalgError::Singular`] if the Padé denominator is singular (cannot
+///   occur for finite input within the θ₁₃ bound, but is propagated for
+///   robustness).
+///
+/// # Examples
+///
+/// ```
+/// use ecl_linalg::{expm, Mat};
+/// # fn main() -> Result<(), ecl_linalg::LinalgError> {
+/// // exp(diag(a, b)) = diag(e^a, e^b)
+/// let d = Mat::diag(&[0.0, 1.0]);
+/// let e = expm(&d)?;
+/// assert!((e[(1, 1)] - 1.0f64.exp()).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn expm(a: &Mat) -> Result<Mat, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if !a.is_finite() {
+        return Err(LinalgError::NonFinite { op: "expm" });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(Mat::zeros(0, 0));
+    }
+
+    // Scale A by 2^-s so that ||A/2^s||_1 <= theta_13.
+    let norm = norm_1(a);
+    let s = if norm > THETA_13 {
+        (norm / THETA_13).log2().ceil() as u32
+    } else {
+        0
+    };
+    let a_scaled = a.scaled(0.5f64.powi(s as i32));
+
+    // Padé-13: exp(A) ~ (V - U)^-1 (V + U) with
+    //   U = A (b13 A6^2? ...) — standard Higham formulation below.
+    let ident = Mat::identity(n);
+    let a2 = a_scaled.matmul(&a_scaled)?;
+    let a4 = a2.matmul(&a2)?;
+    let a6 = a4.matmul(&a2)?;
+    let b = &PADE13;
+
+    // u_odd = A * (A6*(b13*A6 + b11*A4 + b9*A2) + b7*A6 + b5*A4 + b3*A2 + b1*I)
+    let inner_u = a6
+        .scaled(b[13])
+        .add(&a4.scaled(b[11]))?
+        .add(&a2.scaled(b[9]))?;
+    let u_poly = a6
+        .matmul(&inner_u)?
+        .add(&a6.scaled(b[7]))?
+        .add(&a4.scaled(b[5]))?
+        .add(&a2.scaled(b[3]))?
+        .add(&ident.scaled(b[1]))?;
+    let u = a_scaled.matmul(&u_poly)?;
+
+    // v_even = A6*(b12*A6 + b10*A4 + b8*A2) + b6*A6 + b4*A4 + b2*A2 + b0*I
+    let inner_v = a6
+        .scaled(b[12])
+        .add(&a4.scaled(b[10]))?
+        .add(&a2.scaled(b[8]))?;
+    let v = a6
+        .matmul(&inner_v)?
+        .add(&a6.scaled(b[6]))?
+        .add(&a4.scaled(b[4]))?
+        .add(&a2.scaled(b[2]))?
+        .add(&ident.scaled(b[0]))?;
+
+    // Solve (V - U) X = (V + U).
+    let denom = v.sub(&u)?;
+    let numer = v.add(&u)?;
+    let mut x = Lu::factor(&denom)?.solve_mat(&numer)?;
+
+    // Undo the scaling: square s times.
+    for _ in 0..s {
+        x = x.matmul(&x)?;
+    }
+    if !x.is_finite() {
+        return Err(LinalgError::NonFinite { op: "expm" });
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expm_zero_is_identity() {
+        let z = Mat::zeros(3, 3);
+        let e = expm(&z).unwrap();
+        assert!(e.approx_eq(&Mat::identity(3), 1e-14));
+    }
+
+    #[test]
+    fn expm_diagonal() {
+        let d = Mat::diag(&[1.0, -2.0, 0.5]);
+        let e = expm(&d).unwrap();
+        for (i, &v) in [1.0f64, -2.0, 0.5].iter().enumerate() {
+            assert!((e[(i, i)] - v.exp()).abs() < 1e-12 * v.exp().abs().max(1.0));
+        }
+        assert!(e[(0, 1)].abs() < 1e-14);
+    }
+
+    #[test]
+    fn expm_nilpotent() {
+        // N = [[0,1],[0,0]] => exp(N) = I + N exactly.
+        let n = Mat::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap();
+        let e = expm(&n).unwrap();
+        let expect = Mat::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]).unwrap();
+        assert!(e.approx_eq(&expect, 1e-14));
+    }
+
+    #[test]
+    fn expm_rotation() {
+        // exp([[0,-w],[w,0]] t) = rotation by w*t.
+        let w = 2.0;
+        let t = 0.7;
+        let a = Mat::from_rows(&[&[0.0, -w], &[w, 0.0]]).unwrap().scaled(t);
+        let e = expm(&a).unwrap();
+        let (s, c) = (w * t).sin_cos();
+        assert!((e[(0, 0)] - c).abs() < 1e-12);
+        assert!((e[(0, 1)] + s).abs() < 1e-12);
+        assert!((e[(1, 0)] - s).abs() < 1e-12);
+        assert!((e[(1, 1)] - c).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expm_large_norm_triggers_scaling() {
+        // 50 * rotation: still exact rotation after squaring.
+        let a = Mat::from_rows(&[&[0.0, -50.0], &[50.0, 0.0]]).unwrap();
+        let e = expm(&a).unwrap();
+        let (s, c) = 50.0f64.sin_cos();
+        assert!((e[(0, 0)] - c).abs() < 1e-9);
+        assert!((e[(1, 0)] - s).abs() < 1e-9);
+        // Rotation matrices have determinant 1.
+        let det = e[(0, 0)] * e[(1, 1)] - e[(0, 1)] * e[(1, 0)];
+        assert!((det - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expm_semigroup_property() {
+        // exp(A)·exp(A) = exp(2A) for any A.
+        let a = Mat::from_rows(&[&[0.1, 0.3], &[-0.2, -0.5]]).unwrap();
+        let e1 = expm(&a).unwrap();
+        let e2 = expm(&a.scaled(2.0)).unwrap();
+        assert!(e1.matmul(&e1).unwrap().approx_eq(&e2, 1e-12));
+    }
+
+    #[test]
+    fn expm_inverse_is_exp_of_negative() {
+        let a = Mat::from_rows(&[&[0.0, 1.0], &[-3.0, -0.4]]).unwrap();
+        let e = expm(&a).unwrap();
+        let einv = expm(&a.scaled(-1.0)).unwrap();
+        assert!(e.matmul(&einv).unwrap().approx_eq(&Mat::identity(2), 1e-11));
+    }
+
+    #[test]
+    fn expm_rejects_bad_input() {
+        assert!(expm(&Mat::zeros(2, 3)).is_err());
+        let mut a = Mat::identity(2);
+        a[(0, 0)] = f64::INFINITY;
+        assert!(expm(&a).is_err());
+    }
+
+    #[test]
+    fn expm_empty() {
+        let e = expm(&Mat::zeros(0, 0)).unwrap();
+        assert_eq!(e.shape(), (0, 0));
+    }
+}

@@ -1,0 +1,324 @@
+//! Discrete-time Lyapunov and Riccati equation solvers.
+//!
+//! These are the synthesis kernels behind LQR design in `ecl-control`:
+//!
+//! * [`solve_discrete_lyapunov`] — `X = A·X·Aᵀ + Q` by the doubling
+//!   (squaring) iteration, valid when `A` is Schur-stable,
+//! * [`solve_dare`] — the discrete algebraic Riccati equation by the
+//!   structured fixed-point iteration
+//!   `X⁺ = AᵀXA − AᵀXB (R + BᵀXB)⁻¹ BᵀXA + Q`.
+//!
+//! Control matrices are tiny and well-scaled, so the fixed-point iteration
+//! converges quickly; [`DareOptions`] exposes the tolerance/iteration knobs.
+
+use crate::lu::Lu;
+use crate::{LinalgError, Mat};
+
+/// Solves the discrete Lyapunov equation `X = A·X·Aᵀ + Q`.
+///
+/// Uses the doubling iteration `A ← A², Q ← A·Q·Aᵀ + Q`, which converges
+/// quadratically when the spectral radius of `A` is below one.
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] / [`LinalgError::NotSquare`] for
+///   inconsistent shapes.
+/// * [`LinalgError::NoConvergence`] if `A` is not Schur-stable (the iterate
+///   diverges or fails to settle within 200 doublings).
+///
+/// # Examples
+///
+/// ```
+/// use ecl_linalg::{solve_discrete_lyapunov, Mat};
+/// # fn main() -> Result<(), ecl_linalg::LinalgError> {
+/// let a = Mat::diag(&[0.5, 0.2]);
+/// let q = Mat::identity(2);
+/// let x = solve_discrete_lyapunov(&a, &q)?;
+/// // residual check: X - A X A^T - Q = 0
+/// let res = x.sub(&a.matmul(&x)?.matmul(&a.transpose())?)?.sub(&q)?;
+/// assert!(res.norm_inf() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_discrete_lyapunov(a: &Mat, q: &Mat) -> Result<Mat, LinalgError> {
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if q.shape() != a.shape() {
+        return Err(LinalgError::ShapeMismatch {
+            op: "discrete_lyapunov",
+            lhs: a.shape(),
+            rhs: q.shape(),
+        });
+    }
+    let mut ak = a.clone();
+    let mut x = q.clone();
+    let tol = 1e-14 * (1.0 + q.norm_inf());
+    for it in 0..200 {
+        // X <- Ak X Akᵀ + X ;  Ak <- Ak²
+        let incr = ak.matmul(&x)?.matmul(&ak.transpose())?;
+        let x_next = x.add(&incr)?;
+        let ak_next = ak.matmul(&ak)?;
+        let delta = incr.norm_inf();
+        if !x_next.is_finite() {
+            return Err(LinalgError::NoConvergence {
+                algorithm: "discrete_lyapunov",
+                iterations: it,
+                residual: f64::INFINITY,
+            });
+        }
+        x = x_next;
+        ak = ak_next;
+        if delta < tol {
+            return Ok(x.symmetrized());
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        algorithm: "discrete_lyapunov",
+        iterations: 200,
+        residual: f64::NAN,
+    })
+}
+
+/// Convergence knobs for [`solve_dare`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DareOptions {
+    /// Absolute tolerance on `‖X⁺ − X‖∞` for declaring convergence.
+    pub tol: f64,
+    /// Maximum number of fixed-point iterations.
+    pub max_iter: usize,
+}
+
+impl Default for DareOptions {
+    fn default() -> Self {
+        DareOptions {
+            tol: 1e-12,
+            max_iter: 10_000,
+        }
+    }
+}
+
+/// Solves the discrete algebraic Riccati equation
+///
+/// ```text
+/// X = AᵀXA − AᵀXB (R + BᵀXB)⁻¹ BᵀXA + Q
+/// ```
+///
+/// by fixed-point iteration from `X₀ = Q`, returning the stabilizing
+/// solution used by LQR synthesis (`K = (R + BᵀXB)⁻¹ BᵀXA`).
+///
+/// # Errors
+///
+/// * Shape errors for inconsistent `A` (n×n), `B` (n×m), `Q` (n×n),
+///   `R` (m×m).
+/// * [`LinalgError::Singular`] if `R + BᵀXB` becomes singular (e.g. `R` not
+///   positive definite).
+/// * [`LinalgError::NoConvergence`] if the iteration fails to settle (e.g.
+///   `(A, B)` not stabilizable).
+///
+/// # Examples
+///
+/// ```
+/// use ecl_linalg::{solve_dare, DareOptions, Mat};
+/// # fn main() -> Result<(), ecl_linalg::LinalgError> {
+/// let a = Mat::from_rows(&[&[1.0, 0.1], &[0.0, 1.0]])?;
+/// let b = Mat::col_vec(&[0.005, 0.1]);
+/// let q = Mat::identity(2);
+/// let r = Mat::identity(1);
+/// let x = solve_dare(&a, &b, &q, &r, DareOptions::default())?;
+/// assert!(x[(0, 0)] > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn solve_dare(
+    a: &Mat,
+    b: &Mat,
+    q: &Mat,
+    r: &Mat,
+    opts: DareOptions,
+) -> Result<Mat, LinalgError> {
+    let n = a.rows();
+    if !a.is_square() {
+        return Err(LinalgError::NotSquare { shape: a.shape() });
+    }
+    if b.rows() != n {
+        return Err(LinalgError::ShapeMismatch {
+            op: "dare_b",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let m = b.cols();
+    if q.shape() != (n, n) {
+        return Err(LinalgError::ShapeMismatch {
+            op: "dare_q",
+            lhs: a.shape(),
+            rhs: q.shape(),
+        });
+    }
+    if r.shape() != (m, m) {
+        return Err(LinalgError::ShapeMismatch {
+            op: "dare_r",
+            lhs: (m, m),
+            rhs: r.shape(),
+        });
+    }
+
+    let at = a.transpose();
+    let bt = b.transpose();
+    let mut x = q.clone();
+    for it in 0..opts.max_iter {
+        // G = R + Bᵀ X B ;  K = G⁻¹ Bᵀ X A
+        let xb = x.matmul(b)?;
+        let g = r.add(&bt.matmul(&xb)?)?;
+        let bxa = bt.matmul(&x)?.matmul(a)?;
+        let k = Lu::factor(&g)?.solve_mat(&bxa)?;
+        // X⁺ = Aᵀ X A − (Bᵀ X A)ᵀ K + Q
+        let axa = at.matmul(&x)?.matmul(a)?;
+        let corr = bxa.transpose().matmul(&k)?;
+        let x_next = axa.sub(&corr)?.add(q)?.symmetrized();
+        if !x_next.is_finite() {
+            return Err(LinalgError::NoConvergence {
+                algorithm: "dare",
+                iterations: it,
+                residual: f64::INFINITY,
+            });
+        }
+        let delta = x_next.sub(&x)?.norm_inf();
+        x = x_next;
+        if delta < opts.tol * (1.0 + x.norm_inf()) {
+            return Ok(x);
+        }
+    }
+    let residual = dare_residual(a, b, q, r, &x)?;
+    Err(LinalgError::NoConvergence {
+        algorithm: "dare",
+        iterations: opts.max_iter,
+        residual,
+    })
+}
+
+/// Residual `‖X − (AᵀXA − AᵀXB(R+BᵀXB)⁻¹BᵀXA + Q)‖∞` of a DARE candidate.
+fn dare_residual(a: &Mat, b: &Mat, q: &Mat, r: &Mat, x: &Mat) -> Result<f64, LinalgError> {
+    let at = a.transpose();
+    let bt = b.transpose();
+    let xb = x.matmul(b)?;
+    let g = r.add(&bt.matmul(&xb)?)?;
+    let bxa = bt.matmul(x)?.matmul(a)?;
+    let k = Lu::factor(&g)?.solve_mat(&bxa)?;
+    let axa = at.matmul(x)?.matmul(a)?;
+    let rhs = axa.sub(&bxa.transpose().matmul(&k)?)?.add(q)?;
+    Ok(x.sub(&rhs)?.norm_inf())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lyapunov_scalar_closed_form() {
+        // x = a^2 x + q  =>  x = q / (1 - a^2)
+        let a = Mat::diag(&[0.5]);
+        let q = Mat::diag(&[3.0]);
+        let x = solve_discrete_lyapunov(&a, &q).unwrap();
+        assert!((x[(0, 0)] - 4.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lyapunov_residual_small() {
+        let a = Mat::from_rows(&[&[0.8, 0.1], &[-0.2, 0.6]]).unwrap();
+        let q = Mat::identity(2);
+        let x = solve_discrete_lyapunov(&a, &q).unwrap();
+        let res = x
+            .sub(&a.matmul(&x).unwrap().matmul(&a.transpose()).unwrap())
+            .unwrap()
+            .sub(&q)
+            .unwrap();
+        assert!(res.norm_inf() < 1e-10);
+    }
+
+    #[test]
+    fn lyapunov_unstable_a_fails() {
+        let a = Mat::diag(&[1.5]);
+        let q = Mat::diag(&[1.0]);
+        assert!(matches!(
+            solve_discrete_lyapunov(&a, &q),
+            Err(LinalgError::NoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn dare_scalar_closed_form() {
+        // Scalar DARE: x = a²x − a²x²b²/(r + b²x) + q.
+        // With a=1, b=1, q=1, r=1: x = x - x²/(1+x) + 1 => x² - x - 1 = 0
+        // => x = (1+√5)/2 (golden ratio).
+        let a = Mat::diag(&[1.0]);
+        let b = Mat::diag(&[1.0]);
+        let q = Mat::diag(&[1.0]);
+        let r = Mat::diag(&[1.0]);
+        let x = solve_dare(&a, &b, &q, &r, DareOptions::default()).unwrap();
+        let golden = (1.0 + 5.0f64.sqrt()) / 2.0;
+        assert!((x[(0, 0)] - golden).abs() < 1e-9, "{}", x[(0, 0)]);
+    }
+
+    #[test]
+    fn dare_double_integrator_residual() {
+        let ts = 0.1;
+        let a = Mat::from_rows(&[&[1.0, ts], &[0.0, 1.0]]).unwrap();
+        let b = Mat::col_vec(&[ts * ts / 2.0, ts]);
+        let q = Mat::identity(2);
+        let r = Mat::diag(&[0.1]);
+        let x = solve_dare(&a, &b, &q, &r, DareOptions::default()).unwrap();
+        let res = dare_residual(&a, &b, &q, &r, &x).unwrap();
+        assert!(res < 1e-8, "residual {res}");
+        // Solution must be symmetric positive (diagonal > 0).
+        assert!((x[(0, 1)] - x[(1, 0)]).abs() < 1e-12);
+        assert!(x[(0, 0)] > 0.0 && x[(1, 1)] > 0.0);
+    }
+
+    #[test]
+    fn dare_closed_loop_is_stable() {
+        // The LQR gain from the DARE solution must stabilize A - B K
+        // (spectral radius < 1); we check via powers of the closed loop.
+        let ts = 0.05;
+        let a = Mat::from_rows(&[&[1.0, ts], &[0.2 * ts, 1.0]]).unwrap(); // slightly unstable
+        let b = Mat::col_vec(&[0.0, ts]);
+        let q = Mat::identity(2);
+        let r = Mat::diag(&[1.0]);
+        let x = solve_dare(&a, &b, &q, &r, DareOptions::default()).unwrap();
+        let bt = b.transpose();
+        let g = r.add(&bt.matmul(&x).unwrap().matmul(&b).unwrap()).unwrap();
+        let bxa = bt.matmul(&x).unwrap().matmul(&a).unwrap();
+        let k = Lu::factor(&g).unwrap().solve_mat(&bxa).unwrap();
+        let acl = a.sub(&b.matmul(&k).unwrap()).unwrap();
+        // 2x2 spectral radius in closed form from trace and determinant.
+        let tr = acl.trace();
+        let det = acl[(0, 0)] * acl[(1, 1)] - acl[(0, 1)] * acl[(1, 0)];
+        let disc = tr * tr - 4.0 * det;
+        let rho = if disc >= 0.0 {
+            let s = disc.sqrt();
+            ((tr + s) / 2.0).abs().max(((tr - s) / 2.0).abs())
+        } else {
+            det.abs().sqrt()
+        };
+        assert!(rho < 1.0, "closed loop not stable: spectral radius {rho}");
+    }
+
+    #[test]
+    fn dare_shape_validation() {
+        let a = Mat::identity(2);
+        let b = Mat::col_vec(&[1.0, 0.0]);
+        let q = Mat::identity(2);
+        let r = Mat::identity(1);
+        assert!(solve_dare(&Mat::zeros(2, 3), &b, &q, &r, DareOptions::default()).is_err());
+        assert!(solve_dare(&a, &Mat::zeros(3, 1), &q, &r, DareOptions::default()).is_err());
+        assert!(solve_dare(&a, &b, &Mat::zeros(3, 3), &r, DareOptions::default()).is_err());
+        assert!(solve_dare(&a, &b, &q, &Mat::zeros(2, 2), DareOptions::default()).is_err());
+    }
+
+    #[test]
+    fn dare_options_default() {
+        let o = DareOptions::default();
+        assert!(o.tol > 0.0 && o.max_iter > 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Small free-function helpers on `&[f64]` state vectors.
+//!
+//! The ODE solvers in `ecl-sim` manipulate flat state vectors; these
+//! helpers keep that code readable without pulling in a vector type.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(ecl_linalg::vec_dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn vec_dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vec_dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Element-wise sum `a + b` as a new `Vec`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn vec_add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vec_add length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b` as a new `Vec`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn vec_sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "vec_sub length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Scales a slice by `k` into a new `Vec`.
+pub fn vec_scale(a: &[f64], k: f64) -> Vec<f64> {
+    a.iter().map(|x| x * k).collect()
+}
+
+/// In-place `y += k * x` (the BLAS `axpy` kernel).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// let mut y = vec![1.0, 1.0];
+/// ecl_linalg::vec_axpy(&mut y, 2.0, &[1.0, 3.0]);
+/// assert_eq!(y, vec![3.0, 7.0]);
+/// ```
+pub fn vec_axpy(y: &mut [f64], k: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "vec_axpy length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += k * xi;
+    }
+}
+
+/// Infinity norm (maximum absolute entry); `0.0` for the empty slice.
+pub fn vec_norm_inf(a: &[f64]) -> f64 {
+    a.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_orthogonal() {
+        assert_eq!(vec_dot(&[1.0, 0.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 5.0];
+        assert_eq!(vec_add(&a, &b), vec![4.0, 7.0]);
+        assert_eq!(vec_sub(&b, &a), vec![2.0, 3.0]);
+        assert_eq!(vec_scale(&a, -1.0), vec![-1.0, -2.0]);
+    }
+
+    #[test]
+    fn axpy_zero_k_is_noop() {
+        let mut y = vec![1.0, 2.0];
+        vec_axpy(&mut y, 0.0, &[9.0, 9.0]);
+        assert_eq!(y, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn norm_inf_of_empty_is_zero() {
+        assert_eq!(vec_norm_inf(&[]), 0.0);
+        assert_eq!(vec_norm_inf(&[-3.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        vec_dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the linear-algebra kernels.
+
+use ecl_linalg::{eigenvalues, expm, lu::Lu, spectral_radius, Mat};
+use proptest::prelude::*;
+
+fn mat3(entries: Vec<f64>) -> Mat {
+    Mat::from_vec(3, 3, entries).expect("9 entries")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_of_product(
+        a in proptest::collection::vec(-5.0f64..5.0, 9),
+        b in proptest::collection::vec(-5.0f64..5.0, 9),
+    ) {
+        let (a, b) = (mat3(a), mat3(b));
+        let left = a.matmul(&b).expect("3x3").transpose();
+        let right = b.transpose().matmul(&a.transpose()).expect("3x3");
+        prop_assert!(left.approx_eq(&right, 1e-9));
+    }
+
+    /// Matrix multiplication is associative (within fp tolerance).
+    #[test]
+    fn matmul_associative(
+        a in proptest::collection::vec(-2.0f64..2.0, 9),
+        b in proptest::collection::vec(-2.0f64..2.0, 9),
+        c in proptest::collection::vec(-2.0f64..2.0, 9),
+    ) {
+        let (a, b, c) = (mat3(a), mat3(b), mat3(c));
+        let left = a.matmul(&b).expect("ok").matmul(&c).expect("ok");
+        let right = a.matmul(&b.matmul(&c).expect("ok")).expect("ok");
+        prop_assert!(left.approx_eq(&right, 1e-7), "{left:?} vs {right:?}");
+    }
+
+    /// det(A·B) = det(A)·det(B) for well-conditioned matrices.
+    #[test]
+    fn det_multiplicative(
+        a in proptest::collection::vec(-1.0f64..1.0, 9),
+        b in proptest::collection::vec(-1.0f64..1.0, 9),
+    ) {
+        let mut a = mat3(a);
+        let mut b = mat3(b);
+        for i in 0..3 {
+            a[(i, i)] += 4.0;
+            b[(i, i)] += 4.0;
+        }
+        let da = Lu::factor(&a).expect("nonsingular").det();
+        let db = Lu::factor(&b).expect("nonsingular").det();
+        let dab = Lu::factor(&a.matmul(&b).expect("ok")).expect("nonsingular").det();
+        prop_assert!(
+            (dab - da * db).abs() <= 1e-8 * dab.abs().max(1.0),
+            "{dab} vs {}",
+            da * db
+        );
+    }
+
+    /// Inverse round-trip: A · A⁻¹ = I.
+    #[test]
+    fn inverse_roundtrip(entries in proptest::collection::vec(-1.0f64..1.0, 9)) {
+        let mut a = mat3(entries);
+        for i in 0..3 {
+            a[(i, i)] += 5.0;
+        }
+        let inv = ecl_linalg::lu::inverse(&a).expect("nonsingular");
+        prop_assert!(a.matmul(&inv).expect("ok").approx_eq(&Mat::identity(3), 1e-9));
+    }
+
+    /// det(exp(A)) = exp(trace(A)) — Jacobi's formula.
+    #[test]
+    fn expm_det_trace(entries in proptest::collection::vec(-1.5f64..1.5, 9)) {
+        let a = mat3(entries);
+        let e = expm(&a).expect("finite");
+        let det = Lu::factor(&e).expect("exp is nonsingular").det();
+        let expect = a.trace().exp();
+        prop_assert!(
+            (det - expect).abs() <= 1e-6 * expect.abs().max(1.0),
+            "det {det}, exp(tr) {expect}"
+        );
+    }
+
+    /// Sum of eigenvalue real parts equals the trace.
+    #[test]
+    fn eigs_sum_to_trace(entries in proptest::collection::vec(-3.0f64..3.0, 9)) {
+        let a = mat3(entries);
+        let eigs = eigenvalues(&a).expect("converges");
+        prop_assert_eq!(eigs.len(), 3);
+        let sum: f64 = eigs.iter().map(|e| e.0).sum();
+        prop_assert!(
+            (sum - a.trace()).abs() < 1e-5 * a.trace().abs().max(1.0),
+            "sum {sum} vs trace {}",
+            a.trace()
+        );
+        // Imaginary parts cancel (conjugate pairs).
+        let imag: f64 = eigs.iter().map(|e| e.1).sum();
+        prop_assert!(imag.abs() < 1e-6);
+    }
+
+    /// Spectral radius is bounded by the infinity norm.
+    #[test]
+    fn spectral_radius_below_norm(entries in proptest::collection::vec(-3.0f64..3.0, 9)) {
+        let a = mat3(entries);
+        let rho = spectral_radius(&a).expect("converges");
+        prop_assert!(rho <= a.norm_inf() + 1e-7, "rho {rho} > norm {}", a.norm_inf());
+    }
+
+    /// exp(A)·exp(A) = exp(2A) (semigroup).
+    #[test]
+    fn expm_semigroup(entries in proptest::collection::vec(-1.0f64..1.0, 9)) {
+        let a = mat3(entries);
+        let e1 = expm(&a).expect("finite");
+        let e2 = expm(&a.scaled(2.0)).expect("finite");
+        prop_assert!(e1.matmul(&e1).expect("ok").approx_eq(&e2, 1e-7));
+    }
+}

@@ -1,0 +1,293 @@
+use std::any::Any;
+
+use crate::time::TimeNs;
+
+/// Port counts declared by a [`Block`].
+///
+/// Regular ports carry `f64` signals; event ports carry activation events
+/// (the red ports of Scicos diagrams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PortSpec {
+    /// Number of regular (signal) inputs.
+    pub inputs: usize,
+    /// Number of regular (signal) outputs.
+    pub outputs: usize,
+    /// Number of event (activation) inputs.
+    pub event_inputs: usize,
+    /// Number of event (activation) outputs.
+    pub event_outputs: usize,
+}
+
+impl PortSpec {
+    /// Creates a spec with all four counts.
+    pub const fn new(
+        inputs: usize,
+        outputs: usize,
+        event_inputs: usize,
+        event_outputs: usize,
+    ) -> Self {
+        PortSpec {
+            inputs,
+            outputs,
+            event_inputs,
+            event_outputs,
+        }
+    }
+
+    /// A pure signal source: no inputs, `outputs` signal outputs.
+    pub const fn source(outputs: usize) -> Self {
+        PortSpec::new(0, outputs, 0, 0)
+    }
+
+    /// A pure signal sink: `inputs` signal inputs, nothing else.
+    pub const fn sink(inputs: usize) -> Self {
+        PortSpec::new(inputs, 0, 0, 0)
+    }
+
+    /// A signal transformer: `inputs` in, `outputs` out, no event ports.
+    pub const fn siso(inputs: usize, outputs: usize) -> Self {
+        PortSpec::new(inputs, outputs, 0, 0)
+    }
+
+    /// A pure event source: `event_outputs` event outputs only.
+    pub const fn event_source(event_outputs: usize) -> Self {
+        PortSpec::new(0, 0, 0, event_outputs)
+    }
+
+    /// A pure event sink: `event_inputs` event inputs only.
+    pub const fn event_sink(event_inputs: usize) -> Self {
+        PortSpec::new(0, 0, event_inputs, 0)
+    }
+
+    /// An event transformer: `event_inputs` in, `event_outputs` out.
+    pub const fn event_pipe(event_inputs: usize, event_outputs: usize) -> Self {
+        PortSpec::new(0, 0, event_inputs, event_outputs)
+    }
+}
+
+/// Deferred event emissions produced by a block during
+/// [`Block::on_start`] or [`Block::on_event`].
+///
+/// Each entry is `(event output port, delay from now)`. The engine
+/// validates the port index and the non-negativity of the delay, then
+/// schedules the emission on the event calendar.
+#[derive(Debug, Default)]
+pub struct EventActions {
+    pub(crate) emissions: Vec<(usize, TimeNs)>,
+}
+
+impl EventActions {
+    /// Creates an empty action set.
+    pub fn new() -> Self {
+        EventActions::default()
+    }
+
+    /// Requests an event on event-output `port`, `delay` after the current
+    /// instant. `TimeNs::ZERO` emits at the current instant (after the
+    /// current event finishes — Scicos "end of execution" semantics).
+    pub fn emit(&mut self, port: usize, delay: TimeNs) {
+        self.emissions.push((port, delay));
+    }
+
+    /// Number of queued emissions.
+    pub fn len(&self) -> usize {
+        self.emissions.len()
+    }
+
+    /// `true` if nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.emissions.is_empty()
+    }
+
+    /// Drains and returns the queued emissions.
+    pub(crate) fn take(&mut self) -> Vec<(usize, TimeNs)> {
+        std::mem::take(&mut self.emissions)
+    }
+}
+
+/// Context handed to [`Block::on_event`].
+///
+/// Exposes the block's freshly evaluated regular inputs and the action set
+/// through which it emits events at the end of its execution.
+#[derive(Debug)]
+pub struct EventCtx<'a> {
+    /// Current values of the block's regular inputs.
+    pub inputs: &'a [f64],
+    /// Event emissions to schedule when this activation completes.
+    pub actions: &'a mut EventActions,
+}
+
+/// A simulation block (Scicos "bloc").
+///
+/// A block declares its ports via [`Block::ports`] and participates in the
+/// three evaluation passes of the engine:
+///
+/// 1. **Output pass** — [`Block::outputs`] maps (time, continuous state,
+///    inputs) to outputs. Must be *idempotent*: it may be called many times
+///    per instant (once per ODE stage) and must not advance logical state.
+/// 2. **Derivative pass** — [`Block::derivatives`] fills `dx` for blocks
+///    with continuous state ([`Block::num_states`] > 0).
+/// 3. **Event pass** — [`Block::on_event`] runs when an activation event
+///    arrives on one of the block's event inputs; this is where discrete
+///    state advances and new events are emitted.
+///
+/// Implementors must also provide the two `as_any` accessors (used to
+/// recover concrete block types after a simulation); the
+/// [`impl_block_any!`](crate::impl_block_any) macro writes them for you.
+pub trait Block: 'static {
+    /// A short, stable name of the block *type* (e.g. `"SampleHold"`).
+    fn type_name(&self) -> &'static str;
+
+    /// The port counts of this block instance.
+    fn ports(&self) -> PortSpec;
+
+    /// `true` if some regular output depends *directly* (at the same
+    /// instant) on regular input `input`. Used for algebraic-loop detection
+    /// and evaluation ordering. Defaults to `true` (conservative); blocks
+    /// whose outputs read only internal state (integrators, delays,
+    /// sample-and-hold) should return `false`.
+    fn feedthrough(&self, input: usize) -> bool {
+        let _ = input;
+        true
+    }
+
+    /// Number of continuous states integrated by the engine.
+    fn num_states(&self) -> usize {
+        0
+    }
+
+    /// Writes the initial continuous state into `x`
+    /// (`x.len() == self.num_states()`). Defaults to zeros.
+    fn init_states(&self, x: &mut [f64]) {
+        for xi in x {
+            *xi = 0.0;
+        }
+    }
+
+    /// Writes the state derivative at time `t` (seconds) into `dx`.
+    ///
+    /// Only called when [`Block::num_states`] is non-zero.
+    fn derivatives(&self, t: f64, x: &[f64], inputs: &[f64], dx: &mut [f64]) {
+        let _ = (t, x, inputs);
+        for d in dx {
+            *d = 0.0;
+        }
+    }
+
+    /// Computes the block's regular outputs at time `t` (seconds).
+    ///
+    /// Must be idempotent (see the trait-level docs). Defaults to leaving
+    /// the outputs untouched, which is correct for blocks without regular
+    /// outputs.
+    fn outputs(&mut self, t: f64, x: &[f64], inputs: &[f64], outputs: &mut [f64]) {
+        let _ = (t, x, inputs, outputs);
+    }
+
+    /// Called once before simulation starts; the usual place for activation
+    /// sources to schedule their first emission.
+    fn on_start(&mut self, actions: &mut EventActions) {
+        let _ = actions;
+    }
+
+    /// Called when an activation event arrives on event input `port` at
+    /// instant `t`. Discrete state advances here; emissions are queued on
+    /// `ctx.actions`.
+    fn on_event(&mut self, port: usize, t: TimeNs, ctx: &mut EventCtx<'_>) {
+        let _ = (port, t, ctx);
+    }
+
+    /// Upcast for post-simulation downcasting. Write it with
+    /// [`impl_block_any!`](crate::impl_block_any).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for post-simulation downcasting.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Implements the boilerplate [`Block::as_any`] / [`Block::as_any_mut`]
+/// pair inside a `Block` impl.
+///
+/// # Examples
+///
+/// ```
+/// use ecl_sim::{Block, PortSpec};
+///
+/// struct Null;
+/// impl Block for Null {
+///     fn type_name(&self) -> &'static str { "Null" }
+///     fn ports(&self) -> PortSpec { PortSpec::default() }
+///     ecl_sim::impl_block_any!();
+/// }
+/// ```
+#[macro_export]
+macro_rules! impl_block_any {
+    () => {
+        fn as_any(&self) -> &dyn ::std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn ::std::any::Any {
+            self
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Nop;
+    impl Block for Nop {
+        fn type_name(&self) -> &'static str {
+            "Nop"
+        }
+        fn ports(&self) -> PortSpec {
+            PortSpec::siso(1, 1)
+        }
+        impl_block_any!();
+    }
+
+    #[test]
+    fn port_spec_helpers() {
+        assert_eq!(PortSpec::source(2), PortSpec::new(0, 2, 0, 0));
+        assert_eq!(PortSpec::sink(3), PortSpec::new(3, 0, 0, 0));
+        assert_eq!(PortSpec::siso(1, 2), PortSpec::new(1, 2, 0, 0));
+        assert_eq!(PortSpec::event_source(1), PortSpec::new(0, 0, 0, 1));
+        assert_eq!(PortSpec::event_sink(2), PortSpec::new(0, 0, 2, 0));
+        assert_eq!(PortSpec::event_pipe(2, 1), PortSpec::new(0, 0, 2, 1));
+    }
+
+    #[test]
+    fn default_trait_methods() {
+        let mut b = Nop;
+        assert!(b.feedthrough(0));
+        assert_eq!(b.num_states(), 0);
+        let mut x = [1.0, 2.0];
+        b.init_states(&mut x);
+        assert_eq!(x, [0.0, 0.0]);
+        let mut dx = [5.0];
+        b.derivatives(0.0, &[], &[], &mut dx);
+        assert_eq!(dx, [0.0]);
+        // default on_start / on_event do nothing
+        let mut actions = EventActions::new();
+        b.on_start(&mut actions);
+        assert!(actions.is_empty());
+    }
+
+    #[test]
+    fn event_actions_collect() {
+        let mut a = EventActions::new();
+        assert!(a.is_empty());
+        a.emit(0, TimeNs::ZERO);
+        a.emit(1, TimeNs::from_millis(5));
+        assert_eq!(a.len(), 2);
+        let taken = a.take();
+        assert_eq!(taken, vec![(0, TimeNs::ZERO), (1, TimeNs::from_millis(5))]);
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn downcast_via_as_any() {
+        let b: Box<dyn Block> = Box::new(Nop);
+        assert!(b.as_any().downcast_ref::<Nop>().is_some());
+    }
+}

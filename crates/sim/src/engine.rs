@@ -1,0 +1,943 @@
+//! The simulation engine: joint ODE integration of continuous state and
+//! deterministic dispatch of activation events.
+
+use crate::block::{EventActions, EventCtx};
+use crate::error::SimError;
+use crate::event::EventCalendar;
+use crate::model::{BlockId, Entry, Model};
+use crate::ode::{self, Integrator, OdeRhs};
+use crate::time::TimeNs;
+use crate::trace::{EventRecord, Signal, SimResult};
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOptions {
+    /// ODE method used between event instants.
+    pub integrator: Integrator,
+    /// Probe recording resolution (seconds) for continuous spans. Probes
+    /// are additionally recorded at every event instant.
+    pub record_dt: f64,
+    /// Maximum number of event deliveries at a single instant before the
+    /// run aborts with [`SimError::EventCascadeOverflow`] (guards against
+    /// zero-delay event loops).
+    pub cascade_limit: usize,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            integrator: Integrator::default(),
+            record_dt: 1e-3,
+            cascade_limit: 100_000,
+        }
+    }
+}
+
+/// Executes a [`Model`].
+///
+/// Construction ([`Simulator::new`]) validates the model (port wiring,
+/// connected inputs, absence of algebraic loops) and freezes the evaluation
+/// order; [`Simulator::run`] then advances the simulation. `run` may be
+/// called repeatedly to continue from where the previous call stopped.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct Simulator {
+    model: Model,
+    opts: SimOptions,
+    /// Per-block offset into the flat input value buffer.
+    in_off: Vec<usize>,
+    /// Per-block offset into the flat output value buffer.
+    out_off: Vec<usize>,
+    /// Per-block offset into the flat continuous state vector.
+    state_off: Vec<usize>,
+    /// Flat input values (rewritten on every output pass).
+    inputs: Vec<f64>,
+    /// Flat output values.
+    outputs: Vec<f64>,
+    /// For each flat input index, the flat output index driving it.
+    input_src: Vec<Option<usize>>,
+    /// Block evaluation order (topological over feedthrough edges).
+    eval_order: Vec<usize>,
+    /// `evt_routes[block][out_port]` lists `(target, event_in)` pairs.
+    evt_routes: Vec<Vec<Vec<(usize, usize)>>>,
+    /// Joint continuous state.
+    x: Vec<f64>,
+    calendar: EventCalendar,
+    now: TimeNs,
+    started: bool,
+    result: SimResult,
+}
+
+impl Simulator {
+    /// Validates `model` and prepares it for execution.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnconnectedInput`] if any regular input lacks a driver.
+    /// * [`SimError::AlgebraicLoop`] if the feedthrough graph is cyclic.
+    pub fn new(model: Model, opts: SimOptions) -> Result<Self, SimError> {
+        let n = model.entries.len();
+        let mut in_off = Vec::with_capacity(n);
+        let mut out_off = Vec::with_capacity(n);
+        let mut state_off = Vec::with_capacity(n);
+        let (mut ni, mut no, mut ns) = (0usize, 0usize, 0usize);
+        for e in &model.entries {
+            in_off.push(ni);
+            out_off.push(no);
+            state_off.push(ns);
+            ni += e.spec.inputs;
+            no += e.spec.outputs;
+            ns += e.block.num_states();
+        }
+
+        // Map each flat input to its driving flat output.
+        let mut input_src: Vec<Option<usize>> = vec![None; ni];
+        for c in &model.sig_conns {
+            let gi = in_off[c.dst.index()] + c.inp;
+            let go = out_off[c.src.index()] + c.out;
+            input_src[gi] = Some(go);
+        }
+        for (b, e) in model.entries.iter().enumerate() {
+            for p in 0..e.spec.inputs {
+                if input_src[in_off[b] + p].is_none() {
+                    return Err(SimError::UnconnectedInput {
+                        block: e.name.clone(),
+                        port: p,
+                    });
+                }
+            }
+        }
+
+        // Topological sort over feedthrough edges (Kahn, stable order).
+        let mut indeg = vec![0usize; n];
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for c in &model.sig_conns {
+            let dst = c.dst.index();
+            if model.entries[dst].block.feedthrough(c.inp) {
+                succ[c.src.index()].push(dst);
+                indeg[dst] += 1;
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut eval_order = Vec::with_capacity(n);
+        let mut cursor = 0;
+        while cursor < ready.len() {
+            let b = ready[cursor];
+            cursor += 1;
+            eval_order.push(b);
+            for &s in &succ[b] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        if eval_order.len() != n {
+            let cyclic: Vec<String> = (0..n)
+                .filter(|&i| indeg[i] > 0)
+                .map(|i| model.entries[i].name.clone())
+                .collect();
+            return Err(SimError::AlgebraicLoop { blocks: cyclic });
+        }
+
+        // Event routing table.
+        let mut evt_routes: Vec<Vec<Vec<(usize, usize)>>> = model
+            .entries
+            .iter()
+            .map(|e| vec![Vec::new(); e.spec.event_outputs])
+            .collect();
+        for c in &model.evt_conns {
+            evt_routes[c.src.index()][c.out].push((c.dst.index(), c.inp));
+        }
+
+        // Continuous state initialization.
+        let mut x = vec![0.0; ns];
+        for (b, e) in model.entries.iter().enumerate() {
+            let k = e.block.num_states();
+            if k > 0 {
+                e.block.init_states(&mut x[state_off[b]..state_off[b] + k]);
+            }
+        }
+
+        let result = SimResult {
+            signals: model
+                .probes
+                .iter()
+                .map(|p| (p.name.clone(), Signal::new()))
+                .collect(),
+            events: Vec::new(),
+            end_time: TimeNs::ZERO,
+        };
+
+        Ok(Simulator {
+            model,
+            opts,
+            in_off,
+            out_off,
+            state_off,
+            inputs: vec![0.0; ni],
+            outputs: vec![0.0; no],
+            input_src,
+            eval_order,
+            evt_routes,
+            x,
+            calendar: EventCalendar::new(),
+            now: TimeNs::ZERO,
+            started: false,
+            result,
+        })
+    }
+
+    /// The wrapped model (for downcasting blocks after a run).
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// Mutable access to the wrapped model's blocks.
+    pub fn model_mut(&mut self) -> &mut Model {
+        &mut self.model
+    }
+
+    /// Consumes the simulator, returning the model.
+    pub fn into_model(self) -> Model {
+        self.model
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> TimeNs {
+        self.now
+    }
+
+    /// Advances the simulation to `until` (inclusive of events at exactly
+    /// `until`) and returns the accumulated results so far.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::InvalidHorizon`] if `until` precedes the current time.
+    /// * Event-emission validation errors ([`SimError::InvalidEmit`],
+    ///   [`SimError::NegativeDelay`], [`SimError::EventCascadeOverflow`]).
+    /// * [`SimError::IntegrationFailure`] from the ODE solver.
+    pub fn run(&mut self, until: TimeNs) -> Result<SimResult, SimError> {
+        if until < self.now {
+            return Err(SimError::InvalidHorizon {
+                now: self.now,
+                until,
+            });
+        }
+        if !self.started {
+            self.started = true;
+            for b in 0..self.model.entries.len() {
+                let mut actions = EventActions::new();
+                self.model.entries[b].block.on_start(&mut actions);
+                self.schedule_actions(b, actions)?;
+            }
+            self.eval_outputs_committed();
+            self.record_probes();
+        }
+
+        loop {
+            match self.calendar.peek_time() {
+                Some(te) if te <= until => {
+                    if te > self.now {
+                        self.integrate_span(te)?;
+                    }
+                    self.process_instant()?;
+                }
+                _ => {
+                    if until > self.now {
+                        self.integrate_span(until)?;
+                    }
+                    break;
+                }
+            }
+        }
+        self.result.end_time = self.now;
+        Ok(self.result.clone())
+    }
+
+    /// Integrates the continuous state from `self.now` to `t_end`,
+    /// recording probes every `record_dt`.
+    fn integrate_span(&mut self, t_end: TimeNs) -> Result<(), SimError> {
+        let t0 = self.now.as_secs_f64();
+        let t1 = t_end.as_secs_f64();
+        if self.x.is_empty() {
+            self.now = t_end;
+            self.eval_outputs_committed();
+            self.record_probes();
+            return Ok(());
+        }
+        let mut t = t0;
+        let dt = self.opts.record_dt.max(1e-12);
+        while t < t1 {
+            let chunk_end = (t + dt).min(t1);
+            {
+                let mut rhs = EngineRhs {
+                    entries: &mut self.model.entries,
+                    eval_order: &self.eval_order,
+                    in_off: &self.in_off,
+                    out_off: &self.out_off,
+                    state_off: &self.state_off,
+                    inputs: &mut self.inputs,
+                    outputs: &mut self.outputs,
+                    input_src: &self.input_src,
+                };
+                ode::integrate(&mut rhs, t, chunk_end, &mut self.x, self.opts.integrator)?;
+            }
+            t = chunk_end;
+            self.now = if t >= t1 {
+                t_end
+            } else {
+                TimeNs::from_secs_f64(t)
+            };
+            self.eval_outputs_committed();
+            self.record_probes();
+        }
+        self.now = t_end;
+        Ok(())
+    }
+
+    /// Processes every event scheduled at the current instant (including
+    /// zero-delay follow-ups), then records probes once.
+    fn process_instant(&mut self) -> Result<(), SimError> {
+        let now = self.now;
+        let mut deliveries = 0usize;
+        while self.calendar.peek_time() == Some(now) {
+            let ev = self.calendar.pop().expect("peeked");
+            let routes = self.evt_routes[ev.emitter.index()][ev.out_port].clone();
+            for (dst, port) in routes {
+                deliveries += 1;
+                if deliveries > self.opts.cascade_limit {
+                    return Err(SimError::EventCascadeOverflow {
+                        time: now,
+                        limit: self.opts.cascade_limit,
+                    });
+                }
+                // Refresh signal values so the activated block sees current
+                // inputs (including effects of earlier same-instant events).
+                self.eval_outputs_committed();
+                let spec = self.model.entries[dst].spec;
+                let in_vals: Vec<f64> = self.inputs
+                    [self.in_off[dst]..self.in_off[dst] + spec.inputs]
+                    .to_vec();
+                let mut actions = EventActions::new();
+                {
+                    let mut ctx = EventCtx {
+                        inputs: &in_vals,
+                        actions: &mut actions,
+                    };
+                    self.model.entries[dst].block.on_event(port, now, &mut ctx);
+                }
+                self.schedule_actions(dst, actions)?;
+                self.result.events.push(EventRecord {
+                    time: now,
+                    emitter: ev.emitter,
+                    out_port: ev.out_port,
+                    target: BlockId::from_index(dst),
+                    port,
+                });
+            }
+        }
+        self.eval_outputs_committed();
+        self.record_probes();
+        Ok(())
+    }
+
+    /// Validates and schedules the emissions queued by block `b`.
+    fn schedule_actions(&mut self, b: usize, mut actions: EventActions) -> Result<(), SimError> {
+        for (port, delay) in actions.take() {
+            let spec = self.model.entries[b].spec;
+            if port >= spec.event_outputs {
+                return Err(SimError::InvalidEmit {
+                    block: self.model.entries[b].name.clone(),
+                    port,
+                    count: spec.event_outputs,
+                });
+            }
+            if delay.is_negative() {
+                return Err(SimError::NegativeDelay {
+                    block: self.model.entries[b].name.clone(),
+                    delay,
+                });
+            }
+            self.calendar
+                .schedule(self.now + delay, BlockId::from_index(b), port);
+        }
+        Ok(())
+    }
+
+    /// Evaluates every block's outputs at the committed state and current
+    /// time, in topological order.
+    fn eval_outputs_committed(&mut self) {
+        eval_outputs(
+            &mut self.model.entries,
+            &self.eval_order,
+            &self.in_off,
+            &self.out_off,
+            &self.state_off,
+            &mut self.inputs,
+            &mut self.outputs,
+            &self.input_src,
+            self.now.as_secs_f64(),
+            &self.x,
+        );
+    }
+
+    fn record_probes(&mut self) {
+        let t = self.now.as_secs_f64();
+        for (i, p) in self.model.probes.iter().enumerate() {
+            let v = self.outputs[self.out_off[p.block.index()] + p.out];
+            self.result.signals[i].1.push(t, v);
+        }
+    }
+}
+
+/// Shared output-pass implementation, usable with borrowed engine pieces
+/// (needed so the ODE right-hand side can evaluate trial states while the
+/// state vector itself is mutably borrowed by the integrator).
+#[allow(clippy::too_many_arguments)]
+fn eval_outputs(
+    entries: &mut [Entry],
+    eval_order: &[usize],
+    in_off: &[usize],
+    out_off: &[usize],
+    state_off: &[usize],
+    inputs: &mut [f64],
+    outputs: &mut [f64],
+    input_src: &[Option<usize>],
+    t: f64,
+    x: &[f64],
+) {
+    for &b in eval_order {
+        let spec = entries[b].spec;
+        // Pull this block's inputs from the driving outputs.
+        for p in 0..spec.inputs {
+            let gi = in_off[b] + p;
+            if let Some(go) = input_src[gi] {
+                inputs[gi] = outputs[go];
+            }
+        }
+        if spec.outputs == 0 {
+            continue;
+        }
+        let ns = entries[b].block.num_states();
+        let xs = &x[state_off[b]..state_off[b] + ns];
+        let (ins, outs) = (
+            &inputs[in_off[b]..in_off[b] + spec.inputs],
+            &mut outputs[out_off[b]..out_off[b] + spec.outputs],
+        );
+        // `ins` borrows `inputs` immutably while `outs` borrows `outputs`
+        // mutably — distinct buffers, so this is fine.
+        let ins = ins.to_vec();
+        entries[b].block.outputs(t, xs, &ins, outs);
+    }
+    // Refresh every input from the now-final outputs: non-feedthrough
+    // blocks may be ordered before their drivers, so the values pulled
+    // during the pass can be stale; derivative and event passes must see
+    // inputs consistent with the final outputs.
+    for (gi, src) in input_src.iter().enumerate() {
+        if let Some(go) = src {
+            inputs[gi] = outputs[*go];
+        }
+    }
+}
+
+/// ODE right-hand side over the block diagram: evaluate outputs at the
+/// trial state, then collect per-block derivatives.
+struct EngineRhs<'a> {
+    entries: &'a mut [Entry],
+    eval_order: &'a [usize],
+    in_off: &'a [usize],
+    out_off: &'a [usize],
+    state_off: &'a [usize],
+    inputs: &'a mut [f64],
+    outputs: &'a mut [f64],
+    input_src: &'a [Option<usize>],
+}
+
+impl OdeRhs for EngineRhs<'_> {
+    fn eval(&mut self, t: f64, x: &[f64], dx: &mut [f64]) {
+        eval_outputs(
+            self.entries,
+            self.eval_order,
+            self.in_off,
+            self.out_off,
+            self.state_off,
+            self.inputs,
+            self.outputs,
+            self.input_src,
+            t,
+            x,
+        );
+        for (b, e) in self.entries.iter().enumerate() {
+            let ns = e.block.num_states();
+            if ns == 0 {
+                continue;
+            }
+            let so = self.state_off[b];
+            let spec = e.spec;
+            let ins = &self.inputs[self.in_off[b]..self.in_off[b] + spec.inputs];
+            e.block
+                .derivatives(t, &x[so..so + ns], ins, &mut dx[so..so + ns]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, PortSpec};
+    use crate::impl_block_any;
+
+    /// Source emitting a constant.
+    struct Const(f64);
+    impl Block for Const {
+        fn type_name(&self) -> &'static str {
+            "Const"
+        }
+        fn ports(&self) -> PortSpec {
+            PortSpec::source(1)
+        }
+        fn outputs(&mut self, _t: f64, _x: &[f64], _u: &[f64], y: &mut [f64]) {
+            y[0] = self.0;
+        }
+        impl_block_any!();
+    }
+
+    /// y = k * u, direct feedthrough.
+    struct Gain(f64);
+    impl Block for Gain {
+        fn type_name(&self) -> &'static str {
+            "Gain"
+        }
+        fn ports(&self) -> PortSpec {
+            PortSpec::siso(1, 1)
+        }
+        fn outputs(&mut self, _t: f64, _x: &[f64], u: &[f64], y: &mut [f64]) {
+            y[0] = self.0 * u[0];
+        }
+        impl_block_any!();
+    }
+
+    /// Pure integrator: ẋ = u, y = x.
+    struct Integ {
+        x0: f64,
+    }
+    impl Block for Integ {
+        fn type_name(&self) -> &'static str {
+            "Integ"
+        }
+        fn ports(&self) -> PortSpec {
+            PortSpec::siso(1, 1)
+        }
+        fn feedthrough(&self, _i: usize) -> bool {
+            false
+        }
+        fn num_states(&self) -> usize {
+            1
+        }
+        fn init_states(&self, x: &mut [f64]) {
+            x[0] = self.x0;
+        }
+        fn derivatives(&self, _t: f64, _x: &[f64], u: &[f64], dx: &mut [f64]) {
+            dx[0] = u[0];
+        }
+        fn outputs(&mut self, _t: f64, x: &[f64], _u: &[f64], y: &mut [f64]) {
+            y[0] = x[0];
+        }
+        impl_block_any!();
+    }
+
+    /// Periodic clock built as a self-looped emitter.
+    struct Clock {
+        period: TimeNs,
+    }
+    impl Block for Clock {
+        fn type_name(&self) -> &'static str {
+            "Clock"
+        }
+        fn ports(&self) -> PortSpec {
+            PortSpec::event_pipe(1, 1)
+        }
+        fn on_start(&mut self, actions: &mut EventActions) {
+            actions.emit(0, TimeNs::ZERO);
+        }
+        fn on_event(&mut self, _p: usize, _t: TimeNs, ctx: &mut EventCtx<'_>) {
+            ctx.actions.emit(0, self.period);
+        }
+        impl_block_any!();
+    }
+
+    /// Samples its input on activation; exposes the held value.
+    struct Sampler {
+        held: f64,
+        samples: Vec<(TimeNs, f64)>,
+    }
+    impl Block for Sampler {
+        fn type_name(&self) -> &'static str {
+            "Sampler"
+        }
+        fn ports(&self) -> PortSpec {
+            PortSpec::new(1, 1, 1, 0)
+        }
+        fn feedthrough(&self, _i: usize) -> bool {
+            false
+        }
+        fn outputs(&mut self, _t: f64, _x: &[f64], _u: &[f64], y: &mut [f64]) {
+            y[0] = self.held;
+        }
+        fn on_event(&mut self, _p: usize, t: TimeNs, ctx: &mut EventCtx<'_>) {
+            self.held = ctx.inputs[0];
+            self.samples.push((t, self.held));
+        }
+        impl_block_any!();
+    }
+
+    fn clocked(period_ms: i64) -> (Model, BlockId) {
+        let mut m = Model::new();
+        let clk = m.add_block(
+            "clk",
+            Clock {
+                period: TimeNs::from_millis(period_ms),
+            },
+        );
+        m.connect_event(clk, 0, clk, 0).unwrap();
+        (m, clk)
+    }
+
+    #[test]
+    fn integrator_ramps_under_constant_input() {
+        let mut m = Model::new();
+        let c = m.add_block("c", Const(2.0));
+        let i = m.add_block("i", Integ { x0: 0.0 });
+        m.connect(c, 0, i, 0).unwrap();
+        m.probe("x", i, 0).unwrap();
+        let mut sim = Simulator::new(m, SimOptions::default()).unwrap();
+        let r = sim.run(TimeNs::from_secs(1)).unwrap();
+        let x = r.signal("x").unwrap();
+        assert!((x.last().unwrap().1 - 2.0).abs() < 1e-9);
+        // Ramp is linear: value at 0.5 s is ~1.0.
+        assert!((x.sample(0.5).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn feedback_loop_through_integrator_allowed() {
+        // ẋ = -x via gain feedback: integrator breaks the loop.
+        let mut m = Model::new();
+        let i = m.add_block("i", Integ { x0: 1.0 });
+        let g = m.add_block("g", Gain(-1.0));
+        m.connect(i, 0, g, 0).unwrap();
+        m.connect(g, 0, i, 0).unwrap();
+        m.probe("x", i, 0).unwrap();
+        let mut sim = Simulator::new(m, SimOptions::default()).unwrap();
+        let r = sim.run(TimeNs::from_secs(1)).unwrap();
+        let xf = r.signal("x").unwrap().last().unwrap().1;
+        assert!((xf - (-1.0f64).exp()).abs() < 1e-6, "{xf}");
+    }
+
+    #[test]
+    fn algebraic_loop_detected() {
+        let mut m = Model::new();
+        let g1 = m.add_block("g1", Gain(1.0));
+        let g2 = m.add_block("g2", Gain(1.0));
+        m.connect(g1, 0, g2, 0).unwrap();
+        m.connect(g2, 0, g1, 0).unwrap();
+        assert!(matches!(
+            Simulator::new(m, SimOptions::default()),
+            Err(SimError::AlgebraicLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn unconnected_input_detected() {
+        let mut m = Model::new();
+        m.add_block("g", Gain(1.0));
+        assert!(matches!(
+            Simulator::new(m, SimOptions::default()),
+            Err(SimError::UnconnectedInput { .. })
+        ));
+    }
+
+    #[test]
+    fn clock_activates_sampler_periodically() {
+        let (mut m, clk) = clocked(100);
+        let c = m.add_block("c", Const(7.0));
+        let s = m.add_block(
+            "s",
+            Sampler {
+                held: 0.0,
+                samples: vec![],
+            },
+        );
+        m.connect(c, 0, s, 0).unwrap();
+        m.connect_event(clk, 0, s, 0).unwrap();
+        let mut sim = Simulator::new(m, SimOptions::default()).unwrap();
+        let r = sim.run(TimeNs::from_millis(1000)).unwrap();
+        let smp = sim.model().block_as::<Sampler>(s).unwrap();
+        // events at 0, 100, ..., 1000 ms inclusive = 11 samples
+        assert_eq!(smp.samples.len(), 11);
+        assert!(smp.samples.iter().all(|&(_, v)| v == 7.0));
+        // Event log captured deliveries to both clock and sampler.
+        assert_eq!(r.activation_times(s, Some(0)).len(), 11);
+        assert_eq!(
+            r.activation_times(s, Some(0))[3],
+            TimeNs::from_millis(300)
+        );
+    }
+
+    #[test]
+    fn sampler_sees_continuous_state_at_activation() {
+        // Integrator of constant 1 sampled at 0.25 s steps: samples are
+        // 0.0, 0.25, 0.5, ...
+        let (mut m, clk) = clocked(250);
+        let c = m.add_block("c", Const(1.0));
+        let i = m.add_block("i", Integ { x0: 0.0 });
+        let s = m.add_block(
+            "s",
+            Sampler {
+                held: 0.0,
+                samples: vec![],
+            },
+        );
+        m.connect(c, 0, i, 0).unwrap();
+        m.connect(i, 0, s, 0).unwrap();
+        m.connect_event(clk, 0, s, 0).unwrap();
+        let mut sim = Simulator::new(m, SimOptions::default()).unwrap();
+        sim.run(TimeNs::from_secs(1)).unwrap();
+        let smp = sim.model().block_as::<Sampler>(s).unwrap();
+        for (k, &(t, v)) in smp.samples.iter().enumerate() {
+            assert_eq!(t, TimeNs::from_millis(250 * k as i64));
+            assert!((v - 0.25 * k as f64).abs() < 1e-7, "sample {k}: {v}");
+        }
+    }
+
+    #[test]
+    fn run_is_resumable() {
+        let (m, _clk) = clocked(10);
+        let mut sim = Simulator::new(m, SimOptions::default()).unwrap();
+        let r1 = sim.run(TimeNs::from_millis(50)).unwrap();
+        let n1 = r1.event_log().len();
+        let r2 = sim.run(TimeNs::from_millis(100)).unwrap();
+        assert!(r2.event_log().len() > n1);
+        assert_eq!(r2.end_time(), TimeNs::from_millis(100));
+    }
+
+    #[test]
+    fn backwards_run_rejected() {
+        let (m, _clk) = clocked(10);
+        let mut sim = Simulator::new(m, SimOptions::default()).unwrap();
+        sim.run(TimeNs::from_millis(50)).unwrap();
+        assert!(matches!(
+            sim.run(TimeNs::from_millis(40)),
+            Err(SimError::InvalidHorizon { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_delay_loop_overflows() {
+        // Two pipes emitting to each other with zero delay diverge.
+        struct Echo;
+        impl Block for Echo {
+            fn type_name(&self) -> &'static str {
+                "Echo"
+            }
+            fn ports(&self) -> PortSpec {
+                PortSpec::event_pipe(1, 1)
+            }
+            fn on_start(&mut self, a: &mut EventActions) {
+                a.emit(0, TimeNs::ZERO);
+            }
+            fn on_event(&mut self, _p: usize, _t: TimeNs, ctx: &mut EventCtx<'_>) {
+                ctx.actions.emit(0, TimeNs::ZERO);
+            }
+            impl_block_any!();
+        }
+        let mut m = Model::new();
+        let a = m.add_block("a", Echo);
+        let b = m.add_block("b", Echo);
+        m.connect_event(a, 0, b, 0).unwrap();
+        m.connect_event(b, 0, a, 0).unwrap();
+        let mut sim = Simulator::new(
+            m,
+            SimOptions {
+                cascade_limit: 1000,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            sim.run(TimeNs::from_secs(1)),
+            Err(SimError::EventCascadeOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_emit_port_detected() {
+        struct BadEmit;
+        impl Block for BadEmit {
+            fn type_name(&self) -> &'static str {
+                "BadEmit"
+            }
+            fn ports(&self) -> PortSpec {
+                PortSpec::default()
+            }
+            fn on_start(&mut self, a: &mut EventActions) {
+                a.emit(0, TimeNs::ZERO); // declares zero event outputs
+            }
+            impl_block_any!();
+        }
+        let mut m = Model::new();
+        m.add_block("bad", BadEmit);
+        let mut sim = Simulator::new(m, SimOptions::default()).unwrap();
+        assert!(matches!(
+            sim.run(TimeNs::from_secs(1)),
+            Err(SimError::InvalidEmit { .. })
+        ));
+    }
+
+    #[test]
+    fn events_exactly_at_horizon_are_processed() {
+        let (m, clk) = clocked(100);
+        let mut sim = Simulator::new(m, SimOptions::default()).unwrap();
+        let r = sim.run(TimeNs::from_millis(200)).unwrap();
+        // 0, 100, 200 all delivered
+        assert_eq!(r.activation_times(clk, Some(0)).len(), 3);
+    }
+
+    #[test]
+    fn into_model_returns_blocks() {
+        let (m, clk) = clocked(10);
+        let sim = Simulator::new(m, SimOptions::default()).unwrap();
+        let m = sim.into_model();
+        assert!(m.block_as::<Clock>(clk).is_some());
+    }
+
+    #[test]
+    fn empty_model_runs_to_horizon() {
+        let sim = Simulator::new(Model::new(), SimOptions::default());
+        let mut sim = sim.unwrap();
+        let r = sim.run(TimeNs::from_secs(1)).unwrap();
+        assert_eq!(r.end_time(), TimeNs::from_secs(1));
+        assert!(r.event_log().is_empty());
+        assert_eq!(sim.now(), TimeNs::from_secs(1));
+    }
+
+    #[test]
+    fn rk4_option_matches_rk45_on_smooth_problem() {
+        let build = || {
+            let mut m = Model::new();
+            let c = m.add_block("c", Const(1.0));
+            let i = m.add_block("i", Integ { x0: 0.0 });
+            m.connect(c, 0, i, 0).unwrap();
+            m.probe("x", i, 0).unwrap();
+            m
+        };
+        let run = |integrator| {
+            let mut sim = Simulator::new(
+                build(),
+                SimOptions {
+                    integrator,
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+            sim.run(TimeNs::from_secs(1))
+                .unwrap()
+                .signal("x")
+                .unwrap()
+                .last()
+                .unwrap()
+                .1
+        };
+        let rk45 = run(crate::ode::Integrator::default());
+        let rk4 = run(crate::ode::Integrator::Rk4 { h: 1e-3 });
+        assert!((rk45 - 1.0).abs() < 1e-9);
+        assert!((rk4 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_dt_controls_probe_density() {
+        let build = || {
+            let mut m = Model::new();
+            let c = m.add_block("c", Const(1.0));
+            let i = m.add_block("i", Integ { x0: 0.0 });
+            m.connect(c, 0, i, 0).unwrap();
+            m.probe("x", i, 0).unwrap();
+            m
+        };
+        let samples = |record_dt: f64| {
+            let mut sim = Simulator::new(
+                build(),
+                SimOptions {
+                    record_dt,
+                    ..SimOptions::default()
+                },
+            )
+            .unwrap();
+            sim.run(TimeNs::from_secs(1)).unwrap().signal("x").unwrap().len()
+        };
+        let coarse = samples(0.1);
+        let fine = samples(0.01);
+        assert!(fine > 5 * coarse, "fine {fine} vs coarse {coarse}");
+    }
+
+    #[test]
+    fn probes_capture_discontinuity_at_event() {
+        // A sampler steps its held value at t = 0.5 s; the probe records
+        // both the pre- and post-event values at that instant.
+        let mut m = Model::new();
+        let clk = m.add_block(
+            "clk",
+            Clock {
+                period: TimeNs::from_millis(500),
+            },
+        );
+        m.connect_event(clk, 0, clk, 0).unwrap();
+        let c = m.add_block("c", Const(1.0));
+        let i = m.add_block("i", Integ { x0: 0.0 });
+        m.connect(c, 0, i, 0).unwrap();
+        let s = m.add_block(
+            "s",
+            Sampler {
+                held: -1.0,
+                samples: vec![],
+            },
+        );
+        m.connect(i, 0, s, 0).unwrap();
+        m.connect_event(clk, 0, s, 0).unwrap();
+        m.probe("held", s, 0).unwrap();
+        let mut sim = Simulator::new(m, SimOptions::default()).unwrap();
+        let r = sim.run(TimeNs::from_millis(750)).unwrap();
+        let held = r.signal("held").unwrap();
+        // At t = 0.5 the held value jumps from 0.0 to 0.5.
+        let t_evt = 0.5;
+        let around: Vec<f64> = held
+            .iter()
+            .filter(|(t, _)| (*t - t_evt).abs() < 1e-12)
+            .map(|(_, v)| v)
+            .collect();
+        assert!(
+            around.iter().any(|v| (v - 0.5).abs() < 1e-9),
+            "{around:?}"
+        );
+        assert!((held.sample(0.75).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_mut_allows_retuning_between_runs() {
+        let mut m = Model::new();
+        let c = m.add_block("c", Const(1.0));
+        let i = m.add_block("i", Integ { x0: 0.0 });
+        m.connect(c, 0, i, 0).unwrap();
+        m.probe("x", i, 0).unwrap();
+        let mut sim = Simulator::new(m, SimOptions::default()).unwrap();
+        sim.run(TimeNs::from_millis(500)).unwrap();
+        // Double the source mid-run: the second half integrates at slope 2.
+        sim.model_mut().block_as_mut::<Const>(c).unwrap().0 = 2.0;
+        let r = sim.run(TimeNs::from_secs(1)).unwrap();
+        let x_end = r.signal("x").unwrap().last().unwrap().1;
+        assert!((x_end - 1.5).abs() < 1e-6, "{x_end}");
+    }
+}

@@ -1,0 +1,198 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::time::TimeNs;
+
+/// Errors produced while building or running a simulation model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A block id did not refer to a block of this model.
+    UnknownBlock {
+        /// The offending block index.
+        index: usize,
+    },
+    /// A port index exceeded the block's declared port count.
+    InvalidPort {
+        /// Name of the block whose port was referenced.
+        block: String,
+        /// Port kind: `"input"`, `"output"`, `"event input"`, `"event output"`.
+        kind: &'static str,
+        /// The offending port index.
+        port: usize,
+        /// Number of ports of that kind the block declares.
+        count: usize,
+    },
+    /// A regular input already has a driver (signals are single-writer).
+    InputAlreadyDriven {
+        /// Name of the block whose input is doubly driven.
+        block: String,
+        /// The input port index.
+        port: usize,
+    },
+    /// The feedthrough graph contains an algebraic loop.
+    AlgebraicLoop {
+        /// Names of blocks participating in the cycle.
+        blocks: Vec<String>,
+    },
+    /// A regular input was left unconnected.
+    UnconnectedInput {
+        /// Name of the block with the dangling input.
+        block: String,
+        /// The input port index.
+        port: usize,
+    },
+    /// A block tried to emit on an event-output port it does not declare.
+    InvalidEmit {
+        /// Name of the emitting block.
+        block: String,
+        /// The event-output port index used.
+        port: usize,
+        /// Number of event outputs the block declares.
+        count: usize,
+    },
+    /// A block emitted an event with a negative delay.
+    NegativeDelay {
+        /// Name of the emitting block.
+        block: String,
+        /// The (negative) requested delay.
+        delay: TimeNs,
+    },
+    /// Too many events fired at one instant — almost certainly a zero-delay
+    /// event loop in the model.
+    EventCascadeOverflow {
+        /// The instant at which the cascade diverged.
+        time: TimeNs,
+        /// The cascade limit that was exceeded.
+        limit: usize,
+    },
+    /// The adaptive integrator could not meet its tolerance even at the
+    /// minimum step size.
+    IntegrationFailure {
+        /// Simulation time at which integration failed.
+        time: f64,
+        /// Explanation (step underflow, non-finite derivative, ...).
+        reason: String,
+    },
+    /// A simulation was asked to run backwards or past `TimeNs::MAX`.
+    InvalidHorizon {
+        /// Current simulation time.
+        now: TimeNs,
+        /// Requested end time.
+        until: TimeNs,
+    },
+    /// Model construction data was inconsistent.
+    InvalidModel {
+        /// Explanation of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownBlock { index } => write!(f, "unknown block id {index}"),
+            SimError::InvalidPort {
+                block,
+                kind,
+                port,
+                count,
+            } => write!(
+                f,
+                "block '{block}' has {count} {kind} port(s), index {port} is out of range"
+            ),
+            SimError::InputAlreadyDriven { block, port } => write!(
+                f,
+                "input {port} of block '{block}' is already driven by another signal"
+            ),
+            SimError::AlgebraicLoop { blocks } => {
+                write!(f, "algebraic loop through blocks: {}", blocks.join(" -> "))
+            }
+            SimError::UnconnectedInput { block, port } => {
+                write!(f, "input {port} of block '{block}' is not connected")
+            }
+            SimError::InvalidEmit { block, port, count } => write!(
+                f,
+                "block '{block}' emitted on event output {port} but declares only {count}"
+            ),
+            SimError::NegativeDelay { block, delay } => {
+                write!(f, "block '{block}' emitted an event with negative delay {delay}")
+            }
+            SimError::EventCascadeOverflow { time, limit } => write!(
+                f,
+                "more than {limit} events at instant {time}; the model likely contains a zero-delay event loop"
+            ),
+            SimError::IntegrationFailure { time, reason } => {
+                write!(f, "integration failed at t = {time:.9}s: {reason}")
+            }
+            SimError::InvalidHorizon { now, until } => {
+                write!(f, "cannot run from {now} to earlier/invalid instant {until}")
+            }
+            SimError::InvalidModel { reason } => write!(f, "invalid model: {reason}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        let errs = vec![
+            SimError::UnknownBlock { index: 3 },
+            SimError::InvalidPort {
+                block: "b".into(),
+                kind: "input",
+                port: 2,
+                count: 1,
+            },
+            SimError::InputAlreadyDriven {
+                block: "b".into(),
+                port: 0,
+            },
+            SimError::AlgebraicLoop {
+                blocks: vec!["a".into(), "b".into()],
+            },
+            SimError::UnconnectedInput {
+                block: "b".into(),
+                port: 0,
+            },
+            SimError::InvalidEmit {
+                block: "b".into(),
+                port: 1,
+                count: 0,
+            },
+            SimError::NegativeDelay {
+                block: "b".into(),
+                delay: TimeNs::from_nanos(-5),
+            },
+            SimError::EventCascadeOverflow {
+                time: TimeNs::ZERO,
+                limit: 100,
+            },
+            SimError::IntegrationFailure {
+                time: 0.5,
+                reason: "step underflow".into(),
+            },
+            SimError::InvalidHorizon {
+                now: TimeNs::from_secs(1),
+                until: TimeNs::ZERO,
+            },
+            SimError::InvalidModel {
+                reason: "empty".into(),
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

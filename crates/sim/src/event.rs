@@ -1,0 +1,167 @@
+//! The event calendar: a deterministic priority queue of scheduled
+//! emissions.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::model::BlockId;
+use crate::time::TimeNs;
+
+/// A scheduled emission: at instant `time`, block `emitter` fires its event
+/// output `out_port`, delivering an activation to every connected event
+/// input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledEvent {
+    /// The instant at which the emission fires.
+    pub time: TimeNs,
+    /// Tie-break sequence number (scheduling order) for determinism.
+    pub seq: u64,
+    /// The emitting block.
+    pub emitter: BlockId,
+    /// The emitting block's event-output port.
+    pub out_port: usize,
+}
+
+impl Ord for ScheduledEvent {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (time, seq) pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for ScheduledEvent {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic event calendar ordered by `(time, scheduling order)`.
+///
+/// Two events at the same instant pop in the order they were scheduled,
+/// which makes zero-delay cascades reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use ecl_sim::{EventCalendar, TimeNs};
+/// # use ecl_sim::{Model, Block, PortSpec};
+/// let mut cal = EventCalendar::new();
+/// let b = ecl_sim::BlockId::from_index(0);
+/// cal.schedule(TimeNs::from_millis(2), b, 0);
+/// cal.schedule(TimeNs::from_millis(1), b, 0);
+/// assert_eq!(cal.peek_time(), Some(TimeNs::from_millis(1)));
+/// ```
+#[derive(Debug, Default)]
+pub struct EventCalendar {
+    heap: BinaryHeap<ScheduledEvent>,
+    next_seq: u64,
+}
+
+impl EventCalendar {
+    /// Creates an empty calendar.
+    pub fn new() -> Self {
+        EventCalendar::default()
+    }
+
+    /// Schedules an emission and returns its sequence number.
+    pub fn schedule(&mut self, time: TimeNs, emitter: BlockId, out_port: usize) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent {
+            time,
+            seq,
+            emitter,
+            out_port,
+        });
+        seq
+    }
+
+    /// The instant of the earliest scheduled emission, if any.
+    pub fn peek_time(&self) -> Option<TimeNs> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Removes and returns the earliest emission.
+    pub fn pop(&mut self) -> Option<ScheduledEvent> {
+        self.heap.pop()
+    }
+
+    /// Number of pending emissions.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` if nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes every pending emission.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(i: usize) -> BlockId {
+        BlockId::from_index(i)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = EventCalendar::new();
+        cal.schedule(TimeNs::from_millis(3), blk(0), 0);
+        cal.schedule(TimeNs::from_millis(1), blk(1), 0);
+        cal.schedule(TimeNs::from_millis(2), blk(2), 0);
+        let order: Vec<_> = std::iter::from_fn(|| cal.pop())
+            .map(|e| e.time.as_nanos() / 1_000_000)
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn same_time_pops_in_schedule_order() {
+        let mut cal = EventCalendar::new();
+        let t = TimeNs::from_millis(5);
+        for i in 0..10 {
+            cal.schedule(t, blk(i), 0);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| cal.pop())
+            .map(|e| e.emitter.index())
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut cal = EventCalendar::new();
+        cal.schedule(TimeNs::from_millis(1), blk(0), 0);
+        assert_eq!(cal.peek_time(), Some(TimeNs::from_millis(1)));
+        assert_eq!(cal.len(), 1);
+        assert!(!cal.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut cal = EventCalendar::new();
+        cal.schedule(TimeNs::ZERO, blk(0), 0);
+        cal.clear();
+        assert!(cal.is_empty());
+        assert_eq!(cal.peek_time(), None);
+        assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn seq_numbers_monotone() {
+        let mut cal = EventCalendar::new();
+        let s1 = cal.schedule(TimeNs::ZERO, blk(0), 0);
+        let s2 = cal.schedule(TimeNs::ZERO, blk(0), 0);
+        assert!(s2 > s1);
+    }
+}

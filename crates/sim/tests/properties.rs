@@ -1,0 +1,96 @@
+//! Property-based tests of the simulation kernel.
+
+use ecl_sim::ode::{integrate, Integrator};
+use ecl_sim::{BlockId, EventCalendar, TimeNs};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Time arithmetic is consistent with raw nanosecond arithmetic.
+    #[test]
+    fn time_arithmetic(a in -1_000_000_000i64..1_000_000_000, b in -1_000_000_000i64..1_000_000_000) {
+        let (ta, tb) = (TimeNs::from_nanos(a), TimeNs::from_nanos(b));
+        prop_assert_eq!((ta + tb).as_nanos(), a + b);
+        prop_assert_eq!((ta - tb).as_nanos(), a - b);
+        prop_assert_eq!((-ta).as_nanos(), -a);
+        prop_assert_eq!(ta.max(tb).as_nanos(), a.max(b));
+        prop_assert_eq!(ta.min(tb).as_nanos(), a.min(b));
+        prop_assert_eq!(ta < tb, a < b);
+        prop_assert_eq!(ta.abs().as_nanos(), a.abs());
+    }
+
+    /// from_secs_f64 round-trips within a nanosecond.
+    #[test]
+    fn time_secs_roundtrip(s in -1e6f64..1e6) {
+        let t = TimeNs::from_secs_f64(s);
+        prop_assert!((t.as_secs_f64() - s).abs() <= 1e-9);
+    }
+
+    /// The calendar is a stable priority queue: pops are sorted by time,
+    /// and equal times preserve insertion order.
+    #[test]
+    fn calendar_is_stable_priority_queue(times in proptest::collection::vec(0i64..1000, 1..200)) {
+        let mut cal = EventCalendar::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.schedule(TimeNs::from_nanos(t), BlockId::from_index(i), 0);
+        }
+        let mut last_time = TimeNs::from_nanos(i64::MIN);
+        let mut last_idx_at_time = 0usize;
+        let mut popped = 0usize;
+        while let Some(e) = cal.pop() {
+            popped += 1;
+            prop_assert!(e.time >= last_time);
+            if e.time == last_time {
+                prop_assert!(e.emitter.index() > last_idx_at_time, "stability violated");
+            }
+            last_time = e.time;
+            last_idx_at_time = e.emitter.index();
+        }
+        prop_assert_eq!(popped, times.len());
+    }
+
+    /// Linear ODE ẋ = a·x integrates to the exact exponential for any
+    /// stable rate and any span.
+    #[test]
+    fn linear_ode_matches_exponential(a in -5.0f64..-0.01, span in 0.01f64..5.0) {
+        let mut f = |_t: f64, x: &[f64], dx: &mut [f64]| dx[0] = a * x[0];
+        let mut x = vec![1.0];
+        integrate(&mut f, 0.0, span, &mut x, Integrator::default()).expect("integrates");
+        let expect = (a * span).exp();
+        prop_assert!((x[0] - expect).abs() < 1e-6 * expect.max(1e-3), "{} vs {expect}", x[0]);
+    }
+
+    /// Integration is additive over subintervals: integrating [0, t1] then
+    /// [t1, t2] equals integrating [0, t2] (well within tolerance).
+    #[test]
+    fn integration_additive(t1 in 0.1f64..1.0, dt in 0.1f64..1.0) {
+        let f = |t: f64, x: &[f64], dx: &mut [f64]| {
+            dx[0] = (t).sin() - 0.5 * x[0];
+        };
+        let t2 = t1 + dt;
+        let mut x_split = vec![1.0];
+        let mut f1 = f;
+        integrate(&mut f1, 0.0, t1, &mut x_split, Integrator::default()).expect("ok");
+        integrate(&mut f1, t1, t2, &mut x_split, Integrator::default()).expect("ok");
+        let mut x_whole = vec![1.0];
+        integrate(&mut f1, 0.0, t2, &mut x_whole, Integrator::default()).expect("ok");
+        prop_assert!((x_split[0] - x_whole[0]).abs() < 1e-6);
+    }
+
+    /// RK4 with a small step agrees with adaptive RK45.
+    #[test]
+    fn rk4_agrees_with_rk45(omega in 0.5f64..5.0) {
+        let mut f = |_t: f64, x: &[f64], dx: &mut [f64]| {
+            dx[0] = x[1];
+            dx[1] = -omega * omega * x[0];
+        };
+        let mut a = vec![1.0, 0.0];
+        let mut b = vec![1.0, 0.0];
+        integrate(&mut f, 0.0, 2.0, &mut a, Integrator::Rk4 { h: 1e-3 }).expect("ok");
+        integrate(&mut f, 0.0, 2.0, &mut b, Integrator::default()).expect("ok");
+        prop_assert!((a[0] - b[0]).abs() < 1e-5, "{} vs {}", a[0], b[0]);
+        // Both match the analytic cos(w t).
+        prop_assert!((a[0] - (2.0 * omega).cos()).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,116 @@
+//! Working from a `.sdx` project file: parse, analyse, schedule, report.
+//!
+//! SynDEx workflows start from versioned text files describing the
+//! algorithm, the architecture and the timing characterization. This
+//! example parses such a file, runs the adequation, and prints the
+//! schedule analysis (critical path, speedup, utilization) with an ASCII
+//! Gantt chart — then round-trips the project back to text.
+//!
+//! Run with `cargo run --example sdx_project`.
+
+use eclipse_codesign::aaa::{adequation, analysis, sdx, AdequationOptions};
+
+const PROJECT: &str = r"
+# engine-control subsystem, 2 ECUs + CAN
+algorithm
+  sensor   rpm
+  sensor   manifold_pressure
+  sensor   lambda
+  function filter_rpm
+  function filter_map
+  function fuel_calc
+  function spark_calc
+  actuator injector
+  actuator coil
+  edge rpm -> filter_rpm : 4
+  edge manifold_pressure -> filter_map : 4
+  edge filter_rpm -> fuel_calc : 4
+  edge filter_map -> fuel_calc : 4
+  edge lambda -> fuel_calc : 4
+  edge filter_rpm -> spark_calc : 4
+  edge fuel_calc -> injector : 4
+  edge spark_calc -> coil : 4
+end
+
+architecture
+  processor engine_ecu : cortex-m
+  processor body_ecu   : cortex-m
+  bus can : engine_ecu body_ecu : latency 120us rate 8us
+end
+
+timing
+  default rpm = 40us
+  default manifold_pressure = 40us
+  default lambda = 60us
+  default filter_rpm = 250us
+  default filter_map = 250us
+  default fuel_calc = 700us
+  default spark_calc = 400us
+  default injector = 50us
+  default coil = 50us
+  forbid rpm @ body_ecu
+  forbid injector @ body_ecu
+  forbid coil @ body_ecu
+end
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let project = sdx::from_sdx(PROJECT)?;
+    println!(
+        "parsed project: {} operations, {} processors, {} media",
+        project.algorithm.len(),
+        project.architecture.num_processors(),
+        project.architecture.num_media()
+    );
+
+    let schedule = adequation(
+        &project.algorithm,
+        &project.architecture,
+        &project.timing,
+        AdequationOptions::default(),
+    )?;
+    schedule.validate(&project.algorithm, &project.architecture)?;
+
+    let report = analysis::report(
+        &schedule,
+        &project.algorithm,
+        &project.architecture,
+        &project.timing,
+    )?;
+    println!("\n== schedule analysis ==");
+    println!("makespan        : {}", report.makespan);
+    println!("critical path   : {}", report.critical_path);
+    println!("sequential time : {}", report.sequential_time);
+    println!("speedup         : {:.2}x", report.speedup);
+    println!("vs lower bound  : {:.2}x", report.efficiency_vs_bound);
+    println!("comm time       : {}", report.comm_time);
+    for (p, u) in &report.utilization {
+        println!(
+            "utilization {:<12}: {:.0}%",
+            project.architecture.proc_name(*p),
+            u * 100.0
+        );
+    }
+
+    println!("\n== gantt ==");
+    print!(
+        "{}",
+        analysis::gantt(&schedule, &project.algorithm, &project.architecture, 60)
+    );
+
+    println!("\n== schedule ==");
+    print!(
+        "{}",
+        schedule.render(&project.algorithm, &project.architecture)
+    );
+
+    // Round-trip: the project serializes back to .sdx text.
+    let text = sdx::to_sdx(&project);
+    let reparsed = sdx::from_sdx(&text)?;
+    println!(
+        "round-trip: {} ops preserved, text form {} lines",
+        reparsed.algorithm.len(),
+        text.lines().count()
+    );
+    Ok(())
+}

@@ -1,0 +1,239 @@
+//! Cross-crate integration tests: the full methodology pipeline on the
+//! benchmark plants.
+
+use eclipse_codesign::aaa::{
+    adequation, AdequationOptions, ArchitectureGraph, ProcId, TimeNs,
+};
+use eclipse_codesign::control::{c2d_zoh, dlqr, plants};
+use eclipse_codesign::core::cosim::{self, DisturbanceKind, LoopSpec};
+use eclipse_codesign::core::lifecycle::{self, LifecycleInputs};
+use eclipse_codesign::core::translate::{uniform_timing, ControlLawSpec};
+use eclipse_codesign::linalg::Mat;
+
+fn us(v: i64) -> TimeNs {
+    TimeNs::from_micros(v)
+}
+
+/// Builds a 2-ECU bus architecture with I/O pinned on `ecu0` and compute
+/// pinned on `ecu1`.
+fn split_target(
+    law: &ControlLawSpec,
+    bus_latency: TimeNs,
+    compute_wcet: TimeNs,
+) -> (
+    eclipse_codesign::aaa::AlgorithmGraph,
+    eclipse_codesign::core::translate::IoMap,
+    ArchitectureGraph,
+    eclipse_codesign::aaa::TimingDb,
+    (ProcId, ProcId),
+) {
+    let (alg, io) = law.to_algorithm().expect("valid law");
+    let mut arch = ArchitectureGraph::new();
+    let p0 = arch.add_processor("ecu0", "arm");
+    let p1 = arch.add_processor("ecu1", "arm");
+    arch.add_bus("can", &[p0, p1], bus_latency, us(10))
+        .expect("valid bus");
+    let mut db = uniform_timing(&alg, &io, us(200), compute_wcet);
+    for &s in io.sensors.iter().chain(&io.actuators) {
+        db.forbid(s, p1);
+    }
+    for &f in &io.stages {
+        db.forbid(f, p0);
+    }
+    (alg, io, arch, db, (p0, p1))
+}
+
+fn dc_motor_loop(aggressive: bool) -> LoopSpec {
+    let plant = plants::dc_motor();
+    let dss = c2d_zoh(&plant.sys, plant.ts).expect("discretizable");
+    let (q, r) = if aggressive {
+        (Mat::diag(&[10.0, 1.0]), Mat::diag(&[1e-3]))
+    } else {
+        (Mat::identity(2), Mat::diag(&[0.1]))
+    };
+    let lqr = dlqr(&dss, &q, &r).expect("stabilizable");
+    LoopSpec {
+        plant: plant.sys,
+        n_controls: 1,
+        x0: vec![1.0, 0.0],
+        feedback: lqr.k,
+        input_memory: None,
+        ts: plant.ts,
+        horizon: 1.5,
+        q_weight: 1.0,
+        r_weight: 1e-3,
+        disturbance: DisturbanceKind::None,
+    }
+}
+
+#[test]
+fn cost_increases_monotonically_with_bus_latency() {
+    let spec = dc_motor_loop(true);
+    let law = ControlLawSpec::monolithic("lqr", 2, 1);
+    let mut costs = Vec::new();
+    for bus_ms in [1, 5, 10] {
+        let (alg, io, arch, db, _) =
+            split_target(&law, TimeNs::from_millis(bus_ms), TimeNs::from_millis(10));
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).expect("ok");
+        let r = cosim::run_scheduled(&spec, &alg, &io, &schedule, &arch).expect("cosim ok");
+        costs.push(r.cost);
+    }
+    assert!(
+        costs[0] < costs[1] && costs[1] < costs[2],
+        "costs should increase with latency: {costs:?}"
+    );
+}
+
+#[test]
+fn ideal_is_cheaper_than_any_implementation() {
+    let spec = dc_motor_loop(true);
+    let ideal = cosim::run_ideal(&spec).expect("ideal ok");
+    let law = ControlLawSpec::monolithic("lqr", 2, 1);
+    let (alg, io, arch, db, _) =
+        split_target(&law, TimeNs::from_millis(5), TimeNs::from_millis(10));
+    let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).expect("ok");
+    let implemented = cosim::run_scheduled(&spec, &alg, &io, &schedule, &arch).expect("ok");
+    assert!(ideal.cost < implemented.cost);
+}
+
+#[test]
+fn latency_report_matches_schedule_instants() {
+    // The co-simulated sampling/actuation latencies must equal the
+    // schedule's sensor/actuator completion instants (deterministic,
+    // unconditioned law).
+    let spec = dc_motor_loop(false);
+    let law = ControlLawSpec::monolithic("lqr", 2, 1);
+    let (alg, io, arch, db, _) =
+        split_target(&law, TimeNs::from_millis(2), TimeNs::from_millis(5));
+    let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).expect("ok");
+    let r = cosim::run_scheduled(&spec, &alg, &io, &schedule, &arch).expect("ok");
+    let report = r.latency_report().expect("aligned");
+    for (j, &s_op) in io.sensors.iter().enumerate() {
+        let end = schedule.slot(s_op).expect("scheduled").end;
+        let stats = report.sampling[j].stats().expect("non-empty");
+        assert_eq!(stats.min, end, "Ls[{j}]");
+        assert_eq!(stats.max, end, "Ls[{j}]");
+    }
+    for (j, &a_op) in io.actuators.iter().enumerate() {
+        let end = schedule.slot(a_op).expect("scheduled").end;
+        let stats = report.actuation[j].stats().expect("non-empty");
+        assert_eq!(stats.min, end, "La[{j}]");
+        assert_eq!(stats.jitter, TimeNs::ZERO);
+    }
+}
+
+#[test]
+fn lifecycle_on_pendulum_survives_instability() {
+    // The inverted pendulum is open-loop unstable: the loop must still be
+    // stabilized by the nominal design under moderate latency.
+    let plant = plants::inverted_pendulum();
+    let law = ControlLawSpec::monolithic("pend", 4, 1);
+    let (alg, io) = law.to_algorithm().expect("ok");
+    let mut arch = ArchitectureGraph::new();
+    let p0 = arch.add_processor("ecu0", "arm");
+    let _p1 = arch.add_processor("ecu1", "arm");
+    let p1 = _p1;
+    arch.add_bus("can", &[p0, p1], us(100), us(2)).expect("ok");
+    let mut db = uniform_timing(&alg, &io, us(50), us(500));
+    for &s in io.sensors.iter().chain(&io.actuators) {
+        db.forbid(s, p1);
+    }
+    db.forbid(io.stages[0], p0);
+    let inputs = LifecycleInputs {
+        plant: plant.sys.clone(),
+        n_controls: 1,
+        x0: vec![0.0, 0.0, 0.1, 0.0], // 0.1 rad initial tilt
+        ts: plant.ts,
+        horizon: 3.0,
+        lqr_q: Mat::diag(&[1.0, 1.0, 10.0, 1.0]),
+        lqr_r: Mat::diag(&[0.1]),
+        q_weight: 1.0,
+        r_weight: 0.01,
+        law,
+        arch,
+        db,
+        adequation: AdequationOptions::default(),
+        disturbance: DisturbanceKind::None,
+    };
+    let rep = lifecycle::run(&inputs).expect("lifecycle ok");
+    // Stabilized: the angle returns near zero at the horizon in all runs.
+    for r in [&rep.ideal, &rep.implemented, &rep.calibrated] {
+        let theta = r.result.signal("x2").expect("probed");
+        assert!(
+            theta.last().expect("non-empty").1.abs() < 0.02,
+            "pendulum angle did not settle: {}",
+            theta.last().expect("non-empty").1
+        );
+    }
+    assert!(rep.deadlock_free);
+}
+
+#[test]
+fn calibration_never_hurts_on_heavy_latency() {
+    let plant = plants::dc_motor();
+    let law = ControlLawSpec::monolithic("lqr", 2, 1);
+    let (alg, io, arch, db, _) =
+        split_target(&law, TimeNs::from_millis(8), TimeNs::from_millis(18));
+    let _ = (alg, io);
+    let inputs = LifecycleInputs {
+        plant: plant.sys.clone(),
+        n_controls: 1,
+        x0: vec![1.0, 0.0],
+        ts: plant.ts,
+        horizon: 1.5,
+        lqr_q: Mat::diag(&[10.0, 1.0]),
+        lqr_r: Mat::diag(&[1e-3]),
+        q_weight: 1.0,
+        r_weight: 1e-3,
+        law,
+        arch,
+        db,
+        adequation: AdequationOptions::default(),
+        disturbance: DisturbanceKind::None,
+    };
+    let rep = lifecycle::run(&inputs).expect("lifecycle ok");
+    assert!(
+        rep.calibrated.cost <= rep.implemented.cost * 1.001,
+        "calibrated {} vs implemented {}",
+        rep.calibrated.cost,
+        rep.implemented.cost
+    );
+}
+
+#[test]
+fn noise_rejection_reproducible_across_runs() {
+    // Seeded disturbances make whole co-simulations bit-reproducible.
+    let plant = plants::quarter_car();
+    let dss = c2d_zoh(&plant.sys, plant.ts).expect("ok");
+    // Control channel only for synthesis.
+    let b1 = plant.sys.b().block(0, 0, 4, 1).expect("ok");
+    let ctrl_sys = eclipse_codesign::control::StateSpace::new(
+        plant.sys.a().clone(),
+        b1,
+        plant.sys.c().clone(),
+        Mat::zeros(2, 1),
+    )
+    .expect("ok");
+    let dss1 = c2d_zoh(&ctrl_sys, plant.ts).expect("ok");
+    let _ = dss;
+    let lqr = dlqr(&dss1, &Mat::identity(4), &Mat::diag(&[1e-5])).expect("ok");
+    let spec = LoopSpec {
+        plant: plant.sys,
+        n_controls: 1,
+        x0: vec![0.0; 4],
+        feedback: lqr.k,
+        input_memory: None,
+        ts: plant.ts,
+        horizon: 0.3,
+        q_weight: 1.0,
+        r_weight: 1e-9,
+        disturbance: DisturbanceKind::Noise {
+            std_dev: 0.1,
+            seed: 77,
+        },
+    };
+    let a = cosim::run_ideal(&spec).expect("ok");
+    let b = cosim::run_ideal(&spec).expect("ok");
+    assert_eq!(a.cost.to_bits(), b.cost.to_bits(), "bit-reproducible");
+    assert!(a.cost > 0.0);
+}

@@ -1,0 +1,162 @@
+//! Executable reproductions of the paper's figures as assertions
+//! (the quantitative versions live in `crates/bench/src/bin`).
+
+use eclipse_codesign::aaa::{
+    adequation, AdequationOptions, AlgorithmGraph, ArchitectureGraph, TimeNs, TimingDb,
+};
+use eclipse_codesign::blocks::{add_clock, Constant, EventDelay, SampleHold, Scope, Synchronization};
+use eclipse_codesign::core::delays::{self, ConditionSource, DelayGraphConfig};
+use eclipse_codesign::sim::{Model, SimOptions, Simulator};
+
+fn us(v: i64) -> TimeNs {
+    TimeNs::from_micros(v)
+}
+
+/// Fig. 2 — plant/controller interconnection under the stroboscopic
+/// model: sampling and actuation happen at the same instant, every period.
+#[test]
+fn fig2_stroboscopic_model_samples_and_actuates_together() {
+    let mut m = Model::new();
+    let clk = add_clock(&mut m, "clk", TimeNs::from_millis(10), TimeNs::ZERO).expect("ok");
+    let src = m.add_block("src", Constant::new(1.0));
+    let sample = m.add_block("sample", SampleHold::new(0.0));
+    let hold = m.add_block("hold", SampleHold::new(0.0));
+    m.connect(src, 0, sample, 0).expect("ok");
+    m.connect(sample, 0, hold, 0).expect("ok");
+    m.connect_event(clk, 0, sample, 0).expect("ok");
+    m.connect_event(clk, 0, hold, 0).expect("ok");
+    let mut sim = Simulator::new(m, SimOptions::default()).expect("ok");
+    let r = sim.run(TimeNs::from_millis(50)).expect("ok");
+    let s_times = r.activation_times(sample, Some(0));
+    let h_times = r.activation_times(hold, Some(0));
+    assert_eq!(s_times, h_times, "stroboscopic: same instants");
+    assert_eq!(s_times.len(), 6);
+    assert!(s_times
+        .iter()
+        .enumerate()
+        .all(|(k, &t)| t == TimeNs::from_millis(10) * k as i64));
+}
+
+/// Fig. 4 — sequencing: a chain of Event Delay blocks reproduces the
+/// SynDEx schedule's start/completion instants (F1: 5 ms, F2: 3 ms,
+/// F3: 2 ms).
+#[test]
+fn fig4_sequencing_translation() {
+    let mut m = Model::new();
+    let clk = add_clock(&mut m, "clk", TimeNs::from_millis(100), TimeNs::ZERO).expect("ok");
+    let f1 = m.add_block("F1", EventDelay::new(TimeNs::from_millis(5)).expect("ok"));
+    let f2 = m.add_block("F2", EventDelay::new(TimeNs::from_millis(3)).expect("ok"));
+    let f3 = m.add_block("F3", EventDelay::new(TimeNs::from_millis(2)).expect("ok"));
+    m.connect_event(clk, 0, f1, 0).expect("ok");
+    m.connect_event(f1, 0, f2, 0).expect("ok");
+    m.connect_event(f2, 0, f3, 0).expect("ok");
+    let probe = m.add_block("probe", Synchronization::new(1).expect("ok"));
+    m.connect_event(f3, 0, probe, 0).expect("ok");
+    let mut sim = Simulator::new(m, SimOptions::default()).expect("ok");
+    let r = sim.run(TimeNs::from_millis(100)).expect("ok");
+    // F2 completes at 8 ms (delivered to F3), F3 completes at 10 ms.
+    assert_eq!(
+        r.activation_times(f3, Some(0)),
+        vec![TimeNs::from_millis(8)]
+    );
+    assert_eq!(
+        r.activation_times(probe, Some(0)),
+        vec![TimeNs::from_millis(10)]
+    );
+}
+
+/// Fig. 5 — conditioning: the Event Select routes each period's activation
+/// through the branch chosen by the condition mapping, and the branch
+/// durations differ.
+#[test]
+fn fig5_conditioning_translation() {
+    let mut alg = AlgorithmGraph::new();
+    let cond = alg.add_function("cond");
+    let br0 = alg.add_function("then");
+    let br1 = alg.add_function("else");
+    alg.set_condition(br0, cond, 0).expect("ok");
+    alg.set_condition(br1, cond, 1).expect("ok");
+    let sink = alg.add_function("sink");
+    alg.add_edge(br0, sink, 1).expect("ok");
+    alg.add_edge(br1, sink, 1).expect("ok");
+    let mut arch = ArchitectureGraph::new();
+    arch.add_processor("p0", "arm");
+    let mut db = TimingDb::new();
+    db.set_default(cond, us(100));
+    db.set_default(br0, us(500));
+    db.set_default(br1, us(2500));
+    db.set_default(sink, us(100));
+    let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).expect("ok");
+
+    // Condition flips with a square signal: first period branch 0, later
+    // periods branch 1 (step at 4 ms with period 10 ms).
+    let mut model = Model::new();
+    let step = model.add_block(
+        "step",
+        eclipse_codesign::blocks::Step::new(0.004, 0.0, 1.0),
+    );
+    let mut cfg = DelayGraphConfig::default();
+    cfg.condition_sources.insert(
+        cond,
+        ConditionSource {
+            block: step,
+            output: 0,
+            mapping: Box::new(|v| v as usize),
+        },
+    );
+    let dg = delays::build(
+        &mut model,
+        &alg,
+        &arch,
+        &schedule,
+        TimeNs::from_millis(10),
+        cfg,
+    )
+    .expect("ok");
+    let c = model.add_block("c", Constant::new(0.0));
+    let sc = model.add_block("sc", Scope::new());
+    model.connect(c, 0, sc, 0).expect("ok");
+    dg.activate_on_completion(&mut model, sink, sc, 0).expect("ok");
+    let mut sim = Simulator::new(model, SimOptions::default()).expect("ok");
+    let r = sim.run(TimeNs::from_millis(25)).expect("ok");
+    let t = r.activation_times(sc, Some(0));
+    // Period 0 (cond = 0, then-branch): 100 + 500 + 100 us = 700 us.
+    // Periods 1, 2 (cond = 1, else-branch): 100 + 2500 + 100 us = 2.7 ms.
+    assert_eq!(
+        t,
+        vec![
+            us(700),
+            TimeNs::from_millis(10) + us(2700),
+            TimeNs::from_millis(20) + us(2700)
+        ]
+    );
+}
+
+/// §3.2.3 — the Synchronization block fires at the last of its inputs and
+/// resets, period after period.
+#[test]
+fn synchronization_block_rendezvous() {
+    let mut m = Model::new();
+    let clk = add_clock(&mut m, "clk", TimeNs::from_millis(10), TimeNs::ZERO).expect("ok");
+    let fast = m.add_block("fast", EventDelay::new(us(500)).expect("ok"));
+    let slow = m.add_block("slow", EventDelay::new(us(4500)).expect("ok"));
+    m.connect_event(clk, 0, fast, 0).expect("ok");
+    m.connect_event(clk, 0, slow, 0).expect("ok");
+    let sync = m.add_block("sync", Synchronization::new(2).expect("ok"));
+    m.connect_event(fast, 0, sync, 0).expect("ok");
+    m.connect_event(slow, 0, sync, 1).expect("ok");
+    let probe = m.add_block("probe", Synchronization::new(1).expect("ok"));
+    m.connect_event(sync, 0, probe, 0).expect("ok");
+    let mut sim = Simulator::new(m, SimOptions::default()).expect("ok");
+    let r = sim.run(TimeNs::from_millis(30)).expect("ok");
+    assert_eq!(
+        r.activation_times(probe, Some(0)),
+        vec![
+            us(4500),
+            TimeNs::from_millis(10) + us(4500),
+            TimeNs::from_millis(20) + us(4500),
+        ]
+    );
+    let sync_ref = sim.model().block_as::<Synchronization>(sync).expect("ok");
+    assert_eq!(sync_ref.fired(), 3);
+}

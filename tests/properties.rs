@@ -1,0 +1,295 @@
+//! Property-based tests over the core invariants, spanning crates.
+
+use eclipse_codesign::aaa::codegen;
+use eclipse_codesign::aaa::{
+    adequation, AdequationOptions, AlgorithmGraph, ArchitectureGraph, MappingPolicy, OpId,
+    TimeNs, TimingDb,
+};
+use eclipse_codesign::blocks::{Constant, Scope};
+use eclipse_codesign::control::{c2d_zoh, StateSpace};
+use eclipse_codesign::core::delays::{self, DelayGraphConfig};
+use eclipse_codesign::linalg::{expm, lu, Mat};
+use eclipse_codesign::sim::{Model, SimOptions, Simulator};
+use proptest::prelude::*;
+
+/// Strategy: a random layered DAG with `n` operations.
+fn random_algorithm(max_ops: usize) -> impl Strategy<Value = (AlgorithmGraph, Vec<(usize, usize)>)> {
+    (2..max_ops)
+        .prop_flat_map(|n| {
+            let edges = proptest::collection::vec((0..n, 0..n), 0..3 * n);
+            (Just(n), edges)
+        })
+        .prop_map(|(n, raw_edges)| {
+            let mut alg = AlgorithmGraph::new();
+            let ids: Vec<OpId> = (0..n)
+                .map(|i| match i % 5 {
+                    0 => alg.add_sensor(format!("s{i}")),
+                    4 => alg.add_actuator(format!("a{i}")),
+                    _ => alg.add_function(format!("f{i}")),
+                })
+                .collect();
+            let mut kept = Vec::new();
+            for (a, b) in raw_edges {
+                // Orient edges forward to guarantee a DAG; skip dups/loops.
+                let (lo, hi) = (a.min(b), a.max(b));
+                if lo == hi {
+                    continue;
+                }
+                if alg.add_edge(ids[lo], ids[hi], 1 + (lo as u32 % 4)).is_ok() {
+                    kept.push((lo, hi));
+                }
+            }
+            (alg, kept)
+        })
+}
+
+fn arch_with(n_procs: usize, latency_us: i64) -> ArchitectureGraph {
+    let mut arch = ArchitectureGraph::new();
+    let ps: Vec<_> = (0..n_procs)
+        .map(|i| arch.add_processor(format!("p{i}"), "arm"))
+        .collect();
+    if n_procs > 1 {
+        arch.add_bus(
+            "bus",
+            &ps,
+            TimeNs::from_micros(latency_us),
+            TimeNs::from_micros(1),
+        )
+        .expect("valid bus");
+    }
+    arch
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any adequation result passes full structural validation, for every
+    /// policy and any processor count.
+    #[test]
+    fn adequation_always_produces_valid_schedules(
+        (alg, _) in random_algorithm(14),
+        n_procs in 1usize..4,
+        latency in 0i64..500,
+        wcet in 10i64..1000,
+        policy in prop_oneof![
+            Just(MappingPolicy::SchedulePressure),
+            Just(MappingPolicy::EarliestFinish),
+            (0u64..1000).prop_map(|seed| MappingPolicy::Random { seed }),
+        ],
+    ) {
+        let arch = arch_with(n_procs, latency);
+        let mut db = TimingDb::new();
+        for op in alg.ops() {
+            db.set_default(op, TimeNs::from_micros(wcet));
+        }
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions { policy })
+            .expect("uniform WCETs always schedulable");
+        schedule.validate(&alg, &arch).expect("structurally valid");
+        // Makespan at least the critical path lower bound: longest chain
+        // times the WCET.
+        prop_assert!(schedule.makespan() >= TimeNs::from_micros(wcet));
+        // And no longer than fully sequential plus all communications.
+        let sequential = TimeNs::from_micros(wcet) * alg.len() as i64;
+        let comm_total: TimeNs = schedule.comms().iter().map(|c| c.end - c.start).sum();
+        prop_assert!(schedule.makespan() <= sequential + comm_total);
+    }
+
+    /// Generated executives never deadlock.
+    #[test]
+    fn generated_executives_deadlock_free(
+        (alg, _) in random_algorithm(12),
+        n_procs in 1usize..4,
+    ) {
+        let arch = arch_with(n_procs, 50);
+        let mut db = TimingDb::new();
+        for op in alg.ops() {
+            db.set_default(op, TimeNs::from_micros(100));
+        }
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default())
+            .expect("schedulable");
+        let generated = codegen::generate(&schedule, &alg, &arch).expect("generated");
+        prop_assert!(codegen::check_deadlock_free(&generated.executives));
+        // And the timed replay of the generated code re-derives the
+        // schedule's completion instants exactly.
+        let replayed = codegen::replay(&generated, &arch).expect("replay ok");
+        for (op, proc, end) in &replayed.op_end {
+            let slot = schedule.slot(*op).expect("scheduled");
+            prop_assert_eq!(slot.proc, *proc);
+            prop_assert_eq!(slot.end, *end, "op {}", op);
+        }
+        prop_assert_eq!(replayed.makespan, schedule.makespan());
+    }
+
+    /// exp(A)·exp(−A) = I for random well-scaled matrices.
+    #[test]
+    fn expm_inverse_identity(entries in proptest::collection::vec(-2.0f64..2.0, 9)) {
+        let a = Mat::from_vec(3, 3, entries).expect("9 entries");
+        let e = expm(&a).expect("finite");
+        let einv = expm(&a.scaled(-1.0)).expect("finite");
+        let prod = e.matmul(&einv).expect("conformable");
+        prop_assert!(prod.approx_eq(&Mat::identity(3), 1e-6), "{prod:?}");
+    }
+
+    /// LU solve yields residuals at machine-precision scale for
+    /// diagonally dominant systems.
+    #[test]
+    fn lu_solve_small_residual(
+        entries in proptest::collection::vec(-1.0f64..1.0, 16),
+        rhs in proptest::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let mut a = Mat::from_vec(4, 4, entries).expect("16 entries");
+        for i in 0..4 {
+            a[(i, i)] += 8.0; // diagonal dominance => well-conditioned
+        }
+        let x = lu::solve(&a, &rhs).expect("nonsingular");
+        let back = a.matvec(&x).expect("conformable");
+        for (b, r) in back.iter().zip(&rhs) {
+            prop_assert!((b - r).abs() < 1e-9, "residual {}", (b - r).abs());
+        }
+    }
+
+    /// ZOH discretization of a stable diagonal system preserves stability
+    /// and matches the scalar closed form on the diagonal.
+    #[test]
+    fn zoh_matches_scalar_closed_form(
+        poles in proptest::collection::vec(-5.0f64..-0.1, 3),
+        ts in 0.001f64..0.5,
+    ) {
+        let sys = StateSpace::new(
+            Mat::diag(&poles),
+            Mat::from_vec(3, 1, vec![1.0, 1.0, 1.0]).expect("ok"),
+            Mat::from_vec(1, 3, vec![1.0, 0.0, 0.0]).expect("ok"),
+            Mat::zeros(1, 1),
+        ).expect("consistent");
+        let d = c2d_zoh(&sys, ts).expect("ok");
+        for (i, &p) in poles.iter().enumerate() {
+            let ad = d.a()[(i, i)];
+            prop_assert!((ad - (p * ts).exp()).abs() < 1e-9);
+            prop_assert!(ad.abs() < 1.0, "stability preserved");
+            let bd = d.b()[(i, 0)];
+            let expect = ((p * ts).exp() - 1.0) / p;
+            prop_assert!((bd - expect).abs() < 1e-9);
+        }
+    }
+
+    /// `.sdx` round-trip: any project renders to text and parses back to
+    /// a project that schedules identically.
+    #[test]
+    fn sdx_roundtrip_preserves_schedules(
+        (alg, _) in random_algorithm(12),
+        n_procs in 1usize..4,
+        wcet in 10i64..1000,
+    ) {
+        use eclipse_codesign::aaa::sdx::{from_sdx, to_sdx, Project};
+        let arch = arch_with(n_procs, 25);
+        let mut db = TimingDb::new();
+        for op in alg.ops() {
+            db.set_default(op, TimeNs::from_micros(wcet));
+        }
+        let project = Project {
+            algorithm: alg,
+            architecture: arch,
+            timing: db,
+        };
+        let parsed = from_sdx(&to_sdx(&project)).expect("round-trip parses");
+        let a = adequation(
+            &project.algorithm,
+            &project.architecture,
+            &project.timing,
+            AdequationOptions::default(),
+        )
+        .expect("original schedulable");
+        let b = adequation(
+            &parsed.algorithm,
+            &parsed.architecture,
+            &parsed.timing,
+            AdequationOptions::default(),
+        )
+        .expect("parsed schedulable");
+        prop_assert_eq!(a.ops(), b.ops());
+        prop_assert_eq!(a.comms(), b.comms());
+    }
+
+    /// **The headline fidelity property**: for any (unconditioned)
+    /// algorithm graph and any target, the graph of delays reproduces the
+    /// static schedule's completion instants *exactly* (integer-ns), for
+    /// every operation, over several periods.
+    #[test]
+    fn delay_graph_reproduces_any_schedule(
+        (alg, _) in random_algorithm(10),
+        n_procs in 1usize..4,
+        latency in 0i64..300,
+        wcet in 20i64..500,
+    ) {
+        let arch = arch_with(n_procs, latency);
+        let mut db = TimingDb::new();
+        for op in alg.ops() {
+            db.set_default(op, TimeNs::from_micros(wcet));
+        }
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default())
+            .expect("schedulable");
+        // Period: makespan plus slack.
+        let period = schedule.makespan() + TimeNs::from_micros(100);
+        let mut model = Model::new();
+        let dg = delays::build(
+            &mut model,
+            &alg,
+            &arch,
+            &schedule,
+            period,
+            DelayGraphConfig::default(),
+        )
+        .expect("delay graph built");
+        let c = model.add_block("c", Constant::new(0.0));
+        let mut scopes = Vec::new();
+        for op in alg.ops() {
+            let sc = model.add_block(format!("sc{}", op.index()), Scope::new());
+            model.connect(c, 0, sc, 0).expect("wired");
+            dg.activate_on_completion(&mut model, op, sc, 0).expect("wired");
+            scopes.push((op, sc));
+        }
+        let periods = 3i64;
+        let mut sim = Simulator::new(model, SimOptions::default()).expect("valid model");
+        let r = sim
+            .run(period * periods - TimeNs::from_nanos(1))
+            .expect("simulates");
+        for (op, sc) in scopes {
+            let end = schedule.slot(op).expect("scheduled").end;
+            let observed = r.activation_times(sc, Some(0));
+            prop_assert_eq!(observed.len() as i64, periods, "op {}", op);
+            for (k, &t) in observed.iter().enumerate() {
+                prop_assert_eq!(t, end + period * k as i64, "op {} period {}", op, k);
+            }
+        }
+    }
+
+    /// The schedule's per-processor sequences are gap-consistent: an
+    /// operation never starts before the previous one ends, and I/O
+    /// instants are within the makespan.
+    #[test]
+    fn schedule_sequences_are_ordered(
+        (alg, _) in random_algorithm(10),
+        n_procs in 1usize..3,
+    ) {
+        let arch = arch_with(n_procs, 20);
+        let mut db = TimingDb::new();
+        for op in alg.ops() {
+            db.set_default(op, TimeNs::from_micros(50));
+        }
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default())
+            .expect("schedulable");
+        for p in arch.processors() {
+            let seq = schedule.proc_sequence(p);
+            for w in seq.windows(2) {
+                prop_assert!(w[0].end <= w[1].start);
+            }
+        }
+        for (_, t) in schedule
+            .sensor_instants(&alg)
+            .into_iter()
+            .chain(schedule.actuator_instants(&alg))
+        {
+            prop_assert!(t <= schedule.makespan());
+        }
+    }
+}
