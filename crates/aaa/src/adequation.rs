@@ -349,8 +349,7 @@ pub fn adequation(
                     .iter()
                     .copied()
                     .filter(|&p| {
-                        db.wcet(c, p).is_some()
-                            && matches!(state.evaluate(c, p), Ok(Some(_)))
+                        db.wcet(c, p).is_some() && matches!(state.evaluate(c, p), Ok(Some(_)))
                     })
                     .collect();
                 (c, able[rng.below(able.len())])
@@ -360,7 +359,11 @@ pub fn adequation(
         remaining -= 1;
     }
 
-    let ops = state.placed.into_iter().map(|s| s.expect("all placed")).collect();
+    let ops = state
+        .placed
+        .into_iter()
+        .map(|s| s.expect("all placed"))
+        .collect();
     Ok(Schedule::from_parts(ops, state.comms))
 }
 

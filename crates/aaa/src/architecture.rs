@@ -309,7 +309,12 @@ mod tests {
     fn bus_connects_processors() {
         let (mut arch, a, b) = two_ecus();
         let bus = arch
-            .add_bus("can", &[a, b], TimeNs::from_micros(100), TimeNs::from_micros(10))
+            .add_bus(
+                "can",
+                &[a, b],
+                TimeNs::from_micros(100),
+                TimeNs::from_micros(10),
+            )
             .unwrap();
         assert_eq!(arch.media_between(a, b), vec![bus]);
         assert_eq!(arch.medium_kind(bus), MediumKind::Bus);
@@ -322,7 +327,12 @@ mod tests {
     fn transfer_time_formula() {
         let (mut arch, a, b) = two_ecus();
         let bus = arch
-            .add_bus("can", &[a, b], TimeNs::from_micros(100), TimeNs::from_micros(10))
+            .add_bus(
+                "can",
+                &[a, b],
+                TimeNs::from_micros(100),
+                TimeNs::from_micros(10),
+            )
             .unwrap();
         assert_eq!(arch.transfer_time(bus, 0), TimeNs::from_micros(100));
         assert_eq!(arch.transfer_time(bus, 5), TimeNs::from_micros(150));
@@ -347,12 +357,7 @@ mod tests {
             .add_bus("dup", &[a, a], TimeNs::ZERO, TimeNs::ZERO)
             .is_err());
         assert!(arch
-            .add_bus(
-                "neg",
-                &[a, ProcId(1)],
-                TimeNs::from_nanos(-1),
-                TimeNs::ZERO
-            )
+            .add_bus("neg", &[a, ProcId(1)], TimeNs::from_nanos(-1), TimeNs::ZERO)
             .is_err());
         assert!(arch
             .add_bus("ghost", &[a, ProcId(9)], TimeNs::ZERO, TimeNs::ZERO)

@@ -135,10 +135,10 @@ pub fn generate(
                 continue;
             }
             // q consumes src_op's data?
-            let consumes = alg.edges().iter().any(|e| {
-                e.src == c.src_op
-                    && schedule.slot(e.dst).map(|s| s.proc) == Some(*q)
-            });
+            let consumes = alg
+                .edges()
+                .iter()
+                .any(|e| e.src == c.src_op && schedule.slot(e.dst).map(|s| s.proc) == Some(*q));
             if !consumes {
                 continue;
             }
@@ -153,9 +153,7 @@ pub fn generate(
                 .comms()
                 .iter()
                 .enumerate()
-                .filter(|(_, o)| {
-                    o.src_op == c.src_op && arch.medium_procs(o.medium).contains(q)
-                })
+                .filter(|(_, o)| o.src_op == c.src_op && arch.medium_procs(o.medium).contains(q))
                 .min_by_key(|(_, o)| o.end)
                 .map(|(j, _)| j);
             if !dedicated && earliest == Some(i) {
@@ -188,10 +186,7 @@ pub fn generate(
         }
         for (i, c) in schedule.comms().iter().enumerate() {
             if c.from == p {
-                let data_ready = schedule
-                    .slot(c.src_op)
-                    .map(|s| s.end)
-                    .unwrap_or(c.start);
+                let data_ready = schedule.slot(c.src_op).map(|s| s.end).unwrap_or(c.start);
                 items.push((
                     data_ready,
                     1,
@@ -378,10 +373,7 @@ pub struct ReplayResult {
 /// Returns [`AaaError::InvalidSchedule`] if the executives deadlock (a
 /// `Recv` waits for data never sent) — impossible for generated code, but
 /// the replay guards hand-written executives too.
-pub fn replay(
-    generated: &Generated,
-    arch: &ArchitectureGraph,
-) -> Result<ReplayResult, AaaError> {
+pub fn replay(generated: &Generated, arch: &ArchitectureGraph) -> Result<ReplayResult, AaaError> {
     let execs = &generated.executives;
     let mut pc = vec![0usize; execs.len()];
     let mut time = vec![TimeNs::ZERO; execs.len()];
@@ -437,9 +429,7 @@ pub fn replay(
                 let start = medium_free[si].max(ready);
                 let end = start + arch.transfer_time(seq.medium, t.data_units);
                 medium_free[si] = end;
-                arrived
-                    .entry((t.src_op, t.from, seq.medium))
-                    .or_insert(end);
+                arrived.entry((t.src_op, t.from, seq.medium)).or_insert(end);
                 comm_end.push((t.src_op, seq.medium, end));
                 seq_next[si] += 1;
                 progressed = true;

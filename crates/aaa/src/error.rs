@@ -74,7 +74,11 @@ impl fmt::Display for AaaError {
             AaaError::UnknownProcessor { index } => write!(f, "unknown processor id {index}"),
             AaaError::UnknownMedium { index } => write!(f, "unknown medium id {index}"),
             AaaError::CyclicAlgorithm { ops } => {
-                write!(f, "algorithm graph has a cycle through: {}", ops.join(" -> "))
+                write!(
+                    f,
+                    "algorithm graph has a cycle through: {}",
+                    ops.join(" -> ")
+                )
             }
             AaaError::InvalidGraph { reason } => write!(f, "invalid graph: {reason}"),
             AaaError::Unimplementable { op } => {
@@ -109,9 +113,7 @@ mod tests {
             AaaError::CyclicAlgorithm {
                 ops: vec!["a".into(), "b".into()],
             },
-            AaaError::InvalidGraph {
-                reason: "x".into(),
-            },
+            AaaError::InvalidGraph { reason: "x".into() },
             AaaError::Unimplementable { op: "f".into() },
             AaaError::NoRoute {
                 from: "p0".into(),

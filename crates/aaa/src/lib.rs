@@ -67,6 +67,7 @@ pub mod codegen;
 mod error;
 mod schedule;
 pub mod sdx;
+pub mod timeline;
 mod timing;
 
 pub use adequation::{adequation, AdequationOptions, MappingPolicy};

@@ -151,11 +151,7 @@ impl Schedule {
     /// # Errors
     ///
     /// Returns [`AaaError::InvalidSchedule`] naming the violated property.
-    pub fn validate(
-        &self,
-        alg: &AlgorithmGraph,
-        arch: &ArchitectureGraph,
-    ) -> Result<(), AaaError> {
+    pub fn validate(&self, alg: &AlgorithmGraph, arch: &ArchitectureGraph) -> Result<(), AaaError> {
         let bad = |reason: String| Err(AaaError::InvalidSchedule { reason });
         // 1. coverage and sanity
         for op in alg.ops() {
@@ -169,7 +165,10 @@ impl Schedule {
         }
         for s in &self.ops {
             if s.end < s.start {
-                return bad(format!("operation '{}' ends before it starts", alg.name(s.op)));
+                return bad(format!(
+                    "operation '{}' ends before it starts",
+                    alg.name(s.op)
+                ));
             }
             arch.check_proc(s.proc)
                 .map_err(|_| AaaError::InvalidSchedule {
@@ -295,8 +294,13 @@ mod tests {
         let mut arch = ArchitectureGraph::new();
         let p0 = arch.add_processor("p0", "arm");
         let p1 = arch.add_processor("p1", "arm");
-        arch.add_bus("bus", &[p0, p1], TimeNs::from_micros(10), TimeNs::from_micros(1))
-            .unwrap();
+        arch.add_bus(
+            "bus",
+            &[p0, p1],
+            TimeNs::from_micros(10),
+            TimeNs::from_micros(1),
+        )
+        .unwrap();
         (alg, arch)
     }
 

@@ -131,7 +131,12 @@ pub fn to_sdx(project: &Project) -> String {
     }
     s.push_str("end\n\narchitecture\n");
     for p in arch.processors() {
-        let _ = writeln!(s, "  processor {} : {}", arch.proc_name(p), arch.proc_kind(p));
+        let _ = writeln!(
+            s,
+            "  processor {} : {}",
+            arch.proc_name(p),
+            arch.proc_kind(p)
+        );
     }
     for m in arch.media() {
         let kw = match arch.medium_kind(m) {
@@ -212,7 +217,10 @@ pub fn from_sdx(text: &str) -> Result<Project, AaaError> {
             (Section::None, "architecture") => section = Section::Architecture,
             (Section::None, "timing") => section = Section::Timing,
             (Section::None, other) => {
-                return Err(err(line_no, format!("expected a section header, got '{other}'")))
+                return Err(err(
+                    line_no,
+                    format!("expected a section header, got '{other}'"),
+                ))
             }
             (_, "end") => section = Section::None,
 
@@ -249,7 +257,10 @@ pub fn from_sdx(text: &str) -> Result<Project, AaaError> {
             (Section::Algorithm, "condition") => {
                 // condition OP ? VAR = BRANCH
                 if tokens.len() != 6 || tokens[2] != "?" || tokens[4] != "=" {
-                    return Err(err(line_no, "expected 'condition OP ? VAR = BRANCH'".into()));
+                    return Err(err(
+                        line_no,
+                        "expected 'condition OP ? VAR = BRANCH'".into(),
+                    ));
                 }
                 let op = *ops
                     .get(tokens[1])
@@ -307,10 +318,15 @@ pub fn from_sdx(text: &str) -> Result<Project, AaaError> {
                 let latency = parse_duration(tail[1], line_no)?;
                 let rate = parse_duration(tail[3], line_no)?;
                 if kw == "bus" {
-                    project.architecture.add_bus(name, &members, latency, rate)?;
+                    project
+                        .architecture
+                        .add_bus(name, &members, latency, rate)?;
                 } else {
                     if members.len() != 2 {
-                        return Err(err(line_no, "a link connects exactly two processors".into()));
+                        return Err(err(
+                            line_no,
+                            "a link connects exactly two processors".into(),
+                        ));
                     }
                     project
                         .architecture
@@ -329,7 +345,9 @@ pub fn from_sdx(text: &str) -> Result<Project, AaaError> {
                 let op = *ops
                     .get(tokens[1])
                     .ok_or_else(|| err(line_no, format!("unknown operation '{}'", tokens[1])))?;
-                project.timing.set_default(op, parse_duration(tokens[3], line_no)?);
+                project
+                    .timing
+                    .set_default(op, parse_duration(tokens[3], line_no)?);
             }
             (Section::Timing, "wcet") => {
                 // wcet OP @ PROC = D
@@ -342,7 +360,9 @@ pub fn from_sdx(text: &str) -> Result<Project, AaaError> {
                 let proc = *procs
                     .get(tokens[3])
                     .ok_or_else(|| err(line_no, format!("unknown processor '{}'", tokens[3])))?;
-                project.timing.set(op, proc, parse_duration(tokens[5], line_no)?);
+                project
+                    .timing
+                    .set(op, proc, parse_duration(tokens[5], line_no)?);
             }
             (Section::Timing, "forbid") => {
                 // forbid OP @ PROC
@@ -411,9 +431,13 @@ end
         assert_eq!(p.algorithm.len(), 4);
         assert_eq!(p.architecture.num_processors(), 2);
         assert_eq!(p.architecture.num_media(), 2);
-        let schedule =
-            adequation(&p.algorithm, &p.architecture, &p.timing, AdequationOptions::default())
-                .unwrap();
+        let schedule = adequation(
+            &p.algorithm,
+            &p.architecture,
+            &p.timing,
+            AdequationOptions::default(),
+        )
+        .unwrap();
         schedule.validate(&p.algorithm, &p.architecture).unwrap();
     }
 

@@ -1,0 +1,331 @@
+//! Schedule-timeline exporters: ASCII Gantt charts, CSV rows and
+//! telemetry trace events.
+//!
+//! The adequation's static [`Schedule`] is a set of `[start, end)` slots
+//! on processors and media; this module renders those slots on per-track
+//! timelines so a designer can *see* where one period's time goes —
+//! before any code runs on a target. Three formats share the same row
+//! extraction, so they always cover the same slots:
+//!
+//! * [`gantt_text`] — an aligned ASCII chart, one row per processor/bus;
+//! * [`gantt_csv`] — `track,kind,name,start_ns,end_ns,duration_ns` rows;
+//! * [`trace_events`] — [`ecl_telemetry::Event::Slice`]s replicated over
+//!   `periods` schedule periods, ready for the Chrome trace exporter
+//!   ([`ecl_telemetry::trace::chrome_trace`]).
+
+use ecl_sim::TimeNs;
+use ecl_telemetry::Event;
+
+use crate::algorithm::AlgorithmGraph;
+use crate::architecture::ArchitectureGraph;
+use crate::schedule::Schedule;
+
+/// One rendered timeline slot (a computation or a communication).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineRow {
+    /// Track the slot occupies: `proc:<name>` or `bus:<name>`.
+    pub track: String,
+    /// `"op"` for computations, `"comm"` for transfers.
+    pub kind: &'static str,
+    /// Operation name, or `src->dst` transfer description.
+    pub name: String,
+    /// Slot start.
+    pub start: TimeNs,
+    /// Slot end.
+    pub end: TimeNs,
+}
+
+/// Extracts every computation and communication slot as a [`TimelineRow`],
+/// grouped by track (processors first, then media), each track in start
+/// order. All exporters below are defined over these rows, so they cover
+/// the schedule identically.
+pub fn timeline_rows(
+    schedule: &Schedule,
+    alg: &AlgorithmGraph,
+    arch: &ArchitectureGraph,
+) -> Vec<TimelineRow> {
+    let mut rows = Vec::with_capacity(schedule.ops().len() + schedule.comms().len());
+    for p in arch.processors() {
+        for slot in schedule.proc_sequence(p) {
+            rows.push(TimelineRow {
+                track: format!("proc:{}", arch.proc_name(p)),
+                kind: "op",
+                name: alg.name(slot.op).to_string(),
+                start: slot.start,
+                end: slot.end,
+            });
+        }
+    }
+    for m in arch.media() {
+        for c in schedule.medium_sequence(m) {
+            rows.push(TimelineRow {
+                track: format!("bus:{}", arch.medium_name(m)),
+                kind: "comm",
+                name: format!(
+                    "{}:{}->{}",
+                    alg.name(c.src_op),
+                    arch.proc_name(c.from),
+                    arch.proc_name(c.to)
+                ),
+                start: c.start,
+                end: c.end,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the schedule as an aligned ASCII Gantt chart.
+///
+/// One row per processor and bus; occupied spans are drawn with `#`
+/// (computations) or `=` (transfers) over a `width`-column scale of the
+/// makespan, and every slot is listed under its track with exact
+/// instants. An empty schedule renders a single note line.
+pub fn gantt_text(schedule: &Schedule, alg: &AlgorithmGraph, arch: &ArchitectureGraph) -> String {
+    const WIDTH: usize = 60;
+    let rows = timeline_rows(schedule, alg, arch);
+    let makespan = schedule.makespan();
+    if rows.is_empty() || makespan <= TimeNs::ZERO {
+        return "gantt: empty schedule\n".to_string();
+    }
+    let span = makespan.as_nanos();
+    // Column of an instant, clamped so `end == makespan` stays in-chart.
+    let col = |t: TimeNs| -> usize {
+        ((t.as_nanos() as u128 * WIDTH as u128 / span as u128) as usize).min(WIDTH - 1)
+    };
+    let label_w = rows.iter().map(|r| r.track.len()).max().unwrap_or(0);
+    let mut s = format!(
+        "gantt over [0 .. {makespan}], {WIDTH} cols, 1 col = {} ns\n",
+        (span + WIDTH as i64 - 1) / WIDTH as i64
+    );
+    let track_of = |track: &str, out: &mut String, rows: &[TimelineRow]| {
+        let mine: Vec<&TimelineRow> = rows.iter().filter(|r| r.track == track).collect();
+        let mut bar = vec![b'.'; WIDTH];
+        for r in &mine {
+            let fill = if r.kind == "op" { b'#' } else { b'=' };
+            for c in &mut bar[col(r.start)..=col(r.end.max(r.start))] {
+                *c = fill;
+            }
+        }
+        out.push_str(&format!(
+            "{:<label_w$} |{}|\n",
+            track,
+            String::from_utf8(bar).expect("ascii")
+        ));
+        for r in mine {
+            out.push_str(&format!(
+                "{:label_w$}   [{} .. {}] {}\n",
+                "", r.start, r.end, r.name
+            ));
+        }
+    };
+    let mut seen = Vec::new();
+    for r in &rows {
+        if !seen.contains(&r.track) {
+            seen.push(r.track.clone());
+            track_of(&r.track, &mut s, &rows);
+        }
+    }
+    s
+}
+
+/// Renders the schedule as CSV with header
+/// `track,kind,name,start_ns,end_ns,duration_ns` — one row per
+/// computation and per communication.
+pub fn gantt_csv(schedule: &Schedule, alg: &AlgorithmGraph, arch: &ArchitectureGraph) -> String {
+    let mut s = String::from("track,kind,name,start_ns,end_ns,duration_ns\n");
+    for r in timeline_rows(schedule, alg, arch) {
+        s.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            r.track,
+            r.kind,
+            r.name,
+            r.start.as_nanos(),
+            r.end.as_nanos(),
+            (r.end - r.start).as_nanos()
+        ));
+    }
+    s
+}
+
+/// Emits the schedule as telemetry [`Event::Slice`]s, replicated over
+/// `periods` consecutive periods of length `period` (the co-simulated
+/// hyper-horizon), plus one per-period `Instant` marking each period
+/// origin on the `schedule` track.
+///
+/// The events carry *simulated* time, so the stream is deterministic and
+/// feeds straight into [`ecl_telemetry::trace::chrome_trace`].
+pub fn trace_events(
+    schedule: &Schedule,
+    alg: &AlgorithmGraph,
+    arch: &ArchitectureGraph,
+    period: TimeNs,
+    periods: u32,
+) -> Vec<Event> {
+    let rows = timeline_rows(schedule, alg, arch);
+    let mut events = Vec::with_capacity(periods as usize * (rows.len() + 1));
+    for k in 0..periods {
+        let origin = period * i64::from(k);
+        events.push(Event::Instant {
+            track: "schedule".to_string(),
+            name: format!("period {k}"),
+            at_ns: origin.as_nanos(),
+        });
+        for r in &rows {
+            events.push(Event::Slice {
+                track: r.track.clone(),
+                name: r.name.clone(),
+                start_ns: (origin + r.start).as_nanos(),
+                end_ns: (origin + r.end).as_nanos(),
+            });
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::architecture::{MediumId, ProcId};
+    use crate::schedule::{ScheduledComm, ScheduledOp};
+    use crate::OpId;
+
+    fn toy() -> (AlgorithmGraph, ArchitectureGraph, Schedule) {
+        let mut alg = AlgorithmGraph::new();
+        let s = alg.add_sensor("sen");
+        let f = alg.add_function("law");
+        let a = alg.add_actuator("act");
+        alg.add_edge(s, f, 1).unwrap();
+        alg.add_edge(f, a, 1).unwrap();
+        let mut arch = ArchitectureGraph::new();
+        let p0 = arch.add_processor("ecu0", "arm");
+        let p1 = arch.add_processor("ecu1", "arm");
+        arch.add_bus(
+            "can",
+            &[p0, p1],
+            TimeNs::from_micros(10),
+            TimeNs::from_micros(1),
+        )
+        .unwrap();
+        let ms = TimeNs::from_millis;
+        let schedule = Schedule::from_parts(
+            vec![
+                ScheduledOp {
+                    op: OpId(0),
+                    proc: ProcId(0),
+                    start: ms(0),
+                    end: ms(1),
+                },
+                ScheduledOp {
+                    op: OpId(1),
+                    proc: ProcId(1),
+                    start: ms(2),
+                    end: ms(3),
+                },
+                ScheduledOp {
+                    op: OpId(2),
+                    proc: ProcId(0),
+                    start: ms(4),
+                    end: ms(5),
+                },
+            ],
+            vec![
+                ScheduledComm {
+                    src_op: OpId(0),
+                    from: ProcId(0),
+                    to: ProcId(1),
+                    medium: MediumId(0),
+                    start: ms(1),
+                    end: ms(2),
+                    data_units: 1,
+                },
+                ScheduledComm {
+                    src_op: OpId(1),
+                    from: ProcId(1),
+                    to: ProcId(0),
+                    medium: MediumId(0),
+                    start: ms(3),
+                    end: ms(4),
+                    data_units: 1,
+                },
+            ],
+        );
+        (alg, arch, schedule)
+    }
+
+    #[test]
+    fn rows_cover_every_op_and_comm() {
+        let (alg, arch, sch) = toy();
+        let rows = timeline_rows(&sch, &alg, &arch);
+        assert_eq!(rows.len(), sch.ops().len() + sch.comms().len());
+        for name in ["sen", "law", "act"] {
+            assert!(rows.iter().any(|r| r.name == name), "missing {name}");
+        }
+        assert!(rows.iter().any(|r| r.name == "sen:ecu0->ecu1"));
+        assert!(rows
+            .iter()
+            .any(|r| r.track == "bus:can" && r.kind == "comm"));
+    }
+
+    #[test]
+    fn gantt_text_draws_all_tracks() {
+        let (alg, arch, sch) = toy();
+        let text = gantt_text(&sch, &alg, &arch);
+        for needle in [
+            "proc:ecu0",
+            "proc:ecu1",
+            "bus:can",
+            "sen",
+            "law",
+            "act",
+            "#",
+            "=",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        assert_eq!(
+            gantt_text(&Schedule::default(), &alg, &arch),
+            "gantt: empty schedule\n"
+        );
+    }
+
+    #[test]
+    fn gantt_csv_one_row_per_slot() {
+        let (alg, arch, sch) = toy();
+        let csv = gantt_csv(&sch, &alg, &arch);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "track,kind,name,start_ns,end_ns,duration_ns"
+        );
+        let data: Vec<&str> = lines.collect();
+        assert_eq!(data.len(), sch.ops().len() + sch.comms().len());
+        assert!(data.contains(&"proc:ecu0,op,sen,0,1000000,1000000"));
+        assert!(data
+            .iter()
+            .any(|l| l.starts_with("bus:can,comm,law:ecu1->ecu0,")));
+    }
+
+    #[test]
+    fn trace_events_replicate_per_period() {
+        let (alg, arch, sch) = toy();
+        let period = TimeNs::from_millis(10);
+        let events = trace_events(&sch, &alg, &arch, period, 3);
+        let n_rows = sch.ops().len() + sch.comms().len();
+        assert_eq!(events.len(), 3 * (n_rows + 1));
+        // Second period's sensor slice is offset by one period.
+        let slices: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Slice { name, start_ns, .. } if name == "sen" => Some(*start_ns),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(slices, vec![0, 10_000_000, 20_000_000]);
+        // Period origins are marked.
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Instant { track, at_ns: 20_000_000, .. } if track == "schedule"
+        )));
+    }
+}

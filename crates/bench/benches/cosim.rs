@@ -66,11 +66,22 @@ fn bench_scheduled(c: &mut Criterion) {
     .expect("ok");
     c.bench_function("cosim_scheduled_1s", |bench| {
         bench.iter(|| {
-            cosim::run_scheduled(&spec, &scenario.alg, &scenario.io, &schedule, &scenario.arch)
-                .expect("ok")
+            cosim::run_scheduled(
+                &spec,
+                &scenario.alg,
+                &scenario.io,
+                &schedule,
+                &scenario.arch,
+            )
+            .expect("ok")
         })
     });
 }
 
-criterion_group!(benches, bench_ideal, bench_delay_graph_build, bench_scheduled);
+criterion_group!(
+    benches,
+    bench_ideal,
+    bench_delay_graph_build,
+    bench_scheduled
+);
 criterion_main!(benches);

@@ -5,14 +5,21 @@
 //! control-cost table (ideal / implemented / calibrated, with and without
 //! road disturbance), the static schedule, and the generated deadlock-free
 //! executives.
+//!
+//! The first workload runs fully traced: `results/exp10_trace.json`
+//! carries the lifecycle phase spans plus the co-simulation schedule
+//! slices and latency counters (open in Perfetto / chrome://tracing),
+//! `results/exp10_timeline.{txt,csv}` the static-schedule Gantt, and
+//! `results/BENCH_exp10.json` the per-phase wall-clock breakdown.
 
-use ecl_aaa::{AdequationOptions, ArchitectureGraph, TimeNs};
-use ecl_bench::table;
+use ecl_aaa::{timeline, AdequationOptions, ArchitectureGraph, TimeNs};
+use ecl_bench::{bench_json, table, write_result};
 use ecl_control::plants;
 use ecl_core::cosim::DisturbanceKind;
 use ecl_core::lifecycle::{self, LifecycleInputs};
 use ecl_core::translate::{uniform_timing, ControlLawSpec};
 use ecl_linalg::Mat;
+use ecl_telemetry::{trace, Collector, RecordingSink};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let plant = plants::quarter_car();
@@ -80,7 +87,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             disturbance,
             ..base.clone()
         };
-        let rep = lifecycle::run(&inputs)?;
+        // The first workload runs fully traced; the noise workload reuses
+        // the untraced entry point (same code path, NoopSink).
+        let first = schedule_text.is_empty();
+        let rep = if first {
+            let mut tel = Collector::new(RecordingSink::default());
+            let rep = lifecycle::run_with(&inputs, &mut tel)?;
+            let sink = tel.into_sink();
+            write_result(
+                "exp10_timeline.txt",
+                &timeline::gantt_text(&rep.schedule, &alg, &inputs.arch),
+            )?;
+            write_result(
+                "exp10_timeline.csv",
+                &timeline::gantt_csv(&rep.schedule, &alg, &inputs.arch),
+            )?;
+            write_result("exp10_trace.json", &trace::chrome_trace(sink.events()))?;
+            write_result(
+                "BENCH_exp10.json",
+                &bench_json("exp10", &sink.span_durations()),
+            )?;
+            rep
+        } else {
+            lifecycle::run(&inputs)?
+        };
         rows.push(vec![
             label.into(),
             format!("{:.6}", rep.ideal.cost),
@@ -89,13 +119,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:+.1}%", rep.degradation() * 100.0),
             format!("{:.0}%", rep.calibration_recovery() * 100.0),
         ]);
-        if schedule_text.is_empty() {
+        if first {
             schedule_text = rep.schedule.render(&alg, &inputs.arch);
             latency_text = rep.latency.render();
-            exec_text = format!(
-                "deadlock-free: {}\n{}",
-                rep.deadlock_free, rep.executives
-            );
+            exec_text = format!("deadlock-free: {}\n{}", rep.deadlock_free, rep.executives);
         }
     }
 
@@ -117,5 +144,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )
     );
     println!("== generated executives ==\n{exec_text}");
+    println!("\ntelemetry: results/exp10_timeline.{{txt,csv}}, results/exp10_trace.json,");
+    println!("results/BENCH_exp10.json (initial-deflection workload, fully traced)");
     Ok(())
 }

@@ -24,8 +24,7 @@ fn single_proc_schedule(
     arch.add_processor("ecu", "arm");
     let io_wcet = TimeNs::from_nanos((period.as_nanos() as f64 * 0.01) as i64);
     let total_io = io_wcet * (n_inputs as i64 + 1);
-    let compute =
-        TimeNs::from_nanos((period.as_nanos() as f64 * frac) as i64) - total_io;
+    let compute = TimeNs::from_nanos((period.as_nanos() as f64 * frac) as i64) - total_io;
     let mut db = TimingDb::new();
     for &s in io.sensors.iter().chain(&io.actuators) {
         db.set_default(s, io_wcet);
@@ -69,7 +68,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "{}",
         table(
-            &["plant", "latency/Ts", "mean La", "ideal cost", "cost", "degradation"],
+            &[
+                "plant",
+                "latency/Ts",
+                "mean La",
+                "ideal cost",
+                "cost",
+                "degradation"
+            ],
             &rows
         )
     );

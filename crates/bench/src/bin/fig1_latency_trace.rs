@@ -28,7 +28,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     schedule.validate(&scenario.alg, &scenario.arch)?;
 
-    let run = cosim::run_scheduled(&spec, &scenario.alg, &scenario.io, &schedule, &scenario.arch)?;
+    let run = cosim::run_scheduled(
+        &spec,
+        &scenario.alg,
+        &scenario.io,
+        &schedule,
+        &scenario.arch,
+    )?;
     let ts = TimeNs::from_secs_f64(spec.ts);
 
     println!("F1 — implementation effect on the timing of I/O operations");

@@ -28,8 +28,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &scenario.db,
         AdequationOptions::default(),
     )?;
-    let implemented =
-        cosim::run_scheduled(&spec, &scenario.alg, &scenario.io, &schedule, &scenario.arch)?;
+    let implemented = cosim::run_scheduled(
+        &spec,
+        &scenario.alg,
+        &scenario.io,
+        &schedule,
+        &scenario.arch,
+    )?;
 
     println!("F3 — co-simulation with the graph of delays");
     println!(

@@ -66,7 +66,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 alg.name(op).to_string(),
                 format!("{scheduled}"),
                 format!("{observed}"),
-                if scheduled == observed { "ok" } else { "MISMATCH" }.into(),
+                if scheduled == observed {
+                    "ok"
+                } else {
+                    "MISMATCH"
+                }
+                .into(),
             ]);
         }
     }

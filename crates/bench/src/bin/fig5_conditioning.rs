@@ -37,8 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // frequency flips sign at each sample.
     let osc = model.add_block(
         "mode",
-        Sine::new(1.0, 1.0 / (2.0 * period.as_secs_f64()))
-            .with_phase(std::f64::consts::FRAC_PI_4),
+        Sine::new(1.0, 1.0 / (2.0 * period.as_secs_f64())).with_phase(std::f64::consts::FRAC_PI_4),
     );
     let mut cfg = DelayGraphConfig::default();
     cfg.condition_sources.insert(
@@ -67,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     for (k, &t) in acts.iter().enumerate() {
         let lat = t - period * k as i64;
-        let branch = if lat < TimeNs::from_millis(1) { "then" } else { "else" };
+        let branch = if lat < TimeNs::from_millis(1) {
+            "then"
+        } else {
+            "else"
+        };
         rows.push(vec![
             k.to_string(),
             branch.into(),

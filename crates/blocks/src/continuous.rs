@@ -209,9 +209,31 @@ mod tests {
 
     #[test]
     fn state_space_dimension_checks() {
-        assert!(StateSpaceCt::new(1, 1, 1, vec![0.0], vec![1.0], vec![1.0], vec![0.0], vec![0.0]).is_ok());
-        assert!(StateSpaceCt::new(2, 1, 1, vec![0.0], vec![1.0], vec![1.0], vec![0.0], vec![0.0]).is_err());
-        assert!(StateSpaceCt::new(1, 0, 1, vec![0.0], vec![], vec![1.0], vec![], vec![0.0]).is_err());
+        assert!(StateSpaceCt::new(
+            1,
+            1,
+            1,
+            vec![0.0],
+            vec![1.0],
+            vec![1.0],
+            vec![0.0],
+            vec![0.0]
+        )
+        .is_ok());
+        assert!(StateSpaceCt::new(
+            2,
+            1,
+            1,
+            vec![0.0],
+            vec![1.0],
+            vec![1.0],
+            vec![0.0],
+            vec![0.0]
+        )
+        .is_err());
+        assert!(
+            StateSpaceCt::new(1, 0, 1, vec![0.0], vec![], vec![1.0], vec![], vec![0.0]).is_err()
+        );
     }
 
     #[test]

@@ -250,7 +250,10 @@ impl PidConfig {
             ));
         }
         if !(self.u_max > 0.0) {
-            return Err(bad("u_max", format!("must be positive, got {}", self.u_max)));
+            return Err(bad(
+                "u_max",
+                format!("must be positive, got {}", self.u_max),
+            ));
         }
         Ok(())
     }
@@ -376,9 +379,17 @@ mod tests {
     #[test]
     fn discrete_ss_accumulator() {
         // x+ = x + u, y = x: a discrete integrator.
-        let mut ss =
-            DiscreteStateSpace::new(1, 1, 1, vec![1.0], vec![1.0], vec![1.0], vec![0.0], vec![0.0])
-                .unwrap();
+        let mut ss = DiscreteStateSpace::new(
+            1,
+            1,
+            1,
+            vec![1.0],
+            vec![1.0],
+            vec![1.0],
+            vec![0.0],
+            vec![0.0],
+        )
+        .unwrap();
         assert_eq!(out1(&mut ss), 0.0);
         activate(&mut ss, &[2.0]); // y latches C·x0 = 0, x -> 2
         assert_eq!(out1(&mut ss), 0.0);
@@ -400,13 +411,18 @@ mod tests {
 
     #[test]
     fn discrete_ss_rejects_bad_dims() {
-        assert!(
-            DiscreteStateSpace::new(1, 1, 1, vec![], vec![1.0], vec![1.0], vec![0.0], vec![0.0])
-                .is_err()
-        );
-        assert!(
-            DiscreteStateSpace::new(0, 0, 1, vec![], vec![], vec![], vec![], vec![]).is_err()
-        );
+        assert!(DiscreteStateSpace::new(
+            1,
+            1,
+            1,
+            vec![],
+            vec![1.0],
+            vec![1.0],
+            vec![0.0],
+            vec![0.0]
+        )
+        .is_err());
+        assert!(DiscreteStateSpace::new(0, 0, 1, vec![], vec![], vec![], vec![], vec![]).is_err());
     }
 
     #[test]
@@ -499,7 +515,12 @@ mod tests {
         };
         assert!(ok.validate().is_ok());
         assert!(PidConfig { ts: 0.0, ..ok }.validate().is_err());
-        assert!(PidConfig { n_filter: 0.0, ..ok }.validate().is_err());
+        assert!(PidConfig {
+            n_filter: 0.0,
+            ..ok
+        }
+        .validate()
+        .is_err());
         assert!(PidConfig { u_max: 0.0, ..ok }.validate().is_err());
     }
 }

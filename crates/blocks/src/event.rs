@@ -13,7 +13,9 @@
 //! | inter-processor synchronization (§3.2.3) | [`Synchronization`] |
 //! | sampling / actuation interface (Fig. 2) | [`SampleHold`] |
 
-use ecl_sim::{impl_block_any, Block, BlockId, EventActions, EventCtx, Model, PortSpec, SimError, TimeNs};
+use ecl_sim::{
+    impl_block_any, Block, BlockId, EventActions, EventCtx, Model, PortSpec, SimError, TimeNs,
+};
 
 use crate::error::BlockError;
 

@@ -53,7 +53,6 @@
     // Index loops mirror the textbook matrix formulas they implement.
     clippy::needless_range_loop
 )]
-
 #![warn(missing_docs)]
 
 mod continuous;

@@ -1,8 +1,6 @@
 //! Signal sources.
 
 use ecl_sim::{impl_block_any, Block, EventCtx, PortSpec, TimeNs};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Emits a constant value.
 ///
@@ -164,6 +162,34 @@ impl Block for Sine {
     impl_block_any!();
 }
 
+/// Minimal SplitMix64 generator backing [`SampledNoise`].
+///
+/// Local so the workspace carries no registry dependency for its single
+/// random source; the stream is fixed by the seed and nothing else.
+#[derive(Debug, Clone)]
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 random bits.
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
 /// Zero-order-hold Gaussian noise, redrawn at each activation event.
 ///
 /// The generator is seeded explicitly, so simulations are reproducible.
@@ -173,7 +199,7 @@ impl Block for Sine {
 pub struct SampledNoise {
     mean: f64,
     std_dev: f64,
-    rng: StdRng,
+    rng: SplitMix64,
     held: f64,
 }
 
@@ -184,15 +210,15 @@ impl SampledNoise {
         SampledNoise {
             mean,
             std_dev,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             held: mean,
         }
     }
 
     /// Draws a standard normal variate via Box–Muller.
     fn draw_normal(&mut self) -> f64 {
-        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
-        let u2: f64 = self.rng.gen_range(0.0..1.0);
+        let u1 = f64::EPSILON + (1.0 - f64::EPSILON) * self.rng.next_f64();
+        let u2 = self.rng.next_f64();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 }

@@ -191,7 +191,10 @@ pub fn margins(
 pub fn state_feedback_loop(sys: &StateSpace, k: &Mat) -> Result<StateSpace, ControlError> {
     if sys.input_dim() != 1 {
         return Err(ControlError::InvalidDimensions {
-            reason: format!("loop transfer needs a single input, got {}", sys.input_dim()),
+            reason: format!(
+                "loop transfer needs a single input, got {}",
+                sys.input_dim()
+            ),
         });
     }
     if k.shape() != (1, sys.state_dim()) {
@@ -243,7 +246,11 @@ mod tests {
     fn dc_gain_matches_static_solve() {
         let sys = StateSpace::from_tf(&[3.0], &[1.0, 2.0, 3.0]).unwrap();
         let p = response(&sys, 1e-6).unwrap();
-        assert!((p.magnitude() - 1.0).abs() < 1e-4, "dc gain {}", p.magnitude());
+        assert!(
+            (p.magnitude() - 1.0).abs() < 1e-4,
+            "dc gain {}",
+            p.magnitude()
+        );
     }
 
     #[test]

@@ -54,11 +54,7 @@ pub fn design(sys: &DiscreteSs, q: &Mat, r: &Mat) -> Result<Kalman, ControlError
     }
     if r.shape() != (p_out, p_out) {
         return Err(ControlError::InvalidDimensions {
-            reason: format!(
-                "R must be {p_out}x{p_out}, got {}x{}",
-                r.rows(),
-                r.cols()
-            ),
+            reason: format!("R must be {p_out}x{p_out}, got {}x{}", r.rows(), r.cols()),
         });
     }
     // Dual DARE: substitute A -> Aᵀ, B -> Cᵀ.

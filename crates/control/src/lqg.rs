@@ -86,11 +86,7 @@ pub fn compensator(sys: &DiscreteSs, lqr: &Dlqr, kf: &Kalman) -> Result<Discrete
 /// # Errors
 ///
 /// Propagates dimension and eigenvalue errors.
-pub fn closed_loop_radius(
-    sys: &DiscreteSs,
-    lqr: &Dlqr,
-    kf: &Kalman,
-) -> Result<f64, ControlError> {
+pub fn closed_loop_radius(sys: &DiscreteSs, lqr: &Dlqr, kf: &Kalman) -> Result<f64, ControlError> {
     let n = sys.state_dim();
     let comp = compensator(sys, lqr, kf)?;
     // Closed loop state [x; x̂]:
@@ -156,11 +152,8 @@ mod tests {
         let mut last_y = 0.0;
         for _ in 0..400 {
             let y = d.c().matvec(&x).unwrap();
-            let u = comp
-                .c()
-                .matvec(&xc)
-                .unwrap(); // D_c = 0
-            // plant update
+            let u = comp.c().matvec(&xc).unwrap(); // D_c = 0
+                                                   // plant update
             let ax = d.a().matvec(&x).unwrap();
             let bu = d.b().matvec(&u).unwrap();
             x = ax.iter().zip(&bu).map(|(a, b)| a + b).collect();

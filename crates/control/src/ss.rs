@@ -27,11 +27,7 @@ fn check_dims(a: &Mat, b: &Mat, c: &Mat, d: &Mat) -> Result<(usize, usize, usize
     }
     if d.shape() != (p, m) {
         return Err(ControlError::InvalidDimensions {
-            reason: format!(
-                "D must be {p}x{m}, got {}x{}",
-                d.rows(),
-                d.cols()
-            ),
+            reason: format!("D must be {p}x{m}, got {}x{}", d.rows(), d.cols()),
         });
     }
     if m == 0 || p == 0 {

@@ -9,12 +9,13 @@
 //! instants of the distributed implementation, exposing its impact on
 //! control performance *before any code runs on a target*.
 
-use ecl_aaa::{AlgorithmGraph, ArchitectureGraph, Schedule, TimeNs};
+use ecl_aaa::{timeline, AlgorithmGraph, ArchitectureGraph, Schedule, TimeNs};
 use ecl_blocks::{add_clock, Constant, DiscreteStateSpace, SampleHold, SampledNoise, StateSpaceCt};
 use ecl_control::metrics;
 use ecl_control::StateSpace;
 use ecl_linalg::Mat;
-use ecl_sim::{BlockId, Model, SimOptions, SimResult, Simulator};
+use ecl_sim::{BlockId, EngineStats, Model, SimOptions, SimResult, Simulator};
+use ecl_telemetry::{Collector, Event, Histogram, Sink};
 
 use crate::delays::{self, DelayGraphConfig};
 use crate::latency::{latencies, LatencyReport};
@@ -80,7 +81,10 @@ impl LoopSpec {
             ));
         }
         if self.x0.len() != n {
-            return bad(format!("x0 has {} entries, plant has {n} states", self.x0.len()));
+            return bad(format!(
+                "x0 has {} entries, plant has {n} states",
+                self.x0.len()
+            ));
         }
         if self.feedback.shape() != (self.n_controls, n) {
             return bad(format!(
@@ -146,6 +150,17 @@ pub struct LoopResult {
     pub actuation_instants: Vec<Vec<TimeNs>>,
     /// Sampling period used (seconds).
     pub ts: f64,
+    /// Hot-loop counters of the underlying simulation (block activations,
+    /// ODE steps, event-calendar peak depth).
+    pub stats: EngineStats,
+    /// Streaming histogram of `Ls_j(k)` per controller input, bucketed on
+    /// `[0, Ts)` — fed one observation per period during the run.
+    pub sampling_hist: Vec<Histogram>,
+    /// Streaming histogram of `La_j(k)` per controller output.
+    pub actuation_hist: Vec<Histogram>,
+    /// Event deliveries per block as `(block name, count)`, busiest
+    /// first (count descending, then name), zero-activity blocks omitted.
+    pub activity: Vec<(String, u64)>,
 }
 
 impl LoopResult {
@@ -169,7 +184,7 @@ impl LoopResult {
 }
 
 /// The blocks shared by the ideal and scheduled assemblies.
-struct LoopModel {
+pub(crate) struct LoopModel {
     model: Model,
     sample_sh: Vec<BlockId>,
     controller: BlockId,
@@ -263,46 +278,147 @@ fn assemble(spec: &LoopSpec) -> Result<LoopModel, CoreError> {
     })
 }
 
-fn finish(
-    spec: &LoopSpec,
+/// The shape parameters `finish_traced` needs from either spec flavour.
+struct CostSpec {
+    /// Probes `x0..x{n_outputs}` weighted by `q_weight` in the cost.
+    n_outputs: usize,
+    n_controls: usize,
+    q_weight: f64,
+    r_weight: f64,
+    ts: f64,
+    horizon: f64,
+}
+
+impl CostSpec {
+    fn of(spec: &LoopSpec) -> Self {
+        CostSpec {
+            n_outputs: spec.plant.state_dim(),
+            n_controls: spec.n_controls,
+            q_weight: spec.q_weight,
+            r_weight: spec.r_weight,
+            ts: spec.ts,
+            horizon: spec.horizon,
+        }
+    }
+
+    fn of_output(spec: &OutputLoopSpec) -> Self {
+        CostSpec {
+            n_outputs: spec.plant.output_dim(),
+            n_controls: spec.n_controls,
+            q_weight: spec.q_weight,
+            r_weight: spec.r_weight,
+            ts: spec.ts,
+            horizon: spec.horizon,
+        }
+    }
+}
+
+/// Number of fixed-width buckets of each latency histogram (over
+/// `[0, Ts)`).
+const LATENCY_BUCKETS: usize = 64;
+
+/// Runs the assembled loop and extracts cost, instants, hot-loop
+/// counters and latency histograms. One latency observation per period
+/// is streamed into the histograms and, when the collector is enabled,
+/// emitted as an [`Event::Counter`] (simulated time — deterministic).
+///
+/// `track_prefix` namespaces the counter tracks (`{prefix}Ls[j]` /
+/// `{prefix}La[j]`): every simulation restarts at simulated time 0, so
+/// when several runs share one collector (the lifecycle's ideal /
+/// implemented / calibrated runs) distinct prefixes keep per-track
+/// timestamps monotone in the exported Chrome trace.
+fn finish_traced<S: Sink>(
+    cs: &CostSpec,
     lm: LoopModel,
+    track_prefix: &str,
+    tel: &mut Collector<S>,
 ) -> Result<LoopResult, CoreError> {
     let mut sim = Simulator::new(lm.model, SimOptions::default())?;
-    let result = sim.run(TimeNs::from_secs_f64(spec.horizon))?;
+    let result = sim.run(TimeNs::from_secs_f64(cs.horizon))?;
+    let stats = sim.stats().clone();
 
-    let n = spec.plant.state_dim();
     let mut cost = 0.0;
-    for j in 0..n {
+    for j in 0..cs.n_outputs {
         let sig = result
             .signal(&format!("x{j}"))
             .expect("probe registered in assemble");
-        cost += spec.q_weight * metrics::ise(sig.times(), sig.values(), 0.0);
+        cost += cs.q_weight * metrics::ise(sig.times(), sig.values(), 0.0);
     }
-    for j in 0..spec.n_controls {
+    for j in 0..cs.n_controls {
         let sig = result
             .signal(&format!("u{j}"))
             .expect("probe registered in assemble");
-        cost += spec.r_weight * metrics::ise(sig.times(), sig.values(), 0.0);
+        cost += cs.r_weight * metrics::ise(sig.times(), sig.values(), 0.0);
     }
 
-    let sample_instants = lm
+    let sample_instants: Vec<Vec<TimeNs>> = lm
         .sample_sh
         .iter()
         .map(|&sh| result.activation_times(sh, Some(0)))
         .collect();
-    let actuation_instants = lm
+    let actuation_instants: Vec<Vec<TimeNs>> = lm
         .act_sh
         .iter()
         .map(|&sh| result.activation_times(sh, Some(0)))
         .collect();
+
+    let period = TimeNs::from_secs_f64(cs.ts);
+    let bound = period.as_nanos().max(1);
+    let feed =
+        |label: &'static str, instants: &[Vec<TimeNs>], tel: &mut Collector<S>| -> Vec<Histogram> {
+            instants
+                .iter()
+                .enumerate()
+                .map(|(j, series)| {
+                    let mut h = Histogram::new(bound, LATENCY_BUCKETS);
+                    for (k, &t) in series.iter().enumerate() {
+                        let lat = (t - period * k as i64).as_nanos();
+                        h.record(lat);
+                        tel.emit(|| Event::Counter {
+                            track: format!("{track_prefix}{label}[{j}]"),
+                            name: label.to_string(),
+                            at_ns: t.as_nanos(),
+                            value_ns: lat,
+                        });
+                    }
+                    h
+                })
+                .collect()
+        };
+    let sampling_hist = feed("Ls", &sample_instants, tel);
+    let actuation_hist = feed("La", &actuation_instants, tel);
+
+    let mut activity: Vec<(String, u64)> = stats
+        .activation_counts()
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, &c)| {
+            let name = sim
+                .model()
+                .name(BlockId::from_index(i))
+                .unwrap_or("?")
+                .to_string();
+            (name, c)
+        })
+        .collect();
+    activity.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
 
     Ok(LoopResult {
         result,
         cost,
         sample_instants,
         actuation_instants,
-        ts: spec.ts,
+        ts: cs.ts,
+        stats,
+        sampling_hist,
+        actuation_hist,
+        activity,
     })
+}
+
+fn finish(spec: &LoopSpec, lm: LoopModel) -> Result<LoopResult, CoreError> {
+    finish_traced(&CostSpec::of(spec), lm, "", &mut Collector::noop())
 }
 
 /// Description of a sampled-data loop closed through *measured outputs*
@@ -471,38 +587,7 @@ fn assemble_output(spec: &OutputLoopSpec) -> Result<LoopModel, CoreError> {
 }
 
 fn finish_output(spec: &OutputLoopSpec, lm: LoopModel) -> Result<LoopResult, CoreError> {
-    let mut sim = Simulator::new(lm.model, SimOptions::default())?;
-    let result = sim.run(TimeNs::from_secs_f64(spec.horizon))?;
-    let mut cost = 0.0;
-    for j in 0..spec.plant.output_dim() {
-        let sig = result
-            .signal(&format!("x{j}"))
-            .expect("probe registered in assemble_output");
-        cost += spec.q_weight * metrics::ise(sig.times(), sig.values(), 0.0);
-    }
-    for j in 0..spec.n_controls {
-        let sig = result
-            .signal(&format!("u{j}"))
-            .expect("probe registered in assemble_output");
-        cost += spec.r_weight * metrics::ise(sig.times(), sig.values(), 0.0);
-    }
-    let sample_instants = lm
-        .sample_sh
-        .iter()
-        .map(|&sh| result.activation_times(sh, Some(0)))
-        .collect();
-    let actuation_instants = lm
-        .act_sh
-        .iter()
-        .map(|&sh| result.activation_times(sh, Some(0)))
-        .collect();
-    Ok(LoopResult {
-        result,
-        cost,
-        sample_instants,
-        actuation_instants,
-        ts: spec.ts,
-    })
+    finish_traced(&CostSpec::of_output(spec), lm, "", &mut Collector::noop())
 }
 
 /// Simulates an output-feedback loop under the stroboscopic model.
@@ -638,6 +723,22 @@ pub fn run_scheduled_with(
     arch: &ArchitectureGraph,
     configure: impl FnOnce(&mut Model) -> Result<DelayGraphConfig, CoreError>,
 ) -> Result<LoopResult, CoreError> {
+    let lm = wire_scheduled(spec, alg, io, schedule, arch, configure)?;
+    finish(spec, lm)
+}
+
+/// Assembles the loop model and synthesizes the graph of delays from the
+/// schedule — everything up to (but excluding) the simulation itself, so
+/// the lifecycle can time delay-graph synthesis and co-simulation as
+/// separate phases.
+pub(crate) fn wire_scheduled(
+    spec: &LoopSpec,
+    alg: &AlgorithmGraph,
+    io: &IoMap,
+    schedule: &Schedule,
+    arch: &ArchitectureGraph,
+    configure: impl FnOnce(&mut Model) -> Result<DelayGraphConfig, CoreError>,
+) -> Result<LoopModel, CoreError> {
     let n = spec.plant.state_dim();
     if io.sensors.len() != n {
         return Err(CoreError::InvalidInput {
@@ -670,7 +771,88 @@ pub fn run_scheduled_with(
     for (j, &op) in io.actuators.iter().enumerate() {
         dg.activate_on_completion(&mut lm.model, op, lm.act_sh[j], 0)?;
     }
-    finish(spec, lm)
+    Ok(lm)
+}
+
+/// Finishes a wired loop with telemetry (used by the lifecycle to wrap
+/// the simulation in its own span). `track_prefix` namespaces the latency
+/// counter tracks when several runs share one collector.
+pub(crate) fn finish_loop<S: Sink>(
+    spec: &LoopSpec,
+    lm: LoopModel,
+    track_prefix: &str,
+    tel: &mut Collector<S>,
+) -> Result<LoopResult, CoreError> {
+    finish_traced(&CostSpec::of(spec), lm, track_prefix, tel)
+}
+
+/// Emits the schedule's per-period timeline ([`Event::Slice`] per
+/// operation and communication, one replica per period over `horizon`)
+/// into the collector. A no-op for a disabled collector.
+pub(crate) fn emit_schedule_timeline<S: Sink>(
+    tel: &mut Collector<S>,
+    schedule: &Schedule,
+    alg: &AlgorithmGraph,
+    arch: &ArchitectureGraph,
+    ts: f64,
+    horizon: f64,
+) {
+    if !tel.enabled() {
+        return;
+    }
+    let periods = (horizon / ts).floor() as u32;
+    let period = TimeNs::from_secs_f64(ts);
+    for ev in timeline::trace_events(schedule, alg, arch, period, periods) {
+        tel.emit(|| ev);
+    }
+}
+
+/// Like [`run_ideal`], but streams telemetry into `tel`: one latency
+/// [`Event::Counter`] per I/O per period (simulated time), on
+/// `ideal:Ls[j]` / `ideal:La[j]` tracks so an ideal run can share a
+/// collector with a scheduled run without mixing tracks. With a
+/// [`ecl_telemetry::NoopSink`] collector this is exactly [`run_ideal`].
+///
+/// # Errors
+///
+/// Same as [`run_ideal`].
+pub fn run_ideal_traced<S: Sink>(
+    spec: &LoopSpec,
+    tel: &mut Collector<S>,
+) -> Result<LoopResult, CoreError> {
+    let mut lm = assemble(spec)?;
+    for &sh in &lm.sample_sh.clone() {
+        lm.model.connect_event(lm.base_clock, 0, sh, 0)?;
+    }
+    lm.model.connect_event(lm.base_clock, 0, lm.controller, 0)?;
+    for &sh in &lm.act_sh.clone() {
+        lm.model.connect_event(lm.base_clock, 0, sh, 0)?;
+    }
+    finish_traced(&CostSpec::of(spec), lm, "ideal:", tel)
+}
+
+/// Like [`run_scheduled`], but streams telemetry into `tel`: the
+/// schedule's per-period timeline as [`Event::Slice`]s on `proc:*` /
+/// `bus:*` tracks, then one latency [`Event::Counter`] per I/O per
+/// period. All events carry simulated time, so two identical runs record
+/// byte-identical streams.
+///
+/// # Errors
+///
+/// Same as [`run_scheduled`].
+pub fn run_scheduled_traced<S: Sink>(
+    spec: &LoopSpec,
+    alg: &AlgorithmGraph,
+    io: &IoMap,
+    schedule: &Schedule,
+    arch: &ArchitectureGraph,
+    tel: &mut Collector<S>,
+) -> Result<LoopResult, CoreError> {
+    let lm = wire_scheduled(spec, alg, io, schedule, arch, |_| {
+        Ok(DelayGraphConfig::default())
+    })?;
+    emit_schedule_timeline(tel, schedule, alg, arch, spec.ts, spec.horizon);
+    finish_traced(&CostSpec::of(spec), lm, "", tel)
 }
 
 #[cfg(test)]
@@ -780,6 +962,91 @@ mod tests {
     }
 
     #[test]
+    fn traced_scheduled_run_streams_deterministic_telemetry() {
+        use ecl_telemetry::RecordingSink;
+        let spec = dc_motor_spec();
+        let law = ControlLawSpec::monolithic("lqr", 2, 1);
+        let (alg, io) = law.to_algorithm().unwrap();
+        let mut arch = ArchitectureGraph::new();
+        let p0 = arch.add_processor("ecu0", "arm");
+        let p1 = arch.add_processor("ecu1", "arm");
+        arch.add_bus("can", &[p0, p1], TimeNs::from_millis(2), us(10))
+            .unwrap();
+        let mut db = uniform_timing(&alg, &io, us(200), TimeNs::from_millis(5));
+        for &s in io.sensors.iter().chain(&io.actuators) {
+            db.forbid(s, p1);
+        }
+        db.forbid(io.stages[0], p0);
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+
+        let run_once = || {
+            let mut tel = Collector::new(RecordingSink::default());
+            let r = run_scheduled_traced(&spec, &alg, &io, &schedule, &arch, &mut tel).unwrap();
+            (r, tel.into_sink())
+        };
+        let (r, sink) = run_once();
+
+        // Timeline slices cover every op and comm of every period.
+        let periods = (spec.horizon / spec.ts).floor() as usize;
+        let n_slices = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ecl_telemetry::Event::Slice { .. }))
+            .count();
+        assert_eq!(
+            n_slices,
+            periods * (schedule.ops().len() + schedule.comms().len())
+        );
+        // One latency counter per I/O per recorded period.
+        let n_counters = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, ecl_telemetry::Event::Counter { .. }))
+            .count();
+        let n_observations: usize = r
+            .sample_instants
+            .iter()
+            .chain(&r.actuation_instants)
+            .map(Vec::len)
+            .sum();
+        assert_eq!(n_counters, n_observations);
+        // No wall-clock events: the stream is fully sim-derived.
+        assert!(!sink.events().iter().any(|e| matches!(
+            e,
+            ecl_telemetry::Event::SpanBegin { .. } | ecl_telemetry::Event::SpanEnd { .. }
+        )));
+
+        // Histograms agree with the exact latency statistics.
+        let rep = r.latency_report().unwrap();
+        for (series, hist) in rep
+            .sampling
+            .iter()
+            .zip(&r.sampling_hist)
+            .chain(rep.actuation.iter().zip(&r.actuation_hist))
+        {
+            let st = series.stats().unwrap();
+            assert_eq!(hist.count(), series.len() as u64);
+            assert_eq!(hist.min(), Some(st.min.as_nanos()));
+            assert_eq!(hist.max(), Some(st.max.as_nanos()));
+            let sm = hist.summary();
+            assert!((sm.mean_ns - st.mean.as_nanos() as f64).abs() <= 1.0);
+            assert!(sm.min_ns <= sm.p50_ns && sm.p50_ns <= sm.p95_ns);
+            assert!(sm.p95_ns <= sm.p99_ns && sm.p99_ns <= sm.max_ns);
+        }
+
+        // Hot-loop counters and activity are populated.
+        assert!(r.stats.events_delivered > 0);
+        assert!(r.stats.ode.steps_accepted > 0);
+        assert!(!r.activity.is_empty());
+        assert!(r.activity.windows(2).all(|w| w[0].1 >= w[1].1));
+
+        // Byte-identical across identical runs.
+        let (r2, sink2) = run_once();
+        assert_eq!(sink.render(), sink2.render());
+        assert_eq!(r.stats, r2.stats);
+    }
+
+    #[test]
     fn spec_validation_catches_shape_errors() {
         let mut spec = dc_motor_spec();
         spec.x0 = vec![1.0];
@@ -853,12 +1120,7 @@ mod tests {
         let plant = plants::dc_motor();
         let dss = c2d_zoh(&plant.sys, plant.ts).unwrap();
         let gain = dlqr(&dss, &Mat::diag(&[10.0, 1.0]), &Mat::diag(&[1e-2])).unwrap();
-        let kf = kalman::design(
-            &dss,
-            &Mat::identity(2).scaled(1e-4),
-            &Mat::diag(&[1e-4]),
-        )
-        .unwrap();
+        let kf = kalman::design(&dss, &Mat::identity(2).scaled(1e-4), &Mat::diag(&[1e-4])).unwrap();
         let comp = lqg::compensator(&dss, &gain, &kf).unwrap();
         OutputLoopSpec {
             plant: plant.sys,

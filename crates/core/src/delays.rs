@@ -100,9 +100,12 @@ impl DelayGraph {
         target: BlockId,
         port: usize,
     ) -> Result<(), CoreError> {
-        let &(b, o) = self.op_done.get(&op).ok_or_else(|| CoreError::InvalidInput {
-            reason: format!("operation {op} is not part of the delay graph"),
-        })?;
+        let &(b, o) = self
+            .op_done
+            .get(&op)
+            .ok_or_else(|| CoreError::InvalidInput {
+                reason: format!("operation {op} is not part of the delay graph"),
+            })?;
         model.connect_event(b, o, target, port)?;
         Ok(())
     }
@@ -668,8 +671,6 @@ mod tests {
         )
         .unwrap();
         let sc = model.add_block("sc", Scope::new());
-        assert!(dg
-            .activate_on_completion(&mut model, ghost, sc, 0)
-            .is_err());
+        assert!(dg.activate_on_completion(&mut model, ghost, sc, 0).is_err());
     }
 }

@@ -94,9 +94,7 @@ mod tests {
         assert!(e.to_string().contains("adequation"));
         let e: CoreError = LinalgError::Singular { pivot: 0 }.into();
         assert!(e.to_string().contains("linear algebra"));
-        let e = CoreError::InvalidInput {
-            reason: "x".into(),
-        };
+        let e = CoreError::InvalidInput { reason: "x".into() };
         assert!(Error::source(&e).is_none());
     }
 

@@ -46,14 +46,25 @@ impl LatencySeries {
     }
 
     /// Summary statistics, or `None` for an empty series.
+    ///
+    /// The mean is accumulated in `i128`, so it cannot overflow no
+    /// matter how many periods were recorded (an `i64`-nanosecond sum
+    /// wraps after ~107 days of accumulated latency). Should the `i128`
+    /// mean itself exceed the `i64` range — impossible when every value
+    /// is an `i64` — it saturates rather than wraps.
     pub fn stats(&self) -> Option<LatencyStats> {
         if self.values.is_empty() {
             return None;
         }
         let min = *self.values.iter().min().expect("non-empty");
         let max = *self.values.iter().max().expect("non-empty");
-        let sum: i64 = self.values.iter().map(|t| t.as_nanos()).sum();
-        let mean = TimeNs::from_nanos(sum / self.values.len() as i64);
+        let sum: i128 = self.values.iter().map(|t| i128::from(t.as_nanos())).sum();
+        let mean_ns = sum / self.values.len() as i128;
+        let mean = TimeNs::from_nanos(i64::try_from(mean_ns).unwrap_or(if mean_ns > 0 {
+            i64::MAX
+        } else {
+            i64::MIN
+        }));
         Some(LatencyStats {
             min,
             max,
@@ -110,18 +121,26 @@ pub struct LatencyReport {
 impl LatencyReport {
     /// Mean actuation latency across outputs and periods — the `τ` fed to
     /// the calibration redesign. `TimeNs::ZERO` when nothing was recorded.
+    ///
+    /// Accumulates in `i128` (see [`LatencySeries::stats`] for the
+    /// saturation policy).
     pub fn mean_actuation(&self) -> TimeNs {
-        let (mut sum, mut n) = (0i64, 0i64);
+        let (mut sum, mut n) = (0i128, 0i128);
         for s in &self.actuation {
             for v in s.values() {
-                sum += v.as_nanos();
+                sum += i128::from(v.as_nanos());
                 n += 1;
             }
         }
         if n == 0 {
             TimeNs::ZERO
         } else {
-            TimeNs::from_nanos(sum / n)
+            let mean = sum / n;
+            TimeNs::from_nanos(i64::try_from(mean).unwrap_or(if mean > 0 {
+                i64::MAX
+            } else {
+                i64::MIN
+            }))
         }
     }
 
@@ -216,6 +235,27 @@ mod tests {
         let s = latencies(&[], TimeNs::from_millis(1)).unwrap();
         assert!(s.is_empty());
         assert!(s.stats().is_none());
+    }
+
+    #[test]
+    fn stats_survive_sums_beyond_i64() {
+        // Two near-`i64::MAX` values: a naive `i64` sum would wrap
+        // negative; the `i128` accumulator keeps the mean exact.
+        let s = LatencySeries {
+            values: vec![
+                TimeNs::from_nanos(i64::MAX - 1),
+                TimeNs::from_nanos(i64::MAX - 3),
+            ],
+        };
+        let st = s.stats().unwrap();
+        assert_eq!(st.mean, TimeNs::from_nanos(i64::MAX - 2));
+        assert_eq!(st.min, TimeNs::from_nanos(i64::MAX - 3));
+        assert_eq!(st.jitter, TimeNs::from_nanos(2));
+        let rep = LatencyReport {
+            sampling: vec![],
+            actuation: vec![s],
+        };
+        assert_eq!(rep.mean_actuation(), TimeNs::from_nanos(i64::MAX - 2));
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use ecl_aaa::{adequation, codegen, AdequationOptions, ArchitectureGraph, Schedule, TimingDb};
 use ecl_control::{c2d_zoh, c2d_zoh_delayed, dlqr, StateSpace};
 use ecl_linalg::Mat;
+use ecl_telemetry::{Collector, Sink};
 
 use crate::cosim::{self, DisturbanceKind, LoopResult, LoopSpec};
 use crate::latency::LatencyReport;
@@ -105,6 +106,27 @@ impl LifecycleReport {
 /// Propagates synthesis, adequation, wiring and simulation errors; see the
 /// module docs for the steps involved.
 pub fn run(inputs: &LifecycleInputs) -> Result<LifecycleReport, CoreError> {
+    run_with(inputs, &mut Collector::noop())
+}
+
+/// Runs the full lifecycle, streaming telemetry into `tel`.
+///
+/// Each phase is timed as a wall-clock span (`design`, `translate`,
+/// `adequation`, `delay-graph synthesis`, `co-simulation`, `calibration`,
+/// `codegen`); the implemented co-simulation additionally records the
+/// schedule timeline and per-period latency counters in simulated time
+/// (the ideal and calibrated runs use `ideal:`/`cal:`-prefixed tracks so
+/// the three simulations never share a track).
+/// With a [`ecl_telemetry::NoopSink`] collector every instrumentation
+/// site compiles to nothing and this is exactly [`run`].
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_with<S: Sink>(
+    inputs: &LifecycleInputs,
+    tel: &mut Collector<S>,
+) -> Result<LifecycleReport, CoreError> {
     // --- step 1: nominal design + ideal validation ---
     // Synthesis sees only the control inputs (the remaining plant inputs
     // are disturbances the controller does not command).
@@ -116,67 +138,88 @@ pub fn run(inputs: &LifecycleInputs) -> Result<LifecycleReport, CoreError> {
         inputs.plant.c().clone(),
         inputs.plant.d().block(0, 0, inputs.plant.output_dim(), m)?,
     )?;
-    let dss = c2d_zoh(&control_plant, inputs.ts)?;
-    let nominal = dlqr(&dss, &inputs.lqr_q, &inputs.lqr_r)?;
-    let spec = LoopSpec {
-        plant: inputs.plant.clone(),
-        n_controls: inputs.n_controls,
-        x0: inputs.x0.clone(),
-        feedback: nominal.k.clone(),
-        input_memory: None,
-        ts: inputs.ts,
-        horizon: inputs.horizon,
-        q_weight: inputs.q_weight,
-        r_weight: inputs.r_weight,
-        disturbance: inputs.disturbance,
-    };
-    let ideal = cosim::run_ideal(&spec)?;
+    let (spec, ideal) = tel.span("design", |tel| -> Result<_, CoreError> {
+        let dss = c2d_zoh(&control_plant, inputs.ts)?;
+        let nominal = dlqr(&dss, &inputs.lqr_q, &inputs.lqr_r)?;
+        let spec = LoopSpec {
+            plant: inputs.plant.clone(),
+            n_controls: inputs.n_controls,
+            x0: inputs.x0.clone(),
+            feedback: nominal.k.clone(),
+            input_memory: None,
+            ts: inputs.ts,
+            horizon: inputs.horizon,
+            q_weight: inputs.q_weight,
+            r_weight: inputs.r_weight,
+            disturbance: inputs.disturbance,
+        };
+        let ideal = cosim::run_ideal_traced(&spec, tel)?;
+        Ok((spec, ideal))
+    })?;
 
     // --- step 2: translation + adequation ---
-    let (alg, io) = inputs.law.to_algorithm()?;
-    let schedule = adequation(&alg, &inputs.arch, &inputs.db, inputs.adequation)?;
-    schedule.validate(&alg, &inputs.arch)?;
+    let (alg, io) = tel.span("translate", |_| inputs.law.to_algorithm())?;
+    let schedule = tel.span("adequation", |_| -> Result<_, CoreError> {
+        let schedule = adequation(&alg, &inputs.arch, &inputs.db, inputs.adequation)?;
+        schedule.validate(&alg, &inputs.arch)?;
+        Ok(schedule)
+    })?;
 
     // --- step 3: co-simulation of the implementation ---
-    let implemented = cosim::run_scheduled(&spec, &alg, &io, &schedule, &inputs.arch)?;
+    let lm = tel.span("delay-graph synthesis", |_| {
+        cosim::wire_scheduled(&spec, &alg, &io, &schedule, &inputs.arch, |_| {
+            Ok(crate::delays::DelayGraphConfig::default())
+        })
+    })?;
+    let implemented = tel.span("co-simulation", |tel| {
+        cosim::emit_schedule_timeline(tel, &schedule, &alg, &inputs.arch, spec.ts, spec.horizon);
+        cosim::finish_loop(&spec, lm, "", tel)
+    })?;
     let latency = implemented.latency_report()?;
 
     // --- step 4: calibration (delay-aware redesign) ---
-    let tau = latency
-        .mean_actuation()
-        .as_secs_f64()
-        .clamp(0.0, inputs.ts);
-    let delayed = c2d_zoh_delayed(&control_plant, inputs.ts, tau)?;
-    let augmented = delayed.augmented(&Mat::identity(n))?;
-    // Q on the physical states, a tiny weight on the input memory.
-    let mut q_aug = Mat::identity(n + m).scaled(1e-9);
-    q_aug.set_block(0, 0, &inputs.lqr_q)?;
-    let redesigned = dlqr(&augmented, &q_aug, &inputs.lqr_r)?;
-    let kx = redesigned.k.block(0, 0, m, n)?;
-    let ku = redesigned.k.block(0, n, m, m)?;
-    let spec_cal = LoopSpec {
-        feedback: kx,
-        input_memory: Some(ku),
-        ..spec.clone()
-    };
-    let calibrated = cosim::run_scheduled(&spec_cal, &alg, &io, &schedule, &inputs.arch)?;
+    let calibrated = tel.span("calibration", |tel| -> Result<_, CoreError> {
+        let tau = latency.mean_actuation().as_secs_f64().clamp(0.0, inputs.ts);
+        let delayed = c2d_zoh_delayed(&control_plant, inputs.ts, tau)?;
+        let augmented = delayed.augmented(&Mat::identity(n))?;
+        // Q on the physical states, a tiny weight on the input memory.
+        let mut q_aug = Mat::identity(n + m).scaled(1e-9);
+        q_aug.set_block(0, 0, &inputs.lqr_q)?;
+        let redesigned = dlqr(&augmented, &q_aug, &inputs.lqr_r)?;
+        let kx = redesigned.k.block(0, 0, m, n)?;
+        let ku = redesigned.k.block(0, n, m, m)?;
+        let spec_cal = LoopSpec {
+            feedback: kx,
+            input_memory: Some(ku),
+            ..spec.clone()
+        };
+        let lm = cosim::wire_scheduled(&spec_cal, &alg, &io, &schedule, &inputs.arch, |_| {
+            Ok(crate::delays::DelayGraphConfig::default())
+        })?;
+        // Distinct track prefix: this second simulation restarts at
+        // simulated time 0, and a shared track would regress in the trace.
+        cosim::finish_loop(&spec_cal, lm, "cal:", tel)
+    })?;
 
     // --- step 5: executive generation ---
-    let generated = codegen::generate(&schedule, &alg, &inputs.arch)?;
-    let deadlock_free = codegen::check_deadlock_free(&generated.executives)
-        && codegen::replay(&generated, &inputs.arch).is_ok();
-    let executives = generated
-        .executives
-        .iter()
-        .map(|e| codegen::render(e, &alg, &inputs.arch))
-        .chain(
-            generated
-                .comm_sequences
-                .iter()
-                .map(|c| codegen::render_comm_sequence(c, &alg, &inputs.arch)),
-        )
-        .collect::<Vec<_>>()
-        .join("\n");
+    let (executives, deadlock_free) = tel.span("codegen", |_| -> Result<_, CoreError> {
+        let generated = codegen::generate(&schedule, &alg, &inputs.arch)?;
+        let deadlock_free = codegen::check_deadlock_free(&generated.executives)
+            && codegen::replay(&generated, &inputs.arch).is_ok();
+        let executives = generated
+            .executives
+            .iter()
+            .map(|e| codegen::render(e, &alg, &inputs.arch))
+            .chain(
+                generated
+                    .comm_sequences
+                    .iter()
+                    .map(|c| codegen::render_comm_sequence(c, &alg, &inputs.arch)),
+            )
+            .collect::<Vec<_>>()
+            .join("\n");
+        Ok((executives, deadlock_free))
+    })?;
 
     Ok(LifecycleReport {
         ideal,
@@ -252,6 +295,39 @@ mod tests {
         assert!(rep.executives.contains("compute lqr_step"));
         assert!(rep.executives.contains("send"));
         assert!(rep.schedule.makespan() > TimeNs::ZERO);
+    }
+
+    #[test]
+    fn lifecycle_records_phase_spans() {
+        use ecl_telemetry::RecordingSink;
+        let mut tel = Collector::new(RecordingSink::default());
+        let rep = run_with(&dc_motor_inputs(), &mut tel).unwrap();
+        assert!(rep.deadlock_free);
+        let sink = tel.into_sink();
+        let durations = sink.span_durations();
+        let names: Vec<&str> = durations.iter().map(|(n, _)| n.as_str()).collect();
+        for phase in [
+            "design",
+            "translate",
+            "adequation",
+            "delay-graph synthesis",
+            "co-simulation",
+            "calibration",
+            "codegen",
+        ] {
+            assert!(names.contains(&phase), "missing span {phase}: {names:?}");
+        }
+        // The co-simulation span contains the schedule timeline and the
+        // per-period latency counters.
+        let has_slice = sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, ecl_telemetry::Event::Slice { track, .. } if track.starts_with("proc:")));
+        let has_counter = sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, ecl_telemetry::Event::Counter { track, .. } if track == "La[0]"));
+        assert!(has_slice && has_counter);
     }
 
     #[test]

@@ -43,8 +43,45 @@ pub fn to_markdown(
     s.push_str(&report.latency.render());
     s.push_str("```\n");
 
+    s.push_str("\n## Observability\n\n");
+    s.push_str("Latency percentiles of the implemented run (streaming histograms, ns):\n\n");
+    s.push_str("| series | count | min | p50 | p95 | p99 | max | mean |\n");
+    s.push_str("|---|---|---|---|---|---|---|---|\n");
+    let mut hist_row = |label: String, h: &ecl_telemetry::Histogram| {
+        let sm = h.summary();
+        s.push_str(&format!(
+            "| {label} | {} | {} | {} | {} | {} | {} | {:.1} |\n",
+            sm.count, sm.min_ns, sm.p50_ns, sm.p95_ns, sm.p99_ns, sm.max_ns, sm.mean_ns
+        ));
+    };
+    for (j, h) in report.implemented.sampling_hist.iter().enumerate() {
+        hist_row(format!("Ls[{j}]"), h);
+    }
+    for (j, h) in report.implemented.actuation_hist.iter().enumerate() {
+        hist_row(format!("La[{j}]"), h);
+    }
+
+    s.push_str("\nBusiest blocks of the implemented co-simulation (event deliveries):\n\n");
+    s.push_str("| block | activations |\n|---|---|\n");
+    for (name, count) in report.implemented.activity.iter().take(5) {
+        s.push_str(&format!("| {name} | {count} |\n"));
+    }
+    let es = &report.implemented.stats;
+    s.push_str(&format!(
+        "\nEngine counters: {} event instants, {} deliveries, calendar peak {}, \
+         {} ODE steps ({} rejected), {} RHS evaluations.\n",
+        es.event_instants,
+        es.events_delivered,
+        es.calendar_peak,
+        es.ode.steps_accepted,
+        es.ode.steps_rejected,
+        es.ode.rhs_evals
+    ));
+
     s.push_str("\n## Static schedule\n\n```text\n");
     s.push_str(&report.schedule.render(alg, arch));
+    s.push_str("```\n\n```text\n");
+    s.push_str(&ecl_aaa::timeline::gantt_text(&report.schedule, alg, arch));
     s.push_str("```\n");
 
     s.push_str(&format!(
@@ -134,14 +171,14 @@ mod tests {
         let mut arch = ArchitectureGraph::new();
         let p0 = arch.add_processor("ecu0", "arm");
         let p1 = arch.add_processor("ecu1", "arm");
-        arch.add_bus("can", &[p0, p1], TimeNs::from_millis(2), TimeNs::from_micros(10))
-            .unwrap();
-        let mut db = uniform_timing(
-            &alg,
-            &io,
-            TimeNs::from_micros(100),
-            TimeNs::from_millis(5),
-        );
+        arch.add_bus(
+            "can",
+            &[p0, p1],
+            TimeNs::from_millis(2),
+            TimeNs::from_micros(10),
+        )
+        .unwrap();
+        let mut db = uniform_timing(&alg, &io, TimeNs::from_micros(100), TimeNs::from_millis(5));
         for &s in io.sensors.iter().chain(&io.actuators) {
             db.forbid(s, p1);
         }
@@ -173,12 +210,27 @@ mod tests {
             "# Design-lifecycle report",
             "## Control performance",
             "## Latencies",
+            "## Observability",
             "## Static schedule",
             "## Generated executives",
         ] {
             assert!(md.contains(heading), "missing {heading}");
         }
         assert!(md.contains("deadlock-free: true"));
+        // Observability section: latency percentile rows for every I/O,
+        // busiest blocks, engine counters, and the schedule Gantt.
+        for needle in [
+            "| Ls[0] |",
+            "| Ls[1] |",
+            "| La[0] |",
+            "Busiest blocks",
+            "Engine counters:",
+            "gantt over",
+        ] {
+            assert!(md.contains(needle), "missing {needle}");
+        }
+        // The delay-graph synchronization blocks dominate event traffic.
+        assert!(md.contains("| sync_"), "busiest-block table empty");
     }
 
     #[test]

@@ -145,12 +145,7 @@ impl ControlLawSpec {
         Ok((alg, io))
     }
 
-    fn lookup<'a>(
-        &self,
-        v: &'a [OpId],
-        idx: usize,
-        what: &str,
-    ) -> Result<&'a OpId, CoreError> {
+    fn lookup<'a>(&self, v: &'a [OpId], idx: usize, what: &str) -> Result<&'a OpId, CoreError> {
         v.get(idx).ok_or_else(|| CoreError::InvalidInput {
             reason: format!("{what} index {idx} out of range in law '{}'", self.name),
         })
@@ -230,22 +225,14 @@ mod tests {
     fn uniform_timing_covers_all_ops() {
         let spec = ControlLawSpec::monolithic("c", 2, 1);
         let (alg, io) = spec.to_algorithm().unwrap();
-        let db = uniform_timing(
-            &alg,
-            &io,
-            TimeNs::from_micros(20),
-            TimeNs::from_micros(300),
-        );
+        let db = uniform_timing(&alg, &io, TimeNs::from_micros(20), TimeNs::from_micros(300));
         // Every op has a WCET on an arbitrary processor id.
         let mut arch = ecl_aaa::ArchitectureGraph::new();
         let p = arch.add_processor("p", "arm");
         for op in alg.ops() {
             assert!(db.wcet(op, p).is_some(), "missing wcet for {op}");
         }
-        assert_eq!(
-            db.wcet(io.stages[0], p),
-            Some(TimeNs::from_micros(300))
-        );
+        assert_eq!(db.wcet(io.stages[0], p), Some(TimeNs::from_micros(300)));
     }
 
     #[test]

@@ -287,12 +287,7 @@ mod tests {
 
     #[test]
     fn triangular_matrix_eigs_on_diagonal() {
-        let a = Mat::from_rows(&[
-            &[2.0, 5.0, -3.0],
-            &[0.0, -1.0, 4.0],
-            &[0.0, 0.0, 0.5],
-        ])
-        .unwrap();
+        let a = Mat::from_rows(&[&[2.0, 5.0, -3.0], &[0.0, -1.0, 4.0], &[0.0, 0.0, 0.5]]).unwrap();
         let re = sorted_real(eigenvalues(&a).unwrap());
         assert!((re[0] + 1.0).abs() < 1e-9);
         assert!((re[1] - 0.5).abs() < 1e-9);
@@ -302,12 +297,7 @@ mod tests {
     #[test]
     fn companion_matrix_known_roots() {
         // λ³ - 6λ² + 11λ - 6 = (λ-1)(λ-2)(λ-3)
-        let a = Mat::from_rows(&[
-            &[0.0, 1.0, 0.0],
-            &[0.0, 0.0, 1.0],
-            &[6.0, -11.0, 6.0],
-        ])
-        .unwrap();
+        let a = Mat::from_rows(&[&[0.0, 1.0, 0.0], &[0.0, 0.0, 1.0], &[6.0, -11.0, 6.0]]).unwrap();
         let re = sorted_real(eigenvalues(&a).unwrap());
         for (got, want) in re.iter().zip([1.0, 2.0, 3.0]) {
             assert!((got - want).abs() < 1e-7, "{re:?}");
@@ -318,12 +308,7 @@ mod tests {
     fn complex_pair_from_rotation_block() {
         // Block diag(rotation(w), 2.0): eigenvalues cos±i·sin and 2.
         let (c, s) = (0.6f64, 0.8f64);
-        let a = Mat::from_rows(&[
-            &[c, -s, 0.0],
-            &[s, c, 0.0],
-            &[0.0, 0.0, 2.0],
-        ])
-        .unwrap();
+        let a = Mat::from_rows(&[&[c, -s, 0.0], &[s, c, 0.0], &[0.0, 0.0, 2.0]]).unwrap();
         let eigs = eigenvalues(&a).unwrap();
         let mut complex: Vec<_> = eigs.iter().filter(|e| e.1 != 0.0).collect();
         complex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));

@@ -39,7 +39,6 @@
     // Index loops mirror the textbook matrix formulas they implement.
     clippy::needless_range_loop
 )]
-
 #![warn(missing_docs)]
 
 mod eig;

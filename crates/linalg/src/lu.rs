@@ -213,12 +213,7 @@ mod tests {
     use super::*;
 
     fn well_conditioned() -> Mat {
-        Mat::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 4.0, -2.0],
-            &[1.0, -2.0, 4.0],
-        ])
-        .unwrap()
+        Mat::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]).unwrap()
     }
 
     #[test]

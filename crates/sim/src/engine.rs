@@ -6,6 +6,7 @@ use crate::error::SimError;
 use crate::event::EventCalendar;
 use crate::model::{BlockId, Entry, Model};
 use crate::ode::{self, Integrator, OdeRhs};
+use crate::stats::EngineStats;
 use crate::time::TimeNs;
 use crate::trace::{EventRecord, Signal, SimResult};
 
@@ -69,6 +70,7 @@ pub struct Simulator {
     now: TimeNs,
     started: bool,
     result: SimResult,
+    stats: EngineStats,
 }
 
 impl Simulator {
@@ -173,6 +175,7 @@ impl Simulator {
         };
 
         Ok(Simulator {
+            stats: EngineStats::new(n),
             model,
             opts,
             in_off,
@@ -209,6 +212,13 @@ impl Simulator {
     /// Current simulation time.
     pub fn now(&self) -> TimeNs {
         self.now
+    }
+
+    /// Hot-loop execution counters accumulated across `run` calls:
+    /// per-block activations, ODE steps taken/rejected, event-calendar
+    /// peak depth, cascade depth.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
     }
 
     /// Advances the simulation to `until` (inclusive of events at exactly
@@ -284,7 +294,10 @@ impl Simulator {
                     outputs: &mut self.outputs,
                     input_src: &self.input_src,
                 };
-                ode::integrate(&mut rhs, t, chunk_end, &mut self.x, self.opts.integrator)?;
+                let ode_stats =
+                    ode::integrate(&mut rhs, t, chunk_end, &mut self.x, self.opts.integrator)?;
+                self.stats.ode.merge(ode_stats);
+                self.stats.integration_spans += 1;
             }
             t = chunk_end;
             self.now = if t >= t1 {
@@ -303,12 +316,14 @@ impl Simulator {
     /// zero-delay follow-ups), then records probes once.
     fn process_instant(&mut self) -> Result<(), SimError> {
         let now = self.now;
+        self.stats.event_instants += 1;
         let mut deliveries = 0usize;
         while self.calendar.peek_time() == Some(now) {
             let ev = self.calendar.pop().expect("peeked");
             let routes = self.evt_routes[ev.emitter.index()][ev.out_port].clone();
             for (dst, port) in routes {
                 deliveries += 1;
+                self.stats.count_activation(dst);
                 if deliveries > self.opts.cascade_limit {
                     return Err(SimError::EventCascadeOverflow {
                         time: now,
@@ -319,9 +334,8 @@ impl Simulator {
                 // inputs (including effects of earlier same-instant events).
                 self.eval_outputs_committed();
                 let spec = self.model.entries[dst].spec;
-                let in_vals: Vec<f64> = self.inputs
-                    [self.in_off[dst]..self.in_off[dst] + spec.inputs]
-                    .to_vec();
+                let in_vals: Vec<f64> =
+                    self.inputs[self.in_off[dst]..self.in_off[dst] + spec.inputs].to_vec();
                 let mut actions = EventActions::new();
                 {
                     let mut ctx = EventCtx {
@@ -340,6 +354,7 @@ impl Simulator {
                 });
             }
         }
+        self.stats.max_cascade = self.stats.max_cascade.max(deliveries);
         self.eval_outputs_committed();
         self.record_probes();
         Ok(())
@@ -364,6 +379,7 @@ impl Simulator {
             }
             self.calendar
                 .schedule(self.now + delay, BlockId::from_index(b), port);
+            self.stats.calendar_peak = self.stats.calendar_peak.max(self.calendar.len());
         }
         Ok(())
     }
@@ -681,10 +697,7 @@ mod tests {
         assert!(smp.samples.iter().all(|&(_, v)| v == 7.0));
         // Event log captured deliveries to both clock and sampler.
         assert_eq!(r.activation_times(s, Some(0)).len(), 11);
-        assert_eq!(
-            r.activation_times(s, Some(0))[3],
-            TimeNs::from_millis(300)
-        );
+        assert_eq!(r.activation_times(s, Some(0))[3], TimeNs::from_millis(300));
     }
 
     #[test]
@@ -876,7 +889,11 @@ mod tests {
                 },
             )
             .unwrap();
-            sim.run(TimeNs::from_secs(1)).unwrap().signal("x").unwrap().len()
+            sim.run(TimeNs::from_secs(1))
+                .unwrap()
+                .signal("x")
+                .unwrap()
+                .len()
         };
         let coarse = samples(0.1);
         let fine = samples(0.01);
@@ -918,11 +935,72 @@ mod tests {
             .filter(|(t, _)| (*t - t_evt).abs() < 1e-12)
             .map(|(_, v)| v)
             .collect();
-        assert!(
-            around.iter().any(|v| (v - 0.5).abs() < 1e-9),
-            "{around:?}"
-        );
+        assert!(around.iter().any(|v| (v - 0.5).abs() < 1e-9), "{around:?}");
         assert!((held.sample(0.75).unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn engine_stats_count_hot_loop_work() {
+        // Clock at 100 ms driving a sampler over an integrated constant:
+        // 10 instants in [0, 950 ms], each delivering to clock + sampler.
+        let mut m = Model::new();
+        let clk = m.add_block(
+            "clk",
+            Clock {
+                period: TimeNs::from_millis(100),
+            },
+        );
+        m.connect_event(clk, 0, clk, 0).unwrap();
+        let c = m.add_block("c", Const(1.0));
+        let i = m.add_block("i", Integ { x0: 0.0 });
+        m.connect(c, 0, i, 0).unwrap();
+        let s = m.add_block(
+            "s",
+            Sampler {
+                held: 0.0,
+                samples: vec![],
+            },
+        );
+        m.connect(i, 0, s, 0).unwrap();
+        m.connect_event(clk, 0, s, 0).unwrap();
+        let mut sim = Simulator::new(m, SimOptions::default()).unwrap();
+        sim.run(TimeNs::from_millis(950)).unwrap();
+        let stats = sim.stats().clone();
+        assert_eq!(stats.activations(clk), 10);
+        assert_eq!(stats.activations(s), 10);
+        assert_eq!(stats.activations(c), 0);
+        assert_eq!(stats.events_delivered, 20);
+        assert_eq!(stats.max_cascade, 2);
+        assert!(stats.calendar_peak >= 1);
+        assert!(stats.integration_spans >= 10);
+        assert!(stats.ode.steps_accepted > 0);
+        assert!(stats.ode.rhs_evals >= 4 * stats.ode.steps_accepted);
+
+        // Counters accumulate across runs and are deterministic: a second
+        // identical simulator reaches byte-identical stats.
+        let mut m2 = Model::new();
+        let clk2 = m2.add_block(
+            "clk",
+            Clock {
+                period: TimeNs::from_millis(100),
+            },
+        );
+        m2.connect_event(clk2, 0, clk2, 0).unwrap();
+        let c2 = m2.add_block("c", Const(1.0));
+        let i2 = m2.add_block("i", Integ { x0: 0.0 });
+        m2.connect(c2, 0, i2, 0).unwrap();
+        let s2 = m2.add_block(
+            "s",
+            Sampler {
+                held: 0.0,
+                samples: vec![],
+            },
+        );
+        m2.connect(i2, 0, s2, 0).unwrap();
+        m2.connect_event(clk2, 0, s2, 0).unwrap();
+        let mut sim2 = Simulator::new(m2, SimOptions::default()).unwrap();
+        sim2.run(TimeNs::from_millis(950)).unwrap();
+        assert_eq!(*sim2.stats(), stats);
     }
 
     #[test]

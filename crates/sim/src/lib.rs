@@ -78,7 +78,6 @@
     // Index loops mirror the textbook matrix formulas they implement.
     clippy::needless_range_loop
 )]
-
 #![warn(missing_docs)]
 
 mod block;
@@ -87,6 +86,7 @@ mod error;
 mod event;
 mod model;
 pub mod ode;
+mod stats;
 mod time;
 mod trace;
 
@@ -96,5 +96,6 @@ pub use error::SimError;
 pub use event::{EventCalendar, ScheduledEvent};
 pub use model::{BlockId, Model};
 pub use ode::{Integrator, OdeRhs};
+pub use stats::{EngineStats, OdeStepStats};
 pub use time::TimeNs;
 pub use trace::{EventRecord, ProbeId, Signal, SimResult};

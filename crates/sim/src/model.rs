@@ -194,11 +194,7 @@ impl Model {
                 count: dst_e.spec.inputs,
             });
         }
-        if self
-            .sig_conns
-            .iter()
-            .any(|c| c.dst == dst && c.inp == inp)
-        {
+        if self.sig_conns.iter().any(|c| c.dst == dst && c.inp == inp) {
             return Err(SimError::InputAlreadyDriven {
                 block: dst_e.name.clone(),
                 port: inp,

@@ -6,6 +6,7 @@
 //! outside the engine (and directly testable against analytic solutions).
 
 use crate::error::SimError;
+use crate::stats::OdeStepStats;
 
 /// Right-hand side of an ODE `ẋ = f(t, x)`.
 ///
@@ -147,7 +148,8 @@ const DP_B4: [f64; 7] = [
 /// before reporting failure.
 const MIN_STEP_FRACTION: f64 = 1e-14;
 
-/// Integrates `ẋ = f(t, x)` from `t0` to `t1` in place.
+/// Integrates `ẋ = f(t, x)` from `t0` to `t1` in place, returning step
+/// counters for observability.
 ///
 /// Dispatches on the [`Integrator`] choice; `x` is updated to the state at
 /// `t1`. For `Rk45`, step-size control follows the standard PI-free
@@ -167,8 +169,9 @@ const MIN_STEP_FRACTION: f64 = 1e-14;
 /// // ẋ = -x, x(0) = 1  =>  x(1) = e^-1
 /// let mut x = vec![1.0];
 /// let mut f = |_t: f64, x: &[f64], dx: &mut [f64]| dx[0] = -x[0];
-/// integrate(&mut f, 0.0, 1.0, &mut x, Integrator::default())?;
+/// let steps = integrate(&mut f, 0.0, 1.0, &mut x, Integrator::default())?;
 /// assert!((x[0] - (-1.0f64).exp()).abs() < 1e-7);
+/// assert!(steps.steps_accepted > 0);
 /// # Ok(())
 /// # }
 /// ```
@@ -178,7 +181,7 @@ pub fn integrate<F: OdeRhs>(
     t1: f64,
     x: &mut [f64],
     method: Integrator,
-) -> Result<(), SimError> {
+) -> Result<OdeStepStats, SimError> {
     if t1 < t0 {
         return Err(SimError::IntegrationFailure {
             time: t0,
@@ -186,7 +189,7 @@ pub fn integrate<F: OdeRhs>(
         });
     }
     if t1 == t0 || x.is_empty() {
-        return Ok(());
+        return Ok(OdeStepStats::default());
     }
     match method {
         Integrator::Rk4 { h } => {
@@ -196,10 +199,13 @@ pub fn integrate<F: OdeRhs>(
                     reason: format!("non-positive RK4 step {h}"),
                 });
             }
+            let mut stats = OdeStepStats::default();
             let mut t = t0;
             while t < t1 {
                 let step = h.min(t1 - t);
                 rk4_step(f, t, x, step);
+                stats.steps_accepted += 1;
+                stats.rhs_evals += 4;
                 if x.iter().any(|v| !v.is_finite()) {
                     return Err(SimError::IntegrationFailure {
                         time: t,
@@ -208,11 +214,9 @@ pub fn integrate<F: OdeRhs>(
                 }
                 t += step;
             }
-            Ok(())
+            Ok(stats)
         }
-        Integrator::Rk45 { rtol, atol, h_max } => {
-            integrate_rk45(f, t0, t1, x, rtol, atol, h_max)
-        }
+        Integrator::Rk45 { rtol, atol, h_max } => integrate_rk45(f, t0, t1, x, rtol, atol, h_max),
     }
 }
 
@@ -224,7 +228,7 @@ fn integrate_rk45<F: OdeRhs>(
     rtol: f64,
     atol: f64,
     h_max: f64,
-) -> Result<(), SimError> {
+) -> Result<OdeStepStats, SimError> {
     let n = x.len();
     let span = t1 - t0;
     let h_min = span * MIN_STEP_FRACTION;
@@ -234,6 +238,7 @@ fn integrate_rk45<F: OdeRhs>(
     let mut xs = vec![0.0; n];
     let mut x5 = vec![0.0; n];
     let mut x4 = vec![0.0; n];
+    let mut stats = OdeStepStats::default();
 
     while t < t1 {
         h = h.min(t1 - t).min(h_max);
@@ -250,6 +255,7 @@ fn integrate_rk45<F: OdeRhs>(
             let _ = head;
             f.eval(t + DP_C[s] * h, &xs, &mut tail[0]);
         }
+        stats.rhs_evals += 7;
         // 5th and embedded 4th order solutions.
         for i in 0..n {
             let mut acc5 = x[i];
@@ -277,12 +283,15 @@ fn integrate_rk45<F: OdeRhs>(
             // Accept.
             t += h;
             x.copy_from_slice(&x5);
+            stats.steps_accepted += 1;
             if x.iter().any(|v| !v.is_finite()) {
                 return Err(SimError::IntegrationFailure {
                     time: t,
                     reason: "non-finite state after accepted step".into(),
                 });
             }
+        } else {
+            stats.steps_rejected += 1;
         }
         // Step-size update (both on accept and reject).
         let factor = if err == 0.0 {
@@ -298,7 +307,7 @@ fn integrate_rk45<F: OdeRhs>(
             });
         }
     }
-    Ok(())
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -433,5 +442,21 @@ mod tests {
     #[test]
     fn default_integrator_is_rk45() {
         assert!(matches!(Integrator::default(), Integrator::Rk45 { .. }));
+    }
+
+    #[test]
+    fn step_counters_track_work() {
+        let mut x = vec![1.0];
+        let s = integrate(&mut decay, 0.0, 1.0, &mut x, Integrator::Rk4 { h: 0.1 }).unwrap();
+        // 10 nominal steps, plus possibly one shortened step from float
+        // accumulation of 0.1.
+        assert!((10..=11).contains(&s.steps_accepted), "{s:?}");
+        assert_eq!(s.rhs_evals, 4 * s.steps_accepted);
+        assert_eq!(s.steps_rejected, 0);
+
+        let mut y = vec![1.0];
+        let s45 = integrate(&mut decay, 0.0, 1.0, &mut y, Integrator::default()).unwrap();
+        assert!(s45.steps_accepted > 0);
+        assert_eq!(s45.rhs_evals, 7 * (s45.steps_accepted + s45.steps_rejected));
     }
 }

@@ -235,13 +235,22 @@ mod tests {
         assert!(TimeNs::ZERO.is_zero());
         assert!(TimeNs::from_nanos(-1).is_negative());
         assert!(TimeNs::from_nanos(1) > TimeNs::ZERO);
-        assert_eq!(TimeNs::from_nanos(5).max(TimeNs::from_nanos(3)), TimeNs::from_nanos(5));
-        assert_eq!(TimeNs::from_nanos(5).min(TimeNs::from_nanos(3)), TimeNs::from_nanos(3));
+        assert_eq!(
+            TimeNs::from_nanos(5).max(TimeNs::from_nanos(3)),
+            TimeNs::from_nanos(5)
+        );
+        assert_eq!(
+            TimeNs::from_nanos(5).min(TimeNs::from_nanos(3)),
+            TimeNs::from_nanos(3)
+        );
     }
 
     #[test]
     fn saturating_and_checked() {
-        assert_eq!(TimeNs::MAX.saturating_add(TimeNs::from_nanos(1)), TimeNs::MAX);
+        assert_eq!(
+            TimeNs::MAX.saturating_add(TimeNs::from_nanos(1)),
+            TimeNs::MAX
+        );
         assert_eq!(TimeNs::MAX.checked_add(TimeNs::from_nanos(1)), None);
         assert_eq!(
             TimeNs::ZERO.checked_add(TimeNs::from_nanos(7)),

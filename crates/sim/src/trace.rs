@@ -170,10 +170,7 @@ pub struct SimResult {
 impl SimResult {
     /// The recording of the probe registered under `name`, if any.
     pub fn signal(&self, name: &str) -> Option<&Signal> {
-        self.signals
-            .iter()
-            .find(|(n, _)| n == name)
-            .map(|(_, s)| s)
+        self.signals.iter().find(|(n, _)| n == name).map(|(_, s)| s)
     }
 
     /// All `(name, signal)` recordings.

@@ -1,0 +1,130 @@
+//! The [`Collector`]: the handle instrumentation sites write through.
+
+use crate::event::{Event, NoopSink, Sink};
+use std::time::Instant;
+
+/// Telemetry handle parameterized over its sink.
+///
+/// With [`NoopSink`] every emission and span-timing site is statically
+/// disabled (guarded by `S::ENABLED`), so instrumented code paths cost
+/// nothing; with [`crate::RecordingSink`] the full event stream is
+/// captured.
+#[derive(Debug)]
+pub struct Collector<S: Sink> {
+    sink: S,
+    epoch: Instant,
+}
+
+impl Collector<NoopSink> {
+    /// A collector that observes nothing and costs nothing.
+    pub fn noop() -> Self {
+        Collector::new(NoopSink)
+    }
+}
+
+impl Default for Collector<NoopSink> {
+    fn default() -> Self {
+        Collector::noop()
+    }
+}
+
+impl<S: Sink> Collector<S> {
+    /// Wraps a sink; the wall-clock epoch for span offsets is now.
+    pub fn new(sink: S) -> Self {
+        Collector {
+            sink,
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Whether events are observed at all (false for [`NoopSink`]).
+    pub fn enabled(&self) -> bool {
+        S::ENABLED
+    }
+
+    /// Emits the event built by `build`; with a disabled sink the closure
+    /// is never called, so event construction is free.
+    pub fn emit(&mut self, build: impl FnOnce() -> Event) {
+        if S::ENABLED {
+            self.sink.record(build());
+        }
+    }
+
+    /// Times `body` as a named phase, recording [`Event::SpanBegin`] /
+    /// [`Event::SpanEnd`] with wall-clock offsets from the collector
+    /// epoch. With a disabled sink this is exactly a call to `body`.
+    pub fn span<T>(&mut self, name: &str, body: impl FnOnce(&mut Self) -> T) -> T {
+        if !S::ENABLED {
+            return body(self);
+        }
+        self.sink.record(Event::SpanBegin {
+            name: name.to_string(),
+            wall_ns: self.elapsed_ns(),
+        });
+        let out = body(self);
+        self.sink.record(Event::SpanEnd {
+            name: name.to_string(),
+            wall_ns: self.elapsed_ns(),
+        });
+        out
+    }
+
+    /// Wall-clock nanoseconds since this collector was created.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Shared access to the sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Consumes the collector, returning the sink with everything it
+    /// recorded.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RecordingSink;
+
+    #[test]
+    fn noop_collector_observes_nothing() {
+        let mut tel = Collector::noop();
+        let mut called = false;
+        let v = tel.span("phase", |tel| {
+            tel.emit(|| unreachable!("emit closure must not run for NoopSink"));
+            called = true;
+            7
+        });
+        assert_eq!(v, 7);
+        assert!(called);
+        assert!(!tel.enabled());
+    }
+
+    #[test]
+    fn spans_nest_and_time() {
+        let mut tel = Collector::new(RecordingSink::default());
+        tel.span("outer", |tel| {
+            tel.span("inner", |_| {});
+        });
+        let sink = tel.into_sink();
+        let names: Vec<_> = sink
+            .events()
+            .iter()
+            .map(|e| match e {
+                Event::SpanBegin { name, .. } => format!("B:{name}"),
+                Event::SpanEnd { name, .. } => format!("E:{name}"),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(names, ["B:outer", "B:inner", "E:inner", "E:outer"]);
+        let durs = sink.span_durations();
+        assert_eq!(durs[0].0, "inner");
+        assert_eq!(durs[1].0, "outer");
+        assert!(durs[1].1 >= durs[0].1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Telemetry events and the sinks that consume them.
+
+use std::fmt::Write as _;
+
+/// One observability event.
+///
+/// Sim-derived variants ([`Event::Slice`], [`Event::Instant`],
+/// [`Event::Counter`]) carry integer nanoseconds of *simulated* time and
+/// are fully deterministic; only span variants carry wall-clock offsets
+/// (nanoseconds since the owning collector's epoch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// A timed phase opened (wall clock).
+    SpanBegin {
+        /// Phase name, e.g. `"adequation"`.
+        name: String,
+        /// Nanoseconds since the collector epoch.
+        wall_ns: u64,
+    },
+    /// The most recently opened phase closed (wall clock).
+    SpanEnd {
+        /// Phase name; matches the corresponding [`Event::SpanBegin`].
+        name: String,
+        /// Nanoseconds since the collector epoch.
+        wall_ns: u64,
+    },
+    /// A duration on a named track in simulated time, e.g. one scheduled
+    /// operation's execution window on its processor.
+    Slice {
+        /// Track (e.g. `"proc:ecu0"` or `"bus:can"`).
+        track: String,
+        /// Displayed name of the slice.
+        name: String,
+        /// Start instant, simulated ns.
+        start_ns: i64,
+        /// End instant, simulated ns.
+        end_ns: i64,
+    },
+    /// A zero-duration marker in simulated time.
+    Instant {
+        /// Track the marker belongs to.
+        track: String,
+        /// Displayed name.
+        name: String,
+        /// Instant, simulated ns.
+        at_ns: i64,
+    },
+    /// A sampled counter value in simulated time, e.g. one latency
+    /// observation `Ls_j(k)`.
+    Counter {
+        /// Counter series (e.g. `"Ls[0]"`).
+        track: String,
+        /// Displayed name.
+        name: String,
+        /// Sample instant, simulated ns.
+        at_ns: i64,
+        /// Sampled value, ns.
+        value_ns: i64,
+    },
+}
+
+/// A consumer of telemetry [`Event`]s.
+///
+/// The associated constant [`Sink::ENABLED`] lets instrumentation sites
+/// guard event *construction*, not just delivery: with [`NoopSink`] the
+/// whole emission expression is dead code the optimizer removes.
+pub trait Sink {
+    /// Whether this sink observes events at all.
+    const ENABLED: bool = true;
+
+    /// Consumes one event.
+    fn record(&mut self, event: Event);
+}
+
+/// A sink that ignores everything; `ENABLED = false` compiles emission
+/// sites away entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    const ENABLED: bool = false;
+
+    fn record(&mut self, _event: Event) {}
+}
+
+/// A sink that stores every event in order, for tests and exporters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordingSink {
+    events: Vec<Event>,
+}
+
+impl Sink for RecordingSink {
+    fn record(&mut self, event: Event) {
+        self.events.push(event);
+    }
+}
+
+impl RecordingSink {
+    /// The recorded events, in emission order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Renders the stream one line per event in a stable text format,
+    /// suitable for byte-for-byte determinism comparisons.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ev in &self.events {
+            match ev {
+                Event::SpanBegin { name, wall_ns } => {
+                    let _ = writeln!(out, "span-begin {name} wall={wall_ns}");
+                }
+                Event::SpanEnd { name, wall_ns } => {
+                    let _ = writeln!(out, "span-end {name} wall={wall_ns}");
+                }
+                Event::Slice {
+                    track,
+                    name,
+                    start_ns,
+                    end_ns,
+                } => {
+                    let _ = writeln!(out, "slice {track} {name} [{start_ns}, {end_ns}]");
+                }
+                Event::Instant { track, name, at_ns } => {
+                    let _ = writeln!(out, "instant {track} {name} @{at_ns}");
+                }
+                Event::Counter {
+                    track,
+                    name,
+                    at_ns,
+                    value_ns,
+                } => {
+                    let _ = writeln!(out, "counter {track} {name} @{at_ns} = {value_ns}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Durations of completed spans as `(name, ns)` pairs, in completion
+    /// order, matching each `SpanEnd` with the nearest open `SpanBegin`.
+    pub fn span_durations(&self) -> Vec<(String, u64)> {
+        let mut open: Vec<(&str, u64)> = Vec::new();
+        let mut done = Vec::new();
+        for ev in &self.events {
+            match ev {
+                Event::SpanBegin { name, wall_ns } => open.push((name, *wall_ns)),
+                Event::SpanEnd { name, wall_ns } => {
+                    if let Some(pos) = open.iter().rposition(|(n, _)| n == name) {
+                        let (_, begin) = open.remove(pos);
+                        done.push((name.clone(), wall_ns.saturating_sub(begin)));
+                    }
+                }
+                _ => {}
+            }
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_sink_renders_stably() {
+        let mut s = RecordingSink::default();
+        s.record(Event::Slice {
+            track: "proc:p0".into(),
+            name: "f".into(),
+            start_ns: 10,
+            end_ns: 20,
+        });
+        s.record(Event::Counter {
+            track: "Ls[0]".into(),
+            name: "Ls".into(),
+            at_ns: 30,
+            value_ns: -5,
+        });
+        assert_eq!(
+            s.render(),
+            "slice proc:p0 f [10, 20]\ncounter Ls[0] Ls @30 = -5\n"
+        );
+    }
+
+    #[test]
+    fn span_durations_match_nesting() {
+        let mut s = RecordingSink::default();
+        s.record(Event::SpanBegin {
+            name: "outer".into(),
+            wall_ns: 0,
+        });
+        s.record(Event::SpanBegin {
+            name: "inner".into(),
+            wall_ns: 10,
+        });
+        s.record(Event::SpanEnd {
+            name: "inner".into(),
+            wall_ns: 25,
+        });
+        s.record(Event::SpanEnd {
+            name: "outer".into(),
+            wall_ns: 100,
+        });
+        assert_eq!(
+            s.span_durations(),
+            vec![("inner".to_string(), 15), ("outer".to_string(), 100)]
+        );
+    }
+}

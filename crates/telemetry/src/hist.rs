@@ -1,0 +1,207 @@
+//! Streaming fixed-bucket histograms for latency series.
+
+/// A streaming histogram over integer-nanosecond values with fixed-width
+/// buckets on `[0, upper_bound_ns)` plus underflow/overflow buckets.
+///
+/// `count`, `min`, `max` and the running sum are exact; percentiles are
+/// bucket-resolution estimates **clamped to `[min, max]`**, so they can
+/// never contradict the exact extrema (and are exact for constant
+/// series). The sum accumulates in `i128`, which cannot overflow before
+/// `count` itself wraps, so long co-simulations never wrap the mean.
+///
+/// # Examples
+///
+/// ```
+/// use ecl_telemetry::Histogram;
+///
+/// let mut h = Histogram::new(1_000_000, 64);
+/// for v in [250_000i64, 250_000, 250_000] {
+///     h.record(v);
+/// }
+/// let s = h.summary();
+/// assert_eq!(s.count, 3);
+/// assert_eq!(s.p50_ns, 250_000); // clamped to the exact extrema
+/// assert_eq!(s.min_ns, s.max_ns);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bucket_width: i64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: i128,
+    min: i64,
+    max: i64,
+}
+
+impl Histogram {
+    /// A histogram with `buckets` equal-width buckets spanning
+    /// `[0, upper_bound_ns)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upper_bound_ns <= 0` or `buckets == 0`.
+    pub fn new(upper_bound_ns: i64, buckets: usize) -> Self {
+        assert!(upper_bound_ns > 0, "histogram needs a positive bound");
+        assert!(buckets > 0, "histogram needs at least one bucket");
+        let bucket_width = (upper_bound_ns + buckets as i64 - 1) / buckets as i64;
+        Histogram {
+            bucket_width: bucket_width.max(1),
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            min: i64::MAX,
+            max: i64::MIN,
+        }
+    }
+
+    /// Records one value (negative values land in the underflow bucket,
+    /// values at or above the bound in the overflow bucket).
+    pub fn record(&mut self, value_ns: i64) {
+        self.count += 1;
+        self.sum += i128::from(value_ns);
+        self.min = self.min.min(value_ns);
+        self.max = self.max.max(value_ns);
+        if value_ns < 0 {
+            self.underflow += 1;
+        } else {
+            let idx = (value_ns / self.bucket_width) as usize;
+            match self.buckets.get_mut(idx) {
+                Some(b) => *b += 1,
+                None => self.overflow += 1,
+            }
+        }
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum, or `None` when empty.
+    pub fn min(&self) -> Option<i64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum, or `None` when empty.
+    pub fn max(&self) -> Option<i64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact mean (the `i128` running sum divided by the count), or
+    /// `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Estimated `q`-quantile (`0 < q <= 1`), clamped to `[min, max]`;
+    /// `None` when empty.
+    pub fn percentile(&self, q: f64) -> Option<i64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = self.underflow;
+        if rank <= cumulative {
+            return Some(self.min);
+        }
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cumulative += b;
+            if rank <= cumulative {
+                // Upper edge of the bucket, clamped to the exact extrema.
+                let edge = (i as i64 + 1) * self.bucket_width - 1;
+                return Some(edge.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// The standard summary (count, exact extrema/mean, p50/p95/p99).
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.count,
+            min_ns: self.min().unwrap_or(0),
+            max_ns: self.max().unwrap_or(0),
+            mean_ns: self.mean().unwrap_or(0.0),
+            p50_ns: self.percentile(0.50).unwrap_or(0),
+            p95_ns: self.percentile(0.95).unwrap_or(0),
+            p99_ns: self.percentile(0.99).unwrap_or(0),
+        }
+    }
+}
+
+/// Point-in-time digest of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact minimum (0 when empty).
+    pub min_ns: i64,
+    /// Exact maximum (0 when empty).
+    pub max_ns: i64,
+    /// Exact mean (0 when empty).
+    pub mean_ns: f64,
+    /// Estimated median, clamped to `[min, max]`.
+    pub p50_ns: i64,
+    /// Estimated 95th percentile, clamped to `[min, max]`.
+    pub p95_ns: i64,
+    /// Estimated 99th percentile, clamped to `[min, max]`.
+    pub p99_ns: i64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_is_exact() {
+        let mut h = Histogram::new(1_000, 10);
+        for _ in 0..100 {
+            h.record(137);
+        }
+        let s = h.summary();
+        assert_eq!((s.min_ns, s.max_ns), (137, 137));
+        assert_eq!((s.p50_ns, s.p95_ns, s.p99_ns), (137, 137, 137));
+        assert!((s.mean_ns - 137.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_clamped() {
+        let mut h = Histogram::new(10_000, 16);
+        for v in 0..1_000i64 {
+            h.record(v * 7 % 10_000);
+        }
+        let s = h.summary();
+        assert!(s.min_ns <= s.p50_ns);
+        assert!(s.p50_ns <= s.p95_ns);
+        assert!(s.p95_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.max_ns);
+    }
+
+    #[test]
+    fn underflow_and_overflow_hit_exact_extrema() {
+        let mut h = Histogram::new(100, 4);
+        h.record(-50);
+        h.record(1_000_000);
+        assert_eq!(h.percentile(0.01), Some(-50));
+        assert_eq!(h.percentile(1.0), Some(1_000_000));
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = Histogram::new(100, 4);
+        assert!(h.is_empty());
+        assert_eq!(h.min(), None);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.summary().count, 0);
+    }
+}

@@ -1,0 +1,203 @@
+//! Chrome trace-event-format export.
+//!
+//! [`chrome_trace`] renders a recorded event stream as a JSON array with
+//! one trace event per line — the format `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev) open directly. Spans become `B`/`E`
+//! duration events on the `lifecycle` track (wall-clock), sim-derived
+//! slices become `X` complete events on their own per-track threads
+//! (simulated time), instants become `i` events and counter samples
+//! become `C` events. Timestamps are microseconds with nanosecond
+//! fraction, as the format requires.
+
+use crate::event::Event;
+use std::fmt::Write as _;
+
+/// The reserved thread id for wall-clock lifecycle spans.
+const SPAN_TID: u64 = 0;
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats nanoseconds as the microsecond timestamps trace events use.
+fn ts_us(ns: i64) -> String {
+    format!("{:.3}", ns as f64 / 1_000.0)
+}
+
+fn ts_us_u(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1_000.0)
+}
+
+/// Stable track → thread-id assignment in order of first appearance
+/// (tid 0 is reserved for lifecycle spans).
+fn tid_for<'a>(tracks: &mut Vec<&'a str>, track: &'a str) -> u64 {
+    match tracks.iter().position(|t| *t == track) {
+        Some(i) => i as u64 + 1,
+        None => {
+            tracks.push(track);
+            tracks.len() as u64
+        }
+    }
+}
+
+/// Renders events as a Chrome trace-event JSON array, one event per line.
+///
+/// Track names become named threads via `thread_name` metadata events, so
+/// viewers show `proc:ecu0`-style labels instead of raw thread ids.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut tracks: Vec<&str> = Vec::new();
+    let mut lines: Vec<String> = Vec::new();
+    for ev in events {
+        let line = match ev {
+            Event::SpanBegin { name, wall_ns } => format!(
+                r#"{{"name":"{}","ph":"B","pid":1,"tid":{},"ts":{}}}"#,
+                escape_json(name),
+                SPAN_TID,
+                ts_us_u(*wall_ns)
+            ),
+            Event::SpanEnd { name, wall_ns } => format!(
+                r#"{{"name":"{}","ph":"E","pid":1,"tid":{},"ts":{}}}"#,
+                escape_json(name),
+                SPAN_TID,
+                ts_us_u(*wall_ns)
+            ),
+            Event::Slice {
+                track,
+                name,
+                start_ns,
+                end_ns,
+            } => {
+                let tid = tid_for(&mut tracks, track);
+                format!(
+                    r#"{{"name":"{}","ph":"X","pid":1,"tid":{},"ts":{},"dur":{}}}"#,
+                    escape_json(name),
+                    tid,
+                    ts_us(*start_ns),
+                    ts_us(end_ns - start_ns)
+                )
+            }
+            Event::Instant { track, name, at_ns } => {
+                let tid = tid_for(&mut tracks, track);
+                format!(
+                    r#"{{"name":"{}","ph":"i","s":"t","pid":1,"tid":{},"ts":{}}}"#,
+                    escape_json(name),
+                    tid,
+                    ts_us(*at_ns)
+                )
+            }
+            Event::Counter {
+                track,
+                at_ns,
+                value_ns,
+                ..
+            } => {
+                // The *track* is the chrome `name` so each latency series
+                // gets its own counter lane in the viewer.
+                let tid = tid_for(&mut tracks, track);
+                format!(
+                    r#"{{"name":"{}","ph":"C","pid":1,"tid":{},"ts":{},"args":{{"value_ns":{}}}}}"#,
+                    escape_json(track),
+                    tid,
+                    ts_us(*at_ns),
+                    value_ns
+                )
+            }
+        };
+        lines.push(line);
+    }
+
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let push = |line: String, out: &mut String, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        out.push_str(&line);
+        *first = false;
+    };
+    push(
+        format!(
+            r#"{{"name":"thread_name","ph":"M","pid":1,"tid":{},"args":{{"name":"lifecycle"}}}}"#,
+            SPAN_TID
+        ),
+        &mut out,
+        &mut first,
+    );
+    for (i, track) in tracks.iter().enumerate() {
+        push(
+            format!(
+                r#"{{"name":"thread_name","ph":"M","pid":1,"tid":{},"args":{{"name":"{}"}}}}"#,
+                i as u64 + 1,
+                escape_json(track)
+            ),
+            &mut out,
+            &mut first,
+        );
+    }
+    for line in lines {
+        push(line, &mut out, &mut first);
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn trace_parses_and_names_tracks() {
+        let events = vec![
+            Event::SpanBegin {
+                name: "adequation".into(),
+                wall_ns: 1_500,
+            },
+            Event::SpanEnd {
+                name: "adequation".into(),
+                wall_ns: 2_500,
+            },
+            Event::Slice {
+                track: "proc:p0".into(),
+                name: "sensor".into(),
+                start_ns: 0,
+                end_ns: 300_000,
+            },
+            Event::Counter {
+                track: "Ls[0]".into(),
+                name: "Ls".into(),
+                at_ns: 300_000,
+                value_ns: 300_000,
+            },
+        ];
+        let text = chrome_trace(&events);
+        let parsed = json::parse(&text).expect("valid JSON");
+        let arr = parsed.as_array().expect("array");
+        // 2 thread_name metadata (lifecycle + proc) + 1 for counter track + 4 events.
+        assert_eq!(arr.len(), 7);
+        let slice = arr
+            .iter()
+            .find(|e| e.get("ph").and_then(json::Value::as_str) == Some("X"))
+            .expect("slice event");
+        assert_eq!(slice.get("dur").and_then(json::Value::as_f64), Some(300.0));
+    }
+
+    #[test]
+    fn escaping_handles_specials() {
+        assert_eq!(escape_json("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+}

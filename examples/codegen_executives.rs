@@ -23,8 +23,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut arch = ArchitectureGraph::new();
     let arm = arch.add_processor("arm0", "cortex-a");
     let dsp = arch.add_processor("dsp0", "c6x");
-    arch.add_link("srio", arm, dsp, TimeNs::from_micros(5), TimeNs::from_micros(1))?;
-    arch.add_bus("can", &[arm, dsp], TimeNs::from_micros(120), TimeNs::from_micros(8))?;
+    arch.add_link(
+        "srio",
+        arm,
+        dsp,
+        TimeNs::from_micros(5),
+        TimeNs::from_micros(1),
+    )?;
+    arch.add_bus(
+        "can",
+        &[arm, dsp],
+        TimeNs::from_micros(120),
+        TimeNs::from_micros(8),
+    )?;
 
     // The DSP runs filters 3x faster; physical I/O stays on the ARM.
     let mut db = uniform_timing(&alg, &io, TimeNs::from_micros(50), TimeNs::from_micros(900));
@@ -36,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     for (label, policy) in [
-        ("schedule pressure (SynDEx heuristic)", MappingPolicy::SchedulePressure),
+        (
+            "schedule pressure (SynDEx heuristic)",
+            MappingPolicy::SchedulePressure,
+        ),
         ("earliest finish time", MappingPolicy::EarliestFinish),
     ] {
         let schedule = adequation(&alg, &arch, &db, AdequationOptions { policy })?;

@@ -9,7 +9,9 @@
 //!
 //! Run with `cargo run --example conditioning_jitter`.
 
-use eclipse_codesign::aaa::{adequation, AdequationOptions, AlgorithmGraph, ArchitectureGraph, TimeNs, TimingDb};
+use eclipse_codesign::aaa::{
+    adequation, AdequationOptions, AlgorithmGraph, ArchitectureGraph, TimeNs, TimingDb,
+};
 use eclipse_codesign::blocks::Sine;
 use eclipse_codesign::control::{c2d_zoh, dlqr, plants};
 use eclipse_codesign::core::cosim::{self, DisturbanceKind, LoopSpec};
@@ -55,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.set(act, ecu, TimeNs::from_micros(200));
     let schedule = adequation(&alg, &arch, &db, AdequationOptions::default())?;
     schedule.validate(&alg, &arch)?;
-    println!("\nschedule (WCET budget, both branches):\n{}", schedule.render(&alg, &arch));
+    println!(
+        "\nschedule (WCET budget, both branches):\n{}",
+        schedule.render(&alg, &arch)
+    );
 
     // -- the loop ------------------------------------------------------------
     let dss = c2d_zoh(&plant.sys, ts)?;

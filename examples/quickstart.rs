@@ -56,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     db.forbid(io.stages[0], sensor_ecu); // the control task runs remotely
     let schedule = adequation(&alg, &arch, &db, AdequationOptions::default())?;
     schedule.validate(&alg, &arch)?;
-    println!("\nstatic schedule (adequation):\n{}", schedule.render(&alg, &arch));
+    println!(
+        "\nstatic schedule (adequation):\n{}",
+        schedule.render(&alg, &arch)
+    );
 
     // -- 4. co-simulation with the graph of delays -------------------------
     let implemented = cosim::run_scheduled(&spec, &alg, &io, &schedule, &arch)?;

@@ -93,7 +93,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.calibration_recovery() * 100.0
     );
 
-    println!("\n== generated executives (deadlock-free: {}) ==", report.deadlock_free);
+    println!(
+        "\n== generated executives (deadlock-free: {}) ==",
+        report.deadlock_free
+    );
     println!("{}", report.executives);
     Ok(())
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, lints, and the full offline test suite.
+#
+# Everything runs with --offline against the vendored/shimmed
+# dependencies, so the gate works without network access. Run from the
+# repository root:
+#
+#   scripts/check.sh
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (all targets, warnings are errors) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test --workspace -q --offline
+
+echo "All checks passed."

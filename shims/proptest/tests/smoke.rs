@@ -1,0 +1,82 @@
+//! Behavioural checks of the mini runner itself.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static CASES_RUN: AtomicU32 = AtomicU32::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(37))]
+
+    #[test]
+    fn runner_executes_exactly_configured_cases(x in 0i64..100) {
+        CASES_RUN.fetch_add(1, Ordering::SeqCst);
+        prop_assert!((0..100).contains(&x));
+    }
+}
+
+#[test]
+fn configured_case_count_is_honoured() {
+    runner_executes_exactly_configured_cases();
+    assert_eq!(CASES_RUN.load(Ordering::SeqCst), 37);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn ranges_stay_in_bounds(
+        a in -5i32..7,
+        b in 0usize..3,
+        f in -2.5f64..2.5,
+        v in proptest::collection::vec(0u64..10, 2..6),
+    ) {
+        prop_assert!((-5..7).contains(&a));
+        prop_assert!(b < 3);
+        prop_assert!((-2.5..2.5).contains(&f));
+        prop_assert!((2..6).contains(&v.len()));
+        prop_assert!(v.iter().all(|&x| x < 10));
+    }
+
+    #[test]
+    fn assume_skips_rejected_cases(x in 0i64..10) {
+        prop_assume!(x % 2 == 0);
+        prop_assert_eq!(x % 2, 0);
+    }
+
+    #[test]
+    fn oneof_map_flatmap_compose(
+        n in prop_oneof![Just(1usize), Just(2usize), (3usize..6).prop_map(|x| x)],
+        pair in (1i64..4).prop_flat_map(|n| (Just(n), n..8)),
+    ) {
+        prop_assert!((1..6).contains(&n));
+        prop_assert!(pair.1 >= pair.0);
+    }
+}
+
+#[test]
+fn sampling_is_deterministic_per_test_name() {
+    let mut a = proptest::test_runner::TestRng::from_name("some::test");
+    let mut b = proptest::test_runner::TestRng::from_name("some::test");
+    let mut c = proptest::test_runner::TestRng::from_name("other::test");
+    let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+    let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+    let sc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+    assert_eq!(sa, sb);
+    assert_ne!(sa, sc);
+}
+
+#[test]
+fn failing_property_panics_with_case_number() {
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        #[allow(dead_code)]
+        fn always_fails(x in 0i64..10) {
+            prop_assert!(x > 100, "x was {x}");
+        }
+    }
+    let err = std::panic::catch_unwind(always_fails).expect_err("must fail");
+    let msg = err.downcast_ref::<String>().expect("string panic");
+    assert!(msg.contains("case 0"), "got: {msg}");
+}

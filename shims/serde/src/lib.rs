@@ -1,0 +1,32 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This workspace builds in a hermetic environment with no crates.io
+//! access, and nothing in the tree actually serializes data through serde:
+//! the `#[derive(Serialize, Deserialize)]` attributes on schedule types
+//! exist so downstream consumers *could* wire up serialization, and the
+//! only test touching them checks that the derives compile. This shim
+//! keeps those derives compiling with zero behaviour: the traits are
+//! empty markers with blanket impls, and the derive macros (behind the
+//! `derive` feature, mirroring real serde) expand to nothing.
+//!
+//! If the workspace ever needs real serialization, delete `shims/serde`
+//! and `shims/serde_derive` and point `[workspace.dependencies] serde`
+//! back at the registry; no call sites need to change.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for every
+/// type so `T: Serialize` bounds and derives are satisfied trivially.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for
+/// every type so `T: Deserialize<'de>` bounds and derives are satisfied
+/// trivially.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

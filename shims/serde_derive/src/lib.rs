@@ -1,0 +1,21 @@
+//! No-op derive macros backing the offline `serde` shim.
+//!
+//! The marker traits in `shims/serde` carry blanket impls, so the derives
+//! here have nothing to emit: they accept the input (including `#[serde]`
+//! helper attributes) and expand to an empty token stream.
+
+#![forbid(unsafe_code)]
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -19,6 +19,7 @@
 //! | [`control`] | `ecl-control` | plants, discretization, LQR/PID, metrics |
 //! | [`aaa`] | `ecl-aaa` | SynDEx substrate: graphs, adequation, schedules, codegen |
 //! | [`core`] | `ecl-core` | the methodology: translation, graph of delays, latency, lifecycle |
+//! | [`telemetry`] | `ecl-telemetry` | spans, histograms, Chrome-trace/Gantt exporters |
 //!
 //! # Quickstart
 //!
@@ -62,3 +63,4 @@ pub use ecl_control as control;
 pub use ecl_core as core;
 pub use ecl_linalg as linalg;
 pub use ecl_sim as sim;
+pub use ecl_telemetry as telemetry;

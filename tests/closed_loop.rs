@@ -1,9 +1,7 @@
 //! Cross-crate integration tests: the full methodology pipeline on the
 //! benchmark plants.
 
-use eclipse_codesign::aaa::{
-    adequation, AdequationOptions, ArchitectureGraph, ProcId, TimeNs,
-};
+use eclipse_codesign::aaa::{adequation, AdequationOptions, ArchitectureGraph, ProcId, TimeNs};
 use eclipse_codesign::control::{c2d_zoh, dlqr, plants};
 use eclipse_codesign::core::cosim::{self, DisturbanceKind, LoopSpec};
 use eclipse_codesign::core::lifecycle::{self, LifecycleInputs};
@@ -103,8 +101,7 @@ fn latency_report_matches_schedule_instants() {
     // unconditioned law).
     let spec = dc_motor_loop(false);
     let law = ControlLawSpec::monolithic("lqr", 2, 1);
-    let (alg, io, arch, db, _) =
-        split_target(&law, TimeNs::from_millis(2), TimeNs::from_millis(5));
+    let (alg, io, arch, db, _) = split_target(&law, TimeNs::from_millis(2), TimeNs::from_millis(5));
     let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).expect("ok");
     let r = cosim::run_scheduled(&spec, &alg, &io, &schedule, &arch).expect("ok");
     let report = r.latency_report().expect("aligned");

@@ -4,7 +4,9 @@
 use eclipse_codesign::aaa::{
     adequation, AdequationOptions, AlgorithmGraph, ArchitectureGraph, TimeNs, TimingDb,
 };
-use eclipse_codesign::blocks::{add_clock, Constant, EventDelay, SampleHold, Scope, Synchronization};
+use eclipse_codesign::blocks::{
+    add_clock, Constant, EventDelay, SampleHold, Scope, Synchronization,
+};
 use eclipse_codesign::core::delays::{self, ConditionSource, DelayGraphConfig};
 use eclipse_codesign::sim::{Model, SimOptions, Simulator};
 
@@ -91,10 +93,7 @@ fn fig5_conditioning_translation() {
     // Condition flips with a square signal: first period branch 0, later
     // periods branch 1 (step at 4 ms with period 10 ms).
     let mut model = Model::new();
-    let step = model.add_block(
-        "step",
-        eclipse_codesign::blocks::Step::new(0.004, 0.0, 1.0),
-    );
+    let step = model.add_block("step", eclipse_codesign::blocks::Step::new(0.004, 0.0, 1.0));
     let mut cfg = DelayGraphConfig::default();
     cfg.condition_sources.insert(
         cond,
@@ -116,7 +115,8 @@ fn fig5_conditioning_translation() {
     let c = model.add_block("c", Constant::new(0.0));
     let sc = model.add_block("sc", Scope::new());
     model.connect(c, 0, sc, 0).expect("ok");
-    dg.activate_on_completion(&mut model, sink, sc, 0).expect("ok");
+    dg.activate_on_completion(&mut model, sink, sc, 0)
+        .expect("ok");
     let mut sim = Simulator::new(model, SimOptions::default()).expect("ok");
     let r = sim.run(TimeNs::from_millis(25)).expect("ok");
     let t = r.activation_times(sc, Some(0));

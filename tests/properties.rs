@@ -2,8 +2,8 @@
 
 use eclipse_codesign::aaa::codegen;
 use eclipse_codesign::aaa::{
-    adequation, AdequationOptions, AlgorithmGraph, ArchitectureGraph, MappingPolicy, OpId,
-    TimeNs, TimingDb,
+    adequation, AdequationOptions, AlgorithmGraph, ArchitectureGraph, MappingPolicy, OpId, TimeNs,
+    TimingDb,
 };
 use eclipse_codesign::blocks::{Constant, Scope};
 use eclipse_codesign::control::{c2d_zoh, StateSpace};
@@ -13,7 +13,9 @@ use eclipse_codesign::sim::{Model, SimOptions, Simulator};
 use proptest::prelude::*;
 
 /// Strategy: a random layered DAG with `n` operations.
-fn random_algorithm(max_ops: usize) -> impl Strategy<Value = (AlgorithmGraph, Vec<(usize, usize)>)> {
+fn random_algorithm(
+    max_ops: usize,
+) -> impl Strategy<Value = (AlgorithmGraph, Vec<(usize, usize)>)> {
     (2..max_ops)
         .prop_flat_map(|n| {
             let edges = proptest::collection::vec((0..n, 0..n), 0..3 * n);
