@@ -1,0 +1,349 @@
+//! Content-addressed caching of adequation results.
+//!
+//! A scenario sweep re-runs the lifecycle hundreds of times, but many
+//! scenarios perturb only the plant, the disturbance seed or the sampling
+//! period — inputs the list scheduler never sees. The schedule they need
+//! is exactly the one already computed for the same (algorithm graph,
+//! architecture, WCET table, policy) quadruple. [`ScheduleCache`] keys
+//! schedules by a structural digest of that quadruple, so such scenarios
+//! skip the scheduler entirely; [`adequation`] is deterministic, so a
+//! cache hit returns a schedule byte-identical to a fresh run.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::adequation::{adequation, AdequationOptions, MappingPolicy};
+use crate::algorithm::AlgorithmGraph;
+use crate::architecture::{ArchitectureGraph, MediumKind};
+use crate::schedule::Schedule;
+use crate::timing::TimingDb;
+use crate::AaaError;
+
+/// FNV-1a, 64 bit — a stable, dependency-free content hash. `std`'s
+/// `DefaultHasher` is deliberately unspecified across releases; the digest
+/// below must be reproducible so cache statistics (and any persisted
+/// keys) mean the same thing on every toolchain.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+}
+
+/// Structural digest of everything [`adequation`] reads: the algorithm
+/// graph (ops, kinds, conditions, edges), the architecture (processors,
+/// media, transfer tariffs), the WCET table (defaults, overrides,
+/// interdictions) and the mapping policy. Two inputs with equal digests
+/// produce byte-identical schedules; scenario perturbations that leave
+/// all four untouched (plant, period, disturbance) hash identically.
+pub fn schedule_digest(
+    alg: &AlgorithmGraph,
+    arch: &ArchitectureGraph,
+    db: &TimingDb,
+    options: AdequationOptions,
+) -> u64 {
+    let mut h = Fnv1a::new();
+
+    h.write_u64(alg.len() as u64);
+    for op in alg.ops() {
+        h.write_str(alg.name(op));
+        h.write_u64(match alg.kind(op) {
+            crate::OpKind::Sensor => 0,
+            crate::OpKind::Function => 1,
+            crate::OpKind::Actuator => 2,
+        });
+        match alg.condition(op) {
+            None => h.write_u64(u64::MAX),
+            Some(c) => {
+                h.write_u64(c.variable.index() as u64);
+                h.write_u64(c.branch as u64);
+            }
+        }
+    }
+    for e in alg.edges() {
+        h.write_u64(e.src.index() as u64);
+        h.write_u64(e.dst.index() as u64);
+        h.write_u64(u64::from(e.data_units));
+    }
+
+    h.write_u64(arch.num_processors() as u64);
+    for p in arch.processors() {
+        h.write_str(arch.proc_name(p));
+        h.write_str(arch.proc_kind(p));
+    }
+    h.write_u64(arch.num_media() as u64);
+    for m in arch.media() {
+        h.write_str(arch.medium_name(m));
+        h.write_u64(match arch.medium_kind(m) {
+            MediumKind::Bus => 0,
+            MediumKind::PointToPoint => 1,
+        });
+        for &p in arch.medium_procs(m) {
+            h.write_u64(p.index() as u64);
+        }
+        // latency = cost of zero units; per-unit = first difference.
+        let lat = arch.transfer_time(m, 0);
+        let per_unit = arch.transfer_time(m, 1) - lat;
+        h.write_i64(lat.as_nanos());
+        h.write_i64(per_unit.as_nanos());
+    }
+
+    // TimingDb iterates in HashMap order; sort for a canonical digest.
+    let mut defaults: Vec<_> = db.iter_defaults().collect();
+    defaults.sort_by_key(|&(op, _)| op);
+    for (op, t) in defaults {
+        h.write_u64(op.index() as u64);
+        h.write_i64(t.as_nanos());
+    }
+    h.write_u64(u64::MAX); // section separator
+    let mut specific: Vec<_> = db.iter_specific().collect();
+    specific.sort_by_key(|&(op, p, _)| (op, p));
+    for (op, p, t) in specific {
+        h.write_u64(op.index() as u64);
+        h.write_u64(p.index() as u64);
+        h.write_i64(t.as_nanos());
+    }
+    h.write_u64(u64::MAX);
+    let mut forbidden: Vec<_> = db.iter_forbidden().collect();
+    forbidden.sort();
+    for (op, p) in forbidden {
+        h.write_u64(op.index() as u64);
+        h.write_u64(p.index() as u64);
+    }
+
+    match options.policy {
+        MappingPolicy::SchedulePressure => h.write_u64(0),
+        MappingPolicy::EarliestFinish => h.write_u64(1),
+        MappingPolicy::Random { seed } => {
+            h.write_u64(2);
+            h.write_u64(seed);
+        }
+    }
+    h.0
+}
+
+/// A thread-safe memo table from [`schedule_digest`] keys to schedules.
+///
+/// Shared by the sweep workers via `Arc`; the lock is held only around
+/// the map lookup/insert, never across the scheduler itself, so a miss
+/// on one worker does not serialize the others (two workers may race to
+/// compute the same key — both produce the identical deterministic
+/// schedule, and the second insert is a no-op).
+///
+/// # Examples
+///
+/// ```
+/// use ecl_aaa::{AdequationOptions, AlgorithmGraph, ArchitectureGraph, ScheduleCache, TimeNs, TimingDb};
+/// # fn main() -> Result<(), ecl_aaa::AaaError> {
+/// let mut alg = AlgorithmGraph::new();
+/// let s = alg.add_sensor("s");
+/// let mut arch = ArchitectureGraph::new();
+/// arch.add_processor("ecu", "arm");
+/// let mut db = TimingDb::new();
+/// db.set_default(s, TimeNs::from_micros(10));
+/// let cache = ScheduleCache::new();
+/// let a = cache.get_or_compute(&alg, &arch, &db, AdequationOptions::default())?;
+/// let b = cache.get_or_compute(&alg, &arch, &db, AdequationOptions::default())?;
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(a.ops(), b.ops());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    map: Mutex<HashMap<u64, Arc<Schedule>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScheduleCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ScheduleCache::default()
+    }
+
+    /// The schedule for the given inputs, running [`adequation`] only on
+    /// a cache miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`adequation`] errors; failures are not cached.
+    pub fn get_or_compute(
+        &self,
+        alg: &AlgorithmGraph,
+        arch: &ArchitectureGraph,
+        db: &TimingDb,
+        options: AdequationOptions,
+    ) -> Result<Arc<Schedule>, AaaError> {
+        let key = schedule_digest(alg, arch, db, options);
+        if let Some(hit) = self.map.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(hit));
+        }
+        // Computed outside the lock: adequation can be the sweep's most
+        // expensive non-simulation phase.
+        let schedule = Arc::new(adequation(alg, arch, db, options)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("cache lock");
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&schedule));
+        Ok(Arc::clone(entry))
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that ran the scheduler.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct schedules currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MappingPolicy, TimeNs};
+
+    fn setup() -> (AlgorithmGraph, ArchitectureGraph, TimingDb) {
+        let mut alg = AlgorithmGraph::new();
+        let s = alg.add_sensor("s");
+        let f = alg.add_function("f");
+        let a = alg.add_actuator("a");
+        alg.add_edge(s, f, 1).unwrap();
+        alg.add_edge(f, a, 1).unwrap();
+        let mut arch = ArchitectureGraph::new();
+        let p0 = arch.add_processor("p0", "arm");
+        let p1 = arch.add_processor("p1", "arm");
+        arch.add_bus(
+            "bus",
+            &[p0, p1],
+            TimeNs::from_micros(5),
+            TimeNs::from_micros(1),
+        )
+        .unwrap();
+        let mut db = TimingDb::new();
+        for op in alg.ops() {
+            db.set_default(op, TimeNs::from_micros(100));
+        }
+        (alg, arch, db)
+    }
+
+    #[test]
+    fn digest_is_stable_and_input_sensitive() {
+        let (alg, arch, db) = setup();
+        let opts = AdequationOptions::default();
+        let d1 = schedule_digest(&alg, &arch, &db, opts);
+        let d2 = schedule_digest(&alg, &arch, &db, opts);
+        assert_eq!(d1, d2);
+
+        // A WCET change must change the digest.
+        let mut db2 = db.clone();
+        db2.set_default(crate::OpId(1), TimeNs::from_micros(101));
+        assert_ne!(d1, schedule_digest(&alg, &arch, &db2, opts));
+
+        // A policy change must change the digest.
+        let rnd = AdequationOptions {
+            policy: MappingPolicy::Random { seed: 1 },
+        };
+        assert_ne!(d1, schedule_digest(&alg, &arch, &db, rnd));
+        let rnd2 = AdequationOptions {
+            policy: MappingPolicy::Random { seed: 2 },
+        };
+        assert_ne!(
+            schedule_digest(&alg, &arch, &db, rnd),
+            schedule_digest(&alg, &arch, &db, rnd2)
+        );
+
+        // An architecture change must change the digest.
+        let mut arch2 = ArchitectureGraph::new();
+        let p0 = arch2.add_processor("p0", "arm");
+        let p1 = arch2.add_processor("p1", "arm");
+        arch2
+            .add_bus(
+                "bus",
+                &[p0, p1],
+                TimeNs::from_micros(6),
+                TimeNs::from_micros(1),
+            )
+            .unwrap();
+        assert_ne!(d1, schedule_digest(&alg, &arch2, &db, opts));
+    }
+
+    #[test]
+    fn cache_hits_return_identical_schedule() {
+        let (alg, arch, db) = setup();
+        let cache = ScheduleCache::new();
+        assert!(cache.is_empty());
+        let opts = AdequationOptions::default();
+        let a = cache.get_or_compute(&alg, &arch, &db, opts).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let b = cache.get_or_compute(&alg, &arch, &db, opts).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&a, &b));
+        // The cached schedule equals a fresh run.
+        let fresh = adequation(&alg, &arch, &db, opts).unwrap();
+        assert_eq!(a.ops(), fresh.ops());
+        assert_eq!(a.comms(), fresh.comms());
+        assert_eq!(cache.len(), 1);
+
+        // A different WCET table is a distinct entry.
+        let mut db2 = db.clone();
+        db2.set_default(crate::OpId(0), TimeNs::from_micros(50));
+        cache.get_or_compute(&alg, &arch, &db2, opts).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn cache_is_shareable_across_threads() {
+        let (alg, arch, db) = setup();
+        let cache = Arc::new(ScheduleCache::new());
+        let opts = AdequationOptions::default();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let (alg, arch, db) = (&alg, &arch, &db);
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        cache.get_or_compute(alg, arch, db, opts).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.hits() + cache.misses(), 32);
+        assert_eq!(cache.len(), 1);
+    }
+}

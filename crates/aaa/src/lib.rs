@@ -24,6 +24,9 @@
 //!   seeded-random policies for ablation;
 //! * [`Schedule`] — validated static schedule with makespan, utilization
 //!   and I/O-instant analysis;
+//! * [`ScheduleCache`] — content-addressed memoization of adequation
+//!   results keyed by [`schedule_digest`], for scenario sweeps that
+//!   re-schedule identical (algorithm, architecture, WCET, policy) inputs;
 //! * [`codegen`] — per-processor synchronized executives with a
 //!   deadlock-freedom check.
 //!
@@ -63,6 +66,7 @@ mod adequation;
 mod algorithm;
 pub mod analysis;
 mod architecture;
+mod cache;
 pub mod codegen;
 mod error;
 mod schedule;
@@ -73,6 +77,7 @@ mod timing;
 pub use adequation::{adequation, AdequationOptions, MappingPolicy};
 pub use algorithm::{AlgorithmGraph, Condition, OpId, OpKind};
 pub use architecture::{ArchitectureGraph, MediumId, MediumKind, ProcId};
+pub use cache::{schedule_digest, ScheduleCache};
 pub use error::AaaError;
 pub use schedule::{Schedule, ScheduledComm, ScheduledOp};
 pub use timing::TimingDb;

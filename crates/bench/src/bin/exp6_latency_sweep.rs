@@ -5,12 +5,19 @@
 //! prints the quadratic-cost degradation curve — the analysis of Cervin
 //! et al. (IEEE CSM 2003) that the paper's §2 builds on. Expected shape:
 //! monotone degradation, far steeper for the open-loop-unstable pendulum.
+//!
+//! The sweep points are independent, so they run on the fleet worker
+//! pool ([`ecl_bench::fleet::map_indexed`]); results come back in point
+//! order, so the table is identical for any worker count.
 
 use ecl_aaa::{adequation, AdequationOptions, AlgorithmGraph, ArchitectureGraph, TimeNs, TimingDb};
+use ecl_bench::fleet::map_indexed;
 use ecl_bench::{lqr_loop, table};
 use ecl_control::plants;
 use ecl_core::cosim::{self, LoopSpec};
 use ecl_core::translate::IoMap;
+
+const FRACTIONS: [f64; 6] = [0.05, 0.15, 0.30, 0.50, 0.70, 0.85];
 
 /// Builds a single-ECU law whose compute stage eats `frac` of the period.
 fn single_proc_schedule(
@@ -34,24 +41,21 @@ fn single_proc_schedule(
     (alg, io, arch, schedule)
 }
 
-fn sweep(name: &str, spec: &LoopSpec, n_inputs: usize) -> Vec<Vec<String>> {
+/// One sweep point: co-simulate `spec` with `frac` of the period spent
+/// computing, and render the table row.
+fn point(name: &str, spec: &LoopSpec, n_inputs: usize, ideal_cost: f64, frac: f64) -> Vec<String> {
     let period = TimeNs::from_secs_f64(spec.ts);
-    let ideal = cosim::run_ideal(spec).expect("ideal ok");
-    let mut rows = Vec::new();
-    for frac in [0.05, 0.15, 0.30, 0.50, 0.70, 0.85] {
-        let (alg, io, arch, schedule) = single_proc_schedule(n_inputs, period, frac);
-        let run = cosim::run_scheduled(spec, &alg, &io, &schedule, &arch).expect("cosim ok");
-        let rep = run.latency_report().expect("aligned");
-        rows.push(vec![
-            name.into(),
-            format!("{:.0}%", frac * 100.0),
-            format!("{}", rep.mean_actuation()),
-            format!("{:.6}", ideal.cost),
-            format!("{:.6}", run.cost),
-            format!("{:+.1}%", (run.cost / ideal.cost - 1.0) * 100.0),
-        ]);
-    }
-    rows
+    let (alg, io, arch, schedule) = single_proc_schedule(n_inputs, period, frac);
+    let run = cosim::run_scheduled(spec, &alg, &io, &schedule, &arch).expect("cosim ok");
+    let rep = run.latency_report().expect("aligned");
+    vec![
+        name.into(),
+        format!("{:.0}%", frac * 100.0),
+        format!("{}", rep.mean_actuation()),
+        format!("{ideal_cost:.6}"),
+        format!("{:.6}", run.cost),
+        format!("{:+.1}%", (run.cost / ideal_cost - 1.0) * 100.0),
+    ]
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -59,11 +63,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let motor = plants::dc_motor();
     let spec_motor = lqr_loop(motor.sys, motor.ts, vec![1.0, 0.0], 1.5)?;
-    let mut rows = sweep("dc-motor", &spec_motor, 2);
-
     let pend = plants::inverted_pendulum();
     let spec_pend = lqr_loop(pend.sys, pend.ts, vec![0.0, 0.0, 0.1, 0.0], 3.0)?;
-    rows.extend(sweep("pendulum", &spec_pend, 4));
+
+    let plants: [(&str, &LoopSpec, usize, f64); 2] = [
+        (
+            "dc-motor",
+            &spec_motor,
+            2,
+            cosim::run_ideal(&spec_motor)?.cost,
+        ),
+        (
+            "pendulum",
+            &spec_pend,
+            4,
+            cosim::run_ideal(&spec_pend)?.cost,
+        ),
+    ];
+
+    // All (plant × fraction) points on the fleet pool, ordered output.
+    let rows = map_indexed(plants.len() * FRACTIONS.len(), 4, |i| {
+        let (name, spec, n_inputs, ideal_cost) = plants[i / FRACTIONS.len()];
+        point(
+            name,
+            spec,
+            n_inputs,
+            ideal_cost,
+            FRACTIONS[i % FRACTIONS.len()],
+        )
+    });
 
     println!(
         "{}",

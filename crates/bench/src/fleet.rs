@@ -1,0 +1,459 @@
+//! `ecl-fleet` — a deterministic multi-threaded scenario-sweep engine.
+//!
+//! A single lifecycle run answers "how does *this* implementation
+//! behave?"; a robustness study needs the same answer over hundreds of
+//! perturbed implementations (WCET jitter, mapping policy, sampling
+//! period). This module runs such a Monte-Carlo sweep over the full
+//! adequation → graph-of-delays → co-simulation pipeline on a
+//! self-scheduling pool of `std::thread` workers, with two guarantees:
+//!
+//! * **Determinism** — the sweep report is byte-identical regardless of
+//!   worker count. Every scenario derives its PRNG seed from the sweep
+//!   seed and its own index ([`scenario_seed`], a splitmix64 stream), and
+//!   the aggregator folds per-scenario results in index order, never in
+//!   completion order.
+//! * **No redundant scheduling** — an [`ScheduleCache`] shared by all
+//!   workers memoizes adequation results by content digest, so scenarios
+//!   that perturb only the period (or repeat a WCET table) skip the
+//!   scheduler.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use ecl_aaa::{AdequationOptions, MappingPolicy, ScheduleCache, TimeNs, TimingDb};
+use ecl_core::cosim::{self, LoopSpec};
+use ecl_core::report::{ScenarioOutcome, SweepSummary};
+use ecl_core::CoreError;
+use ecl_telemetry::{Collector, Histogram, PrefixSink, RecordingSink};
+
+use crate::SplitScenario;
+
+/// Buckets of the sweep-level actuation-latency histogram.
+const SWEEP_BUCKETS: usize = 64;
+
+/// The splitmix64 finalizer: a bijective avalanche mix.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Derives scenario `index`'s PRNG seed from the sweep seed: element
+/// `index` of the splitmix64 stream starting at `base`. Workers never
+/// share PRNG state, so the derivation — not scheduling order — fixes
+/// every random draw.
+pub fn scenario_seed(base: u64, index: usize) -> u64 {
+    splitmix64(base.wrapping_add((index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+}
+
+/// Per-scenario PRNG over the splitmix64 stream of [`scenario_seed`].
+#[derive(Debug, Clone)]
+struct FleetRng {
+    state: u64,
+}
+
+impl FleetRng {
+    fn new(seed: u64) -> Self {
+        FleetRng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        splitmix64(self.state.wrapping_sub(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Uniform in `[0, 1)` (53-bit resolution).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)` by rejection sampling (no modulo bias).
+    fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "cannot sample from an empty range");
+        let n = n as u64;
+        let zone = u64::MAX - u64::MAX % n;
+        loop {
+            let x = self.next_u64();
+            if x < zone {
+                return (x % n) as usize;
+            }
+        }
+    }
+}
+
+/// What a sweep varies and how large it is.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Sweep-level seed; scenario `i` uses [`scenario_seed`]`(base_seed, i)`.
+    pub base_seed: u64,
+    /// Number of scenarios.
+    pub scenario_count: usize,
+    /// Worker threads (clamped to at least 1). Must not affect results.
+    pub workers: usize,
+    /// Maximum fractional WCET inflation: each operation's WCET is scaled
+    /// by a factor drawn uniformly from `[1, 1 + wcet_jitter]`.
+    pub wcet_jitter: f64,
+    /// Sampling-period scales; each scenario draws one uniformly.
+    pub period_scales: Vec<f64>,
+    /// Mapping policies, assigned round-robin by scenario index. A
+    /// [`MappingPolicy::Random`] entry is re-seeded with the scenario
+    /// seed.
+    pub policies: Vec<MappingPolicy>,
+    /// A scenario is robust when `cost / ideal cost <= cost_bound_ratio`.
+    pub cost_bound_ratio: f64,
+    /// Capture merged telemetry traces for the first `trace_scenarios`
+    /// scenarios (they get `s<i>:`-prefixed tracks in the merged stream).
+    pub trace_scenarios: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            base_seed: 0xec1_f1ee7,
+            scenario_count: 64,
+            workers: 1,
+            wcet_jitter: 0.30,
+            period_scales: vec![1.0, 1.25, 1.5],
+            policies: vec![
+                MappingPolicy::SchedulePressure,
+                MappingPolicy::EarliestFinish,
+            ],
+            cost_bound_ratio: 1.5,
+            trace_scenarios: 0,
+        }
+    }
+}
+
+/// A concrete perturbation of the baseline, fully determined by
+/// `(config, index)` — deriving it never consults shared state.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Index within the sweep.
+    pub index: usize,
+    /// The derived PRNG seed.
+    pub seed: u64,
+    /// Per-operation WCET scale factors, in [`ecl_aaa::OpId`] index order.
+    pub wcet_factors: Vec<f64>,
+    /// Sampling-period scale.
+    pub period_scale: f64,
+    /// Mapping policy for this scenario's adequation.
+    pub policy: MappingPolicy,
+}
+
+impl Scenario {
+    /// Derives scenario `index` of a sweep over `base`.
+    pub fn derive(config: &SweepConfig, base: &SplitScenario, index: usize) -> Scenario {
+        let seed = scenario_seed(config.base_seed, index);
+        let mut rng = FleetRng::new(seed);
+        // Ops are visited in index order so draws are reproducible; the
+        // timing table itself iterates in unspecified (HashMap) order.
+        let wcet_factors: Vec<f64> = base
+            .alg
+            .ops()
+            .map(|_| 1.0 + config.wcet_jitter * rng.next_f64())
+            .collect();
+        let period_scale = config.period_scales[rng.below(config.period_scales.len())];
+        let mut policy = config.policies[index % config.policies.len()];
+        if let MappingPolicy::Random { .. } = policy {
+            policy = MappingPolicy::Random { seed };
+        }
+        Scenario {
+            index,
+            seed,
+            wcet_factors,
+            period_scale,
+            policy,
+        }
+    }
+
+    /// The perturbed WCET table: every default and processor-specific
+    /// entry scaled by its operation's factor (interdictions kept).
+    pub fn jittered_db(&self, base: &SplitScenario) -> TimingDb {
+        let scale = |t: TimeNs, f: f64| {
+            TimeNs::from_nanos(((t.as_nanos() as f64 * f).round() as i64).max(1))
+        };
+        let mut db = base.db.clone();
+        let mut defaults: Vec<_> = base.db.iter_defaults().collect();
+        defaults.sort_by_key(|&(op, _)| op);
+        for (op, t) in defaults {
+            db.set_default(op, scale(t, self.wcet_factors[op.index()]));
+        }
+        let mut specific: Vec<_> = base.db.iter_specific().collect();
+        specific.sort_by_key(|&(op, p, _)| (op, p));
+        for (op, p, t) in specific {
+            db.set(op, p, scale(t, self.wcet_factors[op.index()]));
+        }
+        db
+    }
+
+    /// One-line description used in report rows.
+    pub fn label(&self) -> String {
+        let worst = self.wcet_factors.iter().fold(1.0f64, |acc, &f| acc.max(f));
+        format!(
+            "wcet<=x{worst:.3} Ts x{:.2} {:?}",
+            self.period_scale, self.policy
+        )
+    }
+}
+
+/// Everything a sweep returns: the deterministic summary plus the merged
+/// latency histogram and (optionally) the merged telemetry stream.
+#[derive(Debug)]
+pub struct SweepOutput {
+    /// Per-scenario rows and robustness statistics (deterministic bytes).
+    pub summary: SweepSummary,
+    /// Actuation latencies of *all* scenarios merged into one fixed-shape
+    /// histogram (bound: twice the largest scaled period).
+    pub actuation_hist: Histogram,
+    /// Merged telemetry of the first `trace_scenarios` scenarios, tracks
+    /// prefixed `s<i>:` so timestamps stay monotone per track.
+    pub traces: RecordingSink,
+}
+
+/// Runs `f` over `0..count` on `workers` self-scheduling threads and
+/// returns the results **in index order** — the pool pulls indices from a
+/// shared counter (work stealing by self-scheduling), but completion
+/// order never leaks into the output.
+pub fn map_indexed<R, F>(count: usize, workers: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = workers.clamp(1, count.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..count).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let r = f(i);
+                slots.lock().expect("result slots")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("result slots")
+        .into_iter()
+        .map(|r| r.expect("every index produced a result"))
+        .collect()
+}
+
+/// The sweep-level histogram bound: twice the largest scaled period, so
+/// even overrunning actuations stay in range.
+fn sweep_bound_ns(spec: &LoopSpec, config: &SweepConfig) -> i64 {
+    let max_scale = config
+        .period_scales
+        .iter()
+        .fold(1.0f64, |acc, &s| acc.max(s));
+    (TimeNs::from_secs_f64(spec.ts * max_scale).as_nanos() * 2).max(1)
+}
+
+/// Runs one scenario end to end: jitter → (cached) adequation →
+/// graph-of-delays co-simulation → metrics.
+fn run_scenario(
+    spec: &LoopSpec,
+    base: &SplitScenario,
+    config: &SweepConfig,
+    cache: &ScheduleCache,
+    index: usize,
+) -> Result<(ScenarioOutcome, Histogram, RecordingSink), CoreError> {
+    let scenario = Scenario::derive(config, base, index);
+    let db = scenario.jittered_db(base);
+    let options = AdequationOptions {
+        policy: scenario.policy,
+    };
+    let schedule = cache
+        .get_or_compute(&base.alg, &base.arch, &db, options)
+        .map_err(CoreError::from)?;
+
+    let mut spec2 = spec.clone();
+    spec2.ts = spec.ts * scenario.period_scale;
+    // The delay-graph builder rejects makespan > period; a badly jittered
+    // schedule stretches the period just enough (deterministically).
+    let makespan_s = schedule.makespan().as_secs_f64();
+    if makespan_s > spec2.ts {
+        spec2.ts = makespan_s * 1.05;
+    }
+
+    let ideal = cosim::run_ideal(&spec2)?;
+    let traced = index < config.trace_scenarios;
+    let (run, sink) = if traced {
+        let sink = PrefixSink::new(format!("s{index}:"), RecordingSink::default());
+        let mut tel = Collector::new(sink);
+        let run = cosim::run_scheduled_traced(
+            &spec2, &base.alg, &base.io, &schedule, &base.arch, &mut tel,
+        )?;
+        (run, tel.into_sink().into_inner())
+    } else {
+        let run = cosim::run_scheduled(&spec2, &base.alg, &base.io, &schedule, &base.arch)?;
+        (run, RecordingSink::default())
+    };
+
+    let report = run.latency_report()?;
+    let mut hist = Histogram::new(sweep_bound_ns(spec, config), SWEEP_BUCKETS);
+    let mut worst = 0i64;
+    for series in &report.actuation {
+        for &v in series.values() {
+            hist.record(v.as_nanos());
+            worst = worst.max(v.as_nanos());
+        }
+    }
+    let outcome = ScenarioOutcome {
+        index,
+        seed: scenario.seed,
+        label: scenario.label(),
+        cost: run.cost,
+        cost_ratio: run.cost / ideal.cost,
+        makespan_ns: schedule.makespan().as_nanos(),
+        worst_actuation_ns: worst,
+        overruns: report.total_overruns(),
+    };
+    Ok((outcome, hist, sink))
+}
+
+/// Runs the whole sweep on `config.workers` threads.
+///
+/// The returned [`SweepOutput`] is byte-identical for any worker count:
+/// scenario seeds depend only on `(base_seed, index)` and aggregation
+/// folds in index order.
+///
+/// # Errors
+///
+/// Returns the lowest-index scenario failure, if any (also independent of
+/// worker count).
+pub fn run_sweep(
+    spec: &LoopSpec,
+    base: &SplitScenario,
+    config: &SweepConfig,
+) -> Result<SweepOutput, CoreError> {
+    let cache = ScheduleCache::new();
+    let results = map_indexed(config.scenario_count, config.workers, |i| {
+        run_scenario(spec, base, config, &cache, i)
+    });
+
+    let mut scenarios = Vec::with_capacity(config.scenario_count);
+    let mut merged = Histogram::new(sweep_bound_ns(spec, config), SWEEP_BUCKETS);
+    let mut traces = RecordingSink::default();
+    for result in results {
+        let (outcome, hist, sink) = result?;
+        scenarios.push(outcome);
+        merged.merge(&hist);
+        traces.absorb(sink);
+    }
+    Ok(SweepOutput {
+        summary: SweepSummary {
+            scenarios,
+            cost_bound_ratio: config.cost_bound_ratio,
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+        },
+        actuation_hist: merged,
+        traces,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dc_motor_loop, split_scenario};
+
+    fn small_base() -> SplitScenario {
+        split_scenario(
+            2,
+            1,
+            TimeNs::from_micros(200),
+            TimeNs::from_micros(50),
+            TimeNs::from_micros(500),
+        )
+        .unwrap()
+    }
+
+    fn small_config(workers: usize) -> SweepConfig {
+        SweepConfig {
+            scenario_count: 8,
+            workers,
+            trace_scenarios: 2,
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn seeds_are_index_deterministic_and_distinct() {
+        let a: Vec<u64> = (0..16).map(|i| scenario_seed(42, i)).collect();
+        let b: Vec<u64> = (0..16).map(|i| scenario_seed(42, i)).collect();
+        assert_eq!(a, b);
+        let mut dedup = a.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), a.len(), "seeds must be distinct");
+        assert_ne!(scenario_seed(42, 0), scenario_seed(43, 0));
+    }
+
+    #[test]
+    fn map_indexed_orders_results_for_any_worker_count() {
+        for workers in [1, 2, 5, 64] {
+            let out = map_indexed(17, workers, |i| i * i);
+            assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        }
+        assert!(map_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn scenario_derivation_is_pure() {
+        let base = small_base();
+        let config = small_config(1);
+        let a = Scenario::derive(&config, &base, 3);
+        let b = Scenario::derive(&config, &base, 3);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.wcet_factors, b.wcet_factors);
+        assert_eq!(a.period_scale, b.period_scale);
+        assert_eq!(a.policy, b.policy);
+        for &f in &a.wcet_factors {
+            assert!((1.0..=1.0 + config.wcet_jitter).contains(&f));
+        }
+        // The jittered table never shrinks a WCET.
+        let db = a.jittered_db(&base);
+        let base_defaults: std::collections::HashMap<_, _> = base.db.iter_defaults().collect();
+        for (op, t) in db.iter_defaults() {
+            assert!(t >= base_defaults[&op], "jitter must only inflate WCETs");
+        }
+    }
+
+    #[test]
+    fn sweep_is_worker_count_invariant() {
+        let base = small_base();
+        let spec = dc_motor_loop(0.3).unwrap();
+        let serial = run_sweep(&spec, &base, &small_config(1)).unwrap();
+        let parallel = run_sweep(&spec, &base, &small_config(4)).unwrap();
+        assert_eq!(serial.summary, parallel.summary);
+        assert_eq!(serial.summary.render(), parallel.summary.render());
+        assert_eq!(serial.summary.to_json(), parallel.summary.to_json());
+        assert_eq!(serial.actuation_hist, parallel.actuation_hist);
+        assert_eq!(serial.traces, parallel.traces);
+        // Sanity: the sweep actually ran and measured something.
+        assert_eq!(serial.summary.scenarios.len(), 8);
+        assert!(serial.actuation_hist.count() > 0);
+        assert!(serial
+            .summary
+            .scenarios
+            .iter()
+            .all(|s| s.cost_ratio.is_finite() && s.cost_ratio > 0.0));
+        // Round-robin policies + repeated tables mean the cache must see
+        // every lookup and deduplicate at least nothing-or-more.
+        let s = &serial.summary;
+        assert_eq!(
+            s.cache_hits + s.cache_misses,
+            s.scenarios.len() as u64,
+            "one cache lookup per scenario"
+        );
+        // Two traced scenarios produced namespaced tracks.
+        let rendered = serial.traces.render();
+        assert!(rendered.contains("s0:"), "missing s0 prefix:\n{rendered}");
+        assert!(rendered.contains("s1:"), "missing s1 prefix:\n{rendered}");
+    }
+}

@@ -18,7 +18,7 @@ use ecl_sim::{BlockId, EngineStats, Model, SimOptions, SimResult, Simulator};
 use ecl_telemetry::{Collector, Event, Histogram, Sink};
 
 use crate::delays::{self, DelayGraphConfig};
-use crate::latency::{latencies, LatencyReport};
+use crate::latency::{latencies, latencies_strict, LatencyReport};
 use crate::translate::IoMap;
 use crate::CoreError;
 
@@ -166,15 +166,22 @@ pub struct LoopResult {
 impl LoopResult {
     /// The latency report (paper eq. 1–2) of this run.
     ///
+    /// Sampling series are checked strictly (one sample per period, so
+    /// `Ls_j(k) < Ts` must hold); actuation series accept cross-period
+    /// completions (`La_j(k) >= Ts` under heavy communication load) and
+    /// report them via [`LatencyReport::total_overruns`].
+    ///
     /// # Errors
     ///
-    /// Returns [`CoreError::InvalidInput`] if some activation misses its
-    /// period (the schedule overruns `Ts`).
+    /// Returns [`CoreError::InvalidInput`] if a *sampling* activation
+    /// misses its period (the schedule does not sustain `Ts` on the
+    /// input side), or any series is unsorted or causally impossible
+    /// (negative latency).
     pub fn latency_report(&self) -> Result<LatencyReport, CoreError> {
         let period = TimeNs::from_secs_f64(self.ts);
         let mut rep = LatencyReport::default();
         for s in &self.sample_instants {
-            rep.sampling.push(latencies(s, period)?);
+            rep.sampling.push(latencies_strict(s, period)?);
         }
         for a in &self.actuation_instants {
             rep.actuation.push(latencies(a, period)?);
@@ -862,6 +869,15 @@ mod tests {
     use ecl_control::{c2d_zoh, dlqr, plants};
 
     use crate::translate::{uniform_timing, ControlLawSpec};
+
+    /// The sweep pool moves loop descriptions and results across worker
+    /// threads; this fails to compile if a non-`Send` member sneaks in.
+    #[test]
+    fn loop_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<LoopSpec>();
+        assert_send::<LoopResult>();
+    }
 
     fn us(v: i64) -> TimeNs {
         TimeNs::from_micros(v)

@@ -14,6 +14,7 @@ use crate::CoreError;
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LatencySeries {
     values: Vec<TimeNs>,
+    overruns: usize,
 }
 
 /// Summary statistics of a latency series.
@@ -43,6 +44,14 @@ impl LatencySeries {
     /// `true` if no period was recorded.
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
+    }
+
+    /// Number of periods whose latency reached or exceeded the sampling
+    /// period — actuations completing in a later period (eq. 2 under
+    /// heavy communication load). Always `0` for a series built by
+    /// [`latencies_strict`].
+    pub fn overruns(&self) -> usize {
+        self.overruns
     }
 
     /// Summary statistics, or `None` for an empty series.
@@ -80,32 +89,80 @@ impl LatencySeries {
 /// (eq. 1–2 of the paper). The activations must be complete — one per
 /// period, in order — which is what the graph of delays produces.
 ///
+/// Latencies at or beyond `Ts` are **accepted**: eq. 2 actuation
+/// latencies `La_j(k)` legitimately reach or exceed the period under
+/// heavy communication load (the actuation completes in the next
+/// period). Such periods are counted by [`LatencySeries::overruns`]. Use
+/// [`latencies_strict`] where the one-activation-per-period invariant
+/// genuinely bounds the latency, i.e. the sampling side.
+///
 /// # Errors
 ///
 /// Returns [`CoreError::InvalidInput`] if `period` is non-positive or an
-/// activation falls outside `[k·Ts, (k+1)·Ts)` (indicating a missed or
-/// duplicated period, i.e. the schedule does not sustain `Ts`).
+/// activation precedes its grid instant `k·Ts` (a negative latency is
+/// causally impossible) or precedes the previous activation (unsorted
+/// series).
 pub fn latencies(activations: &[TimeNs], period: TimeNs) -> Result<LatencySeries, CoreError> {
+    latencies_impl(activations, period, false)
+}
+
+/// Like [`latencies`], but additionally rejects any latency at or beyond
+/// the period — the strict one-activation-per-`[k·Ts, (k+1)·Ts)` check
+/// that holds for sampling latencies `Ls_j(k)` (eq. 1), where a sample
+/// landing in the next period means the schedule does not sustain `Ts`.
+///
+/// # Errors
+///
+/// Everything [`latencies`] rejects, plus any activation at or after
+/// `(k+1)·Ts`.
+pub fn latencies_strict(
+    activations: &[TimeNs],
+    period: TimeNs,
+) -> Result<LatencySeries, CoreError> {
+    latencies_impl(activations, period, true)
+}
+
+fn latencies_impl(
+    activations: &[TimeNs],
+    period: TimeNs,
+    strict: bool,
+) -> Result<LatencySeries, CoreError> {
     if period <= TimeNs::ZERO {
         return Err(CoreError::InvalidInput {
             reason: format!("period must be positive, got {period}"),
         });
     }
     let mut values = Vec::with_capacity(activations.len());
+    let mut overruns = 0usize;
+    let mut prev = None;
     for (k, &t) in activations.iter().enumerate() {
+        if prev.is_some_and(|p| t < p) {
+            return Err(CoreError::InvalidInput {
+                reason: format!("activation {k} at {t} precedes its predecessor (unsorted)"),
+            });
+        }
+        prev = Some(t);
         let origin = period * k as i64;
         let lat = t - origin;
-        if lat.is_negative() || lat >= period {
+        if lat.is_negative() {
             return Err(CoreError::InvalidInput {
-                reason: format!(
-                    "activation {k} at {t} is outside its period [{origin}, {})",
-                    origin + period
-                ),
+                reason: format!("activation {k} at {t} precedes its period origin {origin}"),
             });
+        }
+        if lat >= period {
+            if strict {
+                return Err(CoreError::InvalidInput {
+                    reason: format!(
+                        "activation {k} at {t} is outside its period [{origin}, {})",
+                        origin + period
+                    ),
+                });
+            }
+            overruns += 1;
         }
         values.push(lat);
     }
-    Ok(LatencySeries { values })
+    Ok(LatencySeries { values, overruns })
 }
 
 /// Latency report for a whole loop: one series per controller input and
@@ -142,6 +199,16 @@ impl LatencyReport {
                 i64::MIN
             }))
         }
+    }
+
+    /// Total period overruns across all series — periods whose actuation
+    /// completed at or after the next grid instant.
+    pub fn total_overruns(&self) -> usize {
+        self.sampling
+            .iter()
+            .chain(&self.actuation)
+            .map(LatencySeries::overruns)
+            .sum()
     }
 
     /// Largest jitter over all sampling and actuation series.
@@ -219,13 +286,35 @@ mod tests {
     }
 
     #[test]
-    fn out_of_period_activation_rejected() {
+    fn cross_period_actuation_accepted_and_counted() {
         let period = TimeNs::from_millis(1);
-        // Second activation lands in period 2 instead of 1: overrun.
+        // Second activation completes in period 2 instead of 1 (heavy
+        // comm load): La_1 = 1.1 ms >= Ts, a legitimate eq. 2 latency.
         let acts = [us(100), TimeNs::from_millis(2) + us(100)];
-        assert!(latencies(&acts, period).is_err());
+        let s = latencies(&acts, period).expect("cross-period actuation is legal");
+        assert_eq!(s.overruns(), 1);
+        assert_eq!(s.values()[1], TimeNs::from_millis(1) + us(100));
+        let st = s.stats().unwrap();
+        assert_eq!(st.max, TimeNs::from_millis(1) + us(100));
+        // The strict (sampling-side) check still rejects it.
+        assert!(latencies_strict(&acts, period).is_err());
+        // In-period series report zero overruns under both modes.
+        let aligned = [us(100), period + us(100)];
+        assert_eq!(latencies(&aligned, period).unwrap().overruns(), 0);
+        assert!(latencies_strict(&aligned, period).is_ok());
+    }
+
+    #[test]
+    fn negative_and_unsorted_rejected_in_both_modes() {
+        let period = TimeNs::from_millis(1);
         // Negative latency impossible.
-        let acts = [-us(1)];
+        assert!(latencies(&[-us(1)], period).is_err());
+        assert!(latencies_strict(&[-us(1)], period).is_err());
+        // Unsorted activations: the second precedes the first.
+        let acts = [TimeNs::from_millis(2) + us(100), us(100)];
+        assert!(latencies(&acts, period).is_err());
+        // An activation before its own period origin is negative latency.
+        let acts = [us(100), us(200)];
         assert!(latencies(&acts, period).is_err());
         assert!(latencies(&[], TimeNs::ZERO).is_err());
     }
@@ -246,6 +335,7 @@ mod tests {
                 TimeNs::from_nanos(i64::MAX - 1),
                 TimeNs::from_nanos(i64::MAX - 3),
             ],
+            overruns: 0,
         };
         let st = s.stats().unwrap();
         assert_eq!(st.mean, TimeNs::from_nanos(i64::MAX - 2));

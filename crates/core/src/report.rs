@@ -154,6 +154,172 @@ pub fn traces_csv(run: &LoopResult, names: &[&str], dt: f64) -> Result<String, C
     Ok(s)
 }
 
+/// Aggregated outcome of one scenario of a Monte-Carlo sweep.
+///
+/// Rows are produced by the sweep engine (`ecl-bench`'s fleet module) in
+/// scenario-index order, so a [`SweepSummary`] renders byte-identically
+/// regardless of how many workers ran the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Scenario index within the sweep (also the seed-derivation input).
+    pub index: usize,
+    /// The per-scenario PRNG seed actually used.
+    pub seed: u64,
+    /// Human-readable description of the perturbation.
+    pub label: String,
+    /// Quadratic cost of the implemented (co-simulated) run.
+    pub cost: f64,
+    /// `cost / ideal cost` of the same scenario.
+    pub cost_ratio: f64,
+    /// Makespan of the scenario's static schedule, ns.
+    pub makespan_ns: i64,
+    /// Worst observed actuation latency `La_j(k)`, ns.
+    pub worst_actuation_ns: i64,
+    /// Number of cross-period actuations (lenient-mode overruns).
+    pub overruns: usize,
+}
+
+/// The sweep-level report: per-scenario rows plus robustness statistics.
+///
+/// Rendering is deliberately free of wall-clock content — two sweeps over
+/// the same scenarios produce identical bytes, which is what the
+/// determinism check of experiment E11-MC diffs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSummary {
+    /// Per-scenario outcomes, ordered by scenario index.
+    pub scenarios: Vec<ScenarioOutcome>,
+    /// A scenario is *robust* when `cost_ratio <= cost_bound_ratio`.
+    pub cost_bound_ratio: f64,
+    /// Adequation-cache lookups answered from the cache.
+    pub cache_hits: u64,
+    /// Adequation-cache lookups that ran the scheduler.
+    pub cache_misses: u64,
+}
+
+impl SweepSummary {
+    /// Fraction of scenarios whose cost stayed within the bound
+    /// (`cost_ratio <= cost_bound_ratio`); 0 for an empty sweep.
+    pub fn robustness_margin(&self) -> f64 {
+        if self.scenarios.is_empty() {
+            return 0.0;
+        }
+        let met = self
+            .scenarios
+            .iter()
+            .filter(|s| s.cost_ratio <= self.cost_bound_ratio)
+            .count();
+        met as f64 / self.scenarios.len() as f64
+    }
+
+    /// The scenario with the largest cost ratio (`None` for an empty
+    /// sweep). Ties resolve to the lowest index, keeping the answer
+    /// independent of worker count.
+    pub fn worst(&self) -> Option<&ScenarioOutcome> {
+        self.scenarios.iter().reduce(|worst, s| {
+            if s.cost_ratio > worst.cost_ratio {
+                s
+            } else {
+                worst
+            }
+        })
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) of the cost ratios across
+    /// scenarios, by the nearest-rank method; `None` for an empty sweep.
+    pub fn cost_ratio_quantile(&self, q: f64) -> Option<f64> {
+        if self.scenarios.is_empty() {
+            return None;
+        }
+        let mut ratios: Vec<f64> = self.scenarios.iter().map(|s| s.cost_ratio).collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("cost ratios are finite"));
+        let rank = ((q * ratios.len() as f64).ceil() as usize).clamp(1, ratios.len());
+        Some(ratios[rank - 1])
+    }
+
+    /// Renders the sweep as a Markdown section (deterministic bytes, no
+    /// timestamps).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str("## Scenario sweep\n\n");
+        s.push_str(&format!(
+            "{} scenarios, robustness margin {:.4} (cost ratio bound {:.3}), \
+             schedule cache {} hits / {} misses.\n\n",
+            self.scenarios.len(),
+            self.robustness_margin(),
+            self.cost_bound_ratio,
+            self.cache_hits,
+            self.cache_misses
+        ));
+        if let Some(w) = self.worst() {
+            s.push_str(&format!(
+                "Worst scenario: #{} ({}), cost ratio {:.6}.\n",
+                w.index, w.label, w.cost_ratio
+            ));
+        }
+        for (name, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            if let Some(v) = self.cost_ratio_quantile(q) {
+                s.push_str(&format!("Cost ratio {name}: {v:.6}\n"));
+            }
+        }
+        s.push_str(
+            "\n| # | seed | scenario | cost | vs ideal | makespan ns | worst La ns | overruns |\n\
+             |---|---|---|---|---|---|---|---|\n",
+        );
+        for sc in &self.scenarios {
+            s.push_str(&format!(
+                "| {} | {:#018x} | {} | {:.6} | {:.6} | {} | {} | {} |\n",
+                sc.index,
+                sc.seed,
+                sc.label,
+                sc.cost,
+                sc.cost_ratio,
+                sc.makespan_ns,
+                sc.worst_actuation_ns,
+                sc.overruns
+            ));
+        }
+        s
+    }
+
+    /// Renders the sweep as a JSON document (deterministic bytes, no
+    /// timestamps; hand-rolled so the offline serde shim is not needed).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"scenario_count\": {},\n  \"cost_bound_ratio\": {:.6},\n  \
+             \"robustness_margin\": {:.6},\n  \"cache_hits\": {},\n  \
+             \"cache_misses\": {},\n  \"scenarios\": [\n",
+            self.scenarios.len(),
+            self.cost_bound_ratio,
+            self.robustness_margin(),
+            self.cache_hits,
+            self.cache_misses
+        ));
+        for (i, sc) in self.scenarios.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"index\": {}, \"seed\": {}, \"label\": \"{}\", \
+                 \"cost\": {:.9}, \"cost_ratio\": {:.9}, \"makespan_ns\": {}, \
+                 \"worst_actuation_ns\": {}, \"overruns\": {}}}{}\n",
+                sc.index,
+                sc.seed,
+                sc.label,
+                sc.cost,
+                sc.cost_ratio,
+                sc.makespan_ns,
+                sc.worst_actuation_ns,
+                sc.overruns,
+                if i + 1 == self.scenarios.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -231,6 +397,60 @@ mod tests {
         }
         // The delay-graph synchronization blocks dominate event traffic.
         assert!(md.contains("| sync_"), "busiest-block table empty");
+    }
+
+    fn sample_sweep() -> SweepSummary {
+        let mk = |index: usize, cost_ratio: f64| ScenarioOutcome {
+            index,
+            seed: 0x1000 + index as u64,
+            label: format!("jitter {index}"),
+            cost: cost_ratio * 2.0,
+            cost_ratio,
+            makespan_ns: 5_000_000 + index as i64,
+            worst_actuation_ns: 7_000_000,
+            overruns: index % 2,
+        };
+        SweepSummary {
+            scenarios: vec![mk(0, 1.01), mk(1, 1.40), mk(2, 1.05), mk(3, 1.02)],
+            cost_bound_ratio: 1.10,
+            cache_hits: 3,
+            cache_misses: 1,
+        }
+    }
+
+    #[test]
+    fn sweep_summary_statistics() {
+        let sweep = sample_sweep();
+        assert!((sweep.robustness_margin() - 0.75).abs() < 1e-12);
+        assert_eq!(sweep.worst().unwrap().index, 1);
+        assert_eq!(sweep.cost_ratio_quantile(0.5), Some(1.02));
+        assert_eq!(sweep.cost_ratio_quantile(1.0), Some(1.40));
+        let empty = SweepSummary {
+            scenarios: vec![],
+            cost_bound_ratio: 1.0,
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+        assert_eq!(empty.robustness_margin(), 0.0);
+        assert!(empty.worst().is_none());
+        assert!(empty.cost_ratio_quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn sweep_rendering_is_deterministic_and_complete() {
+        let sweep = sample_sweep();
+        let md = sweep.render();
+        assert_eq!(md, sweep.render());
+        assert!(md.contains("## Scenario sweep"));
+        assert!(md.contains("4 scenarios, robustness margin 0.7500"));
+        assert!(md.contains("Worst scenario: #1 (jitter 1)"));
+        assert!(md.contains("3 hits / 1 misses"));
+        assert_eq!(md.matches("| 0x").count(), 4, "one row per scenario");
+        let json = sweep.to_json();
+        assert_eq!(json, sweep.to_json());
+        assert!(json.contains("\"scenario_count\": 4"));
+        assert!(json.contains("\"robustness_margin\": 0.750000"));
+        assert!(json.ends_with("]\n}\n"));
     }
 
     #[test]

@@ -134,7 +134,12 @@ pub struct EventCtx<'a> {
 /// Implementors must also provide the two `as_any` accessors (used to
 /// recover concrete block types after a simulation); the
 /// [`impl_block_any!`](crate::impl_block_any) macro writes them for you.
-pub trait Block: 'static {
+///
+/// Blocks are `Send` so a whole [`Model`](crate::Model) — and therefore a
+/// co-simulation — can be built on one thread and run on another, which
+/// is what the scenario-sweep worker pool does. Blocks are plain state
+/// machines; none needs shared interior mutability.
+pub trait Block: Send + 'static {
     /// A short, stable name of the block *type* (e.g. `"SampleHold"`).
     fn type_name(&self) -> &'static str;
 

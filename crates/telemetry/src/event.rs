@@ -95,10 +95,100 @@ impl Sink for RecordingSink {
     }
 }
 
+/// A sink adapter that prepends a fixed prefix to the track of every
+/// sim-derived event before forwarding it.
+///
+/// Every co-simulation restarts at simulated time 0, so merging the
+/// streams of several runs (the fleet's per-scenario traces) into one
+/// collector would interleave colliding timestamps on identical tracks.
+/// Namespacing each run's tracks (`s0:Ls[0]`, `s1:Ls[0]`, …) keeps
+/// per-track timestamps monotone in the merged Chrome trace. Span events
+/// are forwarded untouched — wall clock is already collector-global.
+///
+/// # Examples
+///
+/// ```
+/// use ecl_telemetry::{Collector, Event, PrefixSink, RecordingSink};
+///
+/// let mut tel = Collector::new(PrefixSink::new("s3:", RecordingSink::default()));
+/// tel.emit(|| Event::Instant { track: "La[0]".into(), name: "a".into(), at_ns: 5 });
+/// let sink = tel.into_sink().into_inner();
+/// assert_eq!(sink.render(), "instant s3:La[0] a @5\n");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PrefixSink<S: Sink> {
+    prefix: String,
+    inner: S,
+}
+
+impl<S: Sink> PrefixSink<S> {
+    /// Wraps `inner`, prefixing every event track with `prefix`.
+    pub fn new(prefix: impl Into<String>, inner: S) -> Self {
+        PrefixSink {
+            prefix: prefix.into(),
+            inner,
+        }
+    }
+
+    /// The wrapped sink with everything it recorded.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Shared access to the wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Sink> Sink for PrefixSink<S> {
+    const ENABLED: bool = S::ENABLED;
+
+    fn record(&mut self, event: Event) {
+        let prefixed = match event {
+            Event::Slice {
+                track,
+                name,
+                start_ns,
+                end_ns,
+            } => Event::Slice {
+                track: format!("{}{track}", self.prefix),
+                name,
+                start_ns,
+                end_ns,
+            },
+            Event::Instant { track, name, at_ns } => Event::Instant {
+                track: format!("{}{track}", self.prefix),
+                name,
+                at_ns,
+            },
+            Event::Counter {
+                track,
+                name,
+                at_ns,
+                value_ns,
+            } => Event::Counter {
+                track: format!("{}{track}", self.prefix),
+                name,
+                at_ns,
+                value_ns,
+            },
+            span @ (Event::SpanBegin { .. } | Event::SpanEnd { .. }) => span,
+        };
+        self.inner.record(prefixed);
+    }
+}
+
 impl RecordingSink {
     /// The recorded events, in emission order.
     pub fn events(&self) -> &[Event] {
         &self.events
+    }
+
+    /// Appends every event of `other`, in order — merging per-scenario
+    /// streams whose tracks were namespaced with [`PrefixSink`].
+    pub fn absorb(&mut self, other: RecordingSink) {
+        self.events.extend(other.events);
     }
 
     /// Renders the stream one line per event in a stable text format,
@@ -181,6 +271,44 @@ mod tests {
             s.render(),
             "slice proc:p0 f [10, 20]\ncounter Ls[0] Ls @30 = -5\n"
         );
+    }
+
+    #[test]
+    fn prefix_sink_namespaces_tracks() {
+        let mk = |prefix: &str| {
+            let mut s = PrefixSink::new(prefix, RecordingSink::default());
+            s.record(Event::Counter {
+                track: "Ls[0]".into(),
+                name: "Ls".into(),
+                at_ns: 0,
+                value_ns: 1,
+            });
+            s.record(Event::Slice {
+                track: "proc:ecu0".into(),
+                name: "f".into(),
+                start_ns: 0,
+                end_ns: 2,
+            });
+            s.into_inner()
+        };
+        // Two scenarios both starting at simulated time 0: merged stream
+        // has no track collision, so per-track timestamps stay monotone.
+        let mut merged = mk("s0:");
+        merged.absorb(mk("s1:"));
+        assert_eq!(
+            merged.render(),
+            "counter s0:Ls[0] Ls @0 = 1\nslice s0:proc:ecu0 f [0, 2]\n\
+             counter s1:Ls[0] Ls @0 = 1\nslice s1:proc:ecu0 f [0, 2]\n"
+        );
+        let tracks: std::collections::HashSet<_> = merged
+            .events()
+            .iter()
+            .map(|e| match e {
+                Event::Counter { track, .. } | Event::Slice { track, .. } => track.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tracks.len(), 4);
     }
 
     #[test]

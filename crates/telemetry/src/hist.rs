@@ -25,6 +25,7 @@
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
+    upper_bound: i64,
     bucket_width: i64,
     buckets: Vec<u64>,
     underflow: u64,
@@ -39,14 +40,23 @@ impl Histogram {
     /// A histogram with `buckets` equal-width buckets spanning
     /// `[0, upper_bound_ns)`.
     ///
+    /// The bucket width is `upper_bound_ns / buckets` rounded up, so the
+    /// last bucket may nominally extend past the bound; [`record`]
+    /// nevertheless routes every `value_ns >= upper_bound_ns` to the
+    /// overflow bucket, keeping the in-range buckets exactly on
+    /// `[0, upper_bound_ns)`.
+    ///
     /// # Panics
     ///
     /// Panics if `upper_bound_ns <= 0` or `buckets == 0`.
+    ///
+    /// [`record`]: Histogram::record
     pub fn new(upper_bound_ns: i64, buckets: usize) -> Self {
         assert!(upper_bound_ns > 0, "histogram needs a positive bound");
         assert!(buckets > 0, "histogram needs at least one bucket");
         let bucket_width = (upper_bound_ns + buckets as i64 - 1) / buckets as i64;
         Histogram {
+            upper_bound: upper_bound_ns,
             bucket_width: bucket_width.max(1),
             buckets: vec![0; buckets],
             underflow: 0,
@@ -67,6 +77,10 @@ impl Histogram {
         self.max = self.max.max(value_ns);
         if value_ns < 0 {
             self.underflow += 1;
+        } else if value_ns >= self.upper_bound {
+            // The ceil-rounded bucket width would otherwise count values
+            // in [upper_bound, buckets·width) in the last bucket.
+            self.overflow += 1;
         } else {
             let idx = (value_ns / self.bucket_width) as usize;
             match self.buckets.get_mut(idx) {
@@ -79,6 +93,52 @@ impl Histogram {
     /// Number of recorded values.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// The exclusive upper bound of the in-range buckets.
+    pub fn upper_bound(&self) -> i64 {
+        self.upper_bound
+    }
+
+    /// Number of recorded negative values.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Number of recorded values at or above the bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The per-bucket counts over `[0, upper_bound_ns)`.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Merges another histogram recorded with the same bound and bucket
+    /// count into this one, as if every value had been recorded here —
+    /// the sweep aggregator's fold over per-scenario histograms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bound or bucket count differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            (self.upper_bound, self.buckets.len()),
+            (other.upper_bound, other.buckets.len()),
+            "histograms must share bound and bucket count to merge"
+        );
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
     }
 
     /// True when nothing has been recorded.
@@ -116,8 +176,10 @@ impl Histogram {
         for (i, &b) in self.buckets.iter().enumerate() {
             cumulative += b;
             if rank <= cumulative {
-                // Upper edge of the bucket, clamped to the exact extrema.
-                let edge = (i as i64 + 1) * self.bucket_width - 1;
+                // Upper edge of the bucket — the last in-range bucket's
+                // edge is the bound itself (in-range values are strictly
+                // below it) — clamped to the exact extrema.
+                let edge = ((i as i64 + 1) * self.bucket_width).min(self.upper_bound) - 1;
                 return Some(edge.clamp(self.min, self.max));
             }
         }
@@ -194,6 +256,82 @@ mod tests {
         assert_eq!(h.percentile(0.01), Some(-50));
         assert_eq!(h.percentile(1.0), Some(1_000_000));
         assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn boundary_values_route_to_overflow() {
+        // 1000/64 ceil-rounds to width 16, so buckets nominally span
+        // [0, 1024): values in [1000, 1024) used to land in the last
+        // bucket instead of overflow.
+        let mut h = Histogram::new(1_000, 64);
+        h.record(1_000); // exactly the bound
+        h.record(1_023); // inside the rounding slack
+        h.record(999); // last in-range value
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 1);
+        assert_eq!(h.upper_bound(), 1_000);
+    }
+
+    #[test]
+    fn percentile_edge_clamped_to_bound() {
+        // Many values in the last in-range bucket: the estimated edge must
+        // stay below the bound even though the rounded bucket extends to
+        // 1024.
+        let mut h = Histogram::new(1_000, 64);
+        for _ in 0..100 {
+            h.record(995);
+        }
+        // A wide-max series so the extrema clamp is not what saves us.
+        h.record(5_000);
+        let p50 = h.percentile(0.5).unwrap();
+        assert!(p50 < 1_000, "p50 {p50} must stay below the bound");
+    }
+
+    #[test]
+    fn percentile_with_non_empty_overflow() {
+        let mut h = Histogram::new(100, 4);
+        for _ in 0..10 {
+            h.record(24); // upper edge of bucket 0 (width 25)
+        }
+        for _ in 0..10 {
+            h.record(100); // all overflow
+        }
+        assert_eq!(h.overflow(), 10);
+        // The upper half of the distribution is the exact max.
+        assert_eq!(h.percentile(0.99), Some(100));
+        assert_eq!(h.percentile(0.25), Some(24));
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let mut a = Histogram::new(1_000, 8);
+        let mut b = Histogram::new(1_000, 8);
+        a.record(-5);
+        a.record(100);
+        b.record(999);
+        b.record(1_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.min(), Some(-5));
+        assert_eq!(a.max(), Some(1_000));
+        assert_eq!(
+            a.count(),
+            a.underflow() + a.bucket_counts().iter().sum::<u64>() + a.overflow()
+        );
+        // Merging an empty histogram changes nothing.
+        let before = a.clone();
+        a.merge(&Histogram::new(1_000, 8));
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "share bound")]
+    fn merge_rejects_mismatched_shape() {
+        let mut a = Histogram::new(1_000, 8);
+        a.merge(&Histogram::new(500, 8));
     }
 
     #[test]

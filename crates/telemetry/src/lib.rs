@@ -51,5 +51,5 @@ pub mod json;
 pub mod trace;
 
 pub use collector::Collector;
-pub use event::{Event, NoopSink, RecordingSink, Sink};
+pub use event::{Event, NoopSink, PrefixSink, RecordingSink, Sink};
 pub use hist::{Histogram, Summary};

@@ -1,0 +1,60 @@
+//! Property-based tests of the streaming histogram invariants.
+
+use ecl_telemetry::Histogram;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every recorded value lands in exactly one of underflow, an
+    /// in-range bucket, or overflow.
+    #[test]
+    fn count_partitions_exactly(
+        bound in 1i64..10_000,
+        buckets in 1usize..100,
+        values in proptest::collection::vec(-20_000i64..20_000, 0..200),
+    ) {
+        let mut h = Histogram::new(bound, buckets);
+        for &v in &values {
+            h.record(v);
+        }
+        let in_range: u64 = h.bucket_counts().iter().sum();
+        prop_assert_eq!(h.count(), h.underflow() + in_range + h.overflow());
+        prop_assert_eq!(h.count(), values.len() as u64);
+        // The documented contract: at-or-above-bound routes to overflow.
+        let expect_over = values.iter().filter(|&&v| v >= bound).count() as u64;
+        let expect_under = values.iter().filter(|&&v| v < 0).count() as u64;
+        prop_assert_eq!(h.overflow(), expect_over);
+        prop_assert_eq!(h.underflow(), expect_under);
+    }
+
+    /// Merging two histograms is equivalent to recording both series into
+    /// one, and percentiles stay within the exact extrema.
+    #[test]
+    fn merge_equals_joint_recording(
+        bound in 1i64..5_000,
+        buckets in 1usize..50,
+        xs in proptest::collection::vec(-10_000i64..10_000, 0..100),
+        ys in proptest::collection::vec(-10_000i64..10_000, 0..100),
+    ) {
+        let mut a = Histogram::new(bound, buckets);
+        let mut b = Histogram::new(bound, buckets);
+        let mut joint = Histogram::new(bound, buckets);
+        for &v in &xs {
+            a.record(v);
+            joint.record(v);
+        }
+        for &v in &ys {
+            b.record(v);
+            joint.record(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(&a, &joint);
+        if !a.is_empty() {
+            for q in [0.01, 0.5, 0.95, 1.0] {
+                let p = a.percentile(q).expect("non-empty");
+                prop_assert!(p >= a.min().unwrap() && p <= a.max().unwrap());
+            }
+        }
+    }
+}

@@ -19,4 +19,19 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test (workspace) =="
 cargo test --workspace -q --offline
 
+# The fleet/histogram/latency tests assert worker-count invariance; run
+# them again single-threaded so a scheduling-dependent bug cannot hide
+# behind the default parallel test harness.
+echo "== determinism-sensitive tests, --test-threads=1 =="
+cargo test -q --offline -p ecl-bench fleet -- --test-threads=1
+cargo test -q --offline -p ecl-telemetry -- --test-threads=1
+cargo test -q --offline -p ecl-core latency -- --test-threads=1
+
+# E11-MC asserts 1-worker vs 4-worker byte-identity and archives the
+# sweep report + wall-clock numbers under results/ (BENCH_exp11.json).
+echo "== E11-MC determinism check + bench artifact =="
+cargo run -q --offline --release -p ecl-bench --bin exp11_monte_carlo >/dev/null
+test -s results/BENCH_exp11.json
+test -s results/exp11_monte_carlo.txt
+
 echo "All checks passed."
