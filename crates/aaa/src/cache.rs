@@ -302,6 +302,148 @@ mod tests {
         assert_ne!(d1, schedule_digest(&alg, &arch2, &db, opts));
     }
 
+    /// Exhaustive digest sensitivity: flipping any single input the
+    /// scheduler reads — every `AdequationOptions` field, every WCET-table
+    /// entry (defaults, overrides, interdictions), every architecture
+    /// tariff and every algorithm attribute — must change the digest.
+    /// All mutated digests are also checked pairwise distinct, so no two
+    /// flips alias each other.
+    #[test]
+    fn digest_flips_on_every_input_field() {
+        // Baseline with every digest section populated: per-op defaults,
+        // one specific override, one interdiction.
+        let build = || {
+            let (alg, arch, mut db) = setup();
+            let ops: Vec<_> = alg.ops().collect();
+            let procs: Vec<_> = arch.processors().collect();
+            db.set(ops[1], procs[1], TimeNs::from_micros(90));
+            db.forbid(ops[0], procs[1]);
+            (alg, arch, db)
+        };
+        let (alg, arch, db) = build();
+        let ops: Vec<_> = alg.ops().collect();
+        let procs: Vec<_> = arch.processors().collect();
+        let opts = AdequationOptions::default();
+        let mut digests = vec![("baseline", schedule_digest(&alg, &arch, &db, opts))];
+        let mut check = |label: &'static str, d: u64| {
+            for (prev, pd) in &digests {
+                assert_ne!(*pd, d, "digest of '{label}' collides with '{prev}'");
+            }
+            digests.push((label, d));
+        };
+
+        // Every AdequationOptions field: the policy discriminant and, for
+        // Random, its seed.
+        for (label, policy) in [
+            ("policy EarliestFinish", MappingPolicy::EarliestFinish),
+            ("policy Random{0}", MappingPolicy::Random { seed: 0 }),
+            ("policy Random{1}", MappingPolicy::Random { seed: 1 }),
+        ] {
+            check(
+                label,
+                schedule_digest(&alg, &arch, &db, AdequationOptions { policy }),
+            );
+        }
+
+        // Every default WCET entry, bumped by 1 ns, one op at a time.
+        let default_labels = ["default wcet s", "default wcet f", "default wcet a"];
+        for (i, &op) in ops.iter().enumerate() {
+            let (alg2, arch2, mut db2) = build();
+            db2.set_default(op, TimeNs::from_nanos(100_001));
+            check(
+                default_labels[i],
+                schedule_digest(&alg2, &arch2, &db2, opts),
+            );
+        }
+        // The specific override: value bump, and a brand-new entry.
+        {
+            let (alg2, arch2, mut db2) = build();
+            db2.set(ops[1], procs[1], TimeNs::from_nanos(90_001));
+            check(
+                "specific wcet value",
+                schedule_digest(&alg2, &arch2, &db2, opts),
+            );
+        }
+        {
+            let (alg2, arch2, mut db2) = build();
+            db2.set(ops[2], procs[0], TimeNs::from_micros(90));
+            check(
+                "specific wcet new entry",
+                schedule_digest(&alg2, &arch2, &db2, opts),
+            );
+        }
+        // The interdiction set.
+        {
+            let (alg2, arch2, mut db2) = build();
+            db2.forbid(ops[2], procs[1]);
+            check("forbidden pair", schedule_digest(&alg2, &arch2, &db2, opts));
+        }
+
+        // Architecture attributes: processor name/kind, medium tariffs
+        // and medium kind.
+        let arch_variant = |name: &str, kind: &str, lat: TimeNs, per: TimeNs, link: bool| {
+            let mut a = ArchitectureGraph::new();
+            let p0 = a.add_processor(name, kind);
+            let p1 = a.add_processor("p1", "arm");
+            if link {
+                a.add_link("bus", p0, p1, lat, per).unwrap();
+            } else {
+                a.add_bus("bus", &[p0, p1], lat, per).unwrap();
+            }
+            a
+        };
+        let us = TimeNs::from_micros;
+        for (label, a2) in [
+            ("proc name", arch_variant("p0x", "arm", us(5), us(1), false)),
+            (
+                "proc kind",
+                arch_variant("p0", "sparc", us(5), us(1), false),
+            ),
+            (
+                "medium latency",
+                arch_variant("p0", "arm", TimeNs::from_nanos(5_001), us(1), false),
+            ),
+            (
+                "medium per-unit",
+                arch_variant("p0", "arm", us(5), TimeNs::from_nanos(1_001), false),
+            ),
+            ("medium kind", arch_variant("p0", "arm", us(5), us(1), true)),
+        ] {
+            check(label, schedule_digest(&alg, &a2, &db, opts));
+        }
+
+        // Algorithm attributes: op name, edge data volume, conditioning.
+        {
+            let (mut alg2, arch2, db2) = (AlgorithmGraph::new(), arch.clone(), db.clone());
+            let s = alg2.add_sensor("s2");
+            let f = alg2.add_function("f");
+            let a = alg2.add_actuator("a");
+            alg2.add_edge(s, f, 1).unwrap();
+            alg2.add_edge(f, a, 1).unwrap();
+            check("op name", schedule_digest(&alg2, &arch2, &db2, opts));
+        }
+        {
+            let (mut alg2, arch2, db2) = (AlgorithmGraph::new(), arch.clone(), db.clone());
+            let s = alg2.add_sensor("s");
+            let f = alg2.add_function("f");
+            let a = alg2.add_actuator("a");
+            alg2.add_edge(s, f, 2).unwrap();
+            alg2.add_edge(f, a, 1).unwrap();
+            check(
+                "edge data units",
+                schedule_digest(&alg2, &arch2, &db2, opts),
+            );
+        }
+        {
+            let (mut alg2, arch2, db2) = build();
+            let ops2: Vec<_> = alg2.ops().collect();
+            // `s` is already a data predecessor of `f`, so conditioning
+            // adds no edge — the digest change is the condition alone.
+            alg2.set_condition(ops2[1], ops2[0], 1).unwrap();
+            check("condition", schedule_digest(&alg2, &arch2, &db2, opts));
+        }
+    }
+
     #[test]
     fn cache_hits_return_identical_schedule() {
         let (alg, arch, db) = setup();

@@ -41,6 +41,13 @@ pub struct ScheduledComm {
     pub data_units: u32,
 }
 
+impl ScheduledComm {
+    /// Duration of the scheduled transfer slot.
+    pub fn duration(&self) -> TimeNs {
+        self.end - self.start
+    }
+}
+
 /// A complete static schedule: one total order of computations per
 /// processor and of communications per medium.
 ///
@@ -86,6 +93,15 @@ impl Schedule {
     /// The transfer sequence of medium `m`, in execution order.
     pub fn medium_sequence(&self, m: MediumId) -> Vec<&ScheduledComm> {
         self.comms.iter().filter(|c| c.medium == m).collect()
+    }
+
+    /// Cost of one retransmission of communication slot `i`: the medium's
+    /// transfer time for the slot's payload (latency + per-unit rate).
+    /// `None` if `i` is out of range. Fault injection stretches the slot's
+    /// delay by `k · comm_retry_cost` when `k` retransmissions are drawn.
+    pub fn comm_retry_cost(&self, arch: &ArchitectureGraph, i: usize) -> Option<TimeNs> {
+        let c = self.comms.get(i)?;
+        Some(arch.transfer_time(c.medium, c.data_units))
     }
 
     /// The completion instant of the last computation or communication.

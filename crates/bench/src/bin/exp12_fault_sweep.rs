@@ -1,0 +1,150 @@
+//! E12-FAULT — deterministic fault-injection sweep over the fleet.
+//!
+//! Runs 32 perturbed implementations of the DC-motor loop with three
+//! fault classes layered on top of the usual WCET/period/policy axes:
+//! communication frame loss with bounded retransmission, transient link
+//! outage windows, and permanent processor dropout. Every scenario with
+//! faults is compared against its fault-free twin on the same schedule,
+//! producing the degradation table of the sweep report.
+//!
+//! Two determinism gates hang off this binary:
+//!
+//! * **Worker invariance** — `ECL_FLEET_WORKERS=<n>` runs the sweep on
+//!   exactly `n` workers; the CI gate runs it at 1 and 4 and diffs
+//!   `results/BENCH_exp12.json`, which therefore contains *no*
+//!   wall-clock content. Without the variable, both counts run in-process
+//!   and the binary asserts byte identity itself.
+//! * **Zero-rate reproduction** — a sweep whose fault axes are all zero
+//!   must reproduce the fault-free E11-MC report byte-for-byte; when
+//!   `results/exp11_monte_carlo.txt` exists (E11 ran earlier), the
+//!   reproduction is diffed against it.
+
+use ecl_aaa::TimeNs;
+use ecl_bench::fleet::{run_sweep, FaultAxes, SweepConfig, SweepOutput};
+use ecl_bench::{dc_motor_loop, split_scenario, write_result};
+use ecl_core::report::SweepSummary;
+
+/// The E11-MC sweep configuration, reused verbatim for the zero-rate
+/// reproduction check.
+fn e11_config(workers: usize) -> SweepConfig {
+    SweepConfig {
+        scenario_count: 64,
+        workers,
+        trace_scenarios: 2,
+        ..SweepConfig::default()
+    }
+}
+
+fn fault_config(workers: usize) -> SweepConfig {
+    SweepConfig {
+        scenario_count: 32,
+        workers,
+        faults: FaultAxes {
+            frame_loss_rates: vec![0.0, 0.10, 0.30],
+            link_outage_rates: vec![0.0, 0.15],
+            proc_dropout_rates: vec![0.0, 0.01],
+            ..FaultAxes::default()
+        },
+        ..SweepConfig::default()
+    }
+}
+
+fn sweep(config: &SweepConfig, horizon: f64) -> Result<SweepOutput, Box<dyn std::error::Error>> {
+    let base = split_scenario(
+        2,
+        1,
+        TimeNs::from_micros(200),
+        TimeNs::from_micros(50),
+        TimeNs::from_micros(500),
+    )?;
+    let spec = dc_motor_loop(horizon)?;
+    Ok(run_sweep(&spec, &base, config)?)
+}
+
+/// The machine-readable artifact. Deliberately free of wall-clock
+/// content *and* of the worker count: the CI gate diffs these bytes
+/// across `ECL_FLEET_WORKERS` values.
+fn bench_json(summary: &SweepSummary, e11_reproduced: Option<bool>) -> String {
+    format!(
+        "{{\"experiment\":\"exp12_fault_sweep\",\
+         \"scenarios\":{},\"faulty_scenarios\":{},\
+         \"survivable_fraction\":{},\
+         \"robustness_margin\":{:.6},\
+         \"cache_hits\":{},\"cache_misses\":{},\
+         \"e11_zero_rate_reproduced\":{}}}\n",
+        summary.scenarios.len(),
+        summary.degradations.len(),
+        summary
+            .survivable_fraction()
+            .map_or("null".to_string(), |f| format!("{f:.6}")),
+        summary.robustness_margin(),
+        summary.cache_hits,
+        summary.cache_misses,
+        e11_reproduced.map_or("null".to_string(), |b| b.to_string()),
+    )
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("E12-FAULT — deterministic fault-injection sweep (32 scenarios)\n");
+
+    // Gate 2 first: a zero-rate sweep must reproduce E11-MC's bytes.
+    let e11_path = std::path::Path::new("results/exp11_monte_carlo.txt");
+    let e11_reproduced = if e11_path.exists() {
+        let expected = std::fs::read_to_string(e11_path)?;
+        let zero = sweep(&e11_config(2), 0.5)?;
+        let reproduced = zero.summary.render() == expected;
+        assert!(
+            reproduced,
+            "zero-rate fault axes must reproduce the E11-MC report bytes"
+        );
+        println!("zero-rate reproduction of E11-MC: byte-identical");
+        Some(reproduced)
+    } else {
+        println!(
+            "zero-rate reproduction of E11-MC: skipped ({} absent)",
+            e11_path.display()
+        );
+        None
+    };
+
+    // Gate 1: worker invariance of the faulty sweep.
+    let summary = match std::env::var("ECL_FLEET_WORKERS") {
+        Ok(v) => {
+            let workers: usize = v.parse()?;
+            println!("fault sweep on {workers} worker(s) (ECL_FLEET_WORKERS)");
+            sweep(&fault_config(workers), 0.3)?.summary
+        }
+        Err(_) => {
+            let serial = sweep(&fault_config(1), 0.3)?;
+            let parallel = sweep(&fault_config(4), 0.3)?;
+            assert!(
+                serial.summary.render() == parallel.summary.render()
+                    && serial.summary.to_json() == parallel.summary.to_json()
+                    && serial.actuation_hist == parallel.actuation_hist,
+                "1-worker and 4-worker fault sweeps must produce identical bytes"
+            );
+            println!("1-worker vs 4-worker fault sweep: byte-identical");
+            serial.summary
+        }
+    };
+
+    let md = summary.render();
+    println!("{md}");
+    println!(
+        "{} of {} scenarios injected faults, survivable fraction {}",
+        summary.degradations.len(),
+        summary.scenarios.len(),
+        summary
+            .survivable_fraction()
+            .map_or("n/a".to_string(), |f| format!("{f:.4}")),
+    );
+
+    let report_path = write_result("exp12_fault_sweep.txt", &md)?;
+    let bench_path = write_result("BENCH_exp12.json", &bench_json(&summary, e11_reproduced))?;
+    println!(
+        "wrote {} and {}",
+        report_path.display(),
+        bench_path.display()
+    );
+    Ok(())
+}

@@ -22,7 +22,8 @@ use std::sync::Mutex;
 
 use ecl_aaa::{AdequationOptions, MappingPolicy, ScheduleCache, TimeNs, TimingDb};
 use ecl_core::cosim::{self, LoopSpec};
-use ecl_core::report::{ScenarioOutcome, SweepSummary};
+use ecl_core::faults::{FaultConfig, FaultPlan};
+use ecl_core::report::{DegradationSummary, ScenarioOutcome, SweepSummary};
 use ecl_core::CoreError;
 use ecl_telemetry::{Collector, Histogram, PrefixSink, RecordingSink};
 
@@ -82,6 +83,47 @@ impl FleetRng {
     }
 }
 
+/// Fault-injection axes of a sweep (experiment E12-FAULT).
+///
+/// Each scenario draws one rate per fault class from these lists,
+/// *after* its WCET and period draws, so all-zero axes leave historical
+/// scenarios (and their report bytes) untouched.
+#[derive(Debug, Clone)]
+pub struct FaultAxes {
+    /// Per-transmission frame-loss probabilities; each scenario draws one.
+    pub frame_loss_rates: Vec<f64>,
+    /// Per-period link-outage start probabilities; each scenario draws one.
+    pub link_outage_rates: Vec<f64>,
+    /// Per-period processor-dropout hazards; each scenario draws one.
+    pub proc_dropout_rates: Vec<f64>,
+    /// Retransmission budget per frame before the period's transfer drops.
+    pub max_retries: u32,
+    /// Length of a link-outage window, in periods.
+    pub outage_periods: u32,
+}
+
+impl Default for FaultAxes {
+    fn default() -> Self {
+        FaultAxes {
+            frame_loss_rates: vec![0.0],
+            link_outage_rates: vec![0.0],
+            proc_dropout_rates: vec![0.0],
+            max_retries: 3,
+            outage_periods: 2,
+        }
+    }
+}
+
+impl FaultAxes {
+    /// `true` when no axis can produce a fault (the sweep is fault-free).
+    pub fn is_zero(&self) -> bool {
+        let all_zero = |v: &[f64]| v.iter().all(|&r| r == 0.0);
+        all_zero(&self.frame_loss_rates)
+            && all_zero(&self.link_outage_rates)
+            && all_zero(&self.proc_dropout_rates)
+    }
+}
+
 /// What a sweep varies and how large it is.
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
@@ -105,6 +147,9 @@ pub struct SweepConfig {
     /// Capture merged telemetry traces for the first `trace_scenarios`
     /// scenarios (they get `s<i>:`-prefixed tracks in the merged stream).
     pub trace_scenarios: usize,
+    /// Fault-injection axes; the all-zero default keeps the sweep
+    /// fault-free and its report byte-identical to pre-fault sweeps.
+    pub faults: FaultAxes,
 }
 
 impl Default for SweepConfig {
@@ -121,6 +166,7 @@ impl Default for SweepConfig {
             ],
             cost_bound_ratio: 1.5,
             trace_scenarios: 0,
+            faults: FaultAxes::default(),
         }
     }
 }
@@ -139,6 +185,12 @@ pub struct Scenario {
     pub period_scale: f64,
     /// Mapping policy for this scenario's adequation.
     pub policy: MappingPolicy,
+    /// Per-transmission frame-loss probability of this scenario.
+    pub frame_loss_rate: f64,
+    /// Per-period link-outage start probability of this scenario.
+    pub link_outage_rate: f64,
+    /// Per-period processor-dropout hazard of this scenario.
+    pub proc_dropout_rate: f64,
 }
 
 impl Scenario {
@@ -154,6 +206,13 @@ impl Scenario {
             .map(|_| 1.0 + config.wcet_jitter * rng.next_f64())
             .collect();
         let period_scale = config.period_scales[rng.below(config.period_scales.len())];
+        // Fault rates are drawn after the historical axes so that an
+        // all-zero `FaultAxes` reproduces pre-fault scenario draws (and
+        // hence report bytes) exactly.
+        let axes = &config.faults;
+        let frame_loss_rate = axes.frame_loss_rates[rng.below(axes.frame_loss_rates.len())];
+        let link_outage_rate = axes.link_outage_rates[rng.below(axes.link_outage_rates.len())];
+        let proc_dropout_rate = axes.proc_dropout_rates[rng.below(axes.proc_dropout_rates.len())];
         let mut policy = config.policies[index % config.policies.len()];
         if let MappingPolicy::Random { .. } = policy {
             policy = MappingPolicy::Random { seed };
@@ -164,6 +223,27 @@ impl Scenario {
             wcet_factors,
             period_scale,
             policy,
+            frame_loss_rate,
+            link_outage_rate,
+            proc_dropout_rate,
+        }
+    }
+
+    /// `true` when this scenario injects at least one fault class.
+    pub fn has_faults(&self) -> bool {
+        self.frame_loss_rate > 0.0 || self.link_outage_rate > 0.0 || self.proc_dropout_rate > 0.0
+    }
+
+    /// The fault-injection configuration of this scenario: plan seed =
+    /// scenario seed, budgets from the sweep axes.
+    pub fn fault_config(&self, axes: &FaultAxes) -> FaultConfig {
+        FaultConfig {
+            seed: self.seed,
+            frame_loss_rate: self.frame_loss_rate,
+            max_retries: axes.max_retries,
+            link_outage_rate: self.link_outage_rate,
+            outage_periods: axes.outage_periods,
+            proc_dropout_rate: self.proc_dropout_rate,
         }
     }
 
@@ -187,13 +267,22 @@ impl Scenario {
         db
     }
 
-    /// One-line description used in report rows.
+    /// One-line description used in report rows. Fault rates appear only
+    /// when non-zero, keeping fault-free labels byte-identical to
+    /// pre-fault sweeps.
     pub fn label(&self) -> String {
         let worst = self.wcet_factors.iter().fold(1.0f64, |acc, &f| acc.max(f));
-        format!(
+        let mut s = format!(
             "wcet<=x{worst:.3} Ts x{:.2} {:?}",
             self.period_scale, self.policy
-        )
+        );
+        if self.has_faults() {
+            s.push_str(&format!(
+                " faults fl{:.3} ol{:.3} pd{:.4}",
+                self.frame_loss_rate, self.link_outage_rate, self.proc_dropout_rate
+            ));
+        }
+        s
     }
 }
 
@@ -254,14 +343,24 @@ fn sweep_bound_ns(spec: &LoopSpec, config: &SweepConfig) -> i64 {
 }
 
 /// Runs one scenario end to end: jitter → (cached) adequation →
-/// graph-of-delays co-simulation → metrics.
+/// graph-of-delays co-simulation → metrics. A scenario with fault rates
+/// also runs its fault-free twin on the same schedule and returns the
+/// degradation delta between the two.
 fn run_scenario(
     spec: &LoopSpec,
     base: &SplitScenario,
     config: &SweepConfig,
     cache: &ScheduleCache,
     index: usize,
-) -> Result<(ScenarioOutcome, Histogram, RecordingSink), CoreError> {
+) -> Result<
+    (
+        ScenarioOutcome,
+        Option<DegradationSummary>,
+        Histogram,
+        RecordingSink,
+    ),
+    CoreError,
+> {
     let scenario = Scenario::derive(config, base, index);
     let db = scenario.jittered_db(base);
     let options = AdequationOptions {
@@ -282,19 +381,53 @@ fn run_scenario(
 
     let ideal = cosim::run_ideal(&spec2)?;
     let traced = index < config.trace_scenarios;
-    let (run, sink) = if traced {
+    let (run, degradation, sink) = if scenario.has_faults() {
+        // Faulty scenarios compare against a fault-free twin on the same
+        // schedule; they never contribute telemetry traces (tracing the
+        // degraded replay would double the sink for no new information).
+        let periods = (spec2.horizon / spec2.ts).floor().max(1.0) as u32;
+        let plan = FaultPlan::generate(
+            &scenario.fault_config(&config.faults),
+            &schedule,
+            &base.arch,
+            periods,
+        )?;
+        let baseline = cosim::run_scheduled(&spec2, &base.alg, &base.io, &schedule, &base.arch)?;
+        let faulty = cosim::run_scheduled_faulty(
+            &spec2,
+            &base.alg,
+            &base.io,
+            &schedule,
+            &base.arch,
+            plan.clone(),
+        )?;
+        let degradation = DegradationSummary::from_runs(
+            index,
+            &plan,
+            &baseline,
+            &faulty,
+            config.cost_bound_ratio,
+        )?;
+        (faulty, Some(degradation), RecordingSink::default())
+    } else if traced {
         let sink = PrefixSink::new(format!("s{index}:"), RecordingSink::default());
         let mut tel = Collector::new(sink);
         let run = cosim::run_scheduled_traced(
             &spec2, &base.alg, &base.io, &schedule, &base.arch, &mut tel,
         )?;
-        (run, tel.into_sink().into_inner())
+        (run, None, tel.into_sink().into_inner())
     } else {
         let run = cosim::run_scheduled(&spec2, &base.alg, &base.io, &schedule, &base.arch)?;
-        (run, RecordingSink::default())
+        (run, None, RecordingSink::default())
     };
 
-    let report = run.latency_report()?;
+    // Forced rendezvous under faults legitimately pushes sampling past
+    // its period, so degraded runs are measured leniently.
+    let report = if scenario.has_faults() {
+        run.latency_report_lenient()?
+    } else {
+        run.latency_report()?
+    };
     let mut hist = Histogram::new(sweep_bound_ns(spec, config), SWEEP_BUCKETS);
     let mut worst = 0i64;
     for series in &report.actuation {
@@ -313,7 +446,7 @@ fn run_scenario(
         worst_actuation_ns: worst,
         overruns: report.total_overruns(),
     };
-    Ok((outcome, hist, sink))
+    Ok((outcome, degradation, hist, sink))
 }
 
 /// Runs the whole sweep on `config.workers` threads.
@@ -337,11 +470,13 @@ pub fn run_sweep(
     });
 
     let mut scenarios = Vec::with_capacity(config.scenario_count);
+    let mut degradations = Vec::new();
     let mut merged = Histogram::new(sweep_bound_ns(spec, config), SWEEP_BUCKETS);
     let mut traces = RecordingSink::default();
     for result in results {
-        let (outcome, hist, sink) = result?;
+        let (outcome, degradation, hist, sink) = result?;
         scenarios.push(outcome);
+        degradations.extend(degradation);
         merged.merge(&hist);
         traces.absorb(sink);
     }
@@ -351,6 +486,7 @@ pub fn run_sweep(
             cost_bound_ratio: config.cost_bound_ratio,
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
+            degradations,
         },
         actuation_hist: merged,
         traces,
@@ -361,6 +497,7 @@ pub fn run_sweep(
 mod tests {
     use super::*;
     use crate::{dc_motor_loop, split_scenario};
+    use proptest::prelude::*;
 
     fn small_base() -> SplitScenario {
         split_scenario(
@@ -455,5 +592,120 @@ mod tests {
         let rendered = serial.traces.render();
         assert!(rendered.contains("s0:"), "missing s0 prefix:\n{rendered}");
         assert!(rendered.contains("s1:"), "missing s1 prefix:\n{rendered}");
+        // The all-zero default fault axes leave no degradation rows and
+        // no fault section in either artifact.
+        assert!(serial.summary.degradations.is_empty());
+        assert!(!serial.summary.render().contains("Fault degradation"));
+        assert!(!serial.summary.to_json().contains("degradations"));
+    }
+
+    fn faulty_config(workers: usize) -> SweepConfig {
+        SweepConfig {
+            scenario_count: 6,
+            workers,
+            faults: FaultAxes {
+                frame_loss_rates: vec![0.25, 0.5],
+                link_outage_rates: vec![0.0, 0.2],
+                proc_dropout_rates: vec![0.0, 0.02],
+                ..FaultAxes::default()
+            },
+            ..SweepConfig::default()
+        }
+    }
+
+    #[test]
+    fn fault_sweep_is_worker_count_invariant() {
+        let base = small_base();
+        let spec = dc_motor_loop(0.3).unwrap();
+        let serial = run_sweep(&spec, &base, &faulty_config(1)).unwrap();
+        let parallel = run_sweep(&spec, &base, &faulty_config(4)).unwrap();
+        assert_eq!(serial.summary, parallel.summary);
+        assert_eq!(serial.summary.render(), parallel.summary.render());
+        assert_eq!(serial.summary.to_json(), parallel.summary.to_json());
+        // Every scenario draws a non-zero frame-loss rate, so every row
+        // has a degradation twin, in index order.
+        assert_eq!(serial.summary.degradations.len(), 6);
+        let indices: Vec<usize> = serial
+            .summary
+            .degradations
+            .iter()
+            .map(|d| d.index)
+            .collect();
+        assert_eq!(indices, (0..6).collect::<Vec<_>>());
+        assert!(serial.summary.render().contains("### Fault degradation"));
+        assert!(serial.summary.survivable_fraction().is_some());
+        // The faults actually bit: some scenario lost frames or windows.
+        let injected_total: u64 = serial
+            .summary
+            .degradations
+            .iter()
+            .map(|d| d.injected.total())
+            .sum();
+        assert!(injected_total > 0, "fault axes injected nothing");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 4 })]
+
+        /// The plan a scenario ends up with must not depend on how many
+        /// workers computed the sweep — only on `(base_seed, index)` and
+        /// the schedule content. Zero-rate plans stay trivial for every
+        /// seed, which is what keeps fault-free sweeps byte-identical to
+        /// pre-fault ones.
+        #[test]
+        fn fault_plans_are_worker_count_invariant(base_seed in 0u64..(1u64 << 48)) {
+            let base = small_base();
+            let mut config = faulty_config(1);
+            config.base_seed = base_seed;
+            config.scenario_count = 5;
+            let digests_on = |workers: usize| -> Vec<u64> {
+                let cache = ScheduleCache::new();
+                map_indexed(config.scenario_count, workers, |i| {
+                    let scenario = Scenario::derive(&config, &base, i);
+                    let db = scenario.jittered_db(&base);
+                    let options = AdequationOptions {
+                        policy: scenario.policy,
+                    };
+                    let schedule = cache
+                        .get_or_compute(&base.alg, &base.arch, &db, options)
+                        .unwrap();
+                    FaultPlan::generate(
+                        &scenario.fault_config(&config.faults),
+                        &schedule,
+                        &base.arch,
+                        32,
+                    )
+                    .unwrap()
+                    .digest()
+                })
+            };
+            prop_assert_eq!(digests_on(1), digests_on(4));
+
+            let zero = Scenario {
+                frame_loss_rate: 0.0,
+                link_outage_rate: 0.0,
+                proc_dropout_rate: 0.0,
+                ..Scenario::derive(&config, &base, 0)
+            };
+            let db = zero.jittered_db(&base);
+            let schedule = ScheduleCache::new()
+                .get_or_compute(
+                    &base.alg,
+                    &base.arch,
+                    &db,
+                    AdequationOptions {
+                        policy: zero.policy,
+                    },
+                )
+                .unwrap();
+            let plan = FaultPlan::generate(
+                &zero.fault_config(&config.faults),
+                &schedule,
+                &base.arch,
+                32,
+            )
+            .unwrap();
+            prop_assert!(plan.is_trivial());
+        }
     }
 }

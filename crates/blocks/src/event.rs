@@ -162,6 +162,116 @@ impl Block for EventDelay {
     impl_block_any!();
 }
 
+/// What a [`FaultyDelay`] does with one activation.
+///
+/// Actions are indexed by activation count: element `k` of the action
+/// plan applies to the block's `k`-th activation (one per period in a
+/// healthy graph of delays). Activations beyond the end of the plan pass
+/// through unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DelayAction {
+    /// Emit after the base delay (no fault).
+    #[default]
+    Pass,
+    /// Emit after the base delay plus the given extra time — a frame lost
+    /// and retransmitted `k` times stretches a communication slot by
+    /// `k · retry cost`.
+    Stretch(TimeNs),
+    /// Swallow the activation: the completion event never fires this
+    /// period (exhausted retransmissions, link outage, dead processor).
+    Drop,
+}
+
+/// An [`EventDelay`] that replays a per-activation fault plan: each
+/// incoming event is delayed, delayed longer, or dropped according to the
+/// [`DelayAction`] at its activation index.
+///
+/// This is the fault-injection counterpart of the schedule slots in the
+/// graph of delays: a dropped activation means the operation (or
+/// transfer) never completes that period, so downstream Sample/Hold
+/// blocks keep their last value and the period's latency machinery
+/// records a skipped event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultyDelay {
+    delay: TimeNs,
+    actions: Vec<DelayAction>,
+    activations: u64,
+    dropped: u64,
+    stretched: u64,
+}
+
+impl FaultyDelay {
+    /// Creates a faulty delay with base `delay` and the given action plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockError::InvalidParameter`] for a negative base delay
+    /// or a negative stretch amount.
+    pub fn new(delay: TimeNs, actions: Vec<DelayAction>) -> Result<Self, BlockError> {
+        if delay.is_negative() {
+            return Err(BlockError::InvalidParameter {
+                block: "FaultyDelay",
+                parameter: "delay",
+                reason: format!("must be non-negative, got {delay}"),
+            });
+        }
+        if let Some(bad) = actions.iter().find_map(|a| match a {
+            DelayAction::Stretch(extra) if extra.is_negative() => Some(*extra),
+            _ => None,
+        }) {
+            return Err(BlockError::InvalidParameter {
+                block: "FaultyDelay",
+                parameter: "actions",
+                reason: format!("stretch must be non-negative, got {bad}"),
+            });
+        }
+        Ok(FaultyDelay {
+            delay,
+            actions,
+            activations: 0,
+            dropped: 0,
+            stretched: 0,
+        })
+    }
+
+    /// The base delay (the slot's fault-free duration).
+    pub fn delay(&self) -> TimeNs {
+        self.delay
+    }
+
+    /// Activations swallowed so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Activations stretched so far.
+    pub fn stretched(&self) -> u64 {
+        self.stretched
+    }
+}
+
+impl Block for FaultyDelay {
+    fn type_name(&self) -> &'static str {
+        "FaultyDelay"
+    }
+    fn ports(&self) -> PortSpec {
+        PortSpec::event_pipe(1, 1)
+    }
+    fn on_event(&mut self, _port: usize, _t: TimeNs, ctx: &mut EventCtx<'_>) {
+        let k = self.activations as usize;
+        self.activations += 1;
+        match self.actions.get(k).copied().unwrap_or_default() {
+            DelayAction::Pass => ctx.actions.emit(0, self.delay),
+            DelayAction::Stretch(extra) => {
+                self.stretched += 1;
+                ctx.actions.emit(0, self.delay + extra);
+            }
+            DelayAction::Drop => self.dropped += 1,
+        }
+    }
+    impl_block_any!();
+}
+
 /// The *condition mapping* function of the paper's §3.2.2: maps the value
 /// of the conditioning variable (a regular input) to the index of the
 /// event-output channel that should fire.
@@ -249,11 +359,28 @@ impl Block for EventSelect {
 /// event since the last reset — modelling a rendezvous between the
 /// computation sequence of a processor and the communication sequences of
 /// the media it waits on.
+/// With [`Synchronization::with_timeout`] the block grows one extra event
+/// input — the *timeout arm* (paper-extension for graceful degradation):
+/// if the barrier has not fired since the previous timeout tick, the tick
+/// forces a fire with whatever inputs have arrived. A dead predecessor
+/// (processor dropout, dropped communication) therefore degrades the
+/// period instead of deadlocking it: downstream Sample/Hold blocks
+/// re-activate on stale data rather than never again.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Synchronization {
     received: Vec<bool>,
     /// Number of times the block has fired.
     fired: u64,
+    timeout: Option<TimeoutArm>,
+}
+
+/// State of the optional timeout arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TimeoutArm {
+    /// Whether the barrier fired (normally or forced) since the last tick.
+    fired_in_window: bool,
+    /// Number of fires forced by the timeout.
+    forced: u64,
 }
 
 impl Synchronization {
@@ -273,7 +400,26 @@ impl Synchronization {
         Ok(Synchronization {
             received: vec![false; n],
             fired: 0,
+            timeout: None,
         })
+    }
+
+    /// Creates a barrier over `n` event inputs plus a timeout arm on
+    /// event input `n`: wire a once-per-period event (e.g. the period
+    /// clock through an [`EventDelay`] just shorter than the period) to
+    /// that port. A tick arriving when the barrier has not fired since
+    /// the previous tick forces a fire and resets the pending flags.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BlockError::InvalidParameter`] if `n == 0`.
+    pub fn with_timeout(n: usize) -> Result<Self, BlockError> {
+        let mut s = Synchronization::new(n)?;
+        s.timeout = Some(TimeoutArm {
+            fired_in_window: false,
+            forced: 0,
+        });
+        Ok(s)
     }
 
     /// Number of times the barrier has fired.
@@ -281,9 +427,25 @@ impl Synchronization {
         self.fired
     }
 
+    /// Number of fires forced by the timeout arm (0 without one).
+    pub fn timeout_fires(&self) -> u64 {
+        self.timeout.map_or(0, |t| t.forced)
+    }
+
     /// `true` if input `port` has an event pending since the last reset.
     pub fn pending(&self, port: usize) -> bool {
         self.received.get(port).copied().unwrap_or(false)
+    }
+
+    fn fire(&mut self, ctx: &mut EventCtx<'_>) {
+        for r in &mut self.received {
+            *r = false;
+        }
+        self.fired += 1;
+        if let Some(t) = &mut self.timeout {
+            t.fired_in_window = true;
+        }
+        ctx.actions.emit(0, TimeNs::ZERO);
     }
 }
 
@@ -292,18 +454,30 @@ impl Block for Synchronization {
         "Synchronization"
     }
     fn ports(&self) -> PortSpec {
-        PortSpec::new(0, 0, self.received.len(), 1)
+        let extra = usize::from(self.timeout.is_some());
+        PortSpec::new(0, 0, self.received.len() + extra, 1)
     }
     fn on_event(&mut self, port: usize, _t: TimeNs, ctx: &mut EventCtx<'_>) {
+        if self.timeout.is_some() && port == self.received.len() {
+            let arm = self.timeout.as_mut().expect("timeout arm present");
+            let fired_in_window = std::mem::replace(&mut arm.fired_in_window, false);
+            if !fired_in_window {
+                self.timeout.as_mut().expect("timeout arm present").forced += 1;
+                self.fire(ctx);
+                // `fire` marked the window as served; the next window
+                // starts empty.
+                self.timeout
+                    .as_mut()
+                    .expect("timeout arm present")
+                    .fired_in_window = false;
+            }
+            return;
+        }
         if let Some(flag) = self.received.get_mut(port) {
             *flag = true;
         }
         if self.received.iter().all(|&r| r) {
-            for r in &mut self.received {
-                *r = false;
-            }
-            self.fired += 1;
-            ctx.actions.emit(0, TimeNs::ZERO);
+            self.fire(ctx);
         }
     }
     impl_block_any!();
@@ -566,5 +740,94 @@ mod tests {
             add_clock(&mut m, "c", TimeNs::ZERO, TimeNs::ZERO),
             Err(SimError::InvalidModel { .. })
         ));
+    }
+
+    #[test]
+    fn faulty_delay_validation() {
+        assert!(FaultyDelay::new(TimeNs::from_millis(-1), vec![]).is_err());
+        assert!(FaultyDelay::new(
+            TimeNs::from_millis(1),
+            vec![DelayAction::Stretch(TimeNs::from_millis(-2))]
+        )
+        .is_err());
+        let d = FaultyDelay::new(TimeNs::from_millis(3), vec![DelayAction::Drop]).unwrap();
+        assert_eq!(d.delay(), TimeNs::from_millis(3));
+    }
+
+    #[test]
+    fn faulty_delay_pass_stretch_drop_sequencing() {
+        // Activation 0 passes at the base delay, activation 1 is stretched
+        // by 4 ms (two retransmissions at 2 ms), activation 2 is dropped,
+        // and activations past the plan default to Pass.
+        let mut m = Model::new();
+        let clk = add_clock(&mut m, "clk", TimeNs::from_millis(100), TimeNs::ZERO).unwrap();
+        let d = m.add_block(
+            "d",
+            FaultyDelay::new(
+                TimeNs::from_millis(7),
+                vec![
+                    DelayAction::Pass,
+                    DelayAction::Stretch(TimeNs::from_millis(4)),
+                    DelayAction::Drop,
+                ],
+            )
+            .unwrap(),
+        );
+        m.connect_event(clk, 0, d, 0).unwrap();
+        let sink = m.add_block("sink", Synchronization::new(1).unwrap());
+        m.connect_event(d, 0, sink, 0).unwrap();
+        let mut sim = Simulator::new(m, SimOptions::default()).unwrap();
+        let r = sim.run(TimeNs::from_millis(350)).unwrap();
+        assert_eq!(
+            r.activation_times(sink, Some(0)),
+            vec![
+                TimeNs::from_millis(7),
+                TimeNs::from_millis(111),
+                TimeNs::from_millis(307)
+            ]
+        );
+        let d_ref = sim.model().block_as::<FaultyDelay>(d).unwrap();
+        assert_eq!(d_ref.dropped(), 1);
+        assert_eq!(d_ref.stretched(), 1);
+    }
+
+    #[test]
+    fn synchronization_timeout_forces_fire_on_dead_input() {
+        // Barrier over two inputs but input 1 is never fed: the timeout
+        // tick on port 2 force-fires the period.
+        let mut sync = Synchronization::with_timeout(2).unwrap();
+        assert_eq!(sync.ports().event_inputs, 3);
+        let fire = |s: &mut Synchronization, port: usize| -> bool {
+            let mut actions = EventActions::new();
+            let mut ctx = EventCtx {
+                inputs: &[],
+                actions: &mut actions,
+            };
+            s.on_event(port, TimeNs::ZERO, &mut ctx);
+            !actions.is_empty()
+        };
+        assert!(!fire(&mut sync, 0)); // input 1 dead -> barrier stuck
+        assert!(fire(&mut sync, 2)); // timeout forces the fire
+        assert_eq!(sync.fired(), 1);
+        assert_eq!(sync.timeout_fires(), 1);
+        assert!(!sync.pending(0)); // pending flags were reset
+                                   // Healthy window: both inputs arrive, barrier fires normally …
+        assert!(!fire(&mut sync, 0));
+        assert!(fire(&mut sync, 1));
+        assert_eq!(sync.fired(), 2);
+        // … so the next timeout tick is a no-op.
+        assert!(!fire(&mut sync, 2));
+        assert_eq!(sync.fired(), 2);
+        assert_eq!(sync.timeout_fires(), 1);
+        // And the window after that, dead again, is forced again.
+        assert!(fire(&mut sync, 2));
+        assert_eq!(sync.timeout_fires(), 2);
+    }
+
+    #[test]
+    fn synchronization_without_timeout_reports_zero_forced() {
+        let sync = Synchronization::new(2).unwrap();
+        assert_eq!(sync.ports().event_inputs, 2);
+        assert_eq!(sync.timeout_fires(), 0);
     }
 }

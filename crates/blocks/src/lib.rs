@@ -68,7 +68,8 @@ pub use continuous::{Integrator, StateSpaceCt};
 pub use discrete::{DiscreteStateSpace, PidBlock, PidConfig, UnitDelay};
 pub use error::BlockError;
 pub use event::{
-    add_clock, Clock, ConditionMapping, EventDelay, EventSelect, SampleHold, Synchronization,
+    add_clock, Clock, ConditionMapping, DelayAction, EventDelay, EventSelect, FaultyDelay,
+    SampleHold, Synchronization,
 };
 pub use math::{Gain, Quantizer, Saturation, Sum};
 pub use nonlinear::{DeadZone, RateLimiter, Relay, SampledDelayLine};

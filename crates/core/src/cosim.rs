@@ -18,6 +18,7 @@ use ecl_sim::{BlockId, EngineStats, Model, SimOptions, SimResult, Simulator};
 use ecl_telemetry::{Collector, Event, Histogram, Sink};
 
 use crate::delays::{self, DelayGraphConfig};
+use crate::faults::FaultPlan;
 use crate::latency::{latencies, latencies_strict, LatencyReport};
 use crate::translate::IoMap;
 use crate::CoreError;
@@ -182,6 +183,29 @@ impl LoopResult {
         let mut rep = LatencyReport::default();
         for s in &self.sample_instants {
             rep.sampling.push(latencies_strict(s, period)?);
+        }
+        for a in &self.actuation_instants {
+            rep.actuation.push(latencies(a, period)?);
+        }
+        Ok(rep)
+    }
+
+    /// Like [`latency_report`](Self::latency_report), but lenient on the
+    /// sampling side too: a degraded (fault-injected) run legitimately
+    /// samples at or past the period boundary when a rendezvous is forced
+    /// by its timeout arm, so the strict `Ls_j(k) < Ts` invariant no
+    /// longer holds. Cross-period activations are counted by
+    /// [`LatencyReport::total_overruns`] instead of erroring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] only for unsorted or causally
+    /// impossible series (negative latency), or a period-origin overflow.
+    pub fn latency_report_lenient(&self) -> Result<LatencyReport, CoreError> {
+        let period = TimeNs::from_secs_f64(self.ts);
+        let mut rep = LatencyReport::default();
+        for s in &self.sample_instants {
+            rep.sampling.push(latencies(s, period)?);
         }
         for a in &self.actuation_instants {
             rep.actuation.push(latencies(a, period)?);
@@ -371,29 +395,42 @@ fn finish_traced<S: Sink>(
 
     let period = TimeNs::from_secs_f64(cs.ts);
     let bound = period.as_nanos().max(1);
-    let feed =
-        |label: &'static str, instants: &[Vec<TimeNs>], tel: &mut Collector<S>| -> Vec<Histogram> {
-            instants
-                .iter()
-                .enumerate()
-                .map(|(j, series)| {
-                    let mut h = Histogram::new(bound, LATENCY_BUCKETS);
-                    for (k, &t) in series.iter().enumerate() {
-                        let lat = (t - period * k as i64).as_nanos();
-                        h.record(lat);
-                        tel.emit(|| Event::Counter {
-                            track: format!("{track_prefix}{label}[{j}]"),
-                            name: label.to_string(),
-                            at_ns: t.as_nanos(),
-                            value_ns: lat,
-                        });
-                    }
-                    h
-                })
-                .collect()
-        };
-    let sampling_hist = feed("Ls", &sample_instants, tel);
-    let actuation_hist = feed("La", &actuation_instants, tel);
+    let feed = |label: &'static str,
+                instants: &[Vec<TimeNs>],
+                tel: &mut Collector<S>|
+     -> Result<Vec<Histogram>, CoreError> {
+        instants
+            .iter()
+            .enumerate()
+            .map(|(j, series)| {
+                let mut h = Histogram::new(bound, LATENCY_BUCKETS);
+                for (k, &t) in series.iter().enumerate() {
+                    // Same guarded arithmetic as `latencies`: the period
+                    // origin k·Ts must not silently wrap in release at
+                    // huge horizons.
+                    let origin =
+                        period
+                            .checked_mul(k as i64)
+                            .ok_or_else(|| CoreError::InvalidInput {
+                                reason: format!(
+                                    "period origin {k}·{period} overflows the i64 nanosecond range"
+                                ),
+                            })?;
+                    let lat = (t - origin).as_nanos();
+                    h.record(lat);
+                    tel.emit(|| Event::Counter {
+                        track: format!("{track_prefix}{label}[{j}]"),
+                        name: label.to_string(),
+                        at_ns: t.as_nanos(),
+                        value_ns: lat,
+                    });
+                }
+                Ok(h)
+            })
+            .collect()
+    };
+    let sampling_hist = feed("Ls", &sample_instants, tel)?;
+    let actuation_hist = feed("La", &actuation_instants, tel)?;
 
     let mut activity: Vec<(String, u64)> = stats
         .activation_counts()
@@ -714,6 +751,41 @@ pub fn run_scheduled(
     })
 }
 
+/// Like [`run_scheduled`], but replays the schedule under a
+/// [`FaultPlan`]: lost frames stretch or drop communication slots, dead
+/// processors silence their operations, and every synchronization gains a
+/// timeout arm so the loop degrades (Sample/Holds keep stale values, the
+/// existing overrun accounting counts the damage) instead of
+/// deadlocking.
+///
+/// A [trivial](FaultPlan::is_trivial) plan takes the exact
+/// [`run_scheduled`] code path — same blocks, same wiring, bit-identical
+/// results — so a zero-rate fault sweep is guaranteed to reproduce the
+/// fault-free baseline.
+///
+/// Use [`LoopResult::latency_report_lenient`] on the result: forced
+/// rendezvous can push sampling past the period boundary, which the
+/// strict report rejects.
+///
+/// # Errors
+///
+/// Same as [`run_scheduled`].
+pub fn run_scheduled_faulty(
+    spec: &LoopSpec,
+    alg: &AlgorithmGraph,
+    io: &IoMap,
+    schedule: &Schedule,
+    arch: &ArchitectureGraph,
+    plan: FaultPlan,
+) -> Result<LoopResult, CoreError> {
+    run_scheduled_with(spec, alg, io, schedule, arch, move |_| {
+        Ok(DelayGraphConfig {
+            faults: Some(plan),
+            ..DelayGraphConfig::default()
+        })
+    })
+}
+
 /// Like [`run_scheduled`], but lets the caller extend the model (e.g. add
 /// the block producing a condition variable's value) and supply the
 /// [`DelayGraphConfig`] — required when the algorithm graph contains
@@ -974,6 +1046,107 @@ mod tests {
             "ideal {} vs implemented {}",
             ideal.cost,
             implemented.cost
+        );
+    }
+
+    /// The 2-ECU split LQR fixture of
+    /// `scheduled_loop_shows_latency_and_costs_more`.
+    fn split_fixture() -> (LoopSpec, AlgorithmGraph, IoMap, Schedule, ArchitectureGraph) {
+        let plant = plants::dc_motor();
+        let dss = c2d_zoh(&plant.sys, plant.ts).unwrap();
+        let lqr = dlqr(&dss, &Mat::diag(&[10.0, 1.0]), &Mat::diag(&[1e-3])).unwrap();
+        let spec = LoopSpec {
+            plant: plant.sys,
+            n_controls: 1,
+            x0: vec![1.0, 0.0],
+            feedback: lqr.k,
+            input_memory: None,
+            ts: plant.ts,
+            horizon: 1.0,
+            q_weight: 1.0,
+            r_weight: 1e-3,
+            disturbance: DisturbanceKind::None,
+        };
+        let law = ControlLawSpec::monolithic("lqr", 2, 1);
+        let (alg, io) = law.to_algorithm().unwrap();
+        let mut arch = ArchitectureGraph::new();
+        let p0 = arch.add_processor("ecu0", "arm");
+        let p1 = arch.add_processor("ecu1", "arm");
+        arch.add_bus("can", &[p0, p1], TimeNs::from_millis(2), us(10))
+            .unwrap();
+        let mut db = uniform_timing(&alg, &io, us(200), TimeNs::from_millis(5));
+        for &s in io.sensors.iter().chain(&io.actuators) {
+            db.forbid(s, p1);
+        }
+        db.forbid(io.stages[0], p0);
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        (spec, alg, io, schedule, arch)
+    }
+
+    #[test]
+    fn faulty_run_with_trivial_plan_matches_run_scheduled_exactly() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let (spec, alg, io, schedule, arch) = split_fixture();
+        let baseline = run_scheduled(&spec, &alg, &io, &schedule, &arch).unwrap();
+        let periods = (spec.horizon / spec.ts).floor() as u32;
+        let plan = FaultPlan::generate(
+            &FaultConfig {
+                seed: 123,
+                ..FaultConfig::default()
+            },
+            &schedule,
+            &arch,
+            periods,
+        )
+        .unwrap();
+        assert!(plan.is_trivial());
+        let faulty = run_scheduled_faulty(&spec, &alg, &io, &schedule, &arch, plan).unwrap();
+        // Bit-identical: same instants, same cost, same engine counters.
+        assert_eq!(baseline.sample_instants, faulty.sample_instants);
+        assert_eq!(baseline.actuation_instants, faulty.actuation_instants);
+        assert!(baseline.cost == faulty.cost, "costs must be bit-identical");
+        assert_eq!(baseline.stats, faulty.stats);
+    }
+
+    #[test]
+    fn faulty_run_degrades_but_keeps_actuating() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let (spec, alg, io, schedule, arch) = split_fixture();
+        let baseline = run_scheduled(&spec, &alg, &io, &schedule, &arch).unwrap();
+        let periods = (spec.horizon / spec.ts).floor() as u32;
+        // Every frame is dropped: the controller-side rendezvous is
+        // forced at the end of each period, the holds keep stale values.
+        let plan = FaultPlan::generate(
+            &FaultConfig {
+                frame_loss_rate: 1.0,
+                max_retries: 1,
+                ..FaultConfig::default()
+            },
+            &schedule,
+            &arch,
+            periods,
+        )
+        .unwrap();
+        assert!(!plan.is_trivial());
+        let faulty = run_scheduled_faulty(&spec, &alg, &io, &schedule, &arch, plan).unwrap();
+        // The loop still actuates once per period — forced fires land a
+        // period late, so the last one completes past the horizon.
+        let baseline_n = baseline.actuation_instants[0].len();
+        let faulty_n = faulty.actuation_instants[0].len();
+        assert!(
+            faulty_n >= baseline_n - 1 && faulty_n > 1,
+            "degraded loop stopped actuating: {faulty_n} vs {baseline_n}"
+        );
+        // The strict report rejects the forced cross-period sampling; the
+        // lenient one counts overruns instead.
+        let rep = faulty.latency_report_lenient().unwrap();
+        assert!(rep.total_overruns() > 0, "forced fires must overrun");
+        // Acting on stale state costs control performance.
+        assert!(
+            faulty.cost > baseline.cost,
+            "faulty {} vs baseline {}",
+            faulty.cost,
+            baseline.cost
         );
     }
 

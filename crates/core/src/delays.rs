@@ -28,9 +28,12 @@
 use std::collections::HashMap;
 
 use ecl_aaa::{AlgorithmGraph, ArchitectureGraph, OpId, Schedule, TimeNs};
-use ecl_blocks::{add_clock, ConditionMapping, EventDelay, EventSelect, Synchronization};
+use ecl_blocks::{
+    add_clock, ConditionMapping, EventDelay, EventSelect, FaultyDelay, Synchronization,
+};
 use ecl_sim::{BlockId, Model};
 
+use crate::faults::FaultPlan;
 use crate::CoreError;
 
 /// Where a condition variable's value can be read in the model, and how it
@@ -59,6 +62,13 @@ pub struct DelayGraphConfig {
     /// One [`ConditionSource`] per condition variable of the algorithm
     /// graph. Required iff the graph has conditioned operations.
     pub condition_sources: HashMap<OpId, ConditionSource>,
+    /// Optional fault plan (see [`crate::faults`]). A trivial (or absent)
+    /// plan takes the exact nominal synthesis path — same blocks, same
+    /// wiring, byte-identical behaviour. A non-trivial plan swaps
+    /// [`FaultyDelay`] blocks in for faulted slots and arms every
+    /// [`Synchronization`] with a timeout so a dead predecessor degrades
+    /// the period instead of deadlocking it.
+    pub faults: Option<FaultPlan>,
 }
 
 /// The synthesized graph of delays.
@@ -121,13 +131,17 @@ impl DelayGraph {
 /// A single source connects directly; several sources go through a fresh
 /// [`Synchronization`] block (the rendezvous fires at the latest source).
 /// Sources listed as alternatives (`any_of`) are merged onto the same
-/// synchronization input.
+/// synchronization input. With a `timeout` event source the barrier gets
+/// a timeout arm wired to it, so a source that never fires (fault
+/// injection) forces the rendezvous at the end of the period instead of
+/// deadlocking every following period.
 fn join(
     model: &mut Model,
     name: &str,
     sources: &[Vec<(BlockId, usize)>],
     target: BlockId,
     port: usize,
+    timeout: Option<(BlockId, usize)>,
 ) -> Result<(), CoreError> {
     match sources.len() {
         0 => Err(CoreError::InvalidInput {
@@ -140,7 +154,15 @@ fn join(
             Ok(())
         }
         n => {
-            let sync = model.add_block(format!("sync_{name}"), Synchronization::new(n)?);
+            let sync = match timeout {
+                None => model.add_block(format!("sync_{name}"), Synchronization::new(n)?),
+                Some((tb, to)) => {
+                    let sync =
+                        model.add_block(format!("sync_{name}"), Synchronization::with_timeout(n)?);
+                    model.connect_event(tb, to, sync, n)?;
+                    sync
+                }
+            };
             for (i, alt) in sources.iter().enumerate() {
                 for &(b, o) in alt {
                     model.connect_event(b, o, sync, i)?;
@@ -179,8 +201,38 @@ pub fn build(
             ),
         });
     }
+    let DelayGraphConfig {
+        condition_sources,
+        faults,
+    } = config;
     let clock = add_clock(model, "delay_clock", period, TimeNs::ZERO)?;
     let clock_src: Vec<(BlockId, usize)> = vec![(clock, 0)];
+
+    // A non-trivial fault plan switches the synthesis to the degraded
+    // vocabulary; a trivial (or absent) one takes the nominal path below,
+    // block for block.
+    let plan = faults.as_ref().filter(|p| !p.is_trivial());
+    // Shared timeout source for every barrier: the period clock delayed to
+    // just before the next tick, so a rendezvous whose predecessor died is
+    // forced at the end of its own period. (With a makespan equal to the
+    // full period, nominal completions at exactly `period` land after the
+    // forced fire — acceptable for the degraded replay, documented in
+    // DESIGN.md.)
+    let timeout_src: Option<(BlockId, usize)> = match plan {
+        Some(_) => {
+            let d = model.add_block(
+                "fault_timeout",
+                EventDelay::new(period - TimeNs::from_nanos(1)).map_err(|e| {
+                    CoreError::InvalidInput {
+                        reason: e.to_string(),
+                    }
+                })?,
+            );
+            model.connect_event(clock, 0, d, 0)?;
+            Some((d, 0))
+        }
+        None => None,
+    };
 
     // ---- group conditioned operations by condition variable ------------
     // group_of[op] = condition variable if conditioned.
@@ -205,12 +257,22 @@ pub fn build(
     // ---- per-operation delay blocks -------------------------------------
     for s in schedule.ops() {
         let dur = s.end - s.start;
-        let blk = model.add_block(
-            format!("dly_{}", alg.name(s.op)),
-            EventDelay::new(dur).map_err(|e| CoreError::InvalidInput {
-                reason: e.to_string(),
-            })?,
-        );
+        let name = format!("dly_{}", alg.name(s.op));
+        let faulted = plan.and_then(|p| p.op_delay_actions(s.proc.index()));
+        let blk = match faulted {
+            Some(actions) => model.add_block(
+                name,
+                FaultyDelay::new(dur, actions).map_err(|e| CoreError::InvalidInput {
+                    reason: e.to_string(),
+                })?,
+            ),
+            None => model.add_block(
+                name,
+                EventDelay::new(dur).map_err(|e| CoreError::InvalidInput {
+                    reason: e.to_string(),
+                })?,
+            ),
+        };
         dg.op_done.insert(s.op, (blk, 0));
         dg.op_ready.insert(s.op, vec![(blk, 0)]);
     }
@@ -239,18 +301,32 @@ pub fn build(
     let mut comm_done: Vec<(BlockId, usize)> = Vec::new();
     for (i, c) in schedule.comms().iter().enumerate() {
         let dur = c.end - c.start;
-        let blk = model.add_block(
-            format!(
-                "comm_{}_{}_to_{}",
-                alg.name(c.src_op),
-                arch.proc_name(c.from),
-                arch.proc_name(c.to)
-            ),
-            EventDelay::new(dur).map_err(|e| CoreError::InvalidInput {
-                reason: e.to_string(),
-            })?,
+        let name = format!(
+            "comm_{}_{}_to_{}",
+            alg.name(c.src_op),
+            arch.proc_name(c.from),
+            arch.proc_name(c.to)
         );
-        let _ = i;
+        // One retransmission re-sends the payload: it costs the medium's
+        // full transfer time for the slot's data.
+        let faulted = plan.and_then(|p| {
+            let cost = schedule.comm_retry_cost(arch, i)?;
+            p.comm_delay_actions(i, cost)
+        });
+        let blk = match faulted {
+            Some(actions) => model.add_block(
+                name,
+                FaultyDelay::new(dur, actions).map_err(|e| CoreError::InvalidInput {
+                    reason: e.to_string(),
+                })?,
+            ),
+            None => model.add_block(
+                name,
+                EventDelay::new(dur).map_err(|e| CoreError::InvalidInput {
+                    reason: e.to_string(),
+                })?,
+            ),
+        };
         comm_done.push((blk, 0));
     }
 
@@ -298,7 +374,7 @@ pub fn build(
         }
         let name = format!("comm{i}");
         let (target, port) = (comm_done[i].0, 0);
-        join(model, &name, &sources, target, port)?;
+        join(model, &name, &sources, target, port, timeout_src)?;
     }
 
     // ---- wire computations -------------------------------------------------
@@ -310,7 +386,7 @@ pub fn build(
     // condition variable, and a group must sit on one processor (paper
     // Fig. 5: a conditional branch inside one processor's sequence).
     for (var, members) in &groups {
-        if !config.condition_sources.contains_key(var) {
+        if !condition_sources.contains_key(var) {
             return Err(CoreError::InvalidInput {
                 reason: format!(
                     "condition variable '{}' has no ConditionSource in the config",
@@ -333,7 +409,7 @@ pub fn build(
     }
 
     // The EventSelect blocks take ownership of the condition mappings.
-    let mut sources_by_var = config.condition_sources;
+    let mut sources_by_var = condition_sources;
 
     for (var, members) in &groups {
         let src = sources_by_var
@@ -401,6 +477,7 @@ pub fn build(
             &sources,
             select,
             0,
+            timeout_src,
         )?;
 
         // Per-branch internal chains: select output k -> first member of
@@ -440,7 +517,7 @@ pub fn build(
             }
         }
         let (target, _) = dg.op_done[&s.op];
-        join(model, alg.name(s.op), &sources, target, 0)?;
+        join(model, alg.name(s.op), &sources, target, 0, timeout_src)?;
     }
 
     Ok(dg)
@@ -644,6 +721,206 @@ mod tests {
             DelayGraphConfig::default(),
         );
         assert!(matches!(r, Err(CoreError::InvalidInput { .. })));
+    }
+
+    /// Distributed fixture of `synchronization_reproduces_comm_arrival`:
+    /// s on p0 (100us), 20us bus transfer, f on p1 (200us), so nominal f
+    /// completion is 320us into each 1ms period.
+    fn distributed_fixture() -> (AlgorithmGraph, ArchitectureGraph, ecl_aaa::Schedule) {
+        let mut alg = AlgorithmGraph::new();
+        let s = alg.add_sensor("s");
+        let f = alg.add_function("f");
+        alg.add_edge(s, f, 2).unwrap();
+        let mut arch = ArchitectureGraph::new();
+        let p0 = arch.add_processor("p0", "arm");
+        let p1 = arch.add_processor("p1", "arm");
+        arch.add_bus("bus", &[p0, p1], us(10), us(5)).unwrap();
+        let mut db = TimingDb::new();
+        db.set(s, p0, us(100));
+        db.set(f, p1, us(200));
+        let schedule = adequation(&alg, &arch, &db, AdequationOptions::default()).unwrap();
+        (alg, arch, schedule)
+    }
+
+    fn observe_completion(model: &mut Model, dg: &DelayGraph, op: OpId) -> ecl_sim::BlockId {
+        let c = model.add_block(format!("c_{op}"), Constant::new(0.0));
+        let sc = model.add_block(format!("sc_{op}"), Scope::new());
+        model.connect(c, 0, sc, 0).unwrap();
+        dg.activate_on_completion(model, op, sc, 0).unwrap();
+        sc
+    }
+
+    /// A dropped frame (retry budget exhausted every period) leaves the
+    /// consumer's rendezvous to the timeout arm: f is forced at the end
+    /// of the period and completes 200us later, instead of deadlocking.
+    #[test]
+    fn dropped_frame_forces_timeout_degradation() {
+        let (alg, arch, schedule) = distributed_fixture();
+        let f = alg.ops().find(|&o| alg.name(o) == "f").unwrap();
+        let cfg_faults = crate::faults::FaultConfig {
+            frame_loss_rate: 1.0,
+            max_retries: 1,
+            ..Default::default()
+        };
+        let plan = crate::faults::FaultPlan::generate(&cfg_faults, &schedule, &arch, 2).unwrap();
+        assert!(!plan.is_trivial());
+        let mut model = Model::new();
+        let cfg = DelayGraphConfig {
+            faults: Some(plan),
+            ..Default::default()
+        };
+        let dg = build(
+            &mut model,
+            &alg,
+            &arch,
+            &schedule,
+            TimeNs::from_millis(1),
+            cfg,
+        )
+        .unwrap();
+        let sc = observe_completion(&mut model, &dg, f);
+        let mut sim = Simulator::new(model, SimOptions::default()).unwrap();
+        let r = sim.run(TimeNs::from_millis(2)).unwrap();
+        // Forced at kP + (P - 1ns), f done 200us later; the period-1 fire
+        // completes past the horizon.
+        assert_eq!(
+            r.activation_times(sc, Some(0)),
+            vec![TimeNs::from_nanos(1_199_999)]
+        );
+    }
+
+    /// A retransmitted frame stretches the transfer by k·cost, shifting
+    /// the consumer's completion by exactly that much.
+    #[test]
+    fn retransmission_stretches_consumer_completion() {
+        let (alg, arch, schedule) = distributed_fixture();
+        let f = alg.ops().find(|&o| alg.name(o) == "f").unwrap();
+        // Deterministic seed scan: first seed whose period-0 fate is a
+        // single retransmission.
+        let plan = (0..200u64)
+            .find_map(|seed| {
+                let cfg = crate::faults::FaultConfig {
+                    seed,
+                    frame_loss_rate: 0.3,
+                    max_retries: 3,
+                    ..Default::default()
+                };
+                let p = crate::faults::FaultPlan::generate(&cfg, &schedule, &arch, 1).unwrap();
+                (p.comm_fault(0, 0) == crate::faults::CommFault::Retry(1)).then_some(p)
+            })
+            .expect("a seed with Retry(1) in period 0 exists");
+        let mut model = Model::new();
+        let cfg = DelayGraphConfig {
+            faults: Some(plan),
+            ..Default::default()
+        };
+        let dg = build(
+            &mut model,
+            &alg,
+            &arch,
+            &schedule,
+            TimeNs::from_millis(1),
+            cfg,
+        )
+        .unwrap();
+        let sc = observe_completion(&mut model, &dg, f);
+        let mut sim = Simulator::new(model, SimOptions::default()).unwrap();
+        let r = sim.run(TimeNs::from_millis(1)).unwrap();
+        // Retry cost = full 20us transfer: 320us + 20us = 340us.
+        assert_eq!(r.activation_times(sc, Some(0)), vec![us(340)]);
+    }
+
+    /// A dead producer processor silences its sensor; the consumer is
+    /// forced by the timeout every period and keeps actuating (on stale
+    /// data) instead of stopping.
+    #[test]
+    fn dead_processor_degrades_but_does_not_deadlock() {
+        let (alg, arch, schedule) = distributed_fixture();
+        let s = alg.ops().find(|&o| alg.name(o) == "s").unwrap();
+        let f = alg.ops().find(|&o| alg.name(o) == "f").unwrap();
+        // Deterministic seed scan: p0 dead from period 0, p1 alive for
+        // all 3 periods.
+        let plan = (0..400u64)
+            .find_map(|seed| {
+                let cfg = crate::faults::FaultConfig {
+                    seed,
+                    proc_dropout_rate: 0.4,
+                    ..Default::default()
+                };
+                let p = crate::faults::FaultPlan::generate(&cfg, &schedule, &arch, 3).unwrap();
+                (p.proc_dead_from(0) == Some(0) && p.proc_dead_from(1).is_none()).then_some(p)
+            })
+            .expect("a seed killing only p0 at period 0 exists");
+        let mut model = Model::new();
+        let cfg = DelayGraphConfig {
+            faults: Some(plan),
+            ..Default::default()
+        };
+        let dg = build(
+            &mut model,
+            &alg,
+            &arch,
+            &schedule,
+            TimeNs::from_millis(1),
+            cfg,
+        )
+        .unwrap();
+        let sc_s = observe_completion(&mut model, &dg, s);
+        let sc_f = observe_completion(&mut model, &dg, f);
+        let mut sim = Simulator::new(model, SimOptions::default()).unwrap();
+        let r = sim.run(TimeNs::from_millis(3)).unwrap();
+        assert!(r.activation_times(sc_s, Some(0)).is_empty());
+        // Forced fires at kP + (P - 1ns) + 200us; the period-2 one
+        // completes past the horizon.
+        assert_eq!(
+            r.activation_times(sc_f, Some(0)),
+            vec![TimeNs::from_nanos(1_199_999), TimeNs::from_nanos(2_199_999)]
+        );
+    }
+
+    /// A trivial plan takes the nominal synthesis path: same block count,
+    /// same instants as a build without any fault config.
+    #[test]
+    fn trivial_plan_is_byte_identical_to_nominal() {
+        let (alg, arch, schedule) = distributed_fixture();
+        let f = alg.ops().find(|&o| alg.name(o) == "f").unwrap();
+        let run = |faults: Option<crate::faults::FaultPlan>| {
+            let mut model = Model::new();
+            let cfg = DelayGraphConfig {
+                faults,
+                ..Default::default()
+            };
+            let dg = build(
+                &mut model,
+                &alg,
+                &arch,
+                &schedule,
+                TimeNs::from_millis(1),
+                cfg,
+            )
+            .unwrap();
+            let sc = observe_completion(&mut model, &dg, f);
+            let n_blocks = model.len();
+            let mut sim = Simulator::new(model, SimOptions::default()).unwrap();
+            let r = sim.run(TimeNs::from_millis(2)).unwrap();
+            (n_blocks, r.activation_times(sc, Some(0)))
+        };
+        let nominal = run(None);
+        let trivial = run(Some(crate::faults::FaultPlan::trivial(2)));
+        let zero_rate = run(Some(
+            crate::faults::FaultPlan::generate(
+                &crate::faults::FaultConfig {
+                    seed: 9,
+                    ..Default::default()
+                },
+                &schedule,
+                &arch,
+                2,
+            )
+            .unwrap(),
+        ));
+        assert_eq!(nominal, trivial);
+        assert_eq!(nominal, zero_rate);
     }
 
     #[test]

@@ -142,7 +142,11 @@ fn latencies_impl(
             });
         }
         prev = Some(t);
-        let origin = period * k as i64;
+        let origin = period
+            .checked_mul(k as i64)
+            .ok_or_else(|| CoreError::InvalidInput {
+                reason: format!("period origin {k}·{period} overflows the i64 nanosecond range"),
+            })?;
         let lat = t - origin;
         if lat.is_negative() {
             return Err(CoreError::InvalidInput {
@@ -184,6 +188,29 @@ impl LatencyReport {
     pub fn mean_actuation(&self) -> TimeNs {
         let (mut sum, mut n) = (0i128, 0i128);
         for s in &self.actuation {
+            for v in s.values() {
+                sum += i128::from(v.as_nanos());
+                n += 1;
+            }
+        }
+        if n == 0 {
+            TimeNs::ZERO
+        } else {
+            let mean = sum / n;
+            TimeNs::from_nanos(i64::try_from(mean).unwrap_or(if mean > 0 {
+                i64::MAX
+            } else {
+                i64::MIN
+            }))
+        }
+    }
+
+    /// Mean sampling latency across inputs and periods — the `Ls_j(k)`
+    /// counterpart of [`mean_actuation`](Self::mean_actuation).
+    /// `TimeNs::ZERO` when nothing was recorded.
+    pub fn mean_sampling(&self) -> TimeNs {
+        let (mut sum, mut n) = (0i128, 0i128);
+        for s in &self.sampling {
             for v in s.values() {
                 sum += i128::from(v.as_nanos());
                 n += 1;
@@ -317,6 +344,27 @@ mod tests {
         let acts = [us(100), us(200)];
         assert!(latencies(&acts, period).is_err());
         assert!(latencies(&[], TimeNs::ZERO).is_err());
+    }
+
+    #[test]
+    fn period_origin_overflow_is_an_error_not_a_wrap() {
+        // With a period of i64::MAX/2 ns (~146 years), activation k = 2
+        // sits at origin 2·period, past i64::MAX: the multiplication must
+        // surface as an error instead of wrapping negative (a wrapped
+        // origin makes the latency positive-looking garbage in release).
+        let period = TimeNs::from_nanos(i64::MAX / 2 + 1);
+        let acts = [
+            TimeNs::from_nanos(1),
+            TimeNs::from_nanos(i64::MAX / 2 + 2),
+            TimeNs::from_nanos(i64::MAX - 1),
+        ];
+        let err = latencies(&acts, period).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidInput { .. }));
+        assert!(err.to_string().contains("overflows"));
+        // Two activations (k = 0, 1) still fit and succeed.
+        let ok = latencies(&acts[..2], period).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert!(latencies_strict(&acts, period).is_err());
     }
 
     #[test]

@@ -63,6 +63,7 @@
 pub mod cosim;
 pub mod delays;
 mod error;
+pub mod faults;
 pub mod latency;
 pub mod lifecycle;
 pub mod report;

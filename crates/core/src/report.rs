@@ -6,8 +6,10 @@
 //! human-readable Markdown summary and machine-readable CSV traces.
 
 use ecl_aaa::{AlgorithmGraph, ArchitectureGraph};
+use ecl_telemetry::Counts;
 
 use crate::cosim::LoopResult;
+use crate::faults::FaultPlan;
 use crate::lifecycle::LifecycleReport;
 use crate::CoreError;
 
@@ -179,6 +181,114 @@ pub struct ScenarioOutcome {
     pub overruns: usize,
 }
 
+/// Verdict of a faulty run against its fault-free baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StabilityVerdict {
+    /// Cost stayed within the sweep's cost-ratio bound despite the faults.
+    Stable,
+    /// Cost exceeded the bound but the loop still converged (finite cost
+    /// within 10× the bound).
+    Degraded,
+    /// The loop diverged: non-finite cost, or beyond 10× the bound.
+    Diverged,
+}
+
+impl StabilityVerdict {
+    /// Fixed lower-case name, used by both renderers.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StabilityVerdict::Stable => "stable",
+            StabilityVerdict::Degraded => "degraded",
+            StabilityVerdict::Diverged => "diverged",
+        }
+    }
+}
+
+/// How one faulty scenario degraded relative to its fault-free twin.
+///
+/// Built by [`DegradationSummary::from_runs`] from two co-simulations of
+/// the *same* scenario — one with the fault plan active, one nominal —
+/// so every delta isolates the injected faults from the scenario's own
+/// perturbations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationSummary {
+    /// Scenario index within the sweep.
+    pub index: usize,
+    /// Periods covered by the fault plan.
+    pub periods: u32,
+    /// Injected-fault tallies from the plan (frame losses,
+    /// retransmissions, outage windows, processor dropouts, ...).
+    pub injected: Counts,
+    /// Sampling activations lost versus the baseline run (skipped
+    /// `I_j(k)` events — the Hold block kept its previous value).
+    pub skipped_samples: usize,
+    /// Actuation activations lost versus the baseline run.
+    pub skipped_actuations: usize,
+    /// Cross-period completions of the faulty run (lenient-mode
+    /// overruns), counting retransmission stretch and forced rendezvous.
+    pub overruns: usize,
+    /// Mean `Ls_j(k)` inflation over the baseline, ns.
+    pub ls_inflation_ns: i64,
+    /// Mean `La_j(k)` inflation over the baseline, ns.
+    pub la_inflation_ns: i64,
+    /// `faulty cost / baseline cost` of the same scenario.
+    pub cost_ratio: f64,
+    /// Stability classification of the faulty run.
+    pub verdict: StabilityVerdict,
+}
+
+impl DegradationSummary {
+    /// Compares a faulty run against its fault-free baseline.
+    ///
+    /// `cost_bound_ratio` is the sweep's robustness bound: within it the
+    /// verdict is [`Stable`](StabilityVerdict::Stable), within 10× it is
+    /// [`Degraded`](StabilityVerdict::Degraded), beyond (or non-finite)
+    /// [`Diverged`](StabilityVerdict::Diverged).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidInput`] if either run's activation
+    /// instants are unsorted or causally impossible.
+    pub fn from_runs(
+        index: usize,
+        plan: &FaultPlan,
+        baseline: &LoopResult,
+        faulty: &LoopResult,
+        cost_bound_ratio: f64,
+    ) -> Result<DegradationSummary, CoreError> {
+        let skipped = |base: &[Vec<ecl_aaa::TimeNs>], faul: &[Vec<ecl_aaa::TimeNs>]| {
+            base.iter()
+                .zip(faul)
+                .map(|(b, f)| b.len().saturating_sub(f.len()))
+                .sum()
+        };
+        let base_rep = baseline.latency_report_lenient()?;
+        let faulty_rep = faulty.latency_report_lenient()?;
+        let cost_ratio = faulty.cost / baseline.cost;
+        let verdict = if !cost_ratio.is_finite() || cost_ratio > 10.0 * cost_bound_ratio {
+            StabilityVerdict::Diverged
+        } else if cost_ratio <= cost_bound_ratio {
+            StabilityVerdict::Stable
+        } else {
+            StabilityVerdict::Degraded
+        };
+        Ok(DegradationSummary {
+            index,
+            periods: plan.periods(),
+            injected: plan.counts().clone(),
+            skipped_samples: skipped(&baseline.sample_instants, &faulty.sample_instants),
+            skipped_actuations: skipped(&baseline.actuation_instants, &faulty.actuation_instants),
+            overruns: faulty_rep.total_overruns(),
+            ls_inflation_ns: faulty_rep.mean_sampling().as_nanos()
+                - base_rep.mean_sampling().as_nanos(),
+            la_inflation_ns: faulty_rep.mean_actuation().as_nanos()
+                - base_rep.mean_actuation().as_nanos(),
+            cost_ratio,
+            verdict,
+        })
+    }
+}
+
 /// The sweep-level report: per-scenario rows plus robustness statistics.
 ///
 /// Rendering is deliberately free of wall-clock content — two sweeps over
@@ -194,6 +304,11 @@ pub struct SweepSummary {
     pub cache_hits: u64,
     /// Adequation-cache lookups that ran the scheduler.
     pub cache_misses: u64,
+    /// Fault-degradation rows, ordered by scenario index; empty for a
+    /// fault-free sweep, in which case neither renderer emits the
+    /// degradation section (keeping fault-free output byte-identical to
+    /// pre-fault sweeps).
+    pub degradations: Vec<DegradationSummary>,
 }
 
 impl SweepSummary {
@@ -224,16 +339,42 @@ impl SweepSummary {
         })
     }
 
-    /// The `q`-quantile (`0 < q <= 1`) of the cost ratios across
+    /// The `q`-quantile (`0 <= q <= 1`) of the cost ratios across
     /// scenarios, by the nearest-rank method; `None` for an empty sweep.
+    /// `q = 0` returns the minimum, `q = 1` the maximum, and a
+    /// single-scenario sweep returns its only element for every `q`.
     pub fn cost_ratio_quantile(&self, q: f64) -> Option<f64> {
         if self.scenarios.is_empty() {
             return None;
         }
         let mut ratios: Vec<f64> = self.scenarios.iter().map(|s| s.cost_ratio).collect();
         ratios.sort_by(|a, b| a.partial_cmp(b).expect("cost ratios are finite"));
-        let rank = ((q * ratios.len() as f64).ceil() as usize).clamp(1, ratios.len());
-        Some(ratios[rank - 1])
+        let n = ratios.len();
+        // Nearest rank is ⌈q·n⌉, but the product must be snapped to the
+        // grid first: 0.95 · 20 evaluates to 19.000000000000004 in f64,
+        // whose raw ceil lands on rank 20 instead of 19.
+        let pos = q * n as f64;
+        let rank = if pos <= pos.floor() + 1e-9 {
+            pos.floor()
+        } else {
+            pos.ceil()
+        } as usize;
+        Some(ratios[rank.clamp(1, n) - 1])
+    }
+
+    /// Fraction of faulty scenarios the loop *survived* (verdict other
+    /// than [`Diverged`](StabilityVerdict::Diverged)); `None` when the
+    /// sweep injected no faults.
+    pub fn survivable_fraction(&self) -> Option<f64> {
+        if self.degradations.is_empty() {
+            return None;
+        }
+        let survived = self
+            .degradations
+            .iter()
+            .filter(|d| d.verdict != StabilityVerdict::Diverged)
+            .count();
+        Some(survived as f64 / self.degradations.len() as f64)
     }
 
     /// Renders the sweep as a Markdown section (deterministic bytes, no
@@ -278,6 +419,34 @@ impl SweepSummary {
                 sc.overruns
             ));
         }
+        if !self.degradations.is_empty() {
+            s.push_str("\n### Fault degradation\n\n");
+            s.push_str(&format!(
+                "{} faulty scenarios, survivable fraction {:.4}.\n\n",
+                self.degradations.len(),
+                self.survivable_fraction().unwrap_or(0.0)
+            ));
+            s.push_str(
+                "| # | periods | skipped I | skipped O | overruns | Ls infl ns | \
+                 La infl ns | cost ratio | verdict | injected |\n\
+                 |---|---|---|---|---|---|---|---|---|---|\n",
+            );
+            for d in &self.degradations {
+                s.push_str(&format!(
+                    "| {} | {} | {} | {} | {} | {} | {} | {:.6} | {} | {} |\n",
+                    d.index,
+                    d.periods,
+                    d.skipped_samples,
+                    d.skipped_actuations,
+                    d.overruns,
+                    d.ls_inflation_ns,
+                    d.la_inflation_ns,
+                    d.cost_ratio,
+                    d.verdict.as_str(),
+                    d.injected.render()
+                ));
+            }
+        }
         s
     }
 
@@ -315,7 +484,39 @@ impl SweepSummary {
                 }
             ));
         }
-        s.push_str("  ]\n}\n");
+        if self.degradations.is_empty() {
+            s.push_str("  ]\n}\n");
+        } else {
+            s.push_str(&format!(
+                "  ],\n  \"survivable_fraction\": {:.6},\n  \"degradations\": [\n",
+                self.survivable_fraction().unwrap_or(0.0)
+            ));
+            for (i, d) in self.degradations.iter().enumerate() {
+                s.push_str(&format!(
+                    "    {{\"index\": {}, \"periods\": {}, \"skipped_samples\": {}, \
+                     \"skipped_actuations\": {}, \"overruns\": {}, \
+                     \"ls_inflation_ns\": {}, \"la_inflation_ns\": {}, \
+                     \"cost_ratio\": {:.9}, \"verdict\": \"{}\", \
+                     \"injected\": \"{}\"}}{}\n",
+                    d.index,
+                    d.periods,
+                    d.skipped_samples,
+                    d.skipped_actuations,
+                    d.overruns,
+                    d.ls_inflation_ns,
+                    d.la_inflation_ns,
+                    d.cost_ratio,
+                    d.verdict.as_str(),
+                    d.injected.render(),
+                    if i + 1 == self.degradations.len() {
+                        ""
+                    } else {
+                        ","
+                    }
+                ));
+            }
+            s.push_str("  ]\n}\n");
+        }
         s
     }
 }
@@ -415,6 +616,7 @@ mod tests {
             cost_bound_ratio: 1.10,
             cache_hits: 3,
             cache_misses: 1,
+            degradations: vec![],
         }
     }
 
@@ -430,10 +632,97 @@ mod tests {
             cost_bound_ratio: 1.0,
             cache_hits: 0,
             cache_misses: 0,
+            degradations: vec![],
         };
         assert_eq!(empty.robustness_margin(), 0.0);
         assert!(empty.worst().is_none());
         assert!(empty.cost_ratio_quantile(0.5).is_none());
+        assert!(empty.survivable_fraction().is_none());
+    }
+
+    fn sweep_with_ratios(ratios: &[f64]) -> SweepSummary {
+        SweepSummary {
+            scenarios: ratios
+                .iter()
+                .enumerate()
+                .map(|(index, &cost_ratio)| ScenarioOutcome {
+                    index,
+                    seed: index as u64,
+                    label: String::new(),
+                    cost: cost_ratio,
+                    cost_ratio,
+                    makespan_ns: 0,
+                    worst_actuation_ns: 0,
+                    overruns: 0,
+                })
+                .collect(),
+            cost_bound_ratio: 1.10,
+            cache_hits: 0,
+            cache_misses: 0,
+            degradations: vec![],
+        }
+    }
+
+    #[test]
+    fn quantile_boundaries_return_min_max_and_only_element() {
+        let sweep = sweep_with_ratios(&[1.40, 1.01, 1.05, 1.02]);
+        // q = 0 clamps to rank 1 (minimum); q = 1 is rank n (maximum).
+        assert_eq!(sweep.cost_ratio_quantile(0.0), Some(1.01));
+        assert_eq!(sweep.cost_ratio_quantile(1.0), Some(1.40));
+        let single = sweep_with_ratios(&[1.23]);
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            assert_eq!(single.cost_ratio_quantile(q), Some(1.23), "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_nearest_rank_survives_float_dust() {
+        // 0.95 · 20 = 19.000000000000004 in f64; a raw ceil picks rank 20
+        // (the maximum) instead of the correct rank 19.
+        let ratios: Vec<f64> = (1..=20).map(|i| 1.0 + i as f64 / 100.0).collect();
+        let sweep = sweep_with_ratios(&ratios);
+        assert_eq!(sweep.cost_ratio_quantile(0.95), Some(1.19));
+        // Exact products keep the usual nearest-rank answers.
+        assert_eq!(sweep.cost_ratio_quantile(0.50), Some(1.10));
+        assert_eq!(sweep.cost_ratio_quantile(0.05), Some(1.01));
+        // A genuinely fractional product still rounds up: 0.51·20 = 10.2.
+        assert_eq!(sweep.cost_ratio_quantile(0.51), Some(1.11));
+    }
+
+    #[test]
+    fn degradation_section_renders_only_when_present() {
+        let plain = sample_sweep();
+        assert!(!plain.render().contains("Fault degradation"));
+        assert!(!plain.to_json().contains("degradations"));
+        let mut faulty = sample_sweep();
+        let mut injected = Counts::new();
+        injected.add("frames_lost", 3);
+        injected.add("retransmissions", 2);
+        faulty.degradations.push(DegradationSummary {
+            index: 1,
+            periods: 120,
+            injected,
+            skipped_samples: 2,
+            skipped_actuations: 1,
+            overruns: 4,
+            ls_inflation_ns: 150_000,
+            la_inflation_ns: 480_000,
+            cost_ratio: 1.21,
+            verdict: StabilityVerdict::Degraded,
+        });
+        assert_eq!(faulty.survivable_fraction(), Some(1.0));
+        let md = faulty.render();
+        assert!(md.contains("### Fault degradation"));
+        assert!(md.contains("1 faulty scenarios, survivable fraction 1.0000"));
+        assert!(md.contains("frames_lost=3 retransmissions=2"));
+        assert!(md.contains("| degraded |"));
+        // The extra section is purely additive: the fault-free rendering
+        // is a byte-exact prefix, preserving old artifacts.
+        assert!(md.starts_with(&plain.render()));
+        let json = faulty.to_json();
+        assert!(json.contains("\"survivable_fraction\": 1.000000"));
+        assert!(json.contains("\"verdict\": \"degraded\""));
+        assert!(json.ends_with("  ]\n}\n"));
     }
 
     #[test]

@@ -103,6 +103,14 @@ impl TimeNs {
         }
     }
 
+    /// Checked multiplication by an integer factor; `None` on overflow.
+    pub const fn checked_mul(self, k: i64) -> Option<TimeNs> {
+        match self.0.checked_mul(k) {
+            Some(v) => Some(TimeNs(v)),
+            None => None,
+        }
+    }
+
     /// The larger of two instants.
     pub fn max(self, other: TimeNs) -> TimeNs {
         if self >= other {

@@ -45,11 +45,13 @@
 #![warn(missing_docs)]
 
 mod collector;
+mod counts;
 mod event;
 mod hist;
 pub mod json;
 pub mod trace;
 
 pub use collector::Collector;
+pub use counts::Counts;
 pub use event::{Event, NoopSink, PrefixSink, RecordingSink, Sink};
 pub use hist::{Histogram, Summary};

@@ -34,4 +34,16 @@ cargo run -q --offline --release -p ecl-bench --bin exp11_monte_carlo >/dev/null
 test -s results/BENCH_exp11.json
 test -s results/exp11_monte_carlo.txt
 
+# E12-FAULT: the fault-injection sweep must produce byte-identical
+# artifacts for any worker count (the binary also reproduces E11-MC's
+# report bytes from a zero-rate fault plan — asserted internally).
+echo "== E12-FAULT determinism check + bench artifact =="
+ECL_FLEET_WORKERS=1 cargo run -q --offline --release -p ecl-bench --bin exp12_fault_sweep >/dev/null
+cp results/BENCH_exp12.json results/BENCH_exp12.w1.json
+ECL_FLEET_WORKERS=4 cargo run -q --offline --release -p ecl-bench --bin exp12_fault_sweep >/dev/null
+diff results/BENCH_exp12.w1.json results/BENCH_exp12.json
+rm results/BENCH_exp12.w1.json
+test -s results/BENCH_exp12.json
+test -s results/exp12_fault_sweep.txt
+
 echo "All checks passed."
