@@ -12,13 +12,15 @@
 //!   processor that consumes data delivered by a broadcast transfer);
 //! * [`render`] prints an executive in a SynDEx-macro-like textual form;
 //! * [`check_deadlock_free`] verifies the synchronization graph has no
-//!   cyclic wait (posting-send / blocking-receive semantics);
+//!   cyclic wait (posting-send / blocking-receive semantics) and, when it
+//!   does, names the blocked receives and the wait cycle;
 //! * [`replay`] executes the executives and communication sequences
 //!   against the architecture's timing and returns every operation's
 //!   completion instant — an independent re-derivation of the schedule
 //!   that must (and does, see the tests) match it exactly.
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 
 use ecl_sim::TimeNs;
 use serde::{Deserialize, Serialize};
@@ -303,11 +305,83 @@ pub fn render_comm_sequence(
     s
 }
 
+/// A blocking receive at which a processor's sequence is stuck.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockedRecv {
+    /// The stuck processor.
+    pub proc: ProcId,
+    /// Index of the blocked `Recv` in the processor's executive.
+    pub instr: usize,
+    /// Producer whose data the receive waits for.
+    pub src_op: OpId,
+    /// Processor the data was expected from.
+    pub from: ProcId,
+    /// Medium of the expected transfer.
+    pub medium: MediumId,
+}
+
+impl fmt::Display for BlockedRecv {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} waits for {} from {} on {}",
+            self.proc, self.src_op, self.from, self.medium
+        )
+    }
+}
+
+/// Outcome of [`check_deadlock_free`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeadlockCheck {
+    /// Every processor's sequence runs to completion.
+    Free,
+    /// At least one processor is stuck forever at a blocking receive.
+    Deadlocked {
+        /// The cyclic wait (each entry waits on the next, the last on the
+        /// first), when one exists among the blocked processors. Empty for
+        /// acyclic stalls such as an orphan receive whose matching send
+        /// appears in no executive.
+        cycle: Vec<BlockedRecv>,
+        /// Every blocked receive, in processor order.
+        blocked: Vec<BlockedRecv>,
+    },
+}
+
+impl DeadlockCheck {
+    /// `true` iff the executives are deadlock-free.
+    pub fn is_free(&self) -> bool {
+        matches!(self, DeadlockCheck::Free)
+    }
+}
+
+impl fmt::Display for DeadlockCheck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeadlockCheck::Free => write!(f, "deadlock-free"),
+            DeadlockCheck::Deadlocked { cycle, blocked } => {
+                let list = |rs: &[BlockedRecv]| {
+                    rs.iter()
+                        .map(|r| r.to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                };
+                if cycle.is_empty() {
+                    write!(f, "deadlocked (no send matches): {}", list(blocked))
+                } else {
+                    write!(f, "deadlocked on cycle: {}", list(cycle))
+                }
+            }
+        }
+    }
+}
+
 /// Verifies the executives cannot deadlock under posting-send /
 /// blocking-receive semantics: `Send` never blocks, `Recv` waits for the
-/// matching `Send` to have been posted. Returns `true` iff every
-/// processor's sequence runs to completion.
-pub fn check_deadlock_free(execs: &[Executive]) -> bool {
+/// matching `Send` to have been posted. Returns [`DeadlockCheck::Free`]
+/// iff every processor's sequence runs to completion; otherwise names
+/// every blocked receive and extracts the cyclic wait, so a hang is
+/// diagnosable before the virtual executive ever launches.
+pub fn check_deadlock_free(execs: &[Executive]) -> DeadlockCheck {
     let mut pc = vec![0usize; execs.len()];
     let mut posted: HashSet<(OpId, ProcId, MediumId)> = HashSet::new();
     loop {
@@ -340,12 +414,66 @@ pub fn check_deadlock_free(execs: &[Executive]) -> bool {
             }
         }
         if pc.iter().zip(execs).all(|(&c, e)| c >= e.instrs.len()) {
-            return true;
+            return DeadlockCheck::Free;
         }
         if !progressed {
-            return false;
+            let blocked: Vec<BlockedRecv> = execs
+                .iter()
+                .enumerate()
+                .filter(|(i, e)| pc[*i] < e.instrs.len())
+                .filter_map(|(i, e)| match e.instrs[pc[i]] {
+                    Instr::Recv {
+                        src_op,
+                        medium,
+                        from,
+                    } => Some(BlockedRecv {
+                        proc: e.proc,
+                        instr: pc[i],
+                        src_op,
+                        from,
+                        medium,
+                    }),
+                    _ => None,
+                })
+                .collect();
+            let cycle = wait_cycle(&blocked, execs, &pc);
+            return DeadlockCheck::Deadlocked { cycle, blocked };
         }
     }
+}
+
+/// Extracts a cyclic wait among the blocked receives: an edge runs from a
+/// blocked processor to the blocked processor it waits on, provided the
+/// waited-on executive still holds the matching (unreached) `Send`. A
+/// receive whose matching send appears nowhere ahead is an orphan, not
+/// part of a cycle.
+fn wait_cycle(blocked: &[BlockedRecv], execs: &[Executive], pc: &[usize]) -> Vec<BlockedRecv> {
+    let index_of: HashMap<ProcId, usize> = blocked
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.proc, i))
+        .collect();
+    let successor = |b: &BlockedRecv| -> Option<usize> {
+        let &j = index_of.get(&b.from)?;
+        let (ei, e) = execs.iter().enumerate().find(|(_, e)| e.proc == b.from)?;
+        let pending_send = e.instrs[pc[ei]..].iter().any(|i| {
+            matches!(i, Instr::Send { src_op, medium, .. }
+                if *src_op == b.src_op && *medium == b.medium)
+        });
+        pending_send.then_some(j)
+    };
+    for start in 0..blocked.len() {
+        let mut path = vec![start];
+        let mut cur = start;
+        while let Some(next) = successor(&blocked[cur]) {
+            if let Some(pos) = path.iter().position(|&p| p == next) {
+                return path[pos..].iter().map(|&p| blocked[p]).collect();
+            }
+            path.push(next);
+            cur = next;
+        }
+    }
+    Vec::new()
 }
 
 /// The timeline produced by [`replay`].
@@ -513,7 +641,7 @@ mod tests {
     fn executives_are_deadlock_free() {
         let (alg, arch, schedule) = distributed_case();
         let g = generate(&schedule, &alg, &arch).unwrap();
-        assert!(check_deadlock_free(&g.executives));
+        assert_eq!(check_deadlock_free(&g.executives), DeadlockCheck::Free);
     }
 
     #[test]
@@ -603,7 +731,7 @@ mod tests {
                 .count()
         };
         assert_eq!(recvs_on(1) + recvs_on(2), 2, "{g:?}");
-        assert!(check_deadlock_free(&g.executives));
+        assert!(check_deadlock_free(&g.executives).is_free());
         // Replay still matches the schedule.
         let rep = replay(&g, &arch).unwrap();
         for (op, _, end) in &rep.op_end {
@@ -648,9 +776,77 @@ mod tests {
                 },
             ],
         };
-        assert!(!check_deadlock_free(&[a.clone(), b]));
-        // A lone receive with no sender at all also deadlocks.
-        assert!(!check_deadlock_free(&[a]));
+        let check = check_deadlock_free(&[a.clone(), b]);
+        assert!(!check.is_free());
+        let DeadlockCheck::Deadlocked { cycle, blocked } = check else {
+            panic!("expected deadlock");
+        };
+        // Both processors are stuck at their first instruction...
+        assert_eq!(blocked.len(), 2);
+        assert_eq!(blocked[0].proc, p0);
+        assert_eq!(blocked[0].instr, 0);
+        assert_eq!(blocked[1].proc, p1);
+        // ...and the extracted cycle names both waits: p0 waits on p1's
+        // data, p1 waits on p0's.
+        assert_eq!(cycle.len(), 2);
+        let waits: Vec<(ProcId, ProcId, OpId)> =
+            cycle.iter().map(|b| (b.proc, b.from, b.src_op)).collect();
+        assert!(waits.contains(&(p0, p1, OpId(1))));
+        assert!(waits.contains(&(p1, p0, OpId(0))));
+        // Each cycle entry waits on the next (circularly).
+        for (i, b) in cycle.iter().enumerate() {
+            assert_eq!(b.from, cycle[(i + 1) % cycle.len()].proc);
+        }
+        // A lone receive with no sender at all also deadlocks, but with no
+        // cycle to report: it is an orphan wait.
+        let check = check_deadlock_free(&[a]);
+        let DeadlockCheck::Deadlocked { cycle, blocked } = check else {
+            panic!("expected deadlock");
+        };
+        assert!(cycle.is_empty(), "{cycle:?}");
+        assert_eq!(blocked.len(), 1);
+        assert_eq!(blocked[0].from, p1);
+    }
+
+    #[test]
+    fn extracts_cycle_in_three_processor_ring() {
+        // p0 waits on p1, p1 waits on p2, p2 waits on p0 — and a fourth
+        // processor waits on p0 from outside the ring: the cycle holds
+        // exactly the ring, the blocked list all four.
+        let m = MediumId(0);
+        let ring = |proc: usize, from: usize| Executive {
+            proc: ProcId(proc),
+            instrs: vec![
+                Instr::Recv {
+                    src_op: OpId(from),
+                    medium: m,
+                    from: ProcId(from),
+                },
+                Instr::Send {
+                    src_op: OpId(proc),
+                    medium: m,
+                    to: ProcId((proc + 1) % 3),
+                },
+            ],
+        };
+        let outsider = Executive {
+            proc: ProcId(3),
+            instrs: vec![Instr::Recv {
+                src_op: OpId(0),
+                medium: m,
+                from: ProcId(0),
+            }],
+        };
+        let execs = [ring(0, 1), ring(1, 2), ring(2, 0), outsider];
+        let DeadlockCheck::Deadlocked { cycle, blocked } = check_deadlock_free(&execs) else {
+            panic!("expected deadlock");
+        };
+        assert_eq!(blocked.len(), 4);
+        assert_eq!(cycle.len(), 3, "{cycle:?}");
+        assert!(cycle.iter().all(|b| b.proc.0 < 3), "{cycle:?}");
+        for (i, b) in cycle.iter().enumerate() {
+            assert_eq!(b.from, cycle[(i + 1) % cycle.len()].proc);
+        }
     }
 
     #[test]
@@ -690,7 +886,7 @@ mod tests {
                 },
             ],
         };
-        assert!(check_deadlock_free(&[a, b]));
+        assert!(check_deadlock_free(&[a, b]).is_free());
     }
 
     #[test]
@@ -716,7 +912,7 @@ mod tests {
 
     #[test]
     fn empty_executives_trivially_fine() {
-        assert!(check_deadlock_free(&[]));
+        assert!(check_deadlock_free(&[]).is_free());
         let g = Generated {
             executives: vec![],
             comm_sequences: vec![],

@@ -129,17 +129,31 @@ pub fn gantt_text(schedule: &Schedule, alg: &AlgorithmGraph, arch: &Architecture
     s
 }
 
+/// Quotes a CSV field per RFC 4180 when (and only when) it needs it:
+/// fields containing a comma, a double quote or a line break are wrapped
+/// in double quotes with inner quotes doubled; every other field is
+/// emitted verbatim, keeping historical exports byte-identical.
+fn csv_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
 /// Renders the schedule as CSV with header
 /// `track,kind,name,start_ns,end_ns,duration_ns` — one row per
-/// computation and per communication.
+/// computation and per communication. Operation and track names
+/// containing CSV metacharacters (commas, quotes, line breaks) are
+/// RFC 4180-quoted; plain names are emitted verbatim.
 pub fn gantt_csv(schedule: &Schedule, alg: &AlgorithmGraph, arch: &ArchitectureGraph) -> String {
     let mut s = String::from("track,kind,name,start_ns,end_ns,duration_ns\n");
     for r in timeline_rows(schedule, alg, arch) {
         s.push_str(&format!(
             "{},{},{},{},{},{}\n",
-            r.track,
+            csv_field(&r.track),
             r.kind,
-            r.name,
+            csv_field(&r.name),
             r.start.as_nanos(),
             r.end.as_nanos(),
             (r.end - r.start).as_nanos()
@@ -304,6 +318,80 @@ mod tests {
         assert!(data
             .iter()
             .any(|l| l.starts_with("bus:can,comm,law:ecu1->ecu0,")));
+    }
+
+    #[test]
+    fn gantt_csv_escapes_metacharacter_names() {
+        // Names chosen by users flow straight into CSV cells; commas,
+        // quotes and newlines must not shift columns or break rows.
+        let mut alg = AlgorithmGraph::new();
+        let s = alg.add_sensor("sen,v2");
+        let f = alg.add_function("law \"beta\"");
+        alg.add_edge(s, f, 1).unwrap();
+        let mut arch = ArchitectureGraph::new();
+        let p0 = arch.add_processor("ecu,main", "arm");
+        let p1 = arch.add_processor("ecu1", "arm");
+        arch.add_bus(
+            "can",
+            &[p0, p1],
+            TimeNs::from_micros(10),
+            TimeNs::from_micros(1),
+        )
+        .unwrap();
+        let ms = TimeNs::from_millis;
+        let schedule = Schedule::from_parts(
+            vec![
+                ScheduledOp {
+                    op: OpId(0),
+                    proc: ProcId(0),
+                    start: ms(0),
+                    end: ms(1),
+                },
+                ScheduledOp {
+                    op: OpId(1),
+                    proc: ProcId(1),
+                    start: ms(2),
+                    end: ms(3),
+                },
+            ],
+            vec![ScheduledComm {
+                src_op: OpId(0),
+                from: ProcId(0),
+                to: ProcId(1),
+                medium: MediumId(0),
+                start: ms(1),
+                end: ms(2),
+                data_units: 1,
+            }],
+        );
+        let csv = gantt_csv(&schedule, &alg, &arch);
+        let lines: Vec<&str> = csv.lines().collect();
+        // Comma-bearing track and name are quoted; the quote-bearing name
+        // has its inner quotes doubled; the transfer label inherits both.
+        assert!(lines.contains(&"\"proc:ecu,main\",op,\"sen,v2\",0,1000000,1000000"));
+        assert!(lines.contains(&"proc:ecu1,op,\"law \"\"beta\"\"\",2000000,3000000,1000000"));
+        assert!(lines.contains(&"bus:can,comm,\"sen,v2:ecu,main->ecu1\",1000000,2000000,1000000"));
+        // Every data row still splits into exactly 6 RFC 4180 fields.
+        for line in &lines[1..] {
+            let mut fields = 1;
+            let mut in_quotes = false;
+            for c in line.chars() {
+                match c {
+                    '"' => in_quotes = !in_quotes,
+                    ',' if !in_quotes => fields += 1,
+                    _ => {}
+                }
+            }
+            assert!(!in_quotes, "unbalanced quotes in {line}");
+            assert_eq!(fields, 6, "wrong field count in {line}");
+        }
+        // Plain names stay unquoted and byte-identical to the historical
+        // format.
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a->b"), "a->b");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("a\"b"), "\"a\"\"b\"");
+        assert_eq!(csv_field("a\nb"), "\"a\nb\"");
     }
 
     #[test]

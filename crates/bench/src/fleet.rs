@@ -20,11 +20,13 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use ecl_aaa::{AdequationOptions, MappingPolicy, ScheduleCache, TimeNs, TimingDb};
+use ecl_aaa::{codegen, AdequationOptions, MappingPolicy, ScheduleCache, TimeNs, TimingDb};
 use ecl_core::cosim::{self, LoopSpec};
 use ecl_core::faults::{FaultConfig, FaultPlan};
-use ecl_core::report::{DegradationSummary, ScenarioOutcome, SweepSummary};
+use ecl_core::report::{DegradationSummary, ScenarioOutcome, SweepSummary, ValidationSummary};
+use ecl_core::xval;
 use ecl_core::CoreError;
+use ecl_exec::ExecOptions;
 use ecl_telemetry::{Collector, Histogram, PrefixSink, RecordingSink};
 
 use crate::SplitScenario;
@@ -150,6 +152,12 @@ pub struct SweepConfig {
     /// Fault-injection axes; the all-zero default keeps the sweep
     /// fault-free and its report byte-identical to pre-fault sweeps.
     pub faults: FaultAxes,
+    /// Cross-validate every scenario: generate executives, execute them
+    /// on the `ecl-exec` virtual machine (with the scenario's fault
+    /// plan, if any) and compare the measured completion instants
+    /// against the graph-of-delays prediction. Off by default; the
+    /// report stays byte-identical when off.
+    pub validate_executive: bool,
 }
 
 impl Default for SweepConfig {
@@ -167,6 +175,7 @@ impl Default for SweepConfig {
             cost_bound_ratio: 1.5,
             trace_scenarios: 0,
             faults: FaultAxes::default(),
+            validate_executive: false,
         }
     }
 }
@@ -342,25 +351,32 @@ fn sweep_bound_ns(spec: &LoopSpec, config: &SweepConfig) -> i64 {
     (TimeNs::from_secs_f64(spec.ts * max_scale).as_nanos() * 2).max(1)
 }
 
+/// What one scenario contributes to the sweep fold: its report row, the
+/// optional degradation twin delta, its latency histogram, its telemetry
+/// sink, and the optional `(is_exact, max divergence ns)` verdict of the
+/// executive cross-validation.
+type ScenarioYield = (
+    ScenarioOutcome,
+    Option<DegradationSummary>,
+    Histogram,
+    RecordingSink,
+    Option<(bool, i64)>,
+);
+
 /// Runs one scenario end to end: jitter → (cached) adequation →
 /// graph-of-delays co-simulation → metrics. A scenario with fault rates
 /// also runs its fault-free twin on the same schedule and returns the
-/// degradation delta between the two.
+/// degradation delta between the two. With
+/// [`SweepConfig::validate_executive`] it additionally executes the
+/// generated executives on the virtual machine and returns
+/// `(is_exact, max divergence ns)` against the delay-graph prediction.
 fn run_scenario(
     spec: &LoopSpec,
     base: &SplitScenario,
     config: &SweepConfig,
     cache: &ScheduleCache,
     index: usize,
-) -> Result<
-    (
-        ScenarioOutcome,
-        Option<DegradationSummary>,
-        Histogram,
-        RecordingSink,
-    ),
-    CoreError,
-> {
+) -> Result<ScenarioYield, CoreError> {
     let scenario = Scenario::derive(config, base, index);
     let db = scenario.jittered_db(base);
     let options = AdequationOptions {
@@ -381,17 +397,25 @@ fn run_scenario(
 
     let ideal = cosim::run_ideal(&spec2)?;
     let traced = index < config.trace_scenarios;
-    let (run, degradation, sink) = if scenario.has_faults() {
+    let periods = (spec2.horizon / spec2.ts).floor().max(1.0) as u32;
+    // The plan is a pure function of (config, schedule, arch, periods),
+    // so the co-simulation and the virtual executive below are driven by
+    // byte-identical fault fates.
+    let plan = scenario
+        .has_faults()
+        .then(|| {
+            FaultPlan::generate(
+                &scenario.fault_config(&config.faults),
+                &schedule,
+                &base.arch,
+                periods,
+            )
+        })
+        .transpose()?;
+    let (run, degradation, sink) = if let Some(plan) = &plan {
         // Faulty scenarios compare against a fault-free twin on the same
         // schedule; they never contribute telemetry traces (tracing the
         // degraded replay would double the sink for no new information).
-        let periods = (spec2.horizon / spec2.ts).floor().max(1.0) as u32;
-        let plan = FaultPlan::generate(
-            &scenario.fault_config(&config.faults),
-            &schedule,
-            &base.arch,
-            periods,
-        )?;
         let baseline = cosim::run_scheduled(&spec2, &base.alg, &base.io, &schedule, &base.arch)?;
         let faulty = cosim::run_scheduled_faulty(
             &spec2,
@@ -403,7 +427,7 @@ fn run_scenario(
         )?;
         let degradation = DegradationSummary::from_runs(
             index,
-            &plan,
+            plan,
             &baseline,
             &faulty,
             config.cost_bound_ratio,
@@ -446,7 +470,38 @@ fn run_scenario(
         worst_actuation_ns: worst,
         overruns: report.total_overruns(),
     };
-    Ok((outcome, degradation, hist, sink))
+
+    // Measured-vs-modeled cross-validation: execute the generated
+    // executives on the virtual machine under the *same* fault plan the
+    // co-simulation used, and diff completion instants op by op.
+    let validation = if config.validate_executive {
+        let generated =
+            codegen::generate(&schedule, &base.alg, &base.arch).map_err(CoreError::from)?;
+        let period = TimeNs::from_secs_f64(spec2.ts);
+        let opts = ExecOptions {
+            period,
+            periods,
+            faults: plan.as_ref(),
+        };
+        let measured = ecl_exec::run(&generated, &base.arch, &schedule, &opts).map_err(|e| {
+            CoreError::InvalidInput {
+                reason: format!("virtual executive of scenario {index}: {e}"),
+            }
+        })?;
+        let predicted = xval::predict_op_completions(
+            &base.alg,
+            &base.arch,
+            &schedule,
+            period,
+            periods,
+            plan.as_ref(),
+        )?;
+        let report = xval::validate_schedule(&measured.timeline(), &predicted, &base.alg)?;
+        Some((report.is_exact(), report.max_divergence_ns()))
+    } else {
+        None
+    };
+    Ok((outcome, degradation, hist, sink, validation))
 }
 
 /// Runs the whole sweep on `config.workers` threads.
@@ -473,12 +528,25 @@ pub fn run_sweep(
     let mut degradations = Vec::new();
     let mut merged = Histogram::new(sweep_bound_ns(spec, config), SWEEP_BUCKETS);
     let mut traces = RecordingSink::default();
+    let mut validation: Option<ValidationSummary> =
+        config.validate_executive.then_some(ValidationSummary {
+            validated: 0,
+            exact: 0,
+            max_divergence_ns: 0,
+        });
     for result in results {
-        let (outcome, degradation, hist, sink) = result?;
+        let (outcome, degradation, hist, sink, validated) = result?;
         scenarios.push(outcome);
         degradations.extend(degradation);
         merged.merge(&hist);
         traces.absorb(sink);
+        if let (Some(v), Some((exact, max_div))) = (validation.as_mut(), validated) {
+            v.validated += 1;
+            if exact {
+                v.exact += 1;
+            }
+            v.max_divergence_ns = v.max_divergence_ns.max(max_div);
+        }
     }
     Ok(SweepOutput {
         summary: SweepSummary {
@@ -487,6 +555,7 @@ pub fn run_sweep(
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
             degradations,
+            validation,
         },
         actuation_hist: merged,
         traces,
@@ -642,6 +711,57 @@ mod tests {
             .map(|d| d.injected.total())
             .sum();
         assert!(injected_total > 0, "fault axes injected nothing");
+    }
+
+    #[test]
+    fn validated_sweep_is_exact_and_worker_count_invariant() {
+        let base = small_base();
+        let spec = dc_motor_loop(0.3).unwrap();
+        let config = |workers| SweepConfig {
+            validate_executive: true,
+            ..small_config(workers)
+        };
+        let serial = run_sweep(&spec, &base, &config(1)).unwrap();
+        let parallel = run_sweep(&spec, &base, &config(4)).unwrap();
+        assert_eq!(serial.summary, parallel.summary);
+        assert_eq!(serial.summary.to_json(), parallel.summary.to_json());
+        let v = serial.summary.validation.expect("validation was requested");
+        assert_eq!(v.validated, 8, "every scenario must be validated");
+        assert_eq!(
+            v.exact, 8,
+            "virtual executive diverged from the graph of delays"
+        );
+        assert_eq!(v.max_divergence_ns, 0);
+        assert!(serial
+            .summary
+            .render()
+            .contains("### Executive cross-validation"));
+        assert!(serial.summary.to_json().contains("\"validation\""));
+        // The section is strictly additive: turning validation off keeps
+        // the summary free of it (byte-compat is proven in ecl-core).
+        let off = run_sweep(&spec, &base, &small_config(1)).unwrap();
+        assert!(off.summary.validation.is_none());
+        assert_eq!(off.summary.scenarios, serial.summary.scenarios);
+    }
+
+    #[test]
+    fn validated_fault_sweep_is_worker_count_invariant() {
+        let base = small_base();
+        let spec = dc_motor_loop(0.3).unwrap();
+        let config = |workers| SweepConfig {
+            validate_executive: true,
+            ..faulty_config(workers)
+        };
+        let serial = run_sweep(&spec, &base, &config(1)).unwrap();
+        let parallel = run_sweep(&spec, &base, &config(4)).unwrap();
+        assert_eq!(serial.summary, parallel.summary);
+        assert_eq!(serial.summary.to_json(), parallel.summary.to_json());
+        let v = serial.summary.validation.expect("validation was requested");
+        assert_eq!(v.validated, 6);
+        // Divergence, if any, is bounded by the horizon; exactness under
+        // controlled fault plans is asserted by experiment E13-EXEC.
+        assert!(v.exact <= v.validated);
+        assert!(v.max_divergence_ns >= 0);
     }
 
     proptest! {

@@ -19,7 +19,10 @@
 //!    implemented (graph-of-delays) closed loops;
 //! 6. [`lifecycle`] — the full design lifecycle: design → adequation →
 //!    co-simulate → calibrate (delay-aware LQR redesign) → generate
-//!    executives.
+//!    executives;
+//! 7. [`xval`] — cross-validates the graph-of-delays prediction against
+//!    the measured instants of the concurrent virtual executive
+//!    (`ecl-exec`).
 //!
 //! # Examples
 //!
@@ -68,5 +71,6 @@ pub mod latency;
 pub mod lifecycle;
 pub mod report;
 pub mod translate;
+pub mod xval;
 
 pub use error::CoreError;

@@ -204,7 +204,7 @@ pub fn run_with<S: Sink>(
     // --- step 5: executive generation ---
     let (executives, deadlock_free) = tel.span("codegen", |_| -> Result<_, CoreError> {
         let generated = codegen::generate(&schedule, &alg, &inputs.arch)?;
-        let deadlock_free = codegen::check_deadlock_free(&generated.executives)
+        let deadlock_free = codegen::check_deadlock_free(&generated.executives).is_free()
             && codegen::replay(&generated, &inputs.arch).is_ok();
         let executives = generated
             .executives

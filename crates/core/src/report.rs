@@ -289,6 +289,22 @@ impl DegradationSummary {
     }
 }
 
+/// Aggregate of a sweep's executive cross-validations (experiment
+/// E13-EXEC): every validated run executed the generated code in the
+/// `ecl-exec` virtual machine and diffed the measured completion
+/// instants against the graph-of-delays prediction
+/// (`ecl_core::xval::validate_schedule`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidationSummary {
+    /// Executive runs cross-validated (a scenario's nominal and faulty
+    /// runs count separately).
+    pub validated: usize,
+    /// Runs whose measured series matched the prediction exactly.
+    pub exact: usize,
+    /// Largest measured-vs-predicted divergence seen anywhere, ns.
+    pub max_divergence_ns: i64,
+}
+
 /// The sweep-level report: per-scenario rows plus robustness statistics.
 ///
 /// Rendering is deliberately free of wall-clock content — two sweeps over
@@ -309,6 +325,10 @@ pub struct SweepSummary {
     /// degradation section (keeping fault-free output byte-identical to
     /// pre-fault sweeps).
     pub degradations: Vec<DegradationSummary>,
+    /// Executive cross-validation aggregate; `None` when the sweep did
+    /// not self-validate, in which case neither renderer emits the
+    /// section (keeping earlier artifacts byte-identical).
+    pub validation: Option<ValidationSummary>,
 }
 
 impl SweepSummary {
@@ -447,6 +467,14 @@ impl SweepSummary {
                 ));
             }
         }
+        if let Some(v) = &self.validation {
+            s.push_str("\n### Executive cross-validation\n\n");
+            s.push_str(&format!(
+                "{} runs validated against the graph of delays: {} exact, \
+                 max divergence {} ns.\n",
+                v.validated, v.exact, v.max_divergence_ns
+            ));
+        }
         s
     }
 
@@ -485,7 +513,7 @@ impl SweepSummary {
             ));
         }
         if self.degradations.is_empty() {
-            s.push_str("  ]\n}\n");
+            s.push_str("  ]");
         } else {
             s.push_str(&format!(
                 "  ],\n  \"survivable_fraction\": {:.6},\n  \"degradations\": [\n",
@@ -515,8 +543,16 @@ impl SweepSummary {
                     }
                 ));
             }
-            s.push_str("  ]\n}\n");
+            s.push_str("  ]");
         }
+        if let Some(v) = &self.validation {
+            s.push_str(&format!(
+                ",\n  \"validation\": {{\"validated\": {}, \"exact\": {}, \
+                 \"max_divergence_ns\": {}}}",
+                v.validated, v.exact, v.max_divergence_ns
+            ));
+        }
+        s.push_str("\n}\n");
         s
     }
 }
@@ -617,6 +653,7 @@ mod tests {
             cache_hits: 3,
             cache_misses: 1,
             degradations: vec![],
+            validation: None,
         }
     }
 
@@ -633,6 +670,7 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             degradations: vec![],
+            validation: None,
         };
         assert_eq!(empty.robustness_margin(), 0.0);
         assert!(empty.worst().is_none());
@@ -660,6 +698,7 @@ mod tests {
             cache_hits: 0,
             cache_misses: 0,
             degradations: vec![],
+            validation: None,
         }
     }
 
@@ -723,6 +762,59 @@ mod tests {
         assert!(json.contains("\"survivable_fraction\": 1.000000"));
         assert!(json.contains("\"verdict\": \"degraded\""));
         assert!(json.ends_with("  ]\n}\n"));
+    }
+
+    #[test]
+    fn validation_section_renders_only_when_present() {
+        let plain = sample_sweep();
+        assert!(!plain.render().contains("Executive cross-validation"));
+        assert!(!plain.to_json().contains("\"validation\""));
+        let mut validated = sample_sweep();
+        validated.validation = Some(ValidationSummary {
+            validated: 8,
+            exact: 8,
+            max_divergence_ns: 0,
+        });
+        let md = validated.render();
+        assert!(md.contains("### Executive cross-validation"));
+        assert!(md.contains("8 runs validated against the graph of delays: 8 exact"));
+        // Purely additive: the unvalidated rendering is a byte-exact
+        // prefix, preserving old artifacts.
+        assert!(md.starts_with(&plain.render()));
+        let json = validated.to_json();
+        assert!(json.contains(
+            "\"validation\": {\"validated\": 8, \"exact\": 8, \"max_divergence_ns\": 0}"
+        ));
+        assert!(json.ends_with("}\n}\n"));
+        assert!(json.starts_with(json_common_prefix(&plain.to_json())));
+        // ...and it composes with the degradation section: validation
+        // follows the degradations array.
+        let mut both = validated.clone();
+        let mut injected = Counts::new();
+        injected.add("frames_lost", 1);
+        both.degradations.push(DegradationSummary {
+            index: 0,
+            periods: 10,
+            injected,
+            skipped_samples: 0,
+            skipped_actuations: 0,
+            overruns: 0,
+            ls_inflation_ns: 0,
+            la_inflation_ns: 0,
+            cost_ratio: 1.0,
+            verdict: StabilityVerdict::Stable,
+        });
+        let md = both.render();
+        assert!(
+            md.find("Fault degradation").unwrap() < md.find("Executive cross-validation").unwrap()
+        );
+        assert!(both.to_json().ends_with("}\n}\n"));
+    }
+
+    /// The fault-free JSON minus its closing `\n}\n`, i.e. the prefix an
+    /// additive section must preserve.
+    fn json_common_prefix(json: &str) -> &str {
+        json.strip_suffix("\n}\n").unwrap()
     }
 
     #[test]

@@ -80,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "deadlock-freedom check: {}",
-        if codegen::check_deadlock_free(&generated.executives) {
+        if codegen::check_deadlock_free(&generated.executives).is_free() {
             "PASS"
         } else {
             "FAIL"

@@ -46,4 +46,18 @@ rm results/BENCH_exp12.w1.json
 test -s results/BENCH_exp12.json
 test -s results/exp12_fault_sweep.txt
 
+# E13-EXEC: the virtual executive must measure exactly the instants the
+# graph of delays predicts (asserted internally, nominal + fault plan),
+# and the validated sweep must be byte-identical for any worker count.
+# The VM's own determinism is re-asserted single-threaded.
+echo "== E13-EXEC cross-validation + determinism check =="
+ECL_FLEET_WORKERS=1 cargo run -q --offline --release -p ecl-bench --bin exp13_executive >/dev/null
+cp results/BENCH_exp13.json results/BENCH_exp13.w1.json
+ECL_FLEET_WORKERS=4 cargo run -q --offline --release -p ecl-bench --bin exp13_executive >/dev/null
+diff results/BENCH_exp13.w1.json results/BENCH_exp13.json
+rm results/BENCH_exp13.w1.json
+test -s results/BENCH_exp13.json
+test -s results/exp13_executive.txt
+cargo test -q --offline -p ecl-exec --lib -- --test-threads=1
+
 echo "All checks passed."

@@ -19,6 +19,7 @@
 //! | [`control`] | `ecl-control` | plants, discretization, LQR/PID, metrics |
 //! | [`aaa`] | `ecl-aaa` | SynDEx substrate: graphs, adequation, schedules, codegen |
 //! | [`core`] | `ecl-core` | the methodology: translation, graph of delays, latency, lifecycle |
+//! | [`exec`] | `ecl-exec` | concurrent virtual executive, cross-validated against the model |
 //! | [`telemetry`] | `ecl-telemetry` | spans, histograms, Chrome-trace/Gantt exporters |
 //!
 //! # Quickstart
@@ -61,6 +62,7 @@ pub use ecl_aaa as aaa;
 pub use ecl_blocks as blocks;
 pub use ecl_control as control;
 pub use ecl_core as core;
+pub use ecl_exec as exec;
 pub use ecl_linalg as linalg;
 pub use ecl_sim as sim;
 pub use ecl_telemetry as telemetry;
