@@ -32,6 +32,39 @@ pub struct ScheduleReport {
     pub comm_time: TimeNs,
 }
 
+/// Per-operation optimistic lower bounds: entry `op.index()` is the
+/// longest chain of minimal WCETs through the algorithm graph that ends
+/// with `op` (communications ignored). No schedule can complete `op`
+/// earlier than its chain bound.
+///
+/// This is the single source of the critical-path arithmetic, shared by
+/// [`critical_path`] (hence [`report`]) and the static latency-bound
+/// derivation in `ecl-verify`, so the two can never drift.
+///
+/// # Errors
+///
+/// Propagates cycle detection and unimplementable-operation errors.
+pub fn wcet_chain_bounds(
+    alg: &AlgorithmGraph,
+    arch: &ArchitectureGraph,
+    db: &TimingDb,
+) -> Result<Vec<TimeNs>, AaaError> {
+    let order = alg.topo_order()?;
+    let procs: Vec<ProcId> = arch.processors().collect();
+    let mut longest = vec![TimeNs::ZERO; alg.len()];
+    for &op in &order {
+        let own = db.min_wcet(op, procs.iter().copied(), alg.name(op))?;
+        let above = alg
+            .preds(op)
+            .into_iter()
+            .map(|p| longest[p.index()])
+            .max()
+            .unwrap_or(TimeNs::ZERO);
+        longest[op.index()] = above + own;
+    }
+    Ok(longest)
+}
+
 /// The optimistic critical path: the longest chain of minimal WCETs.
 ///
 /// # Errors
@@ -42,22 +75,10 @@ pub fn critical_path(
     arch: &ArchitectureGraph,
     db: &TimingDb,
 ) -> Result<TimeNs, AaaError> {
-    let order = alg.topo_order()?;
-    let procs: Vec<ProcId> = arch.processors().collect();
-    let mut longest = vec![TimeNs::ZERO; alg.len()];
-    let mut best = TimeNs::ZERO;
-    for &op in &order {
-        let own = db.min_wcet(op, procs.iter().copied(), alg.name(op))?;
-        let above = alg
-            .preds(op)
-            .into_iter()
-            .map(|p| longest[p.index()])
-            .max()
-            .unwrap_or(TimeNs::ZERO);
-        longest[op.index()] = above + own;
-        best = best.max(longest[op.index()]);
-    }
-    Ok(best)
+    Ok(wcet_chain_bounds(alg, arch, db)?
+        .into_iter()
+        .max()
+        .unwrap_or(TimeNs::ZERO))
 }
 
 /// Builds the full [`ScheduleReport`].
@@ -204,6 +225,18 @@ mod tests {
         let (alg, arch, db, _) = fixture();
         // s -> f -> a: 3 * 100us.
         assert_eq!(critical_path(&alg, &arch, &db).unwrap(), us(300));
+    }
+
+    #[test]
+    fn chain_bounds_agree_with_critical_path() {
+        let (alg, arch, db, _) = fixture();
+        let chains = wcet_chain_bounds(&alg, &arch, &db).unwrap();
+        // s at 100us; f1/f2 at 200us; a at 300us.
+        assert_eq!(chains, vec![us(100), us(200), us(200), us(300)]);
+        assert_eq!(
+            chains.into_iter().max().unwrap(),
+            critical_path(&alg, &arch, &db).unwrap()
+        );
     }
 
     #[test]

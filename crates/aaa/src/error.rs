@@ -51,6 +51,15 @@ pub enum AaaError {
         /// Explanation of the violated property.
         reason: String,
     },
+    /// A medium's transfer sequence is inconsistent: two slots overlap,
+    /// or the stored order is not sorted by start instant (the executive
+    /// generator and the VM both consume the stored order verbatim).
+    CommConflict {
+        /// The medium's name.
+        medium: String,
+        /// Explanation of the conflict.
+        reason: String,
+    },
     /// A `.sdx` project file failed to parse.
     ParseSdx {
         /// 1-based line number of the offending line.
@@ -88,6 +97,9 @@ impl fmt::Display for AaaError {
                 write!(f, "no communication medium connects '{from}' to '{to}'")
             }
             AaaError::InvalidSchedule { reason } => write!(f, "invalid schedule: {reason}"),
+            AaaError::CommConflict { medium, reason } => {
+                write!(f, "communication conflict on '{medium}': {reason}")
+            }
             AaaError::ParseSdx { line, reason } => {
                 write!(f, "sdx parse error at line {line}: {reason}")
             }
@@ -120,6 +132,10 @@ mod tests {
                 to: "p1".into(),
             },
             AaaError::InvalidSchedule {
+                reason: "overlap".into(),
+            },
+            AaaError::CommConflict {
+                medium: "bus".into(),
                 reason: "overlap".into(),
             },
             AaaError::ParseSdx {

@@ -206,18 +206,32 @@ impl Schedule {
                 }
             }
         }
-        // ... and per medium
+        // ... and per medium. The stored order is checked verbatim (not a
+        // sorted copy): codegen and the executive VM both replay it as the
+        // medium's transfer sequence, so an out-of-order sequence is a bug
+        // even when a sorted view of it would be overlap-free.
         for m in arch.media() {
-            let mut seq = self.medium_sequence(m);
-            seq.sort_by_key(|c| c.start);
+            let seq = self.medium_sequence(m);
             for w in seq.windows(2) {
+                if w[1].start < w[0].start {
+                    return Err(AaaError::CommConflict {
+                        medium: arch.medium_name(m).to_string(),
+                        reason: format!(
+                            "transfer of '{}' is stored after '{}' but starts earlier",
+                            alg.name(w[1].src_op),
+                            alg.name(w[0].src_op)
+                        ),
+                    });
+                }
                 if w[1].start < w[0].end {
-                    return bad(format!(
-                        "transfers of '{}' and '{}' overlap on {}",
-                        alg.name(w[0].src_op),
-                        alg.name(w[1].src_op),
-                        arch.medium_name(m)
-                    ));
+                    return Err(AaaError::CommConflict {
+                        medium: arch.medium_name(m).to_string(),
+                        reason: format!(
+                            "transfers of '{}' and '{}' overlap",
+                            alg.name(w[0].src_op),
+                            alg.name(w[1].src_op)
+                        ),
+                    });
                 }
             }
         }
@@ -462,5 +476,61 @@ mod tests {
         assert_eq!(s.makespan(), TimeNs::ZERO);
         assert_eq!(s.utilization(ProcId(0)), 0.0);
         assert!(s.slot(OpId(0)).is_none());
+    }
+
+    #[test]
+    fn zero_makespan_utilization_is_zero() {
+        // Degenerate but non-empty: a zero-length slot at the origin must
+        // not divide by a zero makespan.
+        let s = Schedule::from_parts(
+            vec![ScheduledOp {
+                op: OpId(0),
+                proc: ProcId(0),
+                start: ms(0),
+                end: ms(0),
+            }],
+            vec![],
+        );
+        assert_eq!(s.makespan(), TimeNs::ZERO);
+        assert_eq!(s.utilization(ProcId(0)), 0.0);
+    }
+
+    #[test]
+    fn overlapping_comms_on_medium_rejected() {
+        let (alg, arch) = toy();
+        let mut s = valid_split_schedule();
+        // A second transfer on the bus that starts before the first ends.
+        s.comms.push(ScheduledComm {
+            src_op: OpId(0),
+            from: ProcId(0),
+            to: ProcId(1),
+            medium: MediumId(0),
+            start: ms(3) + TimeNs::from_micros(500),
+            end: ms(4) + TimeNs::from_micros(500),
+            data_units: 1,
+        });
+        let err = s.validate(&alg, &arch).unwrap_err();
+        assert!(matches!(err, AaaError::CommConflict { ref medium, .. } if medium == "bus"));
+        assert!(err.to_string().contains("overlap"));
+    }
+
+    #[test]
+    fn unsorted_medium_sequence_rejected() {
+        let (alg, arch) = toy();
+        let mut s = valid_split_schedule();
+        // A disjoint transfer appended out of order: sorted views of the
+        // bus sequence are overlap-free, but the stored order is wrong.
+        s.comms.push(ScheduledComm {
+            src_op: OpId(0),
+            from: ProcId(0),
+            to: ProcId(1),
+            medium: MediumId(0),
+            start: ms(1),
+            end: ms(2),
+            data_units: 1,
+        });
+        let err = s.validate(&alg, &arch).unwrap_err();
+        assert!(matches!(err, AaaError::CommConflict { ref medium, .. } if medium == "bus"));
+        assert!(err.to_string().contains("starts earlier"));
     }
 }

@@ -23,7 +23,9 @@ use std::sync::Mutex;
 use ecl_aaa::{codegen, AdequationOptions, MappingPolicy, ScheduleCache, TimeNs, TimingDb};
 use ecl_core::cosim::{self, LoopSpec};
 use ecl_core::faults::{FaultConfig, FaultPlan};
-use ecl_core::report::{DegradationSummary, ScenarioOutcome, SweepSummary, ValidationSummary};
+use ecl_core::report::{
+    DegradationSummary, ScenarioOutcome, SweepSummary, ValidationSummary, VerificationSummary,
+};
 use ecl_core::xval;
 use ecl_core::CoreError;
 use ecl_exec::ExecOptions;
@@ -158,6 +160,11 @@ pub struct SweepConfig {
     /// against the graph-of-delays prediction. Off by default; the
     /// report stays byte-identical when off.
     pub validate_executive: bool,
+    /// Statically verify every scenario: run the `ecl-verify` passes over
+    /// its schedule and check that the sound static `Ls`/`La` bounds
+    /// dominate the measured latencies of the co-simulated run. Off by
+    /// default; the report stays byte-identical when off.
+    pub verify_static: bool,
 }
 
 impl Default for SweepConfig {
@@ -176,6 +183,7 @@ impl Default for SweepConfig {
             trace_scenarios: 0,
             faults: FaultAxes::default(),
             validate_executive: false,
+            verify_static: false,
         }
     }
 }
@@ -353,14 +361,18 @@ fn sweep_bound_ns(spec: &LoopSpec, config: &SweepConfig) -> i64 {
 
 /// What one scenario contributes to the sweep fold: its report row, the
 /// optional degradation twin delta, its latency histogram, its telemetry
-/// sink, and the optional `(is_exact, max divergence ns)` verdict of the
-/// executive cross-validation.
+/// sink, the optional `(is_exact, max divergence ns)` verdict of the
+/// executive cross-validation, and the optional
+/// `(errors, warnings, soundness margin ns)` yield of the static
+/// verification (margin `None` under a drop-capable plan, whose retry
+/// bounds are declaredly unsound).
 type ScenarioYield = (
     ScenarioOutcome,
     Option<DegradationSummary>,
     Histogram,
     RecordingSink,
     Option<(bool, i64)>,
+    Option<(usize, usize, Option<i64>)>,
 );
 
 /// Runs one scenario end to end: jitter → (cached) adequation →
@@ -501,7 +513,46 @@ fn run_scenario(
     } else {
         None
     };
-    Ok((outcome, degradation, hist, sink, validation))
+
+    // Static verification: run every `ecl-verify` pass over the scenario's
+    // schedule, then check soundness — the static `Ls`/`La` bounds must
+    // dominate every latency the co-simulation measured.
+    let verification = if config.verify_static {
+        let period = TimeNs::from_secs_f64(spec2.ts);
+        let vreport =
+            ecl_verify::verify(&base.alg, &base.arch, &db, &schedule, period, plan.as_ref())
+                .map_err(CoreError::from)?;
+        let bounds = vreport
+            .bounds
+            .as_ref()
+            .expect("verify always derives bounds");
+        let margin = if bounds.drop_capable {
+            // Deadline forcing takes over; the retry bounds are unsound
+            // by declaration, so the scenario contributes no margin.
+            None
+        } else {
+            let mut margin: Option<i64> = None;
+            let sensors = base.io.sensors.iter().zip(&report.sampling);
+            let actuators = base.io.actuators.iter().zip(&report.actuation);
+            for (op, series) in sensors.chain(actuators) {
+                if let Some(b) = bounds.bound_for(*op) {
+                    for &v in series.values() {
+                        let m = b.faulty.as_nanos() - v.as_nanos();
+                        margin = Some(margin.map_or(m, |cur| cur.min(m)));
+                    }
+                }
+            }
+            margin
+        };
+        Some((
+            vreport.count(ecl_verify::Severity::Error),
+            vreport.count(ecl_verify::Severity::Warn),
+            margin,
+        ))
+    } else {
+        None
+    };
+    Ok((outcome, degradation, hist, sink, validation, verification))
 }
 
 /// Runs the whole sweep on `config.workers` threads.
@@ -534,8 +585,15 @@ pub fn run_sweep(
             exact: 0,
             max_divergence_ns: 0,
         });
+    let mut verification: Option<VerificationSummary> =
+        config.verify_static.then_some(VerificationSummary {
+            verified: 0,
+            errors: 0,
+            warnings: 0,
+            worst_margin_ns: i64::MAX,
+        });
     for result in results {
-        let (outcome, degradation, hist, sink, validated) = result?;
+        let (outcome, degradation, hist, sink, validated, verified) = result?;
         scenarios.push(outcome);
         degradations.extend(degradation);
         merged.merge(&hist);
@@ -547,6 +605,19 @@ pub fn run_sweep(
             }
             v.max_divergence_ns = v.max_divergence_ns.max(max_div);
         }
+        if let (Some(v), Some((errors, warnings, margin))) = (verification.as_mut(), verified) {
+            v.verified += 1;
+            v.errors += errors;
+            v.warnings += warnings;
+            if let Some(m) = margin {
+                v.worst_margin_ns = v.worst_margin_ns.min(m);
+            }
+        }
+    }
+    if let Some(v) = verification.as_mut() {
+        if v.worst_margin_ns == i64::MAX {
+            v.worst_margin_ns = 0;
+        }
     }
     Ok(SweepOutput {
         summary: SweepSummary {
@@ -556,6 +627,7 @@ pub fn run_sweep(
             cache_misses: cache.misses(),
             degradations,
             validation,
+            verification,
         },
         actuation_hist: merged,
         traces,
@@ -742,6 +814,61 @@ mod tests {
         let off = run_sweep(&spec, &base, &small_config(1)).unwrap();
         assert!(off.summary.validation.is_none());
         assert_eq!(off.summary.scenarios, serial.summary.scenarios);
+    }
+
+    #[test]
+    fn verified_sweep_bounds_dominate_and_worker_invariant() {
+        let base = small_base();
+        let spec = dc_motor_loop(0.3).unwrap();
+        let config = |workers| SweepConfig {
+            verify_static: true,
+            ..small_config(workers)
+        };
+        let serial = run_sweep(&spec, &base, &config(1)).unwrap();
+        let parallel = run_sweep(&spec, &base, &config(4)).unwrap();
+        assert_eq!(serial.summary, parallel.summary);
+        assert_eq!(serial.summary.to_json(), parallel.summary.to_json());
+        let v = serial
+            .summary
+            .verification
+            .expect("verification was requested");
+        assert_eq!(v.verified, 8, "every scenario must be verified");
+        assert_eq!(v.errors, 0, "static verifier flagged a clean sweep");
+        assert!(
+            v.worst_margin_ns >= 0,
+            "a measured latency exceeded its static bound"
+        );
+        assert!(serial.summary.render().contains("### Static verification"));
+        assert!(serial.summary.to_json().contains("\"verification\""));
+        // The section is strictly additive: off by default.
+        let off = run_sweep(&spec, &base, &small_config(1)).unwrap();
+        assert!(off.summary.verification.is_none());
+        assert_eq!(off.summary.scenarios, serial.summary.scenarios);
+    }
+
+    #[test]
+    fn verified_fault_sweep_counts_margins_soundly() {
+        let base = small_base();
+        let spec = dc_motor_loop(0.3).unwrap();
+        let config = |workers| SweepConfig {
+            verify_static: true,
+            ..faulty_config(workers)
+        };
+        let serial = run_sweep(&spec, &base, &config(1)).unwrap();
+        let parallel = run_sweep(&spec, &base, &config(4)).unwrap();
+        assert_eq!(serial.summary, parallel.summary);
+        let v = serial
+            .summary
+            .verification
+            .expect("verification was requested");
+        assert_eq!(v.verified, 6);
+        assert_eq!(v.errors, 0, "faulty scenarios must still verify cleanly");
+        // Drop-capable scenarios contribute no margin; whatever margins
+        // the retries-only scenarios contributed must be sound.
+        assert!(
+            v.worst_margin_ns >= 0,
+            "a measured latency exceeded its fault-aware static bound"
+        );
     }
 
     #[test]

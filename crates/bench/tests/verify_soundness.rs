@@ -1,0 +1,159 @@
+//! Property-based soundness tests of the static verifier: for randomly
+//! drawn algorithm/architecture instances, the static `Ls`/`La` bounds of
+//! `ecl-verify` must dominate every latency the dynamic stack measures —
+//! both the co-simulated run (`run_scheduled`, via the fleet's
+//! `verify_static` margin) and the `ecl-exec` virtual machine, nominally
+//! and under retries-only fault plans, independent of worker count.
+
+use ecl_aaa::{adequation, codegen, AdequationOptions, ArchitectureGraph, Schedule, TimeNs};
+use ecl_bench::fleet::{run_sweep, SweepConfig};
+use ecl_bench::{dc_motor_loop, split_scenario};
+use ecl_core::faults::{CommFault, FaultConfig, FaultPlan};
+use ecl_exec::ExecOptions;
+use ecl_verify::LatencyBoundReport;
+use proptest::prelude::*;
+
+const PERIODS: u32 = 12;
+
+fn us(v: i64) -> TimeNs {
+    TimeNs::from_micros(v)
+}
+
+/// Scans a few plan seeds for a retries-only plan (retransmissions but no
+/// drop and no dead processor); `None` when the window has none.
+fn retries_only_plan(
+    schedule: &Schedule,
+    arch: &ArchitectureGraph,
+    seed0: u64,
+) -> Option<FaultPlan> {
+    let n_procs = arch.processors().count();
+    (seed0..seed0 + 256).find_map(|seed| {
+        let config = FaultConfig {
+            seed,
+            frame_loss_rate: 0.1,
+            max_retries: 3,
+            ..FaultConfig::default()
+        };
+        let plan = FaultPlan::generate(&config, schedule, arch, PERIODS).ok()?;
+        let dead = (0..n_procs).any(|p| plan.proc_dead_from(p).is_some());
+        let mut retries = 0u32;
+        let mut dropped = false;
+        for i in 0..schedule.comms().len() {
+            for k in 0..PERIODS {
+                match plan.comm_fault(i, k) {
+                    CommFault::Ok => {}
+                    CommFault::Retry(r) => retries += r,
+                    CommFault::Drop => dropped = true,
+                }
+            }
+        }
+        (!dead && !dropped && retries > 0).then_some(plan)
+    })
+}
+
+/// Smallest `static bound − measured completion offset` over every I/O
+/// completion of a virtual-machine run, ns.
+fn vm_margin(
+    alg: &ecl_aaa::AlgorithmGraph,
+    arch: &ArchitectureGraph,
+    schedule: &Schedule,
+    period: TimeNs,
+    faults: Option<&FaultPlan>,
+    bounds: &LatencyBoundReport,
+) -> i64 {
+    let generated = codegen::generate(schedule, alg, arch).expect("generate");
+    let opts = ExecOptions {
+        period,
+        periods: PERIODS,
+        faults,
+    };
+    let measured = ecl_exec::run(&generated, arch, schedule, &opts).expect("vm run");
+    let mut margin = i64::MAX;
+    for r in &measured.ops {
+        if let Some(b) = bounds.bound_for(r.op) {
+            let offset = r.end.as_nanos() - period.as_nanos() * i64::from(r.period);
+            margin = margin.min(b.faulty.as_nanos() - offset);
+        }
+    }
+    assert!(margin < i64::MAX, "the VM measured no I/O completion");
+    margin
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 4 })]
+
+    /// Random split deployments: the verifier reports zero errors and the
+    /// virtual machine never beats the static bounds, nominally and under
+    /// a retries-only plan (when the seed window yields one).
+    #[test]
+    fn vm_never_exceeds_static_bounds(
+        n_inputs in 1usize..4,
+        n_outputs in 1usize..3,
+        bus_us in 50i64..400,
+        io_us in 20i64..120,
+        compute_us in 100i64..900,
+        plan_seed in 0u64..(1u64 << 32),
+    ) {
+        let base = split_scenario(n_inputs, n_outputs, us(bus_us), us(io_us), us(compute_us))
+            .expect("scenario");
+        let schedule = adequation(&base.alg, &base.arch, &base.db, AdequationOptions::default())
+            .expect("adequation");
+        // A period comfortably above the makespan, derived (not drawn) so
+        // the delay-graph lint's EV304 never fires.
+        let period = TimeNs::from_nanos(schedule.makespan().as_nanos() * 5 / 4 + 1);
+
+        let nominal =
+            ecl_verify::verify(&base.alg, &base.arch, &base.db, &schedule, period, None)
+                .expect("verify");
+        prop_assert!(nominal.is_clean(), "{}", nominal.render());
+        let bounds = nominal.bounds.as_ref().expect("bounds");
+        let margin = vm_margin(&base.alg, &base.arch, &schedule, period, None, bounds);
+        prop_assert!(margin >= 0, "nominal VM beat the bound by {} ns", -margin);
+
+        if let Some(plan) = retries_only_plan(&schedule, &base.arch, plan_seed) {
+            let faulty = ecl_verify::verify(
+                &base.alg, &base.arch, &base.db, &schedule, period, Some(&plan),
+            )
+            .expect("verify");
+            prop_assert!(faulty.is_clean(), "{}", faulty.render());
+            let fbounds = faulty.bounds.as_ref().expect("bounds");
+            prop_assert!(!fbounds.drop_capable);
+            prop_assert!(fbounds.retry_stretch > TimeNs::ZERO);
+            let margin =
+                vm_margin(&base.alg, &base.arch, &schedule, period, Some(&plan), fbounds);
+            prop_assert!(margin >= 0, "faulty VM beat the bound by {} ns", -margin);
+        }
+    }
+
+    /// Random fleet sweeps with `verify_static`: zero verifier errors, a
+    /// non-negative soundness margin against the co-simulated
+    /// (`run_scheduled`) latencies, and byte-identical summaries on 1 and
+    /// 4 workers.
+    #[test]
+    fn sweep_margins_are_sound_and_worker_invariant(
+        base_seed in 0u64..(1u64 << 48),
+        bus_us in 100i64..400,
+    ) {
+        let base = split_scenario(2, 1, us(bus_us), us(50), us(500)).expect("scenario");
+        let spec = dc_motor_loop(0.25).expect("spec");
+        let config = |workers| SweepConfig {
+            base_seed,
+            scenario_count: 4,
+            workers,
+            verify_static: true,
+            ..SweepConfig::default()
+        };
+        let serial = run_sweep(&spec, &base, &config(1)).expect("sweep");
+        let parallel = run_sweep(&spec, &base, &config(4)).expect("sweep");
+        prop_assert_eq!(&serial.summary, &parallel.summary);
+        prop_assert_eq!(serial.summary.to_json(), parallel.summary.to_json());
+        let v = serial.summary.verification.expect("verification requested");
+        prop_assert_eq!(v.verified, 4);
+        prop_assert_eq!(v.errors, 0, "verifier flagged a sweep schedule");
+        prop_assert!(
+            v.worst_margin_ns >= 0,
+            "a measured latency exceeded its static bound by {} ns",
+            -v.worst_margin_ns
+        );
+    }
+}

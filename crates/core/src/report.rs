@@ -305,6 +305,27 @@ pub struct ValidationSummary {
     pub max_divergence_ns: i64,
 }
 
+/// Aggregate of a sweep's static verifications (experiment E14-VERIFY):
+/// every verified scenario ran the `ecl-verify` passes over its schedule
+/// and checked that the sound static `Ls`/`La` bounds dominate the
+/// measured latencies.
+///
+/// Defined here (plain counts, no dependency on the verifier crate) so
+/// the renderers stay in one place; the sweep engine populates it from
+/// `ecl-verify` reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerificationSummary {
+    /// Scenarios statically verified.
+    pub verified: usize,
+    /// Error-severity diagnostics across all verified scenarios.
+    pub errors: usize,
+    /// Warning-severity diagnostics across all verified scenarios.
+    pub warnings: usize,
+    /// Smallest `static bound - measured latency` margin observed
+    /// anywhere, ns (non-negative iff the bounds are sound).
+    pub worst_margin_ns: i64,
+}
+
 /// The sweep-level report: per-scenario rows plus robustness statistics.
 ///
 /// Rendering is deliberately free of wall-clock content — two sweeps over
@@ -329,6 +350,10 @@ pub struct SweepSummary {
     /// not self-validate, in which case neither renderer emits the
     /// section (keeping earlier artifacts byte-identical).
     pub validation: Option<ValidationSummary>,
+    /// Static-verification aggregate; `None` when the sweep did not run
+    /// the verifier, in which case neither renderer emits the section
+    /// (keeping earlier artifacts byte-identical).
+    pub verification: Option<VerificationSummary>,
 }
 
 impl SweepSummary {
@@ -475,6 +500,14 @@ impl SweepSummary {
                 v.validated, v.exact, v.max_divergence_ns
             ));
         }
+        if let Some(v) = &self.verification {
+            s.push_str("\n### Static verification\n\n");
+            s.push_str(&format!(
+                "{} schedules verified: {} error(s), {} warning(s), worst \
+                 bound margin {} ns.\n",
+                v.verified, v.errors, v.warnings, v.worst_margin_ns
+            ));
+        }
         s
     }
 
@@ -550,6 +583,13 @@ impl SweepSummary {
                 ",\n  \"validation\": {{\"validated\": {}, \"exact\": {}, \
                  \"max_divergence_ns\": {}}}",
                 v.validated, v.exact, v.max_divergence_ns
+            ));
+        }
+        if let Some(v) = &self.verification {
+            s.push_str(&format!(
+                ",\n  \"verification\": {{\"verified\": {}, \"errors\": {}, \
+                 \"warnings\": {}, \"worst_margin_ns\": {}}}",
+                v.verified, v.errors, v.warnings, v.worst_margin_ns
             ));
         }
         s.push_str("\n}\n");
@@ -654,6 +694,7 @@ mod tests {
             cache_misses: 1,
             degradations: vec![],
             validation: None,
+            verification: None,
         }
     }
 
@@ -671,6 +712,7 @@ mod tests {
             cache_misses: 0,
             degradations: vec![],
             validation: None,
+            verification: None,
         };
         assert_eq!(empty.robustness_margin(), 0.0);
         assert!(empty.worst().is_none());
@@ -699,6 +741,7 @@ mod tests {
             cache_misses: 0,
             degradations: vec![],
             validation: None,
+            verification: None,
         }
     }
 
@@ -815,6 +858,49 @@ mod tests {
     /// additive section must preserve.
     fn json_common_prefix(json: &str) -> &str {
         json.strip_suffix("\n}\n").unwrap()
+    }
+
+    #[test]
+    fn verification_section_renders_only_when_present() {
+        let plain = sample_sweep();
+        assert!(!plain.render().contains("Static verification"));
+        assert!(!plain.to_json().contains("\"verification\""));
+        let mut verified = sample_sweep();
+        verified.verification = Some(VerificationSummary {
+            verified: 8,
+            errors: 0,
+            warnings: 3,
+            worst_margin_ns: 120_500,
+        });
+        let md = verified.render();
+        assert!(md.contains("### Static verification"));
+        assert!(md.contains("8 schedules verified: 0 error(s), 3 warning(s)"));
+        assert!(md.contains("worst bound margin 120500 ns"));
+        // Purely additive: the unverified rendering is a byte-exact
+        // prefix, preserving old artifacts.
+        assert!(md.starts_with(&plain.render()));
+        let json = verified.to_json();
+        assert!(json.contains(
+            "\"verification\": {\"verified\": 8, \"errors\": 0, \"warnings\": 3, \
+             \"worst_margin_ns\": 120500}"
+        ));
+        assert!(json.starts_with(json_common_prefix(&plain.to_json())));
+        assert!(json.ends_with("}\n}\n"));
+        // ...and it composes: verification renders after validation.
+        let mut both = verified.clone();
+        both.validation = Some(ValidationSummary {
+            validated: 8,
+            exact: 8,
+            max_divergence_ns: 0,
+        });
+        let md = both.render();
+        assert!(
+            md.find("Executive cross-validation").unwrap()
+                < md.find("Static verification").unwrap()
+        );
+        let json = both.to_json();
+        assert!(json.find("\"validation\"").unwrap() < json.find("\"verification\"").unwrap());
+        assert!(json.ends_with("}\n}\n"));
     }
 
     #[test]

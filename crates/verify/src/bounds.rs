@@ -1,0 +1,208 @@
+//! Sound static latency bounds (pass b).
+//!
+//! The paper's eq. (1)/(2) latencies `Ls_j`/`La_j` are, for a valid
+//! non-preemptive schedule executed at WCET, exactly the completion
+//! offsets of the sensor and actuator slots within the period — both the
+//! graph of delays and the virtual executive reproduce those instants.
+//! The *nominal* bound of an I/O operation is therefore its slot's end.
+//!
+//! Under a bounded-retry fault plan every retransmission of transfer `i`
+//! stretches that slot by `comm_retry_cost(i)`; any completion in period
+//! `k` trails its nominal instant by at most the sum of all retry
+//! stretches drawn in `k` (every wait chain passes through a subset of
+//! the transfer slots, and a receive forced at the deadline only fires
+//! *earlier* than the stretched arrival). The *fault-aware* bound adds
+//! the worst per-period total stretch to the nominal bound. Plans that
+//! drop frames or kill processors degrade through deadline forcing
+//! instead; their bounds are flagged unsound ([`LatencyBoundReport::drop_capable`]).
+
+use ecl_aaa::analysis::wcet_chain_bounds;
+use ecl_aaa::{AaaError, AlgorithmGraph, ArchitectureGraph, OpId, Schedule, TimeNs, TimingDb};
+use ecl_core::faults::{CommFault, FaultPlan};
+
+/// Static latency bounds of one sensor or actuator operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyBound {
+    /// The I/O operation.
+    pub op: OpId,
+    /// Worst-case completion offset within the period under nominal
+    /// execution — the static `Ls_j`/`La_j` of eq. (1)/(2).
+    pub nominal: TimeNs,
+    /// Sound bound under the bounded-retry fault plan: `nominal` plus the
+    /// worst per-period retry stretch. Equals `nominal` without a plan.
+    pub faulty: TimeNs,
+    /// Critical-path lower bound on the operation's completion (longest
+    /// minimal-WCET chain ending at the operation, communications
+    /// ignored). `nominal` can never undercut it.
+    pub chain: TimeNs,
+}
+
+/// Static `Ls`/`La` bounds for every sensor and actuator of a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyBoundReport {
+    /// The control period the schedule executes under.
+    pub period: TimeNs,
+    /// Worst per-period total retransmission stretch of the fault plan
+    /// (zero without a plan).
+    pub retry_stretch: TimeNs,
+    /// `true` when the plan can drop frames or kill processors: deadline
+    /// forcing then takes over and the `faulty` bounds are not sound.
+    pub drop_capable: bool,
+    /// Per-sensor bounds, in operation order.
+    pub sensors: Vec<LatencyBound>,
+    /// Per-actuator bounds, in operation order.
+    pub actuators: Vec<LatencyBound>,
+}
+
+impl LatencyBoundReport {
+    /// The bound entry of `op`, if it is a sensor or actuator.
+    pub fn bound_for(&self, op: OpId) -> Option<&LatencyBound> {
+        self.sensors
+            .iter()
+            .chain(self.actuators.iter())
+            .find(|b| b.op == op)
+    }
+
+    /// The largest fault-aware actuation bound — the static worst-case
+    /// `La` of the whole loop.
+    pub fn max_actuation_bound(&self) -> TimeNs {
+        self.actuators
+            .iter()
+            .map(|b| b.faulty)
+            .max()
+            .unwrap_or(TimeNs::ZERO)
+    }
+
+    /// Renders the bounds as readable text.
+    pub fn render(&self) -> String {
+        let mut s = String::from("### Static latency bounds\n");
+        s.push_str(&format!(
+            "period: {} | retry stretch: {} | retry bounds sound: {}\n",
+            self.period,
+            self.retry_stretch,
+            if self.drop_capable {
+                "no (drop-capable plan)"
+            } else {
+                "yes"
+            }
+        ));
+        let line = |kind: &str, b: &LatencyBound| {
+            format!(
+                "  {kind} op{}: Ls/La <= {} nominal, <= {} under retries (chain >= {})\n",
+                b.op.index(),
+                b.nominal,
+                b.faulty,
+                b.chain
+            )
+        };
+        for b in &self.sensors {
+            s.push_str(&line("sensor", b));
+        }
+        for b in &self.actuators {
+            s.push_str(&line("actuator", b));
+        }
+        s
+    }
+
+    /// The bounds as a JSON object fragment (no surrounding braces),
+    /// consumed by [`crate::VerifyReport::to_json`].
+    pub(crate) fn json_fragment(&self) -> String {
+        let list = |bounds: &[LatencyBound]| {
+            bounds
+                .iter()
+                .map(|b| {
+                    format!(
+                        "{{\"op\": {}, \"nominal_ns\": {}, \"faulty_ns\": {}, \"chain_ns\": {}}}",
+                        b.op.index(),
+                        b.nominal.as_nanos(),
+                        b.faulty.as_nanos(),
+                        b.chain.as_nanos()
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        format!(
+            "  \"bounds\": {{\n    \"period_ns\": {},\n    \"retry_stretch_ns\": {},\n    \"drop_capable\": {},\n    \"sensors\": [{}],\n    \"actuators\": [{}]\n  }}",
+            self.period.as_nanos(),
+            self.retry_stretch.as_nanos(),
+            self.drop_capable,
+            list(&self.sensors),
+            list(&self.actuators)
+        )
+    }
+}
+
+/// Whether `plan` can drop a frame or kill a processor anywhere in its
+/// horizon (deadline forcing then voids the retry bound).
+pub fn plan_is_drop_capable(plan: &FaultPlan, n_comms: usize, n_procs: usize) -> bool {
+    (0..n_procs).any(|p| plan.proc_dead_from(p).is_some())
+        || (0..n_comms)
+            .any(|i| (0..plan.periods()).any(|k| matches!(plan.comm_fault(i, k), CommFault::Drop)))
+}
+
+/// The worst per-period total retransmission stretch of `plan` over the
+/// schedule's transfer slots.
+pub fn worst_retry_stretch(
+    schedule: &Schedule,
+    arch: &ArchitectureGraph,
+    plan: &FaultPlan,
+) -> TimeNs {
+    let n = schedule.comms().len();
+    (0..plan.periods())
+        .map(|k| {
+            (0..n)
+                .map(|i| match plan.comm_fault(i, k) {
+                    CommFault::Retry(r) => {
+                        let cost = schedule.comm_retry_cost(arch, i).unwrap_or(TimeNs::ZERO);
+                        TimeNs::from_nanos(cost.as_nanos() * i64::from(r))
+                    }
+                    _ => TimeNs::ZERO,
+                })
+                .sum::<TimeNs>()
+        })
+        .max()
+        .unwrap_or(TimeNs::ZERO)
+}
+
+/// Derives the static `Ls`/`La` bounds of `schedule` (pass b).
+///
+/// # Errors
+///
+/// Propagates cycle detection and unimplementable-operation errors from
+/// the shared critical-path helper.
+pub fn latency_bounds(
+    alg: &AlgorithmGraph,
+    arch: &ArchitectureGraph,
+    schedule: &Schedule,
+    db: &TimingDb,
+    period: TimeNs,
+    faults: Option<&FaultPlan>,
+) -> Result<LatencyBoundReport, AaaError> {
+    let chains = wcet_chain_bounds(alg, arch, db)?;
+    let (retry_stretch, drop_capable) = match faults {
+        None => (TimeNs::ZERO, false),
+        Some(p) => (
+            worst_retry_stretch(schedule, arch, p),
+            plan_is_drop_capable(p, schedule.comms().len(), arch.num_processors()),
+        ),
+    };
+    let entries = |instants: Vec<(OpId, TimeNs)>| {
+        instants
+            .into_iter()
+            .map(|(op, end)| LatencyBound {
+                op,
+                nominal: end,
+                faulty: end + retry_stretch,
+                chain: chains.get(op.index()).copied().unwrap_or(TimeNs::ZERO),
+            })
+            .collect::<Vec<_>>()
+    };
+    Ok(LatencyBoundReport {
+        period,
+        retry_stretch,
+        drop_capable,
+        sensors: entries(schedule.sensor_instants(alg)),
+        actuators: entries(schedule.actuator_instants(alg)),
+    })
+}

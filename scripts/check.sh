@@ -60,4 +60,21 @@ test -s results/BENCH_exp13.json
 test -s results/exp13_executive.txt
 cargo test -q --offline -p ecl-exec --lib -- --test-threads=1
 
+# E14-VERIFY: the static verifier must lint clean (clippy on the new
+# crate is pinned explicitly), report zero errors on every experiment
+# schedule (verify_experiments test), and the binary asserts internally
+# that the static Ls/La bounds dominate every measured VM / co-sim
+# latency. Its artifact must be byte-identical for any worker count.
+echo "== E14-VERIFY static gate + determinism check =="
+cargo clippy -p ecl-verify --all-targets --offline -- -D warnings
+cargo test -q --offline -p ecl-bench --test verify_experiments
+ECL_FLEET_WORKERS=1 cargo run -q --offline --release -p ecl-bench --bin exp14_verify >/dev/null
+cp results/BENCH_exp14.json results/BENCH_exp14.w1.json
+ECL_FLEET_WORKERS=4 cargo run -q --offline --release -p ecl-bench --bin exp14_verify >/dev/null
+diff results/BENCH_exp14.w1.json results/BENCH_exp14.json
+rm results/BENCH_exp14.w1.json
+test -s results/BENCH_exp14.json
+test -s results/exp14_verify.txt
+cargo test -q --offline -p ecl-verify --lib -- --test-threads=1
+
 echo "All checks passed."
