@@ -10,7 +10,6 @@
 //! cache hit returns a schedule byte-identical to a fresh run.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use crate::adequation::{adequation, AdequationOptions, MappingPolicy};
@@ -144,6 +143,13 @@ pub fn schedule_digest(
     h.0
 }
 
+/// A cached schedule plus the number of times it was looked up.
+#[derive(Debug)]
+struct CacheSlot {
+    schedule: Arc<Schedule>,
+    lookups: u64,
+}
+
 /// A thread-safe memo table from [`schedule_digest`] keys to schedules.
 ///
 /// Shared by the sweep workers via `Arc`; the lock is held only around
@@ -151,6 +157,19 @@ pub fn schedule_digest(
 /// on one worker does not serialize the others (two workers may race to
 /// compute the same key — both produce the identical deterministic
 /// schedule, and the second insert is a no-op).
+///
+/// The [`hits`](ScheduleCache::hits)/[`misses`](ScheduleCache::misses)
+/// counters are *derived from per-digest lookup counts* rather than
+/// incremented per observation: `misses` is the number of distinct
+/// digests ever looked up and `hits` is every lookup beyond the first of
+/// its digest. Under the race above, a per-observation counter would
+/// depend on which worker won (worker-count-dependent bytes in sweep
+/// summaries); the derived form depends only on the multiset of digests
+/// looked up, so it is identical for any worker count and claim order.
+/// Which worker *observed* a hit is still reported per lookup by
+/// [`get_or_compute_traced`](ScheduleCache::get_or_compute_traced) — that
+/// observation belongs in wall-clock profiler sidecars, never in
+/// deterministic artifacts.
 ///
 /// # Examples
 ///
@@ -173,9 +192,7 @@ pub fn schedule_digest(
 /// ```
 #[derive(Debug, Default)]
 pub struct ScheduleCache {
-    map: Mutex<HashMap<u64, Arc<Schedule>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    map: Mutex<HashMap<u64, CacheSlot>>,
 }
 
 impl ScheduleCache {
@@ -197,28 +214,74 @@ impl ScheduleCache {
         db: &TimingDb,
         options: AdequationOptions,
     ) -> Result<Arc<Schedule>, AaaError> {
+        self.get_or_compute_traced(alg, arch, db, options)
+            .map(|(schedule, _, _)| schedule)
+    }
+
+    /// Like [`get_or_compute`](ScheduleCache::get_or_compute), also
+    /// returning the [`schedule_digest`] key and whether *this* lookup
+    /// was answered from the cache.
+    ///
+    /// The hit flag is this caller's local observation: two workers
+    /// racing on the same digest both observe a miss, so the flag is
+    /// scheduling-dependent and must only feed wall-clock sidecars (the
+    /// fleet profiler), never deterministic artifacts — those use the
+    /// order-invariant [`hits`](ScheduleCache::hits)/
+    /// [`misses`](ScheduleCache::misses) instead.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`adequation`] errors; failures are not cached.
+    pub fn get_or_compute_traced(
+        &self,
+        alg: &AlgorithmGraph,
+        arch: &ArchitectureGraph,
+        db: &TimingDb,
+        options: AdequationOptions,
+    ) -> Result<(Arc<Schedule>, u64, bool), AaaError> {
         let key = schedule_digest(alg, arch, db, options);
-        if let Some(hit) = self.map.lock().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(hit));
+        if let Some(slot) = self.map.lock().expect("cache lock").get_mut(&key) {
+            slot.lookups += 1;
+            return Ok((Arc::clone(&slot.schedule), key, true));
         }
         // Computed outside the lock: adequation can be the sweep's most
         // expensive non-simulation phase.
         let schedule = Arc::new(adequation(alg, arch, db, options)?);
-        self.misses.fetch_add(1, Ordering::Relaxed);
         let mut map = self.map.lock().expect("cache lock");
-        let entry = map.entry(key).or_insert_with(|| Arc::clone(&schedule));
-        Ok(Arc::clone(entry))
+        let slot = map.entry(key).or_insert_with(|| CacheSlot {
+            schedule,
+            lookups: 0,
+        });
+        slot.lookups += 1;
+        Ok((Arc::clone(&slot.schedule), key, false))
     }
 
-    /// Number of lookups answered from the cache.
+    /// Number of lookups beyond the first of their digest — every lookup
+    /// that a serial run would have answered from the cache. Derived from
+    /// per-digest lookup counts, so identical for any worker count.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.map
+            .lock()
+            .expect("cache lock")
+            .values()
+            .map(|slot| slot.lookups.saturating_sub(1))
+            .sum()
     }
 
-    /// Number of lookups that ran the scheduler.
+    /// Number of distinct digests ever looked up — the lookups a serial
+    /// run would have sent to the scheduler. Derived, order-invariant.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.len() as u64
+    }
+
+    /// Total lookups across all digests (`hits + misses`).
+    pub fn lookups(&self) -> u64 {
+        self.map
+            .lock()
+            .expect("cache lock")
+            .values()
+            .map(|slot| slot.lookups)
+            .sum()
     }
 
     /// Number of distinct schedules currently cached.
@@ -470,7 +533,7 @@ mod tests {
     }
 
     #[test]
-    fn cache_is_shareable_across_threads() {
+    fn cache_is_shareable_across_threads_with_exact_counters() {
         let (alg, arch, db) = setup();
         let cache = Arc::new(ScheduleCache::new());
         let opts = AdequationOptions::default();
@@ -485,7 +548,49 @@ mod tests {
                 });
             }
         });
-        assert_eq!(cache.hits() + cache.misses(), 32);
+        // Digest-derived counters are exact even under racing lookups:
+        // 32 lookups of one digest are 1 miss + 31 hits, regardless of
+        // which thread computed the schedule or how many raced on the
+        // initial miss.
+        assert_eq!((cache.hits(), cache.misses()), (31, 1));
+        assert_eq!(cache.lookups(), 32);
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn traced_lookup_reports_digest_and_local_observation() {
+        let (alg, arch, db) = setup();
+        let cache = ScheduleCache::new();
+        let opts = AdequationOptions::default();
+        let expected = schedule_digest(&alg, &arch, &db, opts);
+        let (a, d1, hit1) = cache.get_or_compute_traced(&alg, &arch, &db, opts).unwrap();
+        let (b, d2, hit2) = cache.get_or_compute_traced(&alg, &arch, &db, opts).unwrap();
+        assert_eq!((d1, d2), (expected, expected));
+        assert!(!hit1);
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    /// The counters depend only on the multiset of digests looked up,
+    /// not on lookup interleaving: replaying the same lookups in reverse
+    /// order yields identical hits/misses.
+    #[test]
+    fn counters_are_order_invariant() {
+        let (alg, arch, db) = setup();
+        let mut db2 = db.clone();
+        db2.set_default(crate::OpId(0), TimeNs::from_micros(50));
+        let opts = AdequationOptions::default();
+        let run = |tables: &[&TimingDb]| {
+            let cache = ScheduleCache::new();
+            for t in tables {
+                cache.get_or_compute(&alg, &arch, t, opts).unwrap();
+            }
+            (cache.hits(), cache.misses())
+        };
+        let forward = run(&[&db, &db, &db2, &db, &db2]);
+        let reverse = run(&[&db2, &db, &db2, &db, &db]);
+        assert_eq!(forward, (3, 2));
+        assert_eq!(forward, reverse);
     }
 }

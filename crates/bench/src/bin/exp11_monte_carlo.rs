@@ -52,6 +52,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         identical,
         "1-worker and 4-worker sweeps must produce identical bytes"
     );
+    // Quantized WCET tables make scenarios repeat adequation inputs, so
+    // the content-addressed schedule cache must actually hit (64
+    // scenarios over at most wcet_tables × policies distinct digests).
+    assert!(
+        serial.summary.cache_hits > 0,
+        "schedule cache recorded no hits across {} scenarios",
+        serial.summary.scenarios.len()
+    );
 
     let md = serial.summary.render();
     println!("{md}");

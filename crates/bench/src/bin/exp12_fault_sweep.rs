@@ -20,7 +20,7 @@
 //!   reproduction is diffed against it.
 
 use ecl_aaa::TimeNs;
-use ecl_bench::fleet::{run_sweep, FaultAxes, SweepConfig, SweepOutput};
+use ecl_bench::fleet::{run_sweep, workers_from_env, FaultAxes, SweepConfig, SweepOutput};
 use ecl_bench::{dc_motor_loop, split_scenario, write_result};
 use ecl_core::report::SweepSummary;
 
@@ -108,13 +108,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // Gate 1: worker invariance of the faulty sweep.
-    let summary = match std::env::var("ECL_FLEET_WORKERS") {
-        Ok(v) => {
-            let workers: usize = v.parse()?;
+    let summary = match workers_from_env()? {
+        Some(workers) => {
             println!("fault sweep on {workers} worker(s) (ECL_FLEET_WORKERS)");
             sweep(&fault_config(workers), 0.3)?.summary
         }
-        Err(_) => {
+        None => {
             let serial = sweep(&fault_config(1), 0.3)?;
             let parallel = sweep(&fault_config(4), 0.3)?;
             assert!(

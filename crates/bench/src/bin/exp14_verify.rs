@@ -24,7 +24,7 @@
 //! and the binary asserts byte identity.
 
 use ecl_aaa::{adequation, codegen, AdequationOptions, ArchitectureGraph, Schedule, TimeNs};
-use ecl_bench::fleet::{run_sweep, SweepConfig, SweepOutput};
+use ecl_bench::fleet::{run_sweep, workers_from_env, SweepConfig, SweepOutput};
 use ecl_bench::{dc_motor_loop, split_scenario, write_result};
 use ecl_control::plants;
 use ecl_core::faults::{CommFault, FaultConfig, FaultPlan};
@@ -227,13 +227,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Gate 3: worker invariance of the self-verifying fleet sweep over
     // randomly perturbed implementations.
-    let summary = match std::env::var("ECL_FLEET_WORKERS") {
-        Ok(v) => {
-            let workers: usize = v.parse()?;
+    let summary = match workers_from_env()? {
+        Some(workers) => {
             println!("verified sweep on {workers} worker(s) (ECL_FLEET_WORKERS)");
             sweep(workers)?.summary
         }
-        Err(_) => {
+        None => {
             let serial = sweep(1)?;
             let parallel = sweep(4)?;
             assert!(

@@ -13,15 +13,25 @@
 //!   the aggregator folds per-scenario results in index order, never in
 //!   completion order.
 //! * **No redundant scheduling** — an [`ScheduleCache`] shared by all
-//!   workers memoizes adequation results by content digest, so scenarios
-//!   that perturb only the period (or repeat a WCET table) skip the
-//!   scheduler.
+//!   workers memoizes adequation results by content digest; scenarios
+//!   draw their WCET jitter from a small set of quantized tables
+//!   ([`SweepConfig::wcet_tables`]), so scenarios sharing a table and
+//!   policy present identical adequation inputs and skip the scheduler.
+//!
+//! With [`SweepConfig::profile`] the sweep additionally records where its
+//! wall time goes: each worker fills a private [`WorkerProfile`] with
+//! per-scenario phase spans (no shared-state writes on the hot path), and
+//! the joined buffers merge index-ordered into
+//! [`SweepOutput::profile`] — the only output carrying wall-clock
+//! readings, so every deterministic artifact stays byte-identical with
+//! profiling on or off.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use ecl_aaa::{codegen, AdequationOptions, MappingPolicy, ScheduleCache, TimeNs, TimingDb};
-use ecl_core::cosim::{self, LoopSpec};
+use ecl_core::cosim::{self, CosimPhases, LoopSpec};
 use ecl_core::faults::{FaultConfig, FaultPlan};
 use ecl_core::report::{
     DegradationSummary, ScenarioOutcome, SweepSummary, ValidationSummary, VerificationSummary,
@@ -29,12 +39,21 @@ use ecl_core::report::{
 use ecl_core::xval;
 use ecl_core::CoreError;
 use ecl_exec::ExecOptions;
-use ecl_telemetry::{Collector, Histogram, PrefixSink, RecordingSink};
+use ecl_telemetry::{
+    Collector, Histogram, Phase, PrefixSink, ProfileReport, RecordingSink, WorkerProfile,
+};
 
 use crate::SplitScenario;
 
 /// Buckets of the sweep-level actuation-latency histogram.
 const SWEEP_BUCKETS: usize = 64;
+
+/// Salt separating the WCET-table seed stream from the scenario seed
+/// stream: table `t`'s factors derive from
+/// [`scenario_seed`]`(base_seed ^ WCET_TABLE_SALT, t)`, so a table's
+/// content depends only on the sweep seed and the table index — never on
+/// which scenario drew it.
+const WCET_TABLE_SALT: u64 = 0x57ce_7ab1_e5a1_7000;
 
 /// The splitmix64 finalizer: a bijective avalanche mix.
 fn splitmix64(mut z: u64) -> u64 {
@@ -140,6 +159,14 @@ pub struct SweepConfig {
     /// Maximum fractional WCET inflation: each operation's WCET is scaled
     /// by a factor drawn uniformly from `[1, 1 + wcet_jitter]`.
     pub wcet_jitter: f64,
+    /// Number of quantized WCET tables the jitter draws are binned into:
+    /// each scenario draws a table *index* and the table's per-operation
+    /// factors derive from `(base_seed, table)` alone. Scenarios sharing
+    /// a table (and mapping policy) present identical adequation inputs,
+    /// so the [`ScheduleCache`] can actually hit — a continuous per-
+    /// scenario draw would make every schedule digest unique and starve
+    /// the cache. Must be at least 1.
+    pub wcet_tables: usize,
     /// Sampling-period scales; each scenario draws one uniformly.
     pub period_scales: Vec<f64>,
     /// Mapping policies, assigned round-robin by scenario index. A
@@ -165,6 +192,12 @@ pub struct SweepConfig {
     /// dominate the measured latencies of the co-simulated run. Off by
     /// default; the report stays byte-identical when off.
     pub verify_static: bool,
+    /// Profile the sweep: every worker records per-scenario phase spans
+    /// into a private [`WorkerProfile`] buffer, merged after the pool
+    /// joins into [`SweepOutput::profile`]. Wall-clock readings live only
+    /// in that sidecar — the summary, histogram and trace artifacts are
+    /// byte-identical with profiling on or off, for any worker count.
+    pub profile: bool,
 }
 
 impl Default for SweepConfig {
@@ -174,6 +207,7 @@ impl Default for SweepConfig {
             scenario_count: 64,
             workers: 1,
             wcet_jitter: 0.30,
+            wcet_tables: 16,
             period_scales: vec![1.0, 1.25, 1.5],
             policies: vec![
                 MappingPolicy::SchedulePressure,
@@ -184,6 +218,7 @@ impl Default for SweepConfig {
             faults: FaultAxes::default(),
             validate_executive: false,
             verify_static: false,
+            profile: false,
         }
     }
 }
@@ -196,7 +231,11 @@ pub struct Scenario {
     pub index: usize,
     /// The derived PRNG seed.
     pub seed: u64,
-    /// Per-operation WCET scale factors, in [`ecl_aaa::OpId`] index order.
+    /// Index of the quantized WCET table this scenario drew.
+    pub wcet_table: usize,
+    /// Per-operation WCET scale factors, in [`ecl_aaa::OpId`] index order
+    /// — the content of table [`wcet_table`](Scenario::wcet_table), a
+    /// function of `(base_seed, wcet_table)` only.
     pub wcet_factors: Vec<f64>,
     /// Sampling-period scale.
     pub period_scale: f64,
@@ -215,12 +254,21 @@ impl Scenario {
     pub fn derive(config: &SweepConfig, base: &SplitScenario, index: usize) -> Scenario {
         let seed = scenario_seed(config.base_seed, index);
         let mut rng = FleetRng::new(seed);
+        // The scenario draws a WCET *table index*; the table's content
+        // comes from its own seed stream, independent of the scenario.
+        // Scenarios sharing a table therefore present byte-identical
+        // timing tables to the scheduler and can share a cached schedule.
+        let wcet_table = rng.below(config.wcet_tables.max(1));
+        let mut table_rng = FleetRng::new(scenario_seed(
+            config.base_seed ^ WCET_TABLE_SALT,
+            wcet_table,
+        ));
         // Ops are visited in index order so draws are reproducible; the
         // timing table itself iterates in unspecified (HashMap) order.
         let wcet_factors: Vec<f64> = base
             .alg
             .ops()
-            .map(|_| 1.0 + config.wcet_jitter * rng.next_f64())
+            .map(|_| 1.0 + config.wcet_jitter * table_rng.next_f64())
             .collect();
         let period_scale = config.period_scales[rng.below(config.period_scales.len())];
         // Fault rates are drawn after the historical axes so that an
@@ -237,6 +285,7 @@ impl Scenario {
         Scenario {
             index,
             seed,
+            wcet_table,
             wcet_factors,
             period_scale,
             policy,
@@ -315,6 +364,58 @@ pub struct SweepOutput {
     /// Merged telemetry of the first `trace_scenarios` scenarios, tracks
     /// prefixed `s<i>:` so timestamps stay monotone per track.
     pub traces: RecordingSink,
+    /// The merged fleet profile ([`SweepConfig::profile`]); `None` when
+    /// profiling is off. The only sweep output carrying wall-clock
+    /// readings.
+    pub profile: Option<ProfileReport>,
+}
+
+/// Like [`map_indexed`], but each worker additionally owns a private
+/// state created by `init(worker_index)` and threaded through every task
+/// it claims; the joined states are returned **in worker-index order**
+/// alongside the results. The fleet profiler rides here: its per-worker
+/// buffers are worker state, so the hot path never writes shared memory.
+pub fn map_indexed_with<R, W, G, F>(count: usize, workers: usize, init: G, f: F) -> (Vec<R>, Vec<W>)
+where
+    R: Send,
+    W: Send,
+    G: Fn(usize) -> W + Sync,
+    F: Fn(usize, &mut W) -> R + Sync,
+{
+    let workers = workers.clamp(1, count.max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..count).map(|_| None).collect());
+    let states: Mutex<Vec<Option<W>>> = Mutex::new((0..workers).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (next, slots, states, init, f) = (&next, &slots, &states, &init, &f);
+            scope.spawn(move || {
+                let mut state = init(w);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= count {
+                        break;
+                    }
+                    let r = f(i, &mut state);
+                    slots.lock().expect("result slots")[i] = Some(r);
+                }
+                states.lock().expect("worker states")[w] = Some(state);
+            });
+        }
+    });
+    let results = slots
+        .into_inner()
+        .expect("result slots")
+        .into_iter()
+        .map(|r| r.expect("every index produced a result"))
+        .collect();
+    let states = states
+        .into_inner()
+        .expect("worker states")
+        .into_iter()
+        .map(|s| s.expect("every worker parked its state"))
+        .collect();
+    (results, states)
 }
 
 /// Runs `f` over `0..count` on `workers` self-scheduling threads and
@@ -326,27 +427,41 @@ where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
-    let workers = workers.clamp(1, count.max(1));
-    let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..count).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let r = f(i);
-                slots.lock().expect("result slots")[i] = Some(r);
-            });
-        }
-    });
-    slots
-        .into_inner()
-        .expect("result slots")
-        .into_iter()
-        .map(|r| r.expect("every index produced a result"))
-        .collect()
+    map_indexed_with(count, workers, |_| (), |i, ()| f(i)).0
+}
+
+/// Parses an `ECL_FLEET_WORKERS` value: a positive integer worker count.
+///
+/// # Errors
+///
+/// Rejects `0` (a sweep with no workers cannot run) and anything
+/// non-numeric, naming the variable so a typo fails loudly instead of
+/// silently falling back to a default.
+pub fn parse_workers(value: &str) -> Result<usize, CoreError> {
+    let trimmed = value.trim();
+    let workers: usize = trimmed.parse().map_err(|_| CoreError::InvalidInput {
+        reason: format!("ECL_FLEET_WORKERS must be a positive integer, got {trimmed:?}"),
+    })?;
+    if workers == 0 {
+        return Err(CoreError::InvalidInput {
+            reason: "ECL_FLEET_WORKERS must be at least 1 (unset it for the default)".into(),
+        });
+    }
+    Ok(workers)
+}
+
+/// The validated worker count from `ECL_FLEET_WORKERS`, or `None` when
+/// the variable is unset.
+///
+/// # Errors
+///
+/// Same as [`parse_workers`] — a set-but-invalid value is an error, never
+/// a silent fallback.
+pub fn workers_from_env() -> Result<Option<usize>, CoreError> {
+    match std::env::var("ECL_FLEET_WORKERS") {
+        Ok(value) => parse_workers(&value).map(Some),
+        Err(_) => Ok(None),
+    }
 }
 
 /// The sweep-level histogram bound: twice the largest scaled period, so
@@ -375,6 +490,20 @@ type ScenarioYield = (
     Option<(usize, usize, Option<i64>)>,
 );
 
+/// Records the synthesis/simulation wall-clock split of one
+/// [`cosim::run_scheduled_phased`] call as two back-to-back profile
+/// spans starting at `start_ns`.
+fn push_cosim_spans(wp: &mut WorkerProfile, scenario: usize, start_ns: u64, phases: CosimPhases) {
+    let synthesized = start_ns + phases.synthesis_wall_ns;
+    wp.push_span(scenario, Phase::Synthesis, start_ns, synthesized);
+    wp.push_span(
+        scenario,
+        Phase::Cosim,
+        synthesized,
+        synthesized + phases.simulation_wall_ns,
+    );
+}
+
 /// Runs one scenario end to end: jitter → (cached) adequation →
 /// graph-of-delays co-simulation → metrics. A scenario with fault rates
 /// also runs its fault-free twin on the same schedule and returns the
@@ -382,21 +511,32 @@ type ScenarioYield = (
 /// [`SweepConfig::validate_executive`] it additionally executes the
 /// generated executives on the virtual machine and returns
 /// `(is_exact, max divergence ns)` against the delay-graph prediction.
+///
+/// Every stage is wrapped in a [`WorkerProfile`] phase; with profiling
+/// off the wrappers are branch-only no-ops and the computation is the
+/// same expression either way, so results cannot depend on the flag.
 fn run_scenario(
     spec: &LoopSpec,
     base: &SplitScenario,
     config: &SweepConfig,
     cache: &ScheduleCache,
     index: usize,
+    wp: &mut WorkerProfile,
 ) -> Result<ScenarioYield, CoreError> {
-    let scenario = Scenario::derive(config, base, index);
-    let db = scenario.jittered_db(base);
+    let (scenario, db) = wp.phase(index, Phase::Derive, |_| {
+        let scenario = Scenario::derive(config, base, index);
+        let db = scenario.jittered_db(base);
+        (scenario, db)
+    });
     let options = AdequationOptions {
         policy: scenario.policy,
     };
-    let schedule = cache
-        .get_or_compute(&base.alg, &base.arch, &db, options)
-        .map_err(CoreError::from)?;
+    let (schedule, digest, hit) = wp.phase(index, Phase::Adequation, |_| {
+        cache
+            .get_or_compute_traced(&base.alg, &base.arch, &db, options)
+            .map_err(CoreError::from)
+    })?;
+    wp.cache_event(index, digest, hit);
 
     let mut spec2 = spec.clone();
     spec2.ts = spec.ts * scenario.period_scale;
@@ -407,7 +547,7 @@ fn run_scenario(
         spec2.ts = makespan_s * 1.05;
     }
 
-    let ideal = cosim::run_ideal(&spec2)?;
+    let ideal = wp.phase(index, Phase::IdealSim, |_| cosim::run_ideal(&spec2))?;
     let traced = index < config.trace_scenarios;
     let periods = (spec2.horizon / spec2.ts).floor().max(1.0) as u32;
     // The plan is a pure function of (config, schedule, arch, periods),
@@ -416,100 +556,123 @@ fn run_scenario(
     let plan = scenario
         .has_faults()
         .then(|| {
-            FaultPlan::generate(
-                &scenario.fault_config(&config.faults),
-                &schedule,
-                &base.arch,
-                periods,
-            )
+            wp.phase(index, Phase::FaultPlan, |_| {
+                FaultPlan::generate(
+                    &scenario.fault_config(&config.faults),
+                    &schedule,
+                    &base.arch,
+                    periods,
+                )
+            })
         })
         .transpose()?;
     let (run, degradation, sink) = if let Some(plan) = &plan {
         // Faulty scenarios compare against a fault-free twin on the same
         // schedule; they never contribute telemetry traces (tracing the
         // degraded replay would double the sink for no new information).
-        let baseline = cosim::run_scheduled(&spec2, &base.alg, &base.io, &schedule, &base.arch)?;
-        let faulty = cosim::run_scheduled_faulty(
+        let t0 = wp.now_ns();
+        let (baseline, base_phases) =
+            cosim::run_scheduled_phased(&spec2, &base.alg, &base.io, &schedule, &base.arch, None)?;
+        push_cosim_spans(wp, index, t0, base_phases);
+        let t1 = wp.now_ns();
+        let (faulty, fault_phases) = cosim::run_scheduled_phased(
             &spec2,
             &base.alg,
             &base.io,
             &schedule,
             &base.arch,
-            plan.clone(),
+            Some(plan.clone()),
         )?;
-        let degradation = DegradationSummary::from_runs(
-            index,
-            plan,
-            &baseline,
-            &faulty,
-            config.cost_bound_ratio,
-        )?;
+        push_cosim_spans(wp, index, t1, fault_phases);
+        let degradation = wp.phase(index, Phase::Metrics, |_| {
+            DegradationSummary::from_runs(index, plan, &baseline, &faulty, config.cost_bound_ratio)
+        })?;
         (faulty, Some(degradation), RecordingSink::default())
     } else if traced {
-        let sink = PrefixSink::new(format!("s{index}:"), RecordingSink::default());
-        let mut tel = Collector::new(sink);
-        let run = cosim::run_scheduled_traced(
-            &spec2, &base.alg, &base.io, &schedule, &base.arch, &mut tel,
-        )?;
-        (run, None, tel.into_sink().into_inner())
+        // The traced driver interleaves synthesis, timeline emission and
+        // simulation, so the whole run is attributed to co-simulation.
+        let (run, sink) = wp.phase(index, Phase::Cosim, |_| {
+            let sink = PrefixSink::new(format!("s{index}:"), RecordingSink::default());
+            let mut tel = Collector::new(sink);
+            let run = cosim::run_scheduled_traced(
+                &spec2, &base.alg, &base.io, &schedule, &base.arch, &mut tel,
+            )?;
+            // Surface the hot-loop engine counters into the same stream:
+            // sim-derived, deterministic, stamped at the horizon.
+            let horizon_ns = TimeNs::from_secs_f64(spec2.horizon).as_nanos();
+            for ev in run.stats_events(horizon_ns) {
+                tel.emit(|| ev);
+            }
+            Ok::<_, CoreError>((run, tel.into_sink().into_inner()))
+        })?;
+        (run, None, sink)
     } else {
-        let run = cosim::run_scheduled(&spec2, &base.alg, &base.io, &schedule, &base.arch)?;
+        let t0 = wp.now_ns();
+        let (run, phases) =
+            cosim::run_scheduled_phased(&spec2, &base.alg, &base.io, &schedule, &base.arch, None)?;
+        push_cosim_spans(wp, index, t0, phases);
         (run, None, RecordingSink::default())
     };
 
-    // Forced rendezvous under faults legitimately pushes sampling past
-    // its period, so degraded runs are measured leniently.
-    let report = if scenario.has_faults() {
-        run.latency_report_lenient()?
-    } else {
-        run.latency_report()?
-    };
-    let mut hist = Histogram::new(sweep_bound_ns(spec, config), SWEEP_BUCKETS);
-    let mut worst = 0i64;
-    for series in &report.actuation {
-        for &v in series.values() {
-            hist.record(v.as_nanos());
-            worst = worst.max(v.as_nanos());
+    let (outcome, hist, report) = wp.phase(index, Phase::Metrics, |_| {
+        // Forced rendezvous under faults legitimately pushes sampling
+        // past its period, so degraded runs are measured leniently.
+        let report = if scenario.has_faults() {
+            run.latency_report_lenient()?
+        } else {
+            run.latency_report()?
+        };
+        let mut hist = Histogram::new(sweep_bound_ns(spec, config), SWEEP_BUCKETS);
+        let mut worst = 0i64;
+        for series in &report.actuation {
+            for &v in series.values() {
+                hist.record(v.as_nanos());
+                worst = worst.max(v.as_nanos());
+            }
         }
-    }
-    let outcome = ScenarioOutcome {
-        index,
-        seed: scenario.seed,
-        label: scenario.label(),
-        cost: run.cost,
-        cost_ratio: run.cost / ideal.cost,
-        makespan_ns: schedule.makespan().as_nanos(),
-        worst_actuation_ns: worst,
-        overruns: report.total_overruns(),
-    };
+        let outcome = ScenarioOutcome {
+            index,
+            seed: scenario.seed,
+            label: scenario.label(),
+            cost: run.cost,
+            cost_ratio: run.cost / ideal.cost,
+            makespan_ns: schedule.makespan().as_nanos(),
+            worst_actuation_ns: worst,
+            overruns: report.total_overruns(),
+        };
+        Ok::<_, CoreError>((outcome, hist, report))
+    })?;
 
     // Measured-vs-modeled cross-validation: execute the generated
     // executives on the virtual machine under the *same* fault plan the
     // co-simulation used, and diff completion instants op by op.
     let validation = if config.validate_executive {
-        let generated =
-            codegen::generate(&schedule, &base.alg, &base.arch).map_err(CoreError::from)?;
-        let period = TimeNs::from_secs_f64(spec2.ts);
-        let opts = ExecOptions {
-            period,
-            periods,
-            faults: plan.as_ref(),
-        };
-        let measured = ecl_exec::run(&generated, &base.arch, &schedule, &opts).map_err(|e| {
-            CoreError::InvalidInput {
-                reason: format!("virtual executive of scenario {index}: {e}"),
-            }
-        })?;
-        let predicted = xval::predict_op_completions(
-            &base.alg,
-            &base.arch,
-            &schedule,
-            period,
-            periods,
-            plan.as_ref(),
-        )?;
-        let report = xval::validate_schedule(&measured.timeline(), &predicted, &base.alg)?;
-        Some((report.is_exact(), report.max_divergence_ns()))
+        wp.phase(index, Phase::Validation, |_| {
+            let generated =
+                codegen::generate(&schedule, &base.alg, &base.arch).map_err(CoreError::from)?;
+            let period = TimeNs::from_secs_f64(spec2.ts);
+            let opts = ExecOptions {
+                period,
+                periods,
+                faults: plan.as_ref(),
+            };
+            let measured =
+                ecl_exec::run(&generated, &base.arch, &schedule, &opts).map_err(|e| {
+                    CoreError::InvalidInput {
+                        reason: format!("virtual executive of scenario {index}: {e}"),
+                    }
+                })?;
+            let predicted = xval::predict_op_completions(
+                &base.alg,
+                &base.arch,
+                &schedule,
+                period,
+                periods,
+                plan.as_ref(),
+            )?;
+            let report = xval::validate_schedule(&measured.timeline(), &predicted, &base.alg)?;
+            Ok::<_, CoreError>(Some((report.is_exact(), report.max_divergence_ns())))
+        })?
     } else {
         None
     };
@@ -518,37 +681,40 @@ fn run_scenario(
     // schedule, then check soundness — the static `Ls`/`La` bounds must
     // dominate every latency the co-simulation measured.
     let verification = if config.verify_static {
-        let period = TimeNs::from_secs_f64(spec2.ts);
-        let vreport =
-            ecl_verify::verify(&base.alg, &base.arch, &db, &schedule, period, plan.as_ref())
-                .map_err(CoreError::from)?;
-        let bounds = vreport
-            .bounds
-            .as_ref()
-            .expect("verify always derives bounds");
-        let margin = if bounds.drop_capable {
-            // Deadline forcing takes over; the retry bounds are unsound
-            // by declaration, so the scenario contributes no margin.
-            None
-        } else {
-            let mut margin: Option<i64> = None;
-            let sensors = base.io.sensors.iter().zip(&report.sampling);
-            let actuators = base.io.actuators.iter().zip(&report.actuation);
-            for (op, series) in sensors.chain(actuators) {
-                if let Some(b) = bounds.bound_for(*op) {
-                    for &v in series.values() {
-                        let m = b.faulty.as_nanos() - v.as_nanos();
-                        margin = Some(margin.map_or(m, |cur| cur.min(m)));
+        wp.phase(index, Phase::Verification, |_| {
+            let period = TimeNs::from_secs_f64(spec2.ts);
+            let vreport =
+                ecl_verify::verify(&base.alg, &base.arch, &db, &schedule, period, plan.as_ref())
+                    .map_err(CoreError::from)?;
+            let bounds = vreport
+                .bounds
+                .as_ref()
+                .expect("verify always derives bounds");
+            let margin = if bounds.drop_capable {
+                // Deadline forcing takes over; the retry bounds are
+                // unsound by declaration, so the scenario contributes no
+                // margin.
+                None
+            } else {
+                let mut margin: Option<i64> = None;
+                let sensors = base.io.sensors.iter().zip(&report.sampling);
+                let actuators = base.io.actuators.iter().zip(&report.actuation);
+                for (op, series) in sensors.chain(actuators) {
+                    if let Some(b) = bounds.bound_for(*op) {
+                        for &v in series.values() {
+                            let m = b.faulty.as_nanos() - v.as_nanos();
+                            margin = Some(margin.map_or(m, |cur| cur.min(m)));
+                        }
                     }
                 }
-            }
-            margin
-        };
-        Some((
-            vreport.count(ecl_verify::Severity::Error),
-            vreport.count(ecl_verify::Severity::Warn),
-            margin,
-        ))
+                margin
+            };
+            Ok::<_, CoreError>(Some((
+                vreport.count(ecl_verify::Severity::Error),
+                vreport.count(ecl_verify::Severity::Warn),
+                margin,
+            )))
+        })?
     } else {
         None
     };
@@ -571,9 +737,19 @@ pub fn run_sweep(
     config: &SweepConfig,
 ) -> Result<SweepOutput, CoreError> {
     let cache = ScheduleCache::new();
-    let results = map_indexed(config.scenario_count, config.workers, |i| {
-        run_scenario(spec, base, config, &cache, i)
-    });
+    // One shared epoch so every worker's spans share a time base; the
+    // buffers themselves are per-worker state — no hot-path sharing.
+    let epoch = Instant::now();
+    let (results, buffers) = map_indexed_with(
+        config.scenario_count,
+        config.workers,
+        |worker| WorkerProfile::new(worker, epoch, config.profile),
+        |i, wp| wp.task(|wp| run_scenario(spec, base, config, &cache, i, wp)),
+    );
+    let wall_ns = epoch.elapsed().as_nanos() as u64;
+    let profile = config
+        .profile
+        .then(|| ProfileReport::from_workers(wall_ns, buffers));
 
     let mut scenarios = Vec::with_capacity(config.scenario_count);
     let mut degradations = Vec::new();
@@ -631,6 +807,7 @@ pub fn run_sweep(
         },
         actuation_hist: merged,
         traces,
+        profile,
     })
 }
 
@@ -679,6 +856,43 @@ mod tests {
             assert_eq!(out, (0..17).map(|i| i * i).collect::<Vec<_>>());
         }
         assert!(map_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn map_indexed_with_returns_worker_states_in_index_order() {
+        for workers in [1, 3, 8] {
+            let (results, states) = map_indexed_with(
+                20,
+                workers,
+                |w| (w, 0usize),
+                |i, s: &mut (usize, usize)| {
+                    s.1 += 1;
+                    i * 2
+                },
+            );
+            assert_eq!(results, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+            // One state per spawned worker, in worker-index order, and
+            // the claim counts cover all tasks exactly once.
+            assert_eq!(states.len(), workers.min(20));
+            for (w, state) in states.iter().enumerate() {
+                assert_eq!(state.0, w);
+            }
+            assert_eq!(states.iter().map(|s| s.1).sum::<usize>(), 20);
+        }
+    }
+
+    #[test]
+    fn parse_workers_rejects_zero_and_garbage() {
+        assert_eq!(parse_workers("1").unwrap(), 1);
+        assert_eq!(parse_workers(" 8 ").unwrap(), 8);
+        for bad in ["0", "", "four", "-2", "1.5", "0x4"] {
+            let err = parse_workers(bad).expect_err(bad);
+            let msg = err.to_string();
+            assert!(
+                msg.contains("ECL_FLEET_WORKERS"),
+                "error for {bad:?} must name the variable: {msg}"
+            );
+        }
     }
 
     #[test]
@@ -738,6 +952,131 @@ mod tests {
         assert!(serial.summary.degradations.is_empty());
         assert!(!serial.summary.render().contains("Fault degradation"));
         assert!(!serial.summary.to_json().contains("degradations"));
+    }
+
+    /// Regression test for the `cache_hits: 0` bug: the digest covers
+    /// exactly the adequation inputs, and quantized WCET tables mean
+    /// scenarios actually repeat those inputs. With 2 tables and 2
+    /// round-robin policies, 8 scenarios share at most 4 distinct
+    /// digests, so at least 4 hits are guaranteed by pigeonhole — for
+    /// any worker count, with identical counters.
+    #[test]
+    fn quantized_wcet_tables_produce_cache_hits() {
+        let base = small_base();
+        let spec = dc_motor_loop(0.3).unwrap();
+        let config = |workers| SweepConfig {
+            wcet_tables: 2,
+            ..small_config(workers)
+        };
+        let serial = run_sweep(&spec, &base, &config(1)).unwrap();
+        let parallel = run_sweep(&spec, &base, &config(4)).unwrap();
+        let s = &serial.summary;
+        assert_eq!(s.cache_hits + s.cache_misses, 8, "one lookup per scenario");
+        assert!(
+            s.cache_hits >= 4,
+            "8 scenarios over <= 4 digests must hit at least 4 times, got {}",
+            s.cache_hits
+        );
+        assert_eq!(
+            (s.cache_hits, s.cache_misses),
+            (parallel.summary.cache_hits, parallel.summary.cache_misses),
+            "cache counters must not depend on worker count"
+        );
+        assert_eq!(serial.summary, parallel.summary);
+        // Scenarios sharing a table drew byte-identical factor vectors.
+        let scenarios: Vec<Scenario> = (0..8)
+            .map(|i| Scenario::derive(&config(1), &base, i))
+            .collect();
+        for a in &scenarios {
+            for b in &scenarios {
+                if a.wcet_table == b.wcet_table {
+                    assert_eq!(a.wcet_factors, b.wcet_factors);
+                }
+            }
+        }
+        assert!(scenarios.iter().any(|s| s.wcet_table == 0));
+        assert!(scenarios.iter().any(|s| s.wcet_table == 1));
+    }
+
+    #[test]
+    fn profiled_sweep_keeps_artifacts_identical_and_attributes_phases() {
+        let base = small_base();
+        let spec = dc_motor_loop(0.3).unwrap();
+        let plain = run_sweep(&spec, &base, &small_config(1)).unwrap();
+        assert!(plain.profile.is_none(), "profiling is off by default");
+        let config = |workers| SweepConfig {
+            profile: true,
+            ..small_config(workers)
+        };
+        let serial = run_sweep(&spec, &base, &config(1)).unwrap();
+        let parallel = run_sweep(&spec, &base, &config(4)).unwrap();
+
+        // Profiling must not perturb any deterministic artifact — on or
+        // off, 1 or 4 workers.
+        assert_eq!(plain.summary, serial.summary);
+        assert_eq!(serial.summary, parallel.summary);
+        assert_eq!(serial.summary.render(), parallel.summary.render());
+        assert_eq!(serial.summary.to_json(), parallel.summary.to_json());
+        assert_eq!(plain.actuation_hist, serial.actuation_hist);
+        assert_eq!(serial.actuation_hist, parallel.actuation_hist);
+        assert_eq!(plain.traces, serial.traces);
+        assert_eq!(serial.traces, parallel.traces);
+
+        let p1 = serial.profile.expect("profiling was requested");
+        let p4 = parallel.profile.expect("profiling was requested");
+        assert_eq!(p1.workers.len(), 1);
+        assert_eq!(p4.workers.len(), 4);
+        assert_eq!(p1.workers[0].tasks, 8);
+        assert_eq!(p4.workers.iter().map(|w| w.tasks).sum::<u64>(), 8);
+
+        // Every scenario contributes its pipeline phases exactly once.
+        let count = |p: &ProfileReport, phase: Phase| {
+            p.phases
+                .iter()
+                .find(|s| s.phase == phase)
+                .map_or(0, |s| s.count)
+        };
+        for p in [&p1, &p4] {
+            assert_eq!(count(p, Phase::Derive), 8);
+            assert_eq!(count(p, Phase::Adequation), 8);
+            assert_eq!(count(p, Phase::IdealSim), 8);
+            assert_eq!(count(p, Phase::Cosim), 8);
+            assert_eq!(count(p, Phase::FaultPlan), 0, "fault-free sweep");
+            // The per-phase histogram holds one observation per span.
+            for stat in &p.phases {
+                assert_eq!(stat.hist.count(), stat.count);
+                assert_eq!(stat.hist.overflow(), 0);
+            }
+        }
+
+        // Cache attribution is keyed by digest and structurally
+        // worker-count-invariant (per-digest lookup counts; only the
+        // worker-local hit observations may differ).
+        assert_eq!(p1.cache_lookups(), 8);
+        assert_eq!(p4.cache_lookups(), 8);
+        let shape = |p: &ProfileReport| {
+            p.cache
+                .iter()
+                .map(|l| (l.digest, l.lookups, l.scenarios.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(shape(&p1), shape(&p4));
+
+        // Attribution: the named phases cover the bulk of busy time, and
+        // the report is internally consistent.
+        assert!(p1.wall_ns > 0);
+        assert!(p1.attributed_ns() <= p1.busy_ns());
+        let frac = p1.attributed_fraction();
+        assert!(
+            frac > 0.5 && frac <= 1.0,
+            "implausible attributed fraction {frac}"
+        );
+        assert!(p1.utilization() > 0.0 && p1.utilization() <= 1.0);
+
+        // The exporters agree with the lanes.
+        assert!(!p1.to_events().is_empty());
+        assert!(p1.render().contains("co-simulation"));
+        assert_eq!(p4.gantt(40).lines().count(), 1 + 4);
     }
 
     fn faulty_config(workers: usize) -> SweepConfig {

@@ -212,6 +212,51 @@ impl LoopResult {
         }
         Ok(rep)
     }
+
+    /// The run's hot-loop counters as telemetry [`Event::Counter`]s at
+    /// simulated instant `at_ns` (typically the horizon): one `stats:*`
+    /// track per [`EngineStats`] counter plus one `activity:*` track per
+    /// active block. Every value is sim-derived and deterministic, so the
+    /// events are safe to mix into byte-compared trace artifacts.
+    pub fn stats_events(&self, at_ns: i64) -> Vec<Event> {
+        let counter = |track: &str, value: u64| Event::Counter {
+            track: format!("stats:{track}"),
+            name: track.to_string(),
+            at_ns,
+            value_ns: value as i64,
+        };
+        let mut events = vec![
+            counter("events_delivered", self.stats.events_delivered),
+            counter("event_instants", self.stats.event_instants),
+            counter("calendar_peak", self.stats.calendar_peak as u64),
+            counter("max_cascade", self.stats.max_cascade as u64),
+            counter("integration_spans", self.stats.integration_spans),
+            counter("ode_steps_accepted", self.stats.ode.steps_accepted),
+            counter("ode_steps_rejected", self.stats.ode.steps_rejected),
+            counter("ode_rhs_evals", self.stats.ode.rhs_evals),
+        ];
+        for (block, count) in &self.activity {
+            events.push(Event::Counter {
+                track: format!("activity:{block}"),
+                name: block.clone(),
+                at_ns,
+                value_ns: *count as i64,
+            });
+        }
+        events
+    }
+}
+
+/// Wall-clock split of one scheduled run, measured by
+/// [`run_scheduled_phased`]: model assembly + graph-of-delays synthesis
+/// versus the simulation itself. Profiler sidecar data — never part of a
+/// deterministic artifact.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CosimPhases {
+    /// Wall time of [`wire_scheduled`]: assembly + delay-graph synthesis.
+    pub synthesis_wall_ns: u64,
+    /// Wall time of the simulation (including latency extraction).
+    pub simulation_wall_ns: u64,
 }
 
 /// The blocks shared by the ideal and scheduled assemblies.
@@ -804,6 +849,44 @@ pub fn run_scheduled_with(
 ) -> Result<LoopResult, CoreError> {
     let lm = wire_scheduled(spec, alg, io, schedule, arch, configure)?;
     finish(spec, lm)
+}
+
+/// Like [`run_scheduled`] / [`run_scheduled_faulty`] (chosen by whether
+/// `faults` is given), additionally measuring the wall-clock split
+/// between delay-graph synthesis and the simulation itself for the fleet
+/// profiler. The returned [`LoopResult`] is byte-identical to the
+/// unphased drivers' — the measurement only reads the monotonic clock
+/// around the two stages.
+///
+/// # Errors
+///
+/// Same as [`run_scheduled`].
+pub fn run_scheduled_phased(
+    spec: &LoopSpec,
+    alg: &AlgorithmGraph,
+    io: &IoMap,
+    schedule: &Schedule,
+    arch: &ArchitectureGraph,
+    faults: Option<FaultPlan>,
+) -> Result<(LoopResult, CosimPhases), CoreError> {
+    let t0 = std::time::Instant::now();
+    let lm = wire_scheduled(spec, alg, io, schedule, arch, move |_| {
+        Ok(DelayGraphConfig {
+            faults,
+            ..DelayGraphConfig::default()
+        })
+    })?;
+    let synthesis_wall_ns = t0.elapsed().as_nanos() as u64;
+    let t1 = std::time::Instant::now();
+    let result = finish(spec, lm)?;
+    let simulation_wall_ns = t1.elapsed().as_nanos() as u64;
+    Ok((
+        result,
+        CosimPhases {
+            synthesis_wall_ns,
+            simulation_wall_ns,
+        },
+    ))
 }
 
 /// Assembles the loop model and synthesizes the graph of delays from the

@@ -16,7 +16,10 @@
 //!   `min`/`max`/`count`/`mean` and clamped p50/p95/p99 in nanoseconds;
 //! - [`trace`] — a Chrome trace-event-format writer (one JSON event per
 //!   line) viewable in `chrome://tracing` or Perfetto, plus [`json`], a
-//!   minimal parser used to validate emitted traces in tests.
+//!   minimal parser used to validate emitted traces in tests;
+//! - [`profile`] — the fleet profiler: per-worker, per-phase attribution
+//!   of sweep wall time ([`WorkerProfile`] hot-path buffers merged
+//!   index-ordered into a [`ProfileReport`] sidecar).
 //!
 //! Everything sim-derived in an [`Event`] carries integer nanoseconds of
 //! *simulated* time; wall-clock appears only in span events. Recording a
@@ -49,9 +52,11 @@ mod counts;
 mod event;
 mod hist;
 pub mod json;
+pub mod profile;
 pub mod trace;
 
 pub use collector::Collector;
 pub use counts::Counts;
 pub use event::{Event, NoopSink, PrefixSink, RecordingSink, Sink};
 pub use hist::{Histogram, Summary};
+pub use profile::{Phase, ProfileReport, ProfileSpan, WorkerProfile};

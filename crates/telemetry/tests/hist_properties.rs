@@ -57,4 +57,29 @@ proptest! {
             }
         }
     }
+
+    /// The fleet-profiler merge invariant: however a sweep's observations
+    /// are partitioned across per-worker histograms (any worker count,
+    /// any claim order), the index-ordered merge equals the histogram a
+    /// single worker would have recorded.
+    #[test]
+    fn k_way_worker_merge_equals_single_worker(
+        bound in 1i64..5_000,
+        buckets in 1usize..50,
+        workers in 1usize..8,
+        values in proptest::collection::vec((-10_000i64..10_000, 0usize..8), 0..200),
+    ) {
+        let mut single = Histogram::new(bound, buckets);
+        let mut per_worker = vec![Histogram::new(bound, buckets); workers];
+        for &(v, claim) in &values {
+            single.record(v);
+            per_worker[claim % workers].record(v);
+        }
+        let mut merged = Histogram::new(bound, buckets);
+        for h in &per_worker {
+            merged.merge(h);
+        }
+        prop_assert_eq!(&merged, &single);
+        prop_assert_eq!(merged.count(), values.len() as u64);
+    }
 }

@@ -77,4 +77,22 @@ test -s results/BENCH_exp14.json
 test -s results/exp14_verify.txt
 cargo test -q --offline -p ecl-verify --lib -- --test-threads=1
 
+# E15-PROFILE: the fleet profiler must attribute >= 95% of worker busy
+# time to named phases (asserted internally and recorded in
+# BENCH_exp15.json), the fault-axis sweep must hit the schedule cache,
+# and — the point of the exercise — the deterministic sweep report must
+# stay byte-identical across worker counts with profiling ON (only the
+# PROFILE_* / BENCH_* sidecars may carry wall-clock content).
+echo "== E15-PROFILE attribution + determinism check =="
+ECL_FLEET_WORKERS=1 cargo run -q --offline --release -p ecl-bench --bin exp15_profile >/dev/null
+cp results/exp15_profile.txt results/exp15_profile.w1.txt
+ECL_FLEET_WORKERS=4 cargo run -q --offline --release -p ecl-bench --bin exp15_profile >/dev/null
+diff results/exp15_profile.w1.txt results/exp15_profile.txt
+rm results/exp15_profile.w1.txt
+grep -q '"attribution_ge_95":true' results/BENCH_exp15.json
+test -s results/PROFILE_exp15.json
+test -s results/PROFILE_exp15.txt
+test -s results/PROFILE_exp15.trace.json
+test -s results/exp15_profile.txt
+
 echo "All checks passed."
