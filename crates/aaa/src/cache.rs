@@ -20,34 +20,62 @@ use crate::timing::TimingDb;
 use crate::AaaError;
 
 /// FNV-1a, 64 bit — a stable, dependency-free content hash. `std`'s
-/// `DefaultHasher` is deliberately unspecified across releases; the digest
-/// below must be reproducible so cache statistics (and any persisted
-/// keys) mean the same thing on every toolchain.
-struct Fnv1a(u64);
+/// `DefaultHasher` is deliberately unspecified across releases; the
+/// digests built on this hasher must be reproducible so cache statistics
+/// (and any persisted keys) mean the same thing on every toolchain.
+///
+/// Public so other content-addressed memo tables (e.g. the ideal-run
+/// memo in `ecl-core`) key on the exact same hash family as
+/// [`schedule_digest`].
+#[derive(Debug)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
 
 impl Fnv1a {
-    fn new() -> Self {
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
         Fnv1a(0xcbf2_9ce4_8422_2325)
     }
 
-    fn write(&mut self, bytes: &[u8]) {
+    /// Mixes raw bytes into the digest.
+    pub fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x100_0000_01b3);
         }
     }
 
-    fn write_u64(&mut self, v: u64) {
+    /// Mixes a `u64` (little-endian) into the digest.
+    pub fn write_u64(&mut self, v: u64) {
         self.write(&v.to_le_bytes());
     }
 
-    fn write_i64(&mut self, v: i64) {
+    /// Mixes an `i64` (little-endian) into the digest.
+    pub fn write_i64(&mut self, v: i64) {
         self.write(&v.to_le_bytes());
     }
 
-    fn write_str(&mut self, s: &str) {
+    /// Mixes an `f64` by its exact bit pattern: distinct bit patterns
+    /// (including `-0.0` vs `0.0`) digest differently, which is what a
+    /// byte-determinism cache key needs.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Mixes a length-prefixed string into the digest.
+    pub fn write_str(&mut self, s: &str) {
         self.write_u64(s.len() as u64);
         self.write(s.as_bytes());
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.0
     }
 }
 

@@ -82,6 +82,13 @@ impl EventActions {
         EventActions::default()
     }
 
+    /// Creates an empty action set with room for `cap` emissions.
+    pub(crate) fn with_capacity(cap: usize) -> Self {
+        EventActions {
+            emissions: Vec::with_capacity(cap),
+        }
+    }
+
     /// Requests an event on event-output `port`, `delay` after the current
     /// instant. `TimeNs::ZERO` emits at the current instant (after the
     /// current event finishes — Scicos "end of execution" semantics).
@@ -97,11 +104,6 @@ impl EventActions {
     /// `true` if nothing was emitted.
     pub fn is_empty(&self) -> bool {
         self.emissions.is_empty()
-    }
-
-    /// Drains and returns the queued emissions.
-    pub(crate) fn take(&mut self) -> Vec<(usize, TimeNs)> {
-        std::mem::take(&mut self.emissions)
     }
 }
 
@@ -285,8 +287,11 @@ mod tests {
         a.emit(0, TimeNs::ZERO);
         a.emit(1, TimeNs::from_millis(5));
         assert_eq!(a.len(), 2);
-        let taken = a.take();
-        assert_eq!(taken, vec![(0, TimeNs::ZERO), (1, TimeNs::from_millis(5))]);
+        assert_eq!(
+            a.emissions,
+            vec![(0, TimeNs::ZERO), (1, TimeNs::from_millis(5))]
+        );
+        a.emissions.clear();
         assert!(a.is_empty());
     }
 

@@ -64,11 +64,17 @@ pub struct Simulator {
     eval_order: Vec<usize>,
     /// `evt_routes[block][out_port]` lists `(target, event_in)` pairs.
     evt_routes: Vec<Vec<Vec<(usize, usize)>>>,
+    /// For each probe, the flat output index it reads (structure-of-arrays
+    /// layout: the probe pass touches only this vector and `outputs`).
+    probe_src: Vec<usize>,
     /// Joint continuous state.
     x: Vec<f64>,
     calendar: EventCalendar,
     now: TimeNs,
     started: bool,
+    /// Reusable emission queue for event deliveries; pre-sized so the
+    /// hot path never allocates (growth bumps `EngineStats::hot_allocs`).
+    scratch_actions: EventActions,
     result: SimResult,
     stats: EngineStats,
 }
@@ -173,6 +179,11 @@ impl Simulator {
             events: Vec::new(),
             end_time: TimeNs::ZERO,
         };
+        let probe_src = model
+            .probes
+            .iter()
+            .map(|p| out_off[p.block.index()] + p.out)
+            .collect();
 
         Ok(Simulator {
             stats: EngineStats::new(n),
@@ -186,10 +197,12 @@ impl Simulator {
             input_src,
             eval_order,
             evt_routes,
+            probe_src,
             x,
             calendar: EventCalendar::new(),
             now: TimeNs::ZERO,
             started: false,
+            scratch_actions: EventActions::with_capacity(8),
             result,
         })
     }
@@ -222,7 +235,13 @@ impl Simulator {
     }
 
     /// Advances the simulation to `until` (inclusive of events at exactly
-    /// `until`) and returns the accumulated results so far.
+    /// `until`) and returns a borrowed view of the accumulated results.
+    ///
+    /// The returned reference keeps the simulator mutably borrowed; call
+    /// [`result`](Simulator::result) afterwards to read the results
+    /// alongside other accessors ([`stats`](Simulator::stats),
+    /// [`model`](Simulator::model)), or [`into_result`](Simulator::into_result)
+    /// to take ownership without copying.
     ///
     /// # Errors
     ///
@@ -230,7 +249,7 @@ impl Simulator {
     /// * Event-emission validation errors ([`SimError::InvalidEmit`],
     ///   [`SimError::NegativeDelay`], [`SimError::EventCascadeOverflow`]).
     /// * [`SimError::IntegrationFailure`] from the ODE solver.
-    pub fn run(&mut self, until: TimeNs) -> Result<SimResult, SimError> {
+    pub fn run(&mut self, until: TimeNs) -> Result<&SimResult, SimError> {
         if until < self.now {
             return Err(SimError::InvalidHorizon {
                 now: self.now,
@@ -240,9 +259,10 @@ impl Simulator {
         if !self.started {
             self.started = true;
             for b in 0..self.model.entries.len() {
-                let mut actions = EventActions::new();
+                let mut actions = std::mem::take(&mut self.scratch_actions);
                 self.model.entries[b].block.on_start(&mut actions);
-                self.schedule_actions(b, actions)?;
+                self.schedule_actions(b, &mut actions)?;
+                self.scratch_actions = actions;
             }
             self.eval_outputs_committed();
             self.record_probes();
@@ -265,24 +285,39 @@ impl Simulator {
             }
         }
         self.result.end_time = self.now;
-        Ok(self.result.clone())
+        Ok(&self.result)
+    }
+
+    /// The results accumulated by [`run`](Simulator::run) calls so far.
+    pub fn result(&self) -> &SimResult {
+        &self.result
+    }
+
+    /// Consumes the simulator, returning the accumulated results without
+    /// copying the trace.
+    pub fn into_result(self) -> SimResult {
+        self.result
     }
 
     /// Integrates the continuous state from `self.now` to `t_end`,
     /// recording probes every `record_dt`.
+    ///
+    /// Chunk boundaries are integer-nanosecond instants derived by
+    /// repeated addition of the nanosecond-rounded `record_dt` — exact in
+    /// `i64`, so probe instants never drift off the recording grid no
+    /// matter how many chunks a span covers (an `f64` accumulator loses
+    /// ~1 ulp per chunk and wanders off-grid over long horizons).
     fn integrate_span(&mut self, t_end: TimeNs) -> Result<(), SimError> {
-        let t0 = self.now.as_secs_f64();
-        let t1 = t_end.as_secs_f64();
         if self.x.is_empty() {
             self.now = t_end;
             self.eval_outputs_committed();
             self.record_probes();
             return Ok(());
         }
-        let mut t = t0;
-        let dt = self.opts.record_dt.max(1e-12);
-        while t < t1 {
-            let chunk_end = (t + dt).min(t1);
+        let dt = TimeNs::from_secs_f64(self.opts.record_dt.max(1e-12)).max(TimeNs::from_nanos(1));
+        while self.now < t_end {
+            let chunk_end = self.now.saturating_add(dt).min(t_end);
+            let (a, b) = (self.now.as_secs_f64(), chunk_end.as_secs_f64());
             {
                 let mut rhs = EngineRhs {
                     entries: &mut self.model.entries,
@@ -294,34 +329,34 @@ impl Simulator {
                     outputs: &mut self.outputs,
                     input_src: &self.input_src,
                 };
-                let ode_stats =
-                    ode::integrate(&mut rhs, t, chunk_end, &mut self.x, self.opts.integrator)?;
+                let ode_stats = ode::integrate(&mut rhs, a, b, &mut self.x, self.opts.integrator)?;
                 self.stats.ode.merge(ode_stats);
                 self.stats.integration_spans += 1;
             }
-            t = chunk_end;
-            self.now = if t >= t1 {
-                t_end
-            } else {
-                TimeNs::from_secs_f64(t)
-            };
+            self.now = chunk_end;
             self.eval_outputs_committed();
             self.record_probes();
         }
-        self.now = t_end;
         Ok(())
     }
 
     /// Processes every event scheduled at the current instant (including
     /// zero-delay follow-ups), then records probes once.
+    ///
+    /// Allocation-free in steady state: routes are walked by index, the
+    /// activated block borrows its input slice directly from the flat
+    /// input buffer (disjoint from the mutably borrowed model), and the
+    /// emission queue is a reusable scratch buffer whose growth is the
+    /// only heap traffic (counted in [`EngineStats::hot_allocs`]).
     fn process_instant(&mut self) -> Result<(), SimError> {
         let now = self.now;
         self.stats.event_instants += 1;
         let mut deliveries = 0usize;
         while self.calendar.peek_time() == Some(now) {
             let ev = self.calendar.pop().expect("peeked");
-            let routes = self.evt_routes[ev.emitter.index()][ev.out_port].clone();
-            for (dst, port) in routes {
+            let (em, out) = (ev.emitter.index(), ev.out_port);
+            for r in 0..self.evt_routes[em][out].len() {
+                let (dst, port) = self.evt_routes[em][out][r];
                 deliveries += 1;
                 self.stats.count_activation(dst);
                 if deliveries > self.opts.cascade_limit {
@@ -334,17 +369,23 @@ impl Simulator {
                 // inputs (including effects of earlier same-instant events).
                 self.eval_outputs_committed();
                 let spec = self.model.entries[dst].spec;
-                let in_vals: Vec<f64> =
-                    self.inputs[self.in_off[dst]..self.in_off[dst] + spec.inputs].to_vec();
-                let mut actions = EventActions::new();
+                let mut actions = std::mem::take(&mut self.scratch_actions);
+                let cap = actions.emissions.capacity();
                 {
+                    // `inputs` is a shared borrow of the flat input buffer,
+                    // `block` a mutable borrow of the model — disjoint
+                    // fields, so no defensive copy is needed.
                     let mut ctx = EventCtx {
-                        inputs: &in_vals,
+                        inputs: &self.inputs[self.in_off[dst]..self.in_off[dst] + spec.inputs],
                         actions: &mut actions,
                     };
                     self.model.entries[dst].block.on_event(port, now, &mut ctx);
                 }
-                self.schedule_actions(dst, actions)?;
+                if actions.emissions.capacity() != cap {
+                    self.stats.hot_allocs += 1;
+                }
+                self.schedule_actions(dst, &mut actions)?;
+                self.scratch_actions = actions;
                 self.result.events.push(EventRecord {
                     time: now,
                     emitter: ev.emitter,
@@ -360,9 +401,11 @@ impl Simulator {
         Ok(())
     }
 
-    /// Validates and schedules the emissions queued by block `b`.
-    fn schedule_actions(&mut self, b: usize, mut actions: EventActions) -> Result<(), SimError> {
-        for (port, delay) in actions.take() {
+    /// Validates and schedules the emissions queued by block `b`, then
+    /// clears the queue (capacity is retained for reuse).
+    fn schedule_actions(&mut self, b: usize, actions: &mut EventActions) -> Result<(), SimError> {
+        for i in 0..actions.emissions.len() {
+            let (port, delay) = actions.emissions[i];
             let spec = self.model.entries[b].spec;
             if port >= spec.event_outputs {
                 return Err(SimError::InvalidEmit {
@@ -381,6 +424,7 @@ impl Simulator {
                 .schedule(self.now + delay, BlockId::from_index(b), port);
             self.stats.calendar_peak = self.stats.calendar_peak.max(self.calendar.len());
         }
+        actions.emissions.clear();
         Ok(())
     }
 
@@ -403,9 +447,8 @@ impl Simulator {
 
     fn record_probes(&mut self) {
         let t = self.now.as_secs_f64();
-        for (i, p) in self.model.probes.iter().enumerate() {
-            let v = self.outputs[self.out_off[p.block.index()] + p.out];
-            self.result.signals[i].1.push(t, v);
+        for (i, &src) in self.probe_src.iter().enumerate() {
+            self.result.signals[i].1.push(t, self.outputs[src]);
         }
     }
 }
@@ -440,14 +483,13 @@ fn eval_outputs(
         }
         let ns = entries[b].block.num_states();
         let xs = &x[state_off[b]..state_off[b] + ns];
+        // `ins` borrows `inputs` immutably while `outs` borrows `outputs`
+        // mutably — distinct buffers, so no defensive copy is needed.
         let (ins, outs) = (
             &inputs[in_off[b]..in_off[b] + spec.inputs],
             &mut outputs[out_off[b]..out_off[b] + spec.outputs],
         );
-        // `ins` borrows `inputs` immutably while `outs` borrows `outputs`
-        // mutably — distinct buffers, so this is fine.
-        let ins = ins.to_vec();
-        entries[b].block.outputs(t, xs, &ins, outs);
+        entries[b].block.outputs(t, xs, ins, outs);
     }
     // Refresh every input from the now-final outputs: non-feedthrough
     // blocks may be ordered before their drivers, so the values pulled
@@ -690,7 +732,8 @@ mod tests {
         m.connect(c, 0, s, 0).unwrap();
         m.connect_event(clk, 0, s, 0).unwrap();
         let mut sim = Simulator::new(m, SimOptions::default()).unwrap();
-        let r = sim.run(TimeNs::from_millis(1000)).unwrap();
+        sim.run(TimeNs::from_millis(1000)).unwrap();
+        let r = sim.result();
         let smp = sim.model().block_as::<Sampler>(s).unwrap();
         // events at 0, 100, ..., 1000 ms inclusive = 11 samples
         assert_eq!(smp.samples.len(), 11);
@@ -1001,6 +1044,73 @@ mod tests {
         let mut sim2 = Simulator::new(m2, SimOptions::default()).unwrap();
         sim2.run(TimeNs::from_millis(950)).unwrap();
         assert_eq!(*sim2.stats(), stats);
+    }
+
+    /// Probe instants must sit exactly on the `record_dt` grid no matter
+    /// how many chunks a span covers. An `f64` time accumulator loses
+    /// ~1 ulp per chunk; over 10⁶ chunks at t ≈ 10³ s the drift reaches
+    /// tens of nanoseconds and probe instants wander off-grid. The
+    /// integer-chunk boundaries are exact, so every recorded instant
+    /// round-trips onto the grid.
+    #[test]
+    fn probe_instants_stay_on_grid_over_a_million_chunks() {
+        let mut m = Model::new();
+        let c = m.add_block("c", Const(1e-3));
+        let i = m.add_block("i", Integ { x0: 0.0 });
+        m.connect(c, 0, i, 0).unwrap();
+        m.probe("x", i, 0).unwrap();
+        let mut sim = Simulator::new(
+            m,
+            SimOptions {
+                // Fixed-step RK4, one step per chunk: the cheapest way to
+                // drive the chunk loop a million times.
+                integrator: crate::ode::Integrator::Rk4 { h: 1e-3 },
+                record_dt: 1e-3,
+                ..SimOptions::default()
+            },
+        )
+        .unwrap();
+        let r = sim.run(TimeNs::from_secs(1000)).unwrap();
+        let x = r.signal("x").unwrap();
+        assert_eq!(x.len(), 1_000_001);
+        let grid = TimeNs::from_millis(1);
+        for (k, &t) in x.times().iter().enumerate() {
+            let expected = grid * k as i64;
+            assert_eq!(
+                TimeNs::from_secs_f64(t),
+                expected,
+                "sample {k} drifted off the record_dt grid: {t} vs {expected}"
+            );
+        }
+        assert_eq!(sim.stats().integration_spans, 1_000_000);
+    }
+
+    /// The event hot path must not allocate in steady state: route walks,
+    /// input staging and the emission queue all reuse engine-owned
+    /// buffers, so the regression counter stays at zero across a run
+    /// with thousands of deliveries.
+    #[test]
+    fn hot_path_is_allocation_free() {
+        let (mut m, clk) = clocked(1);
+        let c = m.add_block("c", Const(3.0));
+        let s = m.add_block(
+            "s",
+            Sampler {
+                held: 0.0,
+                samples: vec![],
+            },
+        );
+        m.connect(c, 0, s, 0).unwrap();
+        m.connect_event(clk, 0, s, 0).unwrap();
+        let mut sim = Simulator::new(m, SimOptions::default()).unwrap();
+        sim.run(TimeNs::from_secs(2)).unwrap();
+        assert!(sim.stats().events_delivered > 4000);
+        assert_eq!(
+            sim.stats().hot_allocs,
+            0,
+            "event hot path allocated {} times",
+            sim.stats().hot_allocs
+        );
     }
 
     #[test]

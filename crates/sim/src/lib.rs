@@ -62,7 +62,8 @@
 //! model.connect_event(tick, 0, tick, 0)?;    // self-loop drives the period
 //! model.connect_event(tick, 0, counter, 0)?;
 //! let mut sim = Simulator::new(model, SimOptions::default())?;
-//! let result = sim.run(TimeNs::from_millis(95))?;
+//! sim.run(TimeNs::from_millis(95))?;   // returns &SimResult; `result()`
+//! let result = sim.result();           // re-borrows it shared
 //! let counter_ref: &Counter = sim.model().block_as(counter).unwrap();
 //! assert_eq!(counter_ref.n, 10); // t = 0, 10, ..., 90
 //! assert!(result.event_log().len() >= 10);

@@ -95,4 +95,21 @@ test -s results/PROFILE_exp15.txt
 test -s results/PROFILE_exp15.trace.json
 test -s results/exp15_profile.txt
 
+# E16-SCALE: the allocation-free kernel + ideal-run memo must carry a
+# 100k-scenario sweep: the deterministic digest report must stay
+# byte-identical across worker counts, the sim-kernel hot loop must
+# report zero steady-state allocations, and throughput must clear 3x
+# the archived PR6 baseline (booleans recorded in BENCH_exp16.json).
+echo "== E16-SCALE 100k-scenario throughput + determinism check =="
+ECL_FLEET_WORKERS=1 cargo run -q --offline --release -p ecl-bench --bin exp16_scale >/dev/null
+cp results/exp16_scale.txt results/exp16_scale.w1.txt
+ECL_FLEET_WORKERS=4 cargo run -q --offline --release -p ecl-bench --bin exp16_scale >/dev/null
+diff results/exp16_scale.w1.txt results/exp16_scale.txt
+rm results/exp16_scale.w1.txt
+grep -q '"hot_allocs_zero":true' results/BENCH_exp16.json
+grep -q '"throughput_ge_3x":true' results/BENCH_exp16.json
+grep -q '"ideal_speedup_ge_3x":true' results/BENCH_exp16.json
+test -s results/PROFILE_exp16.json
+test -s results/exp16_scale.txt
+
 echo "All checks passed."
