@@ -66,6 +66,10 @@ pub(crate) struct Medium {
     pub(crate) latency: TimeNs,
     /// Transfer time per data unit.
     pub(crate) per_unit: TimeNs,
+    /// Data units per frame for framed media (CAN-like): a transfer of
+    /// `u` units pays `latency` once per `ceil(u / payload)` frame
+    /// instead of once per transfer. `None` keeps the affine tariff.
+    pub(crate) frame_payload: Option<u32>,
 }
 
 /// The distributed architecture: heterogeneous processors plus buses and
@@ -122,7 +126,42 @@ impl ArchitectureGraph {
         latency: TimeNs,
         per_unit: TimeNs,
     ) -> Result<MediumId, AaaError> {
-        self.add_medium(name.into(), MediumKind::Bus, procs, latency, per_unit)
+        self.add_medium(name.into(), MediumKind::Bus, procs, latency, per_unit, None)
+    }
+
+    /// Adds a framed broadcast bus (CAN-like): a transfer of `u` data
+    /// units is segmented into `ceil(u / frame_payload)` frames (at
+    /// least one), each paying the fixed `latency` (arbitration +
+    /// framing overhead), on top of `per_unit` per data unit. With
+    /// `frame_payload` at least the largest transfer, this degenerates
+    /// to the affine [`add_bus`](ArchitectureGraph::add_bus) tariff.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ArchitectureGraph::add_bus`], plus
+    /// [`AaaError::InvalidGraph`] for a zero `frame_payload`.
+    pub fn add_framed_bus(
+        &mut self,
+        name: impl Into<String>,
+        procs: &[ProcId],
+        latency: TimeNs,
+        per_unit: TimeNs,
+        frame_payload: u32,
+    ) -> Result<MediumId, AaaError> {
+        let name = name.into();
+        if frame_payload == 0 {
+            return Err(AaaError::InvalidGraph {
+                reason: format!("medium '{name}' frame payload must be positive"),
+            });
+        }
+        self.add_medium(
+            name,
+            MediumKind::Bus,
+            procs,
+            latency,
+            per_unit,
+            Some(frame_payload),
+        )
     }
 
     /// Adds a point-to-point link between `a` and `b`.
@@ -144,6 +183,7 @@ impl ArchitectureGraph {
             &[a, b],
             latency,
             per_unit,
+            None,
         )
     }
 
@@ -154,6 +194,7 @@ impl ArchitectureGraph {
         procs: &[ProcId],
         latency: TimeNs,
         per_unit: TimeNs,
+        frame_payload: Option<u32>,
     ) -> Result<MediumId, AaaError> {
         for &p in procs {
             self.check_proc(p)?;
@@ -185,6 +226,7 @@ impl ArchitectureGraph {
             connected: procs.to_vec(),
             latency,
             per_unit,
+            frame_payload,
         });
         Ok(MediumId(self.media.len() - 1))
     }
@@ -261,7 +303,15 @@ impl ArchitectureGraph {
     /// Panics on a foreign id.
     pub fn transfer_time(&self, m: MediumId, data_units: u32) -> TimeNs {
         let md = &self.media[m.0];
-        md.latency + md.per_unit * i64::from(data_units)
+        let frames = match md.frame_payload {
+            None => 1,
+            Some(payload) => {
+                // ceil(u / payload), at least one frame even for a
+                // zero-unit transfer (the frame header still goes out).
+                u64::from(data_units).div_ceil(u64::from(payload)).max(1) as i64
+            }
+        };
+        md.latency * frames + md.per_unit * i64::from(data_units)
     }
 
     /// The media connecting `a` and `b` (both endpoints attached).
@@ -336,6 +386,62 @@ mod tests {
             .unwrap();
         assert_eq!(arch.transfer_time(bus, 0), TimeNs::from_micros(100));
         assert_eq!(arch.transfer_time(bus, 5), TimeNs::from_micros(150));
+    }
+
+    #[test]
+    fn framed_bus_pays_latency_per_frame() {
+        let (mut arch, a, b) = two_ecus();
+        let bus = arch
+            .add_framed_bus(
+                "can",
+                &[a, b],
+                TimeNs::from_micros(100),
+                TimeNs::from_micros(10),
+                4,
+            )
+            .unwrap();
+        // Zero units still costs one frame header.
+        assert_eq!(arch.transfer_time(bus, 0), TimeNs::from_micros(100));
+        // One frame up to the payload size — affine within a frame.
+        assert_eq!(arch.transfer_time(bus, 1), TimeNs::from_micros(110));
+        assert_eq!(arch.transfer_time(bus, 4), TimeNs::from_micros(140));
+        // Crossing the payload boundary adds a second frame header.
+        assert_eq!(arch.transfer_time(bus, 5), TimeNs::from_micros(250));
+        assert_eq!(arch.transfer_time(bus, 8), TimeNs::from_micros(280));
+        assert_eq!(arch.transfer_time(bus, 9), TimeNs::from_micros(390));
+    }
+
+    #[test]
+    fn framed_bus_with_large_payload_matches_affine_bus() {
+        let (mut arch, a, b) = two_ecus();
+        let plain = arch
+            .add_bus(
+                "plain",
+                &[a, b],
+                TimeNs::from_micros(100),
+                TimeNs::from_micros(10),
+            )
+            .unwrap();
+        let framed = arch
+            .add_framed_bus(
+                "framed",
+                &[a, b],
+                TimeNs::from_micros(100),
+                TimeNs::from_micros(10),
+                u32::MAX,
+            )
+            .unwrap();
+        for u in [0, 1, 7, 1000] {
+            assert_eq!(arch.transfer_time(plain, u), arch.transfer_time(framed, u));
+        }
+    }
+
+    #[test]
+    fn framed_bus_rejects_zero_payload() {
+        let (mut arch, a, b) = two_ecus();
+        assert!(arch
+            .add_framed_bus("bad", &[a, b], TimeNs::ZERO, TimeNs::ZERO, 0)
+            .is_err());
     }
 
     #[test]

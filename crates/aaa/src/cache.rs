@@ -120,6 +120,20 @@ pub fn schedule_digest(
         h.write_str(arch.proc_name(p));
         h.write_str(arch.proc_kind(p));
     }
+    // Tariff sample points: every distinct edge volume in the algorithm
+    // graph, plus 0 and 1 so media still separate on an edgeless graph.
+    // Sampling only {0, 1} (latency + first difference) is sound for an
+    // affine tariff but aliases non-affine media — e.g. two framed buses
+    // that agree on sub-frame transfers and diverge exactly at the
+    // volumes the scheduler actually prices. The scheduler only ever
+    // evaluates `transfer_time` at edge volumes, so media equal at every
+    // sample point produce byte-identical schedules.
+    let mut volumes: Vec<u32> = alg.edges().iter().map(|e| e.data_units).collect();
+    volumes.push(0);
+    volumes.push(1);
+    volumes.sort_unstable();
+    volumes.dedup();
+
     h.write_u64(arch.num_media() as u64);
     for m in arch.media() {
         h.write_str(arch.medium_name(m));
@@ -130,11 +144,10 @@ pub fn schedule_digest(
         for &p in arch.medium_procs(m) {
             h.write_u64(p.index() as u64);
         }
-        // latency = cost of zero units; per-unit = first difference.
-        let lat = arch.transfer_time(m, 0);
-        let per_unit = arch.transfer_time(m, 1) - lat;
-        h.write_i64(lat.as_nanos());
-        h.write_i64(per_unit.as_nanos());
+        for &u in &volumes {
+            h.write_u64(u64::from(u));
+            h.write_i64(arch.transfer_time(m, u).as_nanos());
+        }
     }
 
     // TimingDb iterates in HashMap order; sort for a canonical digest.
@@ -176,6 +189,17 @@ pub fn schedule_digest(
 struct CacheSlot {
     schedule: Arc<Schedule>,
     lookups: u64,
+}
+
+/// Map plus the count of lookups that *observed* a local miss (and so
+/// ran the scheduler). Exceeding the number of distinct digests means
+/// workers raced to compute the same key and the losers' results were
+/// discarded — wasted work that is scheduling-dependent, so it feeds
+/// profiler sidecars only, never deterministic artifacts.
+#[derive(Debug, Default)]
+struct CacheState {
+    map: HashMap<u64, CacheSlot>,
+    local_misses: u64,
 }
 
 /// A thread-safe memo table from [`schedule_digest`] keys to schedules.
@@ -220,7 +244,7 @@ struct CacheSlot {
 /// ```
 #[derive(Debug, Default)]
 pub struct ScheduleCache {
-    map: Mutex<HashMap<u64, CacheSlot>>,
+    state: Mutex<CacheState>,
 }
 
 impl ScheduleCache {
@@ -268,15 +292,16 @@ impl ScheduleCache {
         options: AdequationOptions,
     ) -> Result<(Arc<Schedule>, u64, bool), AaaError> {
         let key = schedule_digest(alg, arch, db, options);
-        if let Some(slot) = self.map.lock().expect("cache lock").get_mut(&key) {
+        if let Some(slot) = self.state.lock().expect("cache lock").map.get_mut(&key) {
             slot.lookups += 1;
             return Ok((Arc::clone(&slot.schedule), key, true));
         }
         // Computed outside the lock: adequation can be the sweep's most
         // expensive non-simulation phase.
         let schedule = Arc::new(adequation(alg, arch, db, options)?);
-        let mut map = self.map.lock().expect("cache lock");
-        let slot = map.entry(key).or_insert_with(|| CacheSlot {
+        let mut state = self.state.lock().expect("cache lock");
+        state.local_misses += 1;
+        let slot = state.map.entry(key).or_insert_with(|| CacheSlot {
             schedule,
             lookups: 0,
         });
@@ -288,9 +313,10 @@ impl ScheduleCache {
     /// that a serial run would have answered from the cache. Derived from
     /// per-digest lookup counts, so identical for any worker count.
     pub fn hits(&self) -> u64 {
-        self.map
+        self.state
             .lock()
             .expect("cache lock")
+            .map
             .values()
             .map(|slot| slot.lookups.saturating_sub(1))
             .sum()
@@ -304,17 +330,28 @@ impl ScheduleCache {
 
     /// Total lookups across all digests (`hits + misses`).
     pub fn lookups(&self) -> u64 {
-        self.map
+        self.state
             .lock()
             .expect("cache lock")
+            .map
             .values()
             .map(|slot| slot.lookups)
             .sum()
     }
 
+    /// Racing double-computes: lookups that observed a local miss (and
+    /// ran the scheduler) beyond the first of their digest. The losing
+    /// workers' schedules were discarded, so this is pure wasted work.
+    /// The value depends on thread interleaving — report it only in
+    /// wall-clock profiler sidecars, never in deterministic artifacts.
+    pub fn races(&self) -> u64 {
+        let state = self.state.lock().expect("cache lock");
+        state.local_misses.saturating_sub(state.map.len() as u64)
+    }
+
     /// Number of distinct schedules currently cached.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
+        self.state.lock().expect("cache lock").map.len()
     }
 
     /// `true` when nothing has been cached yet.
@@ -533,6 +570,86 @@ mod tests {
             alg2.set_condition(ops2[1], ops2[0], 1).unwrap();
             check("condition", schedule_digest(&alg2, &arch2, &db2, opts));
         }
+    }
+
+    /// Regression for the `{0, 1}`-sampling tariff digest: two media
+    /// that agree on transfers of 0 and 1 data units but diverge at the
+    /// volumes actually present in the algorithm graph must digest
+    /// differently — with first-difference sampling they aliased, so a
+    /// sweep could serve a schedule priced on the wrong tariff.
+    #[test]
+    fn digest_separates_media_that_agree_at_zero_and_one_unit() {
+        // An edge actually transferring 3 units: the volume at which the
+        // two tariffs below diverge.
+        let mut alg = AlgorithmGraph::new();
+        let s = alg.add_sensor("s");
+        let a = alg.add_actuator("a");
+        alg.add_edge(s, a, 3).unwrap();
+        let mut db = TimingDb::new();
+        for op in alg.ops() {
+            db.set_default(op, TimeNs::from_micros(100));
+        }
+
+        let affine = |payload: Option<u32>| {
+            let mut arch = ArchitectureGraph::new();
+            let p0 = arch.add_processor("p0", "arm");
+            let p1 = arch.add_processor("p1", "arm");
+            match payload {
+                None => arch
+                    .add_bus(
+                        "bus",
+                        &[p0, p1],
+                        TimeNs::from_micros(5),
+                        TimeNs::from_micros(1),
+                    )
+                    .unwrap(),
+                Some(p) => arch
+                    .add_framed_bus(
+                        "bus",
+                        &[p0, p1],
+                        TimeNs::from_micros(5),
+                        TimeNs::from_micros(1),
+                        p,
+                    )
+                    .unwrap(),
+            };
+            arch
+        };
+        let plain = affine(None);
+        let framed = affine(Some(1));
+        // The tariffs agree at 0 and 1 units (one frame) ...
+        let m = crate::MediumId(0);
+        assert_eq!(plain.transfer_time(m, 0), framed.transfer_time(m, 0));
+        assert_eq!(plain.transfer_time(m, 1), framed.transfer_time(m, 1));
+        // ... and diverge at the 3-unit volume the edge transfers.
+        assert_ne!(plain.transfer_time(m, 3), framed.transfer_time(m, 3));
+        let opts = AdequationOptions::default();
+        assert_ne!(
+            schedule_digest(&alg, &plain, &db, opts),
+            schedule_digest(&alg, &framed, &db, opts)
+        );
+
+        // Media equal at every volume the scheduler can price (the
+        // payload covers the largest edge) still hash identically:
+        // they are indistinguishable to the scheduler by construction.
+        let covered = affine(Some(u32::MAX));
+        assert_eq!(
+            schedule_digest(&alg, &plain, &db, opts),
+            schedule_digest(&alg, &covered, &db, opts)
+        );
+    }
+
+    #[test]
+    fn races_are_zero_without_concurrent_misses() {
+        let (alg, arch, db) = setup();
+        let cache = ScheduleCache::new();
+        let opts = AdequationOptions::default();
+        for _ in 0..5 {
+            cache.get_or_compute(&alg, &arch, &db, opts).unwrap();
+        }
+        // Serial lookups can never double-compute.
+        assert_eq!(cache.races(), 0);
+        assert_eq!((cache.hits(), cache.misses()), (4, 1));
     }
 
     #[test]

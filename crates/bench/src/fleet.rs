@@ -27,11 +27,13 @@
 //! profiling on or off.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use ecl_aaa::{codegen, AdequationOptions, MappingPolicy, ScheduleCache, TimeNs, TimingDb};
-use ecl_core::cosim::{self, CosimPhases, IdealRunCache, LoopSpec};
+use ecl_aaa::{
+    codegen, AdequationOptions, MappingPolicy, Schedule, ScheduleCache, TimeNs, TimingDb,
+};
+use ecl_core::cosim::{self, CosimPhases, IdealRunCache, LoopResult, LoopSpec, ScheduledRunCache};
 use ecl_core::faults::{FaultConfig, FaultPlan};
 use ecl_core::report::{
     DegradationSummary, ScenarioOutcome, SweepSummary, ValidationSummary, VerificationSummary,
@@ -198,6 +200,16 @@ pub struct SweepConfig {
     /// in that sidecar — the summary, histogram and trace artifacts are
     /// byte-identical with profiling on or off, for any worker count.
     pub profile: bool,
+    /// Memoize untraced co-simulations in a shared [`ScheduledRunCache`]
+    /// keyed by the `(loop × schedule × fault-plan)` content digest: the
+    /// quantized axes pigeonhole large sweeps onto a few distinct keys,
+    /// so all but the first scenario per key clone an `Arc` instead of
+    /// simulating. The memoized result is bit-identical to a fresh run
+    /// (pinned by unit tests, proptests and the byte-identity sweep
+    /// test), so every deterministic artifact is byte-identical with the
+    /// memo on or off. Off by default so baseline benchmarks (E15/E16)
+    /// keep measuring the unmemoized pipeline.
+    pub memoize_scheduled: bool,
 }
 
 impl Default for SweepConfig {
@@ -219,6 +231,7 @@ impl Default for SweepConfig {
             validate_executive: false,
             verify_static: false,
             profile: false,
+            memoize_scheduled: false,
         }
     }
 }
@@ -376,6 +389,21 @@ pub struct SweepOutput {
     pub ideal_hits: u64,
     /// Distinct ideal runs actually simulated ([`IdealRunCache::misses`]).
     pub ideal_misses: u64,
+    /// Scheduled-run memo lookups answered from the cache
+    /// ([`ScheduledRunCache::hits`] — digest-derived, worker-count
+    /// invariant). Same sidecar contract as [`SweepOutput::ideal_hits`]:
+    /// beside the summary, never inside it.
+    pub scheduled_hits: u64,
+    /// Distinct `(loop × schedule × fault-plan)` co-simulations actually
+    /// run ([`ScheduledRunCache::misses`]).
+    pub scheduled_misses: u64,
+    /// Racing double-computes observed by the schedule cache, the
+    /// ideal-run memo and the scheduled-run memo, in that order. Unlike
+    /// every other counter here these depend on thread interleaving —
+    /// wall-clock-class contention diagnostics that may vary run to run,
+    /// so they belong in profiler/bench sidecars and must never enter a
+    /// diffed artifact.
+    pub races: [u64; 3],
 }
 
 /// Batch of consecutive indices one claim takes: small enough that the
@@ -536,8 +564,78 @@ fn push_cosim_spans(wp: &mut WorkerProfile, scenario: usize, start_ns: u64, phas
     );
 }
 
+/// Attributes one memoized co-simulation lookup that started at
+/// `start_ns`: a miss carries real synthesis/simulation phases; a hit
+/// charges the lookup itself (digest + lock + `Arc` clone) to the
+/// co-simulation phase, so the profile shows what the memo reduced the
+/// phase *to* rather than dropping the time on the floor.
+fn push_memo_spans(
+    wp: &mut WorkerProfile,
+    scenario: usize,
+    start_ns: u64,
+    hit: bool,
+    phases: CosimPhases,
+) {
+    if hit {
+        let end = wp.now_ns();
+        wp.push_span(scenario, Phase::Cosim, start_ns, end);
+    } else {
+        push_cosim_spans(wp, scenario, start_ns, phases);
+    }
+}
+
+/// One untraced graph-of-delays co-simulation with its profile spans.
+/// With [`SweepConfig::memoize_scheduled`] the lookup goes through the
+/// shared [`ScheduledRunCache`] and reports on the profiler's memo
+/// channel; without it the co-simulation runs fresh — the pre-memo
+/// fleet pipeline, kept for baseline benchmarks and for the
+/// byte-identity tests that pin the memoized artifacts against it.
+#[allow(clippy::too_many_arguments)]
+fn scheduled_cosim(
+    config: &SweepConfig,
+    scheduled_memo: &ScheduledRunCache,
+    spec2: &LoopSpec,
+    base: &SplitScenario,
+    schedule: &Schedule,
+    schedule_digest: u64,
+    plan: Option<&FaultPlan>,
+    index: usize,
+    wp: &mut WorkerProfile,
+) -> Result<Arc<LoopResult>, CoreError> {
+    let t0 = wp.now_ns();
+    if config.memoize_scheduled {
+        let (run, key, hit, phases) = scheduled_memo.get_or_run_phased(
+            spec2,
+            &base.alg,
+            &base.io,
+            schedule,
+            &base.arch,
+            schedule_digest,
+            plan,
+        )?;
+        wp.memo_event(index, key, hit);
+        push_memo_spans(wp, index, t0, hit, phases);
+        Ok(run)
+    } else {
+        let (run, phases) = cosim::run_scheduled_phased(
+            spec2,
+            &base.alg,
+            &base.io,
+            schedule,
+            &base.arch,
+            plan.cloned(),
+        )?;
+        push_cosim_spans(wp, index, t0, phases);
+        Ok(Arc::new(run))
+    }
+}
+
 /// Runs one scenario end to end: jitter → (cached) adequation →
-/// graph-of-delays co-simulation → metrics. A scenario with fault rates
+/// (memoized) graph-of-delays co-simulation → metrics. With
+/// [`SweepConfig::memoize_scheduled`], untraced co-simulations are
+/// answered by the shared [`ScheduledRunCache`] keyed on the
+/// `(loop × schedule × fault-plan)` digest — two scenarios that price
+/// to the same key share one simulation and clone the `Arc`. A scenario with fault rates
 /// also runs its fault-free twin on the same schedule and returns the
 /// degradation delta between the two. With
 /// [`SweepConfig::validate_executive`] it additionally executes the
@@ -547,19 +645,25 @@ fn push_cosim_spans(wp: &mut WorkerProfile, scenario: usize, start_ns: u64, phas
 /// Every stage is wrapped in a [`WorkerProfile`] phase; with profiling
 /// off the wrappers are branch-only no-ops and the computation is the
 /// same expression either way, so results cannot depend on the flag.
+#[allow(clippy::too_many_arguments)]
 fn run_scenario(
     spec: &LoopSpec,
     base: &SplitScenario,
     config: &SweepConfig,
     cache: &ScheduleCache,
     ideal_memo: &IdealRunCache,
+    scheduled_memo: &ScheduledRunCache,
     index: usize,
     wp: &mut WorkerProfile,
 ) -> Result<ScenarioYield, CoreError> {
-    let (scenario, db) = wp.phase(index, Phase::Derive, |_| {
+    let (scenario, db, mut spec2) = wp.phase(index, Phase::Derive, |_| {
         let scenario = Scenario::derive(config, base, index);
         let db = scenario.jittered_db(base);
-        (scenario, db)
+        // The spec clone allocates the loop matrices, so it belongs to
+        // the derivation phase, not to unattributed overhead.
+        let mut spec2 = spec.clone();
+        spec2.ts = spec.ts * scenario.period_scale;
+        (scenario, db, spec2)
     });
     let options = AdequationOptions {
         policy: scenario.policy,
@@ -571,8 +675,6 @@ fn run_scenario(
     })?;
     wp.cache_event(index, digest, hit);
 
-    let mut spec2 = spec.clone();
-    spec2.ts = spec.ts * scenario.period_scale;
     // The delay-graph builder rejects makespan > period; a badly jittered
     // schedule stretches the period just enough (deterministically).
     let makespan_s = schedule.makespan().as_secs_f64();
@@ -607,20 +709,28 @@ fn run_scenario(
         // Faulty scenarios compare against a fault-free twin on the same
         // schedule; they never contribute telemetry traces (tracing the
         // degraded replay would double the sink for no new information).
-        let t0 = wp.now_ns();
-        let (baseline, base_phases) =
-            cosim::run_scheduled_phased(&spec2, &base.alg, &base.io, &schedule, &base.arch, None)?;
-        push_cosim_spans(wp, index, t0, base_phases);
-        let t1 = wp.now_ns();
-        let (faulty, fault_phases) = cosim::run_scheduled_phased(
+        let baseline = scheduled_cosim(
+            config,
+            scheduled_memo,
             &spec2,
-            &base.alg,
-            &base.io,
+            base,
             &schedule,
-            &base.arch,
-            Some(plan.clone()),
+            digest,
+            None,
+            index,
+            wp,
         )?;
-        push_cosim_spans(wp, index, t1, fault_phases);
+        let faulty = scheduled_cosim(
+            config,
+            scheduled_memo,
+            &spec2,
+            base,
+            &schedule,
+            digest,
+            Some(plan),
+            index,
+            wp,
+        )?;
         let degradation = wp.phase(index, Phase::Metrics, |_| {
             DegradationSummary::from_runs(index, plan, &baseline, &faulty, config.cost_bound_ratio)
         })?;
@@ -642,12 +752,19 @@ fn run_scenario(
             }
             Ok::<_, CoreError>((run, tel.into_sink().into_inner()))
         })?;
-        (run, None, sink)
+        (Arc::new(run), None, sink)
     } else {
-        let t0 = wp.now_ns();
-        let (run, phases) =
-            cosim::run_scheduled_phased(&spec2, &base.alg, &base.io, &schedule, &base.arch, None)?;
-        push_cosim_spans(wp, index, t0, phases);
+        let run = scheduled_cosim(
+            config,
+            scheduled_memo,
+            &spec2,
+            base,
+            &schedule,
+            digest,
+            None,
+            index,
+            wp,
+        )?;
         (run, None, RecordingSink::default())
     };
 
@@ -775,6 +892,7 @@ pub fn run_sweep(
 ) -> Result<SweepOutput, CoreError> {
     let cache = ScheduleCache::new();
     let ideal_memo = IdealRunCache::new();
+    let scheduled_memo = ScheduledRunCache::new();
     // One shared epoch so every worker's spans share a time base; the
     // buffers themselves are per-worker state — no hot-path sharing.
     let epoch = Instant::now();
@@ -782,7 +900,20 @@ pub fn run_sweep(
         config.scenario_count,
         config.workers,
         |worker| WorkerProfile::new(worker, epoch, config.profile),
-        |i, wp| wp.task(|wp| run_scenario(spec, base, config, &cache, &ideal_memo, i, wp)),
+        |i, wp| {
+            wp.task(|wp| {
+                run_scenario(
+                    spec,
+                    base,
+                    config,
+                    &cache,
+                    &ideal_memo,
+                    &scheduled_memo,
+                    i,
+                    wp,
+                )
+            })
+        },
     );
     let wall_ns = epoch.elapsed().as_nanos() as u64;
     let profile = config
@@ -848,6 +979,9 @@ pub fn run_sweep(
         profile,
         ideal_hits: ideal_memo.hits(),
         ideal_misses: ideal_memo.misses(),
+        scheduled_hits: scheduled_memo.hits(),
+        scheduled_misses: scheduled_memo.misses(),
+        races: [cache.races(), ideal_memo.races(), scheduled_memo.races()],
     })
 }
 
@@ -1046,13 +1180,15 @@ mod tests {
         assert!(plain.profile.is_none(), "profiling is off by default");
         let config = |workers| SweepConfig {
             profile: true,
+            memoize_scheduled: true,
             ..small_config(workers)
         };
         let serial = run_sweep(&spec, &base, &config(1)).unwrap();
         let parallel = run_sweep(&spec, &base, &config(4)).unwrap();
 
-        // Profiling must not perturb any deterministic artifact — on or
-        // off, 1 or 4 workers.
+        // Profiling and memoization must not perturb any deterministic
+        // artifact — `plain` ran with both off, so these equalities also
+        // pin the memoized sweep byte-for-byte to the fresh pipeline.
         assert_eq!(plain.summary, serial.summary);
         assert_eq!(serial.summary, parallel.summary);
         assert_eq!(serial.summary.render(), parallel.summary.render());
@@ -1101,6 +1237,18 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(shape(&p1), shape(&p4));
+
+        // The scheduled-run memo reports on its own sidecar channel: one
+        // lookup per untraced scenario, same structural invariance.
+        assert_eq!(p1.memo_lookups(), 6);
+        assert_eq!(p4.memo_lookups(), 6);
+        let memo_shape = |p: &ProfileReport| {
+            p.memo
+                .iter()
+                .map(|l| (l.digest, l.lookups, l.scenarios.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(memo_shape(&p1), memo_shape(&p4));
 
         // Attribution: the named phases cover the bulk of busy time, and
         // the report is internally consistent.
@@ -1302,6 +1450,117 @@ mod tests {
         assert_eq!(serial.summary.render(), parallel.summary.render());
     }
 
+    /// The scheduled-run memo collapses untraced co-simulations to one
+    /// per distinct `(loop × schedule × fault-plan)` digest. With one
+    /// WCET table the key space is bounded by `policies × period_scales`,
+    /// so a 16-scenario sweep must hit by pigeonhole — and because the
+    /// memoized result is bit-identical to a fresh run, every
+    /// deterministic artifact stays byte-identical for any worker count.
+    #[test]
+    fn sweep_memoizes_scheduled_runs_by_content() {
+        let base = small_base();
+        let spec = dc_motor_loop(0.3).unwrap();
+        let config = |workers| SweepConfig {
+            scenario_count: 16,
+            workers,
+            wcet_tables: 1,
+            memoize_scheduled: true,
+            ..SweepConfig::default()
+        };
+        let serial = run_sweep(&spec, &base, &config(1)).unwrap();
+        let parallel = run_sweep(&spec, &base, &config(4)).unwrap();
+        // The unmemoized pipeline is the reference: the memoized sweep
+        // must reproduce its artifacts byte for byte.
+        let fresh = run_sweep(
+            &spec,
+            &base,
+            &SweepConfig {
+                memoize_scheduled: false,
+                ..config(1)
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            (fresh.scheduled_hits, fresh.scheduled_misses),
+            (0, 0),
+            "the unmemoized pipeline never touches the scheduled memo"
+        );
+        assert_eq!(fresh.summary, serial.summary);
+        assert_eq!(fresh.summary.render(), serial.summary.render());
+        assert_eq!(fresh.actuation_hist, serial.actuation_hist);
+        assert_eq!(fresh.traces, serial.traces);
+        assert_eq!(
+            serial.scheduled_hits + serial.scheduled_misses,
+            16,
+            "one scheduled-memo lookup per untraced fault-free scenario"
+        );
+        let keys = (config(1).policies.len() * config(1).period_scales.len()) as u64;
+        assert!(
+            serial.scheduled_misses <= keys,
+            "at most one co-simulation per (policy × period scale), got {} misses",
+            serial.scheduled_misses
+        );
+        assert!(
+            serial.scheduled_hits >= 16 - keys,
+            "16 scenarios over <= {keys} keys must hit, got {}",
+            serial.scheduled_hits
+        );
+        assert_eq!(
+            (serial.scheduled_hits, serial.scheduled_misses),
+            (parallel.scheduled_hits, parallel.scheduled_misses),
+            "memo counters must not depend on worker count"
+        );
+        // The memo must not perturb any deterministic artifact.
+        assert_eq!(serial.summary, parallel.summary);
+        assert_eq!(serial.summary.render(), parallel.summary.render());
+        assert_eq!(serial.summary.to_json(), parallel.summary.to_json());
+        assert_eq!(serial.actuation_hist, parallel.actuation_hist);
+        assert_eq!(serial.traces, parallel.traces);
+    }
+
+    /// Faulty scenarios take two memo lookups (fault-free twin + faulty
+    /// replay); twins share entries across scenarios with the same
+    /// schedule and period while seeded plans keep the faulty keys
+    /// distinct — all still worker-count invariant.
+    #[test]
+    fn fault_sweep_memoizes_twins_and_counts_double_lookups() {
+        let base = small_base();
+        let spec = dc_motor_loop(0.3).unwrap();
+        let config = |workers| SweepConfig {
+            wcet_tables: 1,
+            scenario_count: 8,
+            memoize_scheduled: true,
+            ..faulty_config(workers)
+        };
+        let serial = run_sweep(&spec, &base, &config(1)).unwrap();
+        let parallel = run_sweep(&spec, &base, &config(4)).unwrap();
+        assert_eq!(
+            serial.scheduled_hits + serial.scheduled_misses,
+            16,
+            "twin + faulty lookup per scenario"
+        );
+        // Every plan is seeded per scenario, so the 8 faulty runs keep 8
+        // distinct keys; only the twins can collapse — and 8 twins over
+        // the <= 6 (policy × period scale) twin keys must, by pigeonhole.
+        assert!(
+            serial.scheduled_misses >= 8,
+            "seeded fault plans cannot share keys, got {} misses",
+            serial.scheduled_misses
+        );
+        assert!(
+            serial.scheduled_hits >= 2,
+            "8 twins over <= 6 (policy × period) keys must collapse, got {}",
+            serial.scheduled_hits
+        );
+        assert_eq!(
+            (serial.scheduled_hits, serial.scheduled_misses),
+            (parallel.scheduled_hits, parallel.scheduled_misses),
+            "memo counters must not depend on worker count"
+        );
+        assert_eq!(serial.summary, parallel.summary);
+        assert_eq!(serial.summary.render(), parallel.summary.render());
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig { cases: 4 })]
 
@@ -1318,6 +1577,82 @@ mod tests {
             let second = memo.get_or_run(&spec).unwrap();
             prop_assert_eq!((memo.hits(), memo.misses()), (1, 1));
             let fresh = cosim::run_ideal(&spec).unwrap();
+            for r in [&first, &second] {
+                prop_assert_eq!(r.cost.to_bits(), fresh.cost.to_bits());
+                prop_assert_eq!(&r.sample_instants, &fresh.sample_instants);
+                prop_assert_eq!(&r.actuation_instants, &fresh.actuation_instants);
+                prop_assert_eq!(&r.stats, &fresh.stats);
+                prop_assert_eq!(&r.activity, &fresh.activity);
+            }
+        }
+
+        /// A memoized scheduled run answers with bits identical to a
+        /// fresh [`cosim::run_scheduled_faulty`] for any sampling period
+        /// and fault draw — cost, instants, engine counters — so no sweep
+        /// artifact can depend on whether a scenario hit or missed the
+        /// scheduled memo.
+        #[test]
+        fn scheduled_memo_equals_fresh_faulty_run(
+            scale in 0.5f64..3.0,
+            seed in 0u64..(1u64 << 48),
+            frame_loss in 0.0f64..0.6,
+        ) {
+            let base = small_base();
+            let config = SweepConfig::default();
+            let scenario = Scenario {
+                seed,
+                frame_loss_rate: frame_loss,
+                ..Scenario::derive(&config, &base, 0)
+            };
+            let db = scenario.jittered_db(&base);
+            let (schedule, digest, _) = ScheduleCache::new()
+                .get_or_compute_traced(
+                    &base.alg,
+                    &base.arch,
+                    &db,
+                    AdequationOptions {
+                        policy: scenario.policy,
+                    },
+                )
+                .unwrap();
+            let mut spec = dc_motor_loop(0.2).unwrap();
+            spec.ts *= scale;
+            let makespan_s = schedule.makespan().as_secs_f64();
+            if makespan_s > spec.ts {
+                spec.ts = makespan_s * 1.05;
+            }
+            let periods = (spec.horizon / spec.ts).floor().max(1.0) as u32;
+            let plan = FaultPlan::generate(
+                &scenario.fault_config(&config.faults),
+                &schedule,
+                &base.arch,
+                periods,
+            )
+            .unwrap();
+            let memo = ScheduledRunCache::new();
+            let lookup = || {
+                memo.get_or_run(
+                    &spec,
+                    &base.alg,
+                    &base.io,
+                    &schedule,
+                    &base.arch,
+                    digest,
+                    Some(&plan),
+                )
+            };
+            let first = lookup().unwrap();
+            let second = lookup().unwrap();
+            prop_assert_eq!((memo.hits(), memo.misses()), (1, 1));
+            let fresh = cosim::run_scheduled_faulty(
+                &spec,
+                &base.alg,
+                &base.io,
+                &schedule,
+                &base.arch,
+                plan.clone(),
+            )
+            .unwrap();
             for r in [&first, &second] {
                 prop_assert_eq!(r.cost.to_bits(), fresh.cost.to_bits());
                 prop_assert_eq!(&r.sample_instants, &fresh.sample_instants);

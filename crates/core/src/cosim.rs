@@ -836,6 +836,26 @@ struct IdealSlot {
     lookups: u64,
 }
 
+/// Memo map plus the count of lookups that *observed* a local miss and
+/// therefore simulated. Beyond one per distinct digest, those are racing
+/// double-computes whose losing results were discarded — wasted work,
+/// scheduling-dependent, sidecar-only (see
+/// [`IdealRunCache::races`]/[`ScheduledRunCache::races`]).
+#[derive(Debug)]
+struct MemoState<S> {
+    map: HashMap<u64, S>,
+    local_misses: u64,
+}
+
+impl<S> Default for MemoState<S> {
+    fn default() -> Self {
+        MemoState {
+            map: HashMap::new(),
+            local_misses: 0,
+        }
+    }
+}
+
 /// A thread-safe memo table from [`loop_spec_digest`] keys to
 /// [`run_ideal`] results.
 ///
@@ -893,7 +913,7 @@ struct IdealSlot {
 /// ```
 #[derive(Debug, Default)]
 pub struct IdealRunCache {
-    map: Mutex<HashMap<u64, IdealSlot>>,
+    state: Mutex<MemoState<IdealSlot>>,
 }
 
 impl IdealRunCache {
@@ -928,15 +948,23 @@ impl IdealRunCache {
         spec: &LoopSpec,
     ) -> Result<(Arc<LoopResult>, u64, bool), CoreError> {
         let key = loop_spec_digest(spec);
-        if let Some(slot) = self.map.lock().expect("ideal memo lock").get_mut(&key) {
+        if let Some(slot) = self
+            .state
+            .lock()
+            .expect("ideal memo lock")
+            .map
+            .get_mut(&key)
+        {
             slot.lookups += 1;
             return Ok((Arc::clone(&slot.result), key, true));
         }
         // Simulated outside the lock: the ideal run is a full
         // co-simulation and must not serialize the pool.
         let result = Arc::new(run_ideal(spec)?);
-        let mut map = self.map.lock().expect("ideal memo lock");
-        let slot = map
+        let mut state = self.state.lock().expect("ideal memo lock");
+        state.local_misses += 1;
+        let slot = state
+            .map
             .entry(key)
             .or_insert_with(|| IdealSlot { result, lookups: 0 });
         slot.lookups += 1;
@@ -947,9 +975,10 @@ impl IdealRunCache {
     /// have answered from the cache. Derived from per-digest lookup
     /// counts, so identical for any worker count.
     pub fn hits(&self) -> u64 {
-        self.map
+        self.state
             .lock()
             .expect("ideal memo lock")
+            .map
             .values()
             .map(|slot| slot.lookups.saturating_sub(1))
             .sum()
@@ -963,17 +992,217 @@ impl IdealRunCache {
 
     /// Total lookups across all digests (`hits + misses`).
     pub fn lookups(&self) -> u64 {
-        self.map
+        self.state
             .lock()
             .expect("ideal memo lock")
+            .map
             .values()
             .map(|slot| slot.lookups)
             .sum()
     }
 
+    /// Racing double-computes: lookups that observed a local miss (and
+    /// simulated) beyond the first of their digest. The losers' results
+    /// were discarded — pure wasted work. Thread-interleaving-dependent,
+    /// so report it only in wall-clock sidecars, never in deterministic
+    /// artifacts.
+    pub fn races(&self) -> u64 {
+        let state = self.state.lock().expect("ideal memo lock");
+        state.local_misses.saturating_sub(state.map.len() as u64)
+    }
+
     /// Number of distinct ideal runs currently cached.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("ideal memo lock").len()
+        self.state.lock().expect("ideal memo lock").map.len()
+    }
+
+    /// `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A cached scheduled run plus the number of times it was looked up.
+#[derive(Debug)]
+struct ScheduledSlot {
+    result: Arc<LoopResult>,
+    lookups: u64,
+}
+
+/// Content digest of one scheduled (possibly faulty) co-simulation:
+/// the [`loop_spec_digest`] (plant, gains, scaled period, horizon,
+/// disturbance — the period *scale* axis lives here), the adequation
+/// `schedule_digest` from [`ecl_aaa::schedule_digest`] (algorithm graph,
+/// architecture tariffs, WCET table, policy — everything delay-graph
+/// synthesis reads beyond the spec), and the [`FaultPlan::digest`] with
+/// a presence marker (a nominal run can never alias a faulty one).
+///
+/// `schedule_digest` must be the digest of the exact inputs that
+/// produced `schedule` — the fleet already holds it from
+/// [`ecl_aaa::ScheduleCache::get_or_compute_traced`].
+pub fn scheduled_run_digest(
+    spec: &LoopSpec,
+    schedule_digest: u64,
+    plan: Option<&FaultPlan>,
+) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(loop_spec_digest(spec));
+    h.write_u64(schedule_digest);
+    match plan {
+        None => h.write_u64(0),
+        Some(p) => {
+            h.write_u64(1);
+            h.write_u64(p.digest());
+        }
+    }
+    h.finish()
+}
+
+/// A thread-safe memo table from [`scheduled_run_digest`] keys to
+/// [`run_scheduled`]/[`run_scheduled_faulty`] results.
+///
+/// The exp16 profiler attributes ~93% of sweep time to scheduled
+/// co-simulation, and a fault-axis sweep pigeonholes heavily on
+/// (loop, schedule, fault-plan) triples: quantized WCET tables bound the
+/// schedule digests, the period-scale axis bounds the loop digests, and
+/// zero-rate fault axes collapse onto the nominal plan. Most of that 93%
+/// is therefore recomputation of byte-identical [`LoopResult`]s — this
+/// table, shared by the sweep workers beside [`IdealRunCache`] and
+/// [`ecl_aaa::ScheduleCache`], answers them from memory.
+///
+/// Same discipline as its two siblings: the lock is held only around the
+/// map lookup/insert, never across the co-simulation (racing workers
+/// both compute the identical deterministic result; the second insert is
+/// a no-op), and [`hits`](ScheduledRunCache::hits)/
+/// [`misses`](ScheduledRunCache::misses) are derived from per-digest
+/// lookup counts, so they are identical for any worker count and claim
+/// order. They still belong beside — never inside — byte-compared sweep
+/// artifacts.
+#[derive(Debug, Default)]
+pub struct ScheduledRunCache {
+    state: Mutex<MemoState<ScheduledSlot>>,
+}
+
+impl ScheduledRunCache {
+    /// An empty memo table.
+    pub fn new() -> Self {
+        ScheduledRunCache::default()
+    }
+
+    /// The scheduled run for the given inputs, co-simulating only on a
+    /// cache miss. `plan: None` is the nominal [`run_scheduled`];
+    /// `Some(plan)` is [`run_scheduled_faulty`] (the plan is cloned only
+    /// when a simulation actually runs). `schedule_digest` must be the
+    /// adequation digest of the inputs that produced `schedule`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`run_scheduled`] errors; failures are not cached.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_or_run(
+        &self,
+        spec: &LoopSpec,
+        alg: &AlgorithmGraph,
+        io: &IoMap,
+        schedule: &Schedule,
+        arch: &ArchitectureGraph,
+        schedule_digest: u64,
+        plan: Option<&FaultPlan>,
+    ) -> Result<Arc<LoopResult>, CoreError> {
+        self.get_or_run_phased(spec, alg, io, schedule, arch, schedule_digest, plan)
+            .map(|(result, _, _, _)| result)
+    }
+
+    /// Like [`get_or_run`](ScheduledRunCache::get_or_run), also returning
+    /// the [`scheduled_run_digest`] key, whether *this* lookup was
+    /// answered from the cache, and the synthesis/simulation wall-clock
+    /// split of the run (zero on a hit — nothing was simulated).
+    ///
+    /// The hit flag and the phase split are this caller's wall-clock
+    /// observations (racing workers both observe a miss), so they may
+    /// only feed profiler sidecars; deterministic artifacts use the
+    /// order-invariant [`hits`](ScheduledRunCache::hits)/
+    /// [`misses`](ScheduledRunCache::misses).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`run_scheduled`] errors; failures are not cached.
+    #[allow(clippy::too_many_arguments)]
+    pub fn get_or_run_phased(
+        &self,
+        spec: &LoopSpec,
+        alg: &AlgorithmGraph,
+        io: &IoMap,
+        schedule: &Schedule,
+        arch: &ArchitectureGraph,
+        schedule_digest: u64,
+        plan: Option<&FaultPlan>,
+    ) -> Result<(Arc<LoopResult>, u64, bool, CosimPhases), CoreError> {
+        let key = scheduled_run_digest(spec, schedule_digest, plan);
+        if let Some(slot) = self
+            .state
+            .lock()
+            .expect("scheduled memo lock")
+            .map
+            .get_mut(&key)
+        {
+            slot.lookups += 1;
+            return Ok((Arc::clone(&slot.result), key, true, CosimPhases::default()));
+        }
+        // Co-simulated outside the lock: this is the sweep's dominant
+        // phase and must not serialize the pool.
+        let (result, phases) = run_scheduled_phased(spec, alg, io, schedule, arch, plan.cloned())?;
+        let result = Arc::new(result);
+        let mut state = self.state.lock().expect("scheduled memo lock");
+        state.local_misses += 1;
+        let slot = state
+            .map
+            .entry(key)
+            .or_insert_with(|| ScheduledSlot { result, lookups: 0 });
+        slot.lookups += 1;
+        Ok((Arc::clone(&slot.result), key, false, phases))
+    }
+
+    /// Lookups beyond the first of their digest — what a serial run would
+    /// have answered from the cache. Derived from per-digest lookup
+    /// counts, so identical for any worker count.
+    pub fn hits(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("scheduled memo lock")
+            .map
+            .values()
+            .map(|slot| slot.lookups.saturating_sub(1))
+            .sum()
+    }
+
+    /// Distinct digests ever looked up — the scheduled runs a serial
+    /// sweep would actually have co-simulated. Derived, order-invariant.
+    pub fn misses(&self) -> u64 {
+        self.len() as u64
+    }
+
+    /// Total lookups across all digests (`hits + misses`).
+    pub fn lookups(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("scheduled memo lock")
+            .map
+            .values()
+            .map(|slot| slot.lookups)
+            .sum()
+    }
+
+    /// Racing double-computes: local-miss observations beyond the first
+    /// of their digest. Thread-interleaving-dependent — sidecar-only.
+    pub fn races(&self) -> u64 {
+        let state = self.state.lock().expect("scheduled memo lock");
+        state.local_misses.saturating_sub(state.map.len() as u64)
+    }
+
+    /// Number of distinct scheduled runs currently cached.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("scheduled memo lock").map.len()
     }
 
     /// `true` when nothing has been cached yet.
@@ -1580,6 +1809,132 @@ mod tests {
             faulty.cost,
             baseline.cost
         );
+    }
+
+    /// A memoized scheduled run is bit-identical to a fresh
+    /// [`run_scheduled`], and the faulty variant to a fresh
+    /// [`run_scheduled_faulty`]; nominal and faulty runs of the same
+    /// deployment occupy distinct slots.
+    #[test]
+    fn scheduled_memo_equals_fresh_run_nominal_and_faulty() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let (spec, alg, io, schedule, arch) = split_fixture();
+        let sched_digest = 0xdead_beef; // opaque to the memo; any stable tag
+        let cache = ScheduledRunCache::new();
+        assert!(cache.is_empty());
+
+        let memo = cache
+            .get_or_run(&spec, &alg, &io, &schedule, &arch, sched_digest, None)
+            .unwrap();
+        let again = cache
+            .get_or_run(&spec, &alg, &io, &schedule, &arch, sched_digest, None)
+            .unwrap();
+        assert!(Arc::ptr_eq(&memo, &again));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        let fresh = run_scheduled(&spec, &alg, &io, &schedule, &arch).unwrap();
+        assert_eq!(memo.cost.to_bits(), fresh.cost.to_bits());
+        assert_eq!(memo.sample_instants, fresh.sample_instants);
+        assert_eq!(memo.actuation_instants, fresh.actuation_instants);
+        assert_eq!(memo.stats, fresh.stats);
+        assert_eq!(memo.activity, fresh.activity);
+
+        // A faulty run of the same deployment is a distinct slot and
+        // bit-equals its own fresh run.
+        let periods = (spec.horizon / spec.ts).floor() as u32;
+        let plan = FaultPlan::generate(
+            &FaultConfig {
+                seed: 9,
+                frame_loss_rate: 0.5,
+                max_retries: 2,
+                ..FaultConfig::default()
+            },
+            &schedule,
+            &arch,
+            periods,
+        )
+        .unwrap();
+        assert!(!plan.is_trivial());
+        let faulty_memo = cache
+            .get_or_run(
+                &spec,
+                &alg,
+                &io,
+                &schedule,
+                &arch,
+                sched_digest,
+                Some(&plan),
+            )
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        let faulty_fresh =
+            run_scheduled_faulty(&spec, &alg, &io, &schedule, &arch, plan.clone()).unwrap();
+        assert_eq!(faulty_memo.cost.to_bits(), faulty_fresh.cost.to_bits());
+        assert_eq!(faulty_memo.sample_instants, faulty_fresh.sample_instants);
+        assert_eq!(
+            faulty_memo.actuation_instants,
+            faulty_fresh.actuation_instants
+        );
+        assert_eq!(faulty_memo.stats, faulty_fresh.stats);
+
+        // A different schedule digest must not alias, even with an
+        // identical spec and plan.
+        cache
+            .get_or_run(&spec, &alg, &io, &schedule, &arch, sched_digest + 1, None)
+            .unwrap();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.races(), 0, "serial lookups cannot double-compute");
+    }
+
+    /// The memo key separates nominal from faulty even when the plan is
+    /// trivial: `run_scheduled_faulty` with a trivial plan is
+    /// bit-identical to `run_scheduled`, but the key space must not rely
+    /// on that — a presence marker keeps the mapping injective.
+    #[test]
+    fn scheduled_run_digest_marks_fault_plan_presence() {
+        let spec = dc_motor_spec();
+        let trivial = FaultPlan::trivial(10);
+        let nominal = scheduled_run_digest(&spec, 1, None);
+        let faulty = scheduled_run_digest(&spec, 1, Some(&trivial));
+        assert_ne!(nominal, faulty);
+        // And the key tracks each component.
+        assert_ne!(nominal, scheduled_run_digest(&spec, 2, None));
+        let mut scaled = spec.clone();
+        scaled.ts *= 1.25;
+        assert_ne!(nominal, scheduled_run_digest(&scaled, 1, None));
+        let other_plan = FaultPlan::trivial(11);
+        assert_ne!(
+            faulty,
+            scheduled_run_digest(&spec, 1, Some(&other_plan)),
+            "plans with different digests must key differently"
+        );
+    }
+
+    /// Digest-derived memo counters are exact under racing lookups,
+    /// mirroring the `ScheduleCache`/`IdealRunCache` guarantee.
+    #[test]
+    fn scheduled_memo_counters_are_thread_exact() {
+        let (mut spec, alg, io, schedule, arch) = split_fixture();
+        spec.horizon = 0.25;
+        let cache = Arc::new(ScheduledRunCache::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let (spec, alg, io, schedule, arch) = (&spec, &alg, &io, &schedule, &arch);
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        cache
+                            .get_or_run(spec, alg, io, schedule, arch, 7, None)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!((cache.hits(), cache.misses()), (15, 1));
+        assert_eq!(cache.lookups(), 16);
+        assert_eq!(cache.len(), 1);
+        // Races are bounded by the losing local misses: at most one per
+        // thread beyond the winner.
+        assert!(cache.races() <= 3);
     }
 
     #[test]

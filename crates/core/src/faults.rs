@@ -31,7 +31,7 @@
 //! `Synchronization` timeout arms keep dead predecessors from
 //! deadlocking the period.
 
-use ecl_aaa::{ArchitectureGraph, Schedule, TimeNs};
+use ecl_aaa::{ArchitectureGraph, Fnv1a, Schedule, TimeNs};
 use ecl_blocks::DelayAction;
 use ecl_telemetry::Counts;
 
@@ -331,38 +331,41 @@ impl FaultPlan {
     }
 
     /// Stable FNV-1a digest of the full plan content — two plans with the
-    /// same digest injected the same faults in the same periods.
+    /// same digest injected the same faults in the same periods. Built on
+    /// the same [`Fnv1a`] family as `schedule_digest`/`loop_spec_digest`
+    /// so memo keys composed from all three stay in one hash family.
+    /// Every section is length-prefixed, so plans whose flattened streams
+    /// coincide but whose shapes differ (e.g. an outage row moved into a
+    /// comm-fault row) cannot alias.
     pub fn digest(&self) -> u64 {
-        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-        const PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h = OFFSET;
-        let mut write = |v: u64| {
-            for b in v.to_le_bytes() {
-                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
-            }
-        };
-        write(u64::from(self.periods));
+        let mut h = Fnv1a::new();
+        h.write_u64(u64::from(self.periods));
+        h.write_u64(self.proc_dead_from.len() as u64);
         for d in &self.proc_dead_from {
-            write(match d {
+            h.write_u64(match d {
                 Some(k) => u64::from(*k) + 1,
                 None => 0,
             });
         }
+        h.write_u64(self.outage.len() as u64);
         for per_medium in &self.outage {
+            h.write_u64(per_medium.len() as u64);
             for &o in per_medium {
-                write(u64::from(o));
+                h.write_u64(u64::from(o));
             }
         }
+        h.write_u64(self.comm_faults.len() as u64);
         for per_slot in &self.comm_faults {
+            h.write_u64(per_slot.len() as u64);
             for f in per_slot {
-                write(match f {
+                h.write_u64(match f {
                     CommFault::Ok => 0,
                     CommFault::Retry(r) => u64::from(*r) + 1,
                     CommFault::Drop => u64::MAX,
                 });
             }
         }
-        h
+        h.finish()
     }
 }
 
@@ -435,6 +438,103 @@ mod tests {
         let other =
             FaultPlan::generate(&FaultConfig { seed: 8, ..cfg }, &schedule, &arch, 200).unwrap();
         assert_ne!(a.digest(), other.digest());
+    }
+
+    /// Exhaustive digest sensitivity, mirroring
+    /// `loop_spec_digest_flips_on_every_field`: flipping any single plan
+    /// field — the period count, any processor's death period, any
+    /// outage flag, any slot fate (including the retry count), or any
+    /// section's shape — must change the digest, and no two flips may
+    /// alias each other.
+    #[test]
+    fn fault_plan_digest_flips_on_every_field() {
+        let base = || FaultPlan {
+            periods: 4,
+            proc_dead_from: vec![None, Some(2)],
+            outage: vec![vec![false, true, false, false]],
+            comm_faults: vec![vec![
+                CommFault::Ok,
+                CommFault::Retry(1),
+                CommFault::Drop,
+                CommFault::Ok,
+            ]],
+            counts: Counts::new(),
+        };
+        let mut digests = vec![("baseline", base().digest())];
+        let mut check = |label: &'static str, plan: FaultPlan| {
+            let d = plan.digest();
+            for (prev, pd) in &digests {
+                assert_ne!(*pd, d, "digest of '{label}' collides with '{prev}'");
+            }
+            digests.push((label, d));
+        };
+
+        check("periods", {
+            let mut p = base();
+            p.periods = 5;
+            p
+        });
+        check("proc death appears", {
+            let mut p = base();
+            p.proc_dead_from[0] = Some(0);
+            p
+        });
+        check("proc death period", {
+            let mut p = base();
+            p.proc_dead_from[1] = Some(3);
+            p
+        });
+        check("proc death removed", {
+            let mut p = base();
+            p.proc_dead_from[1] = None;
+            p
+        });
+        check("proc list grows", {
+            let mut p = base();
+            p.proc_dead_from.push(None);
+            p
+        });
+        check("outage flag set", {
+            let mut p = base();
+            p.outage[0][0] = true;
+            p
+        });
+        check("outage flag cleared", {
+            let mut p = base();
+            p.outage[0][1] = false;
+            p
+        });
+        check("outage medium added", {
+            let mut p = base();
+            p.outage.push(vec![false; 4]);
+            p
+        });
+        check("comm fault Ok -> Retry(0)", {
+            let mut p = base();
+            p.comm_faults[0][0] = CommFault::Retry(0);
+            p
+        });
+        check("comm retry count", {
+            let mut p = base();
+            p.comm_faults[0][1] = CommFault::Retry(2);
+            p
+        });
+        check("comm Drop -> Ok", {
+            let mut p = base();
+            p.comm_faults[0][2] = CommFault::Ok;
+            p
+        });
+        check("comm slot added", {
+            let mut p = base();
+            p.comm_faults.push(vec![CommFault::Ok; 4]);
+            p
+        });
+
+        // `counts` is derived from the injected content, not part of the
+        // plan's identity: it must NOT perturb the digest.
+        let mut with_counts = base();
+        with_counts.counts.add("frames_lost", 3);
+        assert_eq!(base().digest(), with_counts.digest());
     }
 
     #[test]

@@ -161,6 +161,7 @@ pub struct WorkerProfile {
     last_ns: u64,
     spans: Vec<ProfileSpan>,
     cache_events: Vec<CacheEvent>,
+    memo_events: Vec<CacheEvent>,
 }
 
 impl WorkerProfile {
@@ -178,6 +179,7 @@ impl WorkerProfile {
             last_ns: 0,
             spans: Vec::new(),
             cache_events: Vec::new(),
+            memo_events: Vec::new(),
         }
     }
 
@@ -266,6 +268,25 @@ impl WorkerProfile {
         });
     }
 
+    /// Records one scheduled-run memo lookup observation. Kept on a
+    /// separate channel from [`cache_event`](WorkerProfile::cache_event)
+    /// so per-digest memo attribution does not mix with schedule-cache
+    /// lines — a memo digest composes a schedule digest with the loop
+    /// and fault-plan digests, so the key spaces are disjoint by
+    /// construction but share the same `u64` representation.
+    pub fn memo_event(&mut self, scenario: usize, digest: u64, hit: bool) {
+        if !self.enabled {
+            return;
+        }
+        let at_ns = self.now_ns();
+        self.memo_events.push(CacheEvent {
+            scenario,
+            digest,
+            hit,
+            at_ns,
+        });
+    }
+
     /// Recorded phase windows, in execution order.
     pub fn spans(&self) -> &[ProfileSpan] {
         &self.spans
@@ -313,6 +334,8 @@ pub struct WorkerLane {
     pub spans: Vec<ProfileSpan>,
     /// Schedule-cache observations, in execution order.
     pub cache_events: Vec<CacheEvent>,
+    /// Scheduled-run memo observations, in execution order.
+    pub memo_events: Vec<CacheEvent>,
 }
 
 /// Per-digest schedule-cache attribution.
@@ -349,6 +372,8 @@ pub struct ProfileReport {
     pub phases: Vec<PhaseStat>,
     /// Per-digest cache attribution, ascending by digest.
     pub cache: Vec<CacheLine>,
+    /// Per-digest scheduled-run memo attribution, ascending by digest.
+    pub memo: Vec<CacheLine>,
 }
 
 impl ProfileReport {
@@ -370,6 +395,7 @@ impl ProfileReport {
                 idle_ns: active_ns.saturating_sub(b.busy_ns),
                 spans: b.spans,
                 cache_events: b.cache_events,
+                memo_events: b.memo_events,
             });
         }
 
@@ -399,32 +425,39 @@ impl ProfileReport {
             });
         }
 
-        let mut by_digest: std::collections::BTreeMap<u64, CacheLine> =
-            std::collections::BTreeMap::new();
-        for ev in workers.iter().flat_map(|w| w.cache_events.iter()) {
-            let line = by_digest.entry(ev.digest).or_insert_with(|| CacheLine {
-                digest: ev.digest,
-                lookups: 0,
-                hits: 0,
-                scenarios: Vec::new(),
-            });
-            line.lookups += 1;
-            line.hits += u64::from(ev.hit);
-            line.scenarios.push(ev.scenario);
-        }
-        let cache = by_digest
-            .into_values()
-            .map(|mut l| {
-                l.scenarios.sort_unstable();
-                l
-            })
-            .collect();
+        // BTreeMap keeps lines ascending by digest, so the merged order
+        // is deterministic regardless of which worker saw a digest first.
+        let merge_lines = |events: &mut dyn Iterator<Item = &CacheEvent>| -> Vec<CacheLine> {
+            let mut by_digest: std::collections::BTreeMap<u64, CacheLine> =
+                std::collections::BTreeMap::new();
+            for ev in events {
+                let line = by_digest.entry(ev.digest).or_insert_with(|| CacheLine {
+                    digest: ev.digest,
+                    lookups: 0,
+                    hits: 0,
+                    scenarios: Vec::new(),
+                });
+                line.lookups += 1;
+                line.hits += u64::from(ev.hit);
+                line.scenarios.push(ev.scenario);
+            }
+            by_digest
+                .into_values()
+                .map(|mut l| {
+                    l.scenarios.sort_unstable();
+                    l
+                })
+                .collect()
+        };
+        let cache = merge_lines(&mut workers.iter().flat_map(|w| w.cache_events.iter()));
+        let memo = merge_lines(&mut workers.iter().flat_map(|w| w.memo_events.iter()));
 
         ProfileReport {
             wall_ns,
             workers,
             phases,
             cache,
+            memo,
         }
     }
 
@@ -467,6 +500,11 @@ impl ProfileReport {
         self.cache.iter().map(|l| l.lookups).sum()
     }
 
+    /// Total scheduled-run memo lookups the workers observed.
+    pub fn memo_lookups(&self) -> u64 {
+        self.memo.iter().map(|l| l.lookups).sum()
+    }
+
     /// The profile as worker-lane telemetry events: one [`Event::Slice`]
     /// per phase window on a `worker <i>` track (wall ns since the sweep
     /// epoch in the slice's "simulated" field) and one [`Event::Instant`]
@@ -493,20 +531,22 @@ impl ProfileReport {
                     },
                 ));
             }
-            for c in &lane.cache_events {
-                timed.push((
-                    c.at_ns,
-                    Event::Instant {
-                        track: track.clone(),
-                        name: format!(
-                            "s{} cache {} {:#018x}",
-                            c.scenario,
-                            if c.hit { "hit" } else { "miss" },
-                            c.digest
-                        ),
-                        at_ns: c.at_ns as i64,
-                    },
-                ));
+            for (kind, events) in [("cache", &lane.cache_events), ("memo", &lane.memo_events)] {
+                for c in events {
+                    timed.push((
+                        c.at_ns,
+                        Event::Instant {
+                            track: track.clone(),
+                            name: format!(
+                                "s{} {kind} {} {:#018x}",
+                                c.scenario,
+                                if c.hit { "hit" } else { "miss" },
+                                c.digest
+                            ),
+                            at_ns: c.at_ns as i64,
+                        },
+                    ));
+                }
             }
             timed.sort_by_key(|(at, _)| *at);
             events.extend(timed.into_iter().map(|(_, e)| e));
@@ -612,6 +652,19 @@ impl ProfileReport {
                 );
             }
         }
+        if !self.memo.is_empty() {
+            let _ = writeln!(out, "\n## Scheduled-run memo (by digest)");
+            for l in &self.memo {
+                let _ = writeln!(
+                    out,
+                    "{:#018x}  lookups {:>4}  hits {:>4}  scenarios {}",
+                    l.digest,
+                    l.lookups,
+                    l.hits,
+                    l.scenarios.len()
+                );
+            }
+        }
         out
     }
 
@@ -659,19 +712,21 @@ impl ProfileReport {
                 w.worker, w.tasks, w.busy_ns, w.active_ns, w.idle_ns
             );
         }
-        out.push_str("],\"cache\":[");
-        for (i, l) in self.cache.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
+        for (key, lines) in [("cache", &self.cache), ("memo", &self.memo)] {
+            let _ = write!(out, "],\"{key}\":[");
+            for (i, l) in lines.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"digest\":\"{:#018x}\",\"lookups\":{},\"hits\":{},\"scenarios\":{}}}",
+                    l.digest,
+                    l.lookups,
+                    l.hits,
+                    l.scenarios.len()
+                );
             }
-            let _ = write!(
-                out,
-                "{{\"digest\":\"{:#018x}\",\"lookups\":{},\"hits\":{},\"scenarios\":{}}}",
-                l.digest,
-                l.lookups,
-                l.hits,
-                l.scenarios.len()
-            );
         }
         out.push_str("]}\n");
         out
@@ -775,6 +830,62 @@ mod tests {
         assert_eq!(report.cache[0].digest, 0xbeef);
         assert_eq!((report.cache[0].lookups, report.cache[0].hits), (1, 1));
         assert_eq!(report.cache[0].scenarios, vec![1]);
+    }
+
+    /// Memo observations stay on their own channel: they merge into
+    /// `ProfileReport::memo` (ascending by digest), never into the
+    /// schedule-cache lines, and surface in the render/JSON/trace
+    /// outputs under their own section.
+    #[test]
+    fn memo_events_merge_on_a_separate_channel() {
+        let mut w0 = worker_with(0, &[(0, Phase::Cosim, 0, 50)]);
+        w0.note_task(0, 60);
+        w0.cache_event(0, 0x10, false);
+        w0.memo_event(0, 0x20, false);
+        let mut w1 = worker_with(1, &[(1, Phase::Cosim, 10, 40)]);
+        w1.note_task(10, 50);
+        w1.memo_event(1, 0x20, true);
+        w1.memo_event(1, 0x05, false);
+
+        let report = ProfileReport::from_workers(100, vec![w0, w1]);
+        assert_eq!(report.cache.len(), 1);
+        assert_eq!(report.cache[0].digest, 0x10);
+        assert_eq!(report.cache_lookups(), 1);
+
+        // Ascending by digest regardless of observation order.
+        assert_eq!(report.memo.len(), 2);
+        assert_eq!(report.memo[0].digest, 0x05);
+        assert_eq!(report.memo[1].digest, 0x20);
+        assert_eq!((report.memo[1].lookups, report.memo[1].hits), (2, 1));
+        assert_eq!(report.memo[1].scenarios, vec![0, 1]);
+        assert_eq!(report.memo_lookups(), 3);
+
+        let text = report.render();
+        assert!(text.contains("## Scheduled-run memo (by digest)"));
+        let json = report.to_json();
+        let parsed = crate::json::parse(&json).expect("profile JSON parses");
+        let memo = parsed
+            .get("memo")
+            .and_then(|v| v.as_array())
+            .map(<[_]>::len);
+        assert_eq!(memo, Some(2));
+        let cache = parsed
+            .get("cache")
+            .and_then(|v| v.as_array())
+            .map(<[_]>::len);
+        assert_eq!(cache, Some(1));
+        // Trace instants label the channel.
+        let events = report.to_events();
+        let names: Vec<String> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Instant { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(names.iter().any(|n| n.contains("memo miss")));
+        assert!(names.iter().any(|n| n.contains("memo hit")));
+        assert!(names.iter().any(|n| n.contains("cache miss")));
     }
 
     #[test]

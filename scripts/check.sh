@@ -112,4 +112,22 @@ grep -q '"ideal_speedup_ge_3x":true' results/BENCH_exp16.json
 test -s results/PROFILE_exp16.json
 test -s results/exp16_scale.txt
 
+# E17-SCALE: the scheduled-run memo must carry a 10^6-scenario sweep:
+# the deterministic digest report must stay byte-identical across worker
+# counts, the memo hit rate must clear 99.9% (quantized axes bound the
+# key space to <=96 digests), the hot loop must stay allocation-free,
+# and throughput must clear 3x the archived E16 baseline (booleans
+# recorded in BENCH_exp17.json).
+echo "== E17-SCALE 10^6-scenario scheduled-memo check =="
+ECL_FLEET_WORKERS=1 cargo run -q --offline --release -p ecl-bench --bin exp17_scale >/dev/null
+cp results/exp17_scale.txt results/exp17_scale.w1.txt
+ECL_FLEET_WORKERS=4 cargo run -q --offline --release -p ecl-bench --bin exp17_scale >/dev/null
+diff results/exp17_scale.w1.txt results/exp17_scale.txt
+rm results/exp17_scale.w1.txt
+grep -q '"hot_allocs_zero":true' results/BENCH_exp17.json
+grep -q '"throughput_ge_3x":true' results/BENCH_exp17.json
+grep -q '"scheduled_hit_rate_ge_999":true' results/BENCH_exp17.json
+test -s results/PROFILE_exp17.json
+test -s results/exp17_scale.txt
+
 echo "All checks passed."
