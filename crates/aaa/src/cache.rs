@@ -349,6 +349,55 @@ impl ScheduleCache {
         state.local_misses.saturating_sub(state.map.len() as u64)
     }
 
+    /// Number of lookups that actually ran the scheduler in *this*
+    /// process — unlike [`misses`](ScheduleCache::misses) it excludes
+    /// entries answered from a [`seed`](ScheduleCache::seed)ed (on-disk)
+    /// schedule, so a warm-started daemon can assert it recomputed
+    /// nothing. Includes racing double-computes, so it is
+    /// scheduling-dependent and belongs in sidecars only (its zero/
+    /// non-zero distinction is deterministic for serial executors).
+    pub fn computes(&self) -> u64 {
+        self.state.lock().expect("cache lock").local_misses
+    }
+
+    /// Inserts a schedule computed by an earlier process under its
+    /// [`schedule_digest`] key — the warm-start path of the on-disk
+    /// cache layer. Returns `false` (and keeps the resident entry) when
+    /// the digest is already cached.
+    ///
+    /// Seeding does not count as a lookup or a compute: a later lookup
+    /// of the digest counts toward [`misses`](ScheduleCache::misses)
+    /// exactly as if a prior process had paid the first-of-its-digest
+    /// compute, while [`computes`](ScheduleCache::computes) stays at
+    /// zero for seeded keys.
+    pub fn seed(&self, digest: u64, schedule: Schedule) -> bool {
+        let mut state = self.state.lock().expect("cache lock");
+        match state.map.entry(digest) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(CacheSlot {
+                    schedule: Arc::new(schedule),
+                    lookups: 0,
+                });
+                true
+            }
+        }
+    }
+
+    /// Every cached `(digest, schedule)` pair, sorted by digest — the
+    /// write-back path of the on-disk cache layer. Deterministic
+    /// ordering, so persisting a snapshot is reproducible.
+    pub fn snapshot(&self) -> Vec<(u64, Arc<Schedule>)> {
+        let state = self.state.lock().expect("cache lock");
+        let mut out: Vec<_> = state
+            .map
+            .iter()
+            .map(|(&digest, slot)| (digest, Arc::clone(&slot.schedule)))
+            .collect();
+        out.sort_by_key(|&(digest, _)| digest);
+        out
+    }
+
     /// Number of distinct schedules currently cached.
     pub fn len(&self) -> usize {
         self.state.lock().expect("cache lock").map.len()
@@ -715,6 +764,38 @@ mod tests {
         assert!(hit2);
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    /// Seeding a cache from a prior process's snapshot answers lookups
+    /// without running the scheduler: `computes()` stays zero while the
+    /// served schedule is byte-identical to the fresh one.
+    #[test]
+    fn seeded_cache_serves_without_computing() {
+        let (alg, arch, db) = setup();
+        let opts = AdequationOptions::default();
+        // A first process computes and snapshots.
+        let warm = ScheduleCache::new();
+        warm.get_or_compute(&alg, &arch, &db, opts).unwrap();
+        assert_eq!(warm.computes(), 1);
+        let snapshot = warm.snapshot();
+        assert_eq!(snapshot.len(), 1);
+
+        // A restarted process seeds from the snapshot (round-tripped
+        // through the on-disk byte codec) and never runs the scheduler.
+        let cold = ScheduleCache::new();
+        for (digest, schedule) in &snapshot {
+            let bytes = schedule.to_bytes();
+            assert!(cold.seed(*digest, Schedule::from_bytes(&bytes).unwrap()));
+            // Re-seeding the same digest is refused.
+            assert!(!cold.seed(*digest, Schedule::from_bytes(&bytes).unwrap()));
+        }
+        let (served, digest, hit) = cold.get_or_compute_traced(&alg, &arch, &db, opts).unwrap();
+        assert!(hit, "seeded digest must answer from the cache");
+        assert_eq!(digest, snapshot[0].0);
+        assert_eq!(cold.computes(), 0);
+        let fresh = adequation(&alg, &arch, &db, opts).unwrap();
+        assert_eq!(served.ops(), fresh.ops());
+        assert_eq!(served.comms(), fresh.comms());
     }
 
     /// The counters depend only on the multiset of digests looked up,

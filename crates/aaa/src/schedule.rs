@@ -1,11 +1,17 @@
 //! The static, non-preemptive schedule produced by the adequation.
 
 use ecl_sim::TimeNs;
+use ecl_telemetry::bytes::{ByteReader, ByteWriter, CodecError};
 use serde::{Deserialize, Serialize};
 
 use crate::algorithm::{AlgorithmGraph, OpId, OpKind};
 use crate::architecture::{ArchitectureGraph, MediumId, ProcId};
 use crate::AaaError;
+
+/// Magic tag of the [`Schedule::to_bytes`] layout.
+const SCHEDULE_MAGIC: &[u8] = b"ECLS";
+/// Version of the [`Schedule::to_bytes`] layout; bump on any change.
+const SCHEDULE_VERSION: u32 = 1;
 
 /// One computation slot: operation `op` executes on `proc` during
 /// `[start, end)`.
@@ -279,6 +285,86 @@ impl Schedule {
         Ok(())
     }
 
+    /// Serializes the schedule for the content-addressed on-disk cache
+    /// (`results/cache/schedules/`): magic + version, then every slot
+    /// field little-endian. The `serde` shims are no-ops in this offline
+    /// workspace, so persistence is hand-rolled on
+    /// [`ecl_telemetry::bytes`]. Invalidation is by digest: files are
+    /// named by [`schedule_digest`](crate::schedule_digest), so a cached
+    /// schedule can never be served for changed scheduler inputs.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(16 + self.ops.len() * 32 + self.comms.len() * 56);
+        w.put_raw(SCHEDULE_MAGIC);
+        w.put_u32(SCHEDULE_VERSION);
+        w.put_seq_len(self.ops.len());
+        for o in &self.ops {
+            w.put_usize(o.op.index());
+            w.put_usize(o.proc.index());
+            w.put_i64(o.start.as_nanos());
+            w.put_i64(o.end.as_nanos());
+        }
+        w.put_seq_len(self.comms.len());
+        for c in &self.comms {
+            w.put_usize(c.src_op.index());
+            w.put_usize(c.from.index());
+            w.put_usize(c.to.index());
+            w.put_usize(c.medium.index());
+            w.put_i64(c.start.as_nanos());
+            w.put_i64(c.end.as_nanos());
+            w.put_u32(c.data_units);
+        }
+        w.into_bytes()
+    }
+
+    /// Reconstructs a schedule serialized by [`to_bytes`], consuming the
+    /// whole buffer. Corruption (bad magic, truncation, trailing bytes)
+    /// decodes to a typed [`CodecError`], never a panic, so a damaged
+    /// cache file is skipped rather than trusted.
+    ///
+    /// [`to_bytes`]: Schedule::to_bytes
+    ///
+    /// # Errors
+    ///
+    /// Returns the structural [`CodecError`] describing the corruption.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Schedule, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        r.expect_magic(SCHEDULE_MAGIC)?;
+        let version = r.get_u32()?;
+        if version != SCHEDULE_VERSION {
+            return Err(CodecError::BadMagic {
+                expected: format!("schedule v{SCHEDULE_VERSION}"),
+                found: format!("schedule v{version}"),
+            });
+        }
+        let n_ops = r.get_seq_len()?;
+        let mut ops = Vec::with_capacity(n_ops);
+        for _ in 0..n_ops {
+            ops.push(ScheduledOp {
+                op: OpId(r.get_usize()?),
+                proc: ProcId(r.get_usize()?),
+                start: TimeNs::from_nanos(r.get_i64()?),
+                end: TimeNs::from_nanos(r.get_i64()?),
+            });
+        }
+        let n_comms = r.get_seq_len()?;
+        let mut comms = Vec::with_capacity(n_comms);
+        for _ in 0..n_comms {
+            comms.push(ScheduledComm {
+                src_op: OpId(r.get_usize()?),
+                from: ProcId(r.get_usize()?),
+                to: ProcId(r.get_usize()?),
+                medium: MediumId(r.get_usize()?),
+                start: TimeNs::from_nanos(r.get_i64()?),
+                end: TimeNs::from_nanos(r.get_i64()?),
+                data_units: r.get_u32()?,
+            });
+        }
+        r.finish()?;
+        // `from_parts` re-sorts, so even a hand-edited file decodes to a
+        // schedule honoring the stored-order invariants.
+        Ok(Schedule::from_parts(ops, comms))
+    }
+
     /// Renders a human-readable Gantt-style listing of the schedule.
     pub fn render(&self, alg: &AlgorithmGraph, arch: &ArchitectureGraph) -> String {
         let mut s = String::new();
@@ -468,6 +554,55 @@ mod tests {
         assert!(text.contains("processor p0"));
         assert!(text.contains("medium bus"));
         assert!(text.contains("f"));
+    }
+
+    #[test]
+    fn byte_codec_round_trips() {
+        let s = valid_split_schedule();
+        let bytes = s.to_bytes();
+        let back = Schedule::from_bytes(&bytes).unwrap();
+        assert_eq!(back.ops(), s.ops());
+        assert_eq!(back.comms(), s.comms());
+        // Encoding is canonical: re-encoding the decode is byte-identical.
+        assert_eq!(back.to_bytes(), bytes);
+        // The empty schedule round-trips too.
+        let empty = Schedule::default();
+        assert_eq!(
+            Schedule::from_bytes(&empty.to_bytes()).unwrap().ops(),
+            empty.ops()
+        );
+    }
+
+    #[test]
+    fn byte_codec_rejects_corruption() {
+        let s = valid_split_schedule();
+        let bytes = s.to_bytes();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            Schedule::from_bytes(&bad),
+            Err(CodecError::BadMagic { .. })
+        ));
+        // Unknown version.
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            Schedule::from_bytes(&bad),
+            Err(CodecError::BadMagic { .. })
+        ));
+        // Truncation at every prefix length decodes to an error, never a
+        // panic or a silently short schedule.
+        for cut in 0..bytes.len() {
+            assert!(Schedule::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing garbage is refused.
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(matches!(
+            Schedule::from_bytes(&long),
+            Err(CodecError::TrailingBytes { .. })
+        ));
     }
 
     #[test]

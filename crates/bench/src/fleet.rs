@@ -26,15 +26,18 @@
 //! readings, so every deterministic artifact stays byte-identical with
 //! profiling on or off.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::Instant;
 
 use ecl_aaa::{
-    codegen, AdequationOptions, MappingPolicy, Schedule, ScheduleCache, TimeNs, TimingDb,
+    codegen, AdequationOptions, Fnv1a, MappingPolicy, Schedule, ScheduleCache, TimeNs, TimingDb,
 };
 use ecl_core::cosim::{self, CosimPhases, IdealRunCache, LoopResult, LoopSpec, ScheduledRunCache};
 use ecl_core::faults::{FaultConfig, FaultPlan};
+use ecl_core::latency::LatencyReport;
 use ecl_core::report::{
     DegradationSummary, ScenarioOutcome, SweepSummary, ValidationSummary, VerificationSummary,
 };
@@ -47,8 +50,10 @@ use ecl_telemetry::{
 
 use crate::SplitScenario;
 
-/// Buckets of the sweep-level actuation-latency histogram.
-const SWEEP_BUCKETS: usize = 64;
+/// Buckets of the sweep-level actuation-latency histogram. Public so
+/// external drivers (e.g. `ecl-serve`) can allocate scratch histograms
+/// at the exact shape [`run_scenario`] merges into.
+pub const SWEEP_BUCKETS: usize = 64;
 
 /// Salt separating the WCET-table seed stream from the scenario seed
 /// stream: table `t`'s factors derive from
@@ -210,6 +215,17 @@ pub struct SweepConfig {
     /// memo on or off. Off by default so baseline benchmarks (E15/E16)
     /// keep measuring the unmemoized pipeline.
     pub memoize_scheduled: bool,
+    /// Memoize per-scenario latency metrics in a shared [`ReportCache`]
+    /// keyed by `(scheduled-run digest, histogram bound)`: the latency
+    /// report, its bucketed actuation histogram, the worst actuation and
+    /// the overrun count are all pure functions of the co-simulated run's
+    /// bytes, so two scenarios pricing to the same run digest share one
+    /// report extraction. The memoized values are identical to freshly
+    /// extracted ones (pinned by the byte-identity sweep test), keeping
+    /// every deterministic artifact byte-identical with the memo on or
+    /// off. Off by default for the same baseline-benchmark reason as
+    /// [`memoize_scheduled`](SweepConfig::memoize_scheduled).
+    pub memoize_reports: bool,
 }
 
 impl Default for SweepConfig {
@@ -232,6 +248,7 @@ impl Default for SweepConfig {
             verify_static: false,
             profile: false,
             memoize_scheduled: false,
+            memoize_reports: false,
         }
     }
 }
@@ -397,13 +414,21 @@ pub struct SweepOutput {
     /// Distinct `(loop × schedule × fault-plan)` co-simulations actually
     /// run ([`ScheduledRunCache::misses`]).
     pub scheduled_misses: u64,
+    /// Report-memo lookups answered from the cache ([`ReportCache::hits`]
+    /// — digest-derived, worker-count invariant). Same sidecar contract
+    /// as [`SweepOutput::ideal_hits`]: beside the summary, never inside
+    /// it. Zero unless [`SweepConfig::memoize_reports`] is set.
+    pub report_hits: u64,
+    /// Distinct `(run digest, bound)` report extractions actually
+    /// performed ([`ReportCache::misses`]).
+    pub report_misses: u64,
     /// Racing double-computes observed by the schedule cache, the
-    /// ideal-run memo and the scheduled-run memo, in that order. Unlike
-    /// every other counter here these depend on thread interleaving —
-    /// wall-clock-class contention diagnostics that may vary run to run,
-    /// so they belong in profiler/bench sidecars and must never enter a
-    /// diffed artifact.
-    pub races: [u64; 3],
+    /// ideal-run memo, the scheduled-run memo and the report memo, in
+    /// that order. Unlike every other counter here these depend on thread
+    /// interleaving — wall-clock-class contention diagnostics that may
+    /// vary run to run, so they belong in profiler/bench sidecars and
+    /// must never enter a diffed artifact.
+    pub races: [u64; 4],
 }
 
 /// Batch of consecutive indices one claim takes: small enough that the
@@ -524,9 +549,181 @@ pub fn workers_from_env() -> Result<Option<usize>, CoreError> {
     }
 }
 
+/// A boxed unit of pool work.
+type PoolTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared state of one [`FleetPool::run_with`] call: the claim counter,
+/// the index-addressed result slots, the per-lane states and the
+/// completion latch.
+struct PoolJob<R, W> {
+    count: usize,
+    batch: usize,
+    next: AtomicUsize,
+    slots: Mutex<Vec<Option<R>>>,
+    states: Mutex<Vec<Option<W>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+/// A resident fleet: long-lived worker threads fed from an MPSC inbox.
+///
+/// [`map_indexed_with`] spawns and joins a scoped pool per sweep — the
+/// right shape for a one-shot experiment binary, and measurably wrong for
+/// a daemon that answers many small sweep jobs: thread spawn/join cost
+/// lands on every request. `FleetPool` keeps the workers alive across
+/// jobs; [`run_with`](FleetPool::run_with) reproduces the
+/// `map_indexed_with` contract (index-ordered results, worker states in
+/// lane order, batched claiming via [`claim_batch`]) on top of them, so a
+/// sweep sharded over the pool stays byte-identical to one run on scoped
+/// threads. Jobs submitted concurrently interleave at lane granularity;
+/// each lane task runs to completion independently, so no job can
+/// deadlock another.
+///
+/// Dropping the pool closes the inbox and joins every worker.
+pub struct FleetPool {
+    workers: usize,
+    sender: Option<mpsc::Sender<PoolTask>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for FleetPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FleetPool")
+            .field("workers", &self.workers)
+            .finish()
+    }
+}
+
+impl FleetPool {
+    /// Spawns a resident pool of `workers` threads (clamped to at least
+    /// one).
+    pub fn new(workers: usize) -> FleetPool {
+        let workers = workers.max(1);
+        let (sender, receiver) = mpsc::channel::<PoolTask>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..workers)
+            .map(|w| {
+                let receiver = Arc::clone(&receiver);
+                std::thread::Builder::new()
+                    .name(format!("fleet-{w}"))
+                    .spawn(move || loop {
+                        // Hold the inbox lock only for the blocking recv;
+                        // the task itself runs unlocked.
+                        let task = receiver.lock().expect("fleet pool inbox").recv();
+                        match task {
+                            Ok(task) => task(),
+                            Err(_) => break,
+                        }
+                    })
+                    .expect("spawn fleet pool worker")
+            })
+            .collect();
+        FleetPool {
+            workers,
+            sender: Some(sender),
+            handles,
+        }
+    }
+
+    /// Number of resident worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// [`map_indexed_with`] on the resident pool: runs `f` over
+    /// `0..count` across at most `workers()` lanes, each lane owning a
+    /// private state from `init(lane)`, and blocks until the job
+    /// completes. Results come back **in index order** and lane states in
+    /// lane order — identical aggregation semantics to the scoped-thread
+    /// pool, so sweep artifacts cannot depend on which pool ran them.
+    pub fn run_with<R, W, G, F>(&self, count: usize, init: G, f: F) -> (Vec<R>, Vec<W>)
+    where
+        R: Send + 'static,
+        W: Send + 'static,
+        G: Fn(usize) -> W + Send + Sync + 'static,
+        F: Fn(usize, &mut W) -> R + Send + Sync + 'static,
+    {
+        let lanes = self.workers.clamp(1, count.max(1));
+        let job = Arc::new(PoolJob::<R, W> {
+            count,
+            batch: claim_batch(count, lanes),
+            next: AtomicUsize::new(0),
+            slots: Mutex::new((0..count).map(|_| None).collect()),
+            states: Mutex::new((0..lanes).map(|_| None).collect()),
+            remaining: Mutex::new(lanes),
+            done: Condvar::new(),
+        });
+        let init = Arc::new(init);
+        let f = Arc::new(f);
+        let sender = self.sender.as_ref().expect("pool inbox open");
+        for lane in 0..lanes {
+            let job = Arc::clone(&job);
+            let init = Arc::clone(&init);
+            let f = Arc::clone(&f);
+            sender
+                .send(Box::new(move || {
+                    let mut state = init(lane);
+                    let mut local: Vec<(usize, R)> = Vec::with_capacity(job.batch);
+                    loop {
+                        let start = job.next.fetch_add(job.batch, Ordering::Relaxed);
+                        if start >= job.count {
+                            break;
+                        }
+                        let end = (start + job.batch).min(job.count);
+                        for i in start..end {
+                            local.push((i, f(i, &mut state)));
+                        }
+                        let mut slots = job.slots.lock().expect("pool result slots");
+                        for (i, r) in local.drain(..) {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    job.states.lock().expect("pool lane states")[lane] = Some(state);
+                    let mut remaining = job.remaining.lock().expect("pool latch");
+                    *remaining -= 1;
+                    if *remaining == 0 {
+                        job.done.notify_all();
+                    }
+                }))
+                .expect("fleet pool worker hung up");
+        }
+        let mut remaining = job.remaining.lock().expect("pool latch");
+        while *remaining > 0 {
+            remaining = job.done.wait(remaining).expect("pool latch");
+        }
+        drop(remaining);
+        let results = job
+            .slots
+            .lock()
+            .expect("pool result slots")
+            .iter_mut()
+            .map(|r| r.take().expect("every index produced a result"))
+            .collect();
+        let states = job
+            .states
+            .lock()
+            .expect("pool lane states")
+            .iter_mut()
+            .map(|s| s.take().expect("every lane parked its state"))
+            .collect();
+        (results, states)
+    }
+}
+
+impl Drop for FleetPool {
+    fn drop(&mut self) {
+        // Closing the channel lets every worker's recv fail and exit.
+        self.sender.take();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// The sweep-level histogram bound: twice the largest scaled period, so
-/// even overrunning actuations stay in range.
-fn sweep_bound_ns(spec: &LoopSpec, config: &SweepConfig) -> i64 {
+/// even overrunning actuations stay in range. Public so external
+/// drivers can build [`run_scenario`]-compatible scratch histograms.
+pub fn sweep_bound_ns(spec: &LoopSpec, config: &SweepConfig) -> i64 {
     let max_scale = config
         .period_scales
         .iter()
@@ -535,20 +732,310 @@ fn sweep_bound_ns(spec: &LoopSpec, config: &SweepConfig) -> i64 {
 }
 
 /// What one scenario contributes to the sweep fold: its report row, the
-/// optional degradation twin delta, its latency histogram, its telemetry
-/// sink, the optional `(is_exact, max divergence ns)` verdict of the
-/// executive cross-validation, and the optional
+/// optional degradation twin delta, its telemetry sink, the optional
+/// `(is_exact, max divergence ns)` verdict of the executive
+/// cross-validation, the optional
 /// `(errors, warnings, soundness margin ns)` yield of the static
 /// verification (margin `None` under a drop-capable plan, whose retry
-/// bounds are declaredly unsound).
-type ScenarioYield = (
-    ScenarioOutcome,
-    Option<DegradationSummary>,
-    Histogram,
-    RecordingSink,
-    Option<(bool, i64)>,
-    Option<(usize, usize, Option<i64>)>,
-);
+/// bounds are declaredly unsound), and the adequation digest its
+/// schedule priced to (the [`SweepAccumulator`]'s job-local cache
+/// counters derive from these). The scenario's actuation latencies go
+/// straight into the caller's scratch [`Histogram`], never through this
+/// record — the sweep fold allocates no per-scenario histograms.
+#[derive(Debug)]
+pub struct ScenarioRecord {
+    /// The deterministic report row.
+    pub outcome: ScenarioOutcome,
+    /// Degradation delta against the fault-free twin, when faults ran.
+    pub degradation: Option<DegradationSummary>,
+    /// Telemetry of a traced scenario (empty otherwise).
+    pub traces: RecordingSink,
+    /// `(is_exact, max divergence ns)` of the executive cross-validation.
+    pub validation: Option<(bool, i64)>,
+    /// `(errors, warnings, margin ns)` of the static verification.
+    pub verification: Option<(usize, usize, Option<i64>)>,
+    /// Adequation digest of this scenario's schedule.
+    pub schedule_digest: u64,
+}
+
+/// One memoized latency extraction: everything the Metrics phase derives
+/// from a co-simulated run at a given histogram bound.
+#[derive(Debug, Clone)]
+pub struct ReportEntry {
+    /// The per-period sampling/actuation latency report.
+    pub report: LatencyReport,
+    /// Actuation latencies bucketed at the sweep bound
+    /// ([`sweep_bound_ns`], [`SWEEP_BUCKETS`] buckets) — merged into the
+    /// caller's scratch histogram on every lookup.
+    pub hist: Histogram,
+    /// Worst actuation latency of the run.
+    pub worst_actuation_ns: i64,
+    /// Total period overruns of the run.
+    pub overruns: usize,
+}
+
+/// A cached report entry plus the number of times it was looked up.
+#[derive(Debug)]
+struct ReportSlot {
+    entry: Arc<ReportEntry>,
+    lookups: u64,
+}
+
+#[derive(Debug, Default)]
+struct ReportState {
+    map: HashMap<u64, ReportSlot>,
+    local_misses: u64,
+}
+
+/// The key of one memoized report extraction: the
+/// [`cosim::scheduled_run_digest`] of the run (which covers the loop
+/// spec, the schedule inputs and the fault plan — and therefore also the
+/// strict-vs-lenient extraction mode, since leniency tracks plan
+/// presence) mixed with the histogram bound, because a shared daemon
+/// cache serves jobs whose period axes imply different bounds.
+pub fn report_digest(run_digest: u64, bound_ns: i64) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(run_digest);
+    h.write_i64(bound_ns);
+    h.finish()
+}
+
+/// A thread-safe memo table from [`report_digest`] keys to Metrics-phase
+/// yields ([`ReportEntry`]).
+///
+/// Same discipline as [`ScheduledRunCache`] and its siblings: the lock is
+/// held only around the map lookup/insert, never across the extraction
+/// (racing workers both derive the identical entry; the second insert is
+/// a no-op), and [`hits`](ReportCache::hits)/
+/// [`misses`](ReportCache::misses) are derived from per-digest lookup
+/// counts, so they are identical for any worker count and claim order.
+/// They still belong beside — never inside — byte-compared sweep
+/// artifacts.
+#[derive(Debug, Default)]
+pub struct ReportCache {
+    state: Mutex<ReportState>,
+}
+
+impl ReportCache {
+    /// An empty memo table.
+    pub fn new() -> Self {
+        ReportCache::default()
+    }
+
+    /// The entry for `digest`, building it with `build` only on a miss.
+    /// Returns the shared entry and whether *this* lookup was answered
+    /// from the cache (a wall-clock observation — sidecar-only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build` errors; failures are not cached.
+    pub fn get_or_build<F>(
+        &self,
+        digest: u64,
+        build: F,
+    ) -> Result<(Arc<ReportEntry>, bool), CoreError>
+    where
+        F: FnOnce() -> Result<ReportEntry, CoreError>,
+    {
+        if let Some(slot) = self
+            .state
+            .lock()
+            .expect("report memo lock")
+            .map
+            .get_mut(&digest)
+        {
+            slot.lookups += 1;
+            return Ok((Arc::clone(&slot.entry), true));
+        }
+        // Extracted outside the lock: latency extraction walks every
+        // period of the run and must not serialize the pool.
+        let entry = Arc::new(build()?);
+        let mut state = self.state.lock().expect("report memo lock");
+        state.local_misses += 1;
+        let slot = state
+            .map
+            .entry(digest)
+            .or_insert_with(|| ReportSlot { entry, lookups: 0 });
+        slot.lookups += 1;
+        Ok((Arc::clone(&slot.entry), false))
+    }
+
+    /// Lookups beyond the first of their digest — derived from per-digest
+    /// lookup counts, so identical for any worker count.
+    pub fn hits(&self) -> u64 {
+        self.state
+            .lock()
+            .expect("report memo lock")
+            .map
+            .values()
+            .map(|slot| slot.lookups.saturating_sub(1))
+            .sum()
+    }
+
+    /// Distinct digests ever looked up — the report extractions a serial
+    /// sweep would actually have performed. Derived, order-invariant.
+    pub fn misses(&self) -> u64 {
+        self.len() as u64
+    }
+
+    /// Racing double-extractions: local-miss observations beyond the
+    /// first of their digest. Thread-interleaving-dependent —
+    /// sidecar-only.
+    pub fn races(&self) -> u64 {
+        let state = self.state.lock().expect("report memo lock");
+        state.local_misses.saturating_sub(state.map.len() as u64)
+    }
+
+    /// Number of distinct entries currently cached.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("report memo lock").map.len()
+    }
+
+    /// `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The shared memo tables one sweep (or one resident daemon) threads
+/// through every scenario: adequation schedules, stroboscopic ideal
+/// runs, scheduled co-simulations and latency-report extractions.
+///
+/// [`run_sweep`] creates a fresh set per call; a daemon keeps one set
+/// alive across jobs (and warm-starts the first three from disk), which
+/// is why the summary's cache counters are derived job-locally by the
+/// [`SweepAccumulator`] instead of read off these global tables.
+#[derive(Debug, Default)]
+pub struct SweepCaches {
+    /// Content-addressed adequation memo.
+    pub schedule: ScheduleCache,
+    /// Ideal (stroboscopic reference) run memo.
+    pub ideal: IdealRunCache,
+    /// Scheduled co-simulation memo ([`SweepConfig::memoize_scheduled`]).
+    pub scheduled: ScheduledRunCache,
+    /// Latency-report memo ([`SweepConfig::memoize_reports`]).
+    pub reports: ReportCache,
+}
+
+impl SweepCaches {
+    /// A fresh, empty set of memo tables.
+    pub fn new() -> Self {
+        SweepCaches::default()
+    }
+}
+
+/// Folds [`ScenarioRecord`]s — **in index order** — into the
+/// deterministic sweep artifacts: the [`SweepSummary`] and the merged
+/// telemetry stream.
+///
+/// The summary's `cache_hits`/`cache_misses` are derived from the
+/// multiset of schedule digests the job's own scenarios priced to
+/// (lookups beyond the first of their digest are hits, distinct digests
+/// are misses). On a fresh [`SweepCaches`] this equals the global
+/// [`ScheduleCache`] counters exactly; on a daemon's warm shared caches
+/// it still reports what *this* job deduplicated — which is what keeps a
+/// response's bytes identical whether the daemon answered it cold, warm,
+/// or after a restart.
+#[derive(Debug)]
+pub struct SweepAccumulator {
+    cost_bound_ratio: f64,
+    scenarios: Vec<ScenarioOutcome>,
+    degradations: Vec<DegradationSummary>,
+    traces: RecordingSink,
+    validation: Option<ValidationSummary>,
+    verification: Option<VerificationSummary>,
+    schedule_digests: HashMap<u64, u64>,
+}
+
+impl SweepAccumulator {
+    /// An empty fold for a sweep over `config`.
+    pub fn new(config: &SweepConfig) -> Self {
+        SweepAccumulator {
+            cost_bound_ratio: config.cost_bound_ratio,
+            scenarios: Vec::with_capacity(config.scenario_count),
+            degradations: Vec::new(),
+            traces: RecordingSink::default(),
+            validation: config.validate_executive.then_some(ValidationSummary {
+                validated: 0,
+                exact: 0,
+                max_divergence_ns: 0,
+            }),
+            verification: config.verify_static.then_some(VerificationSummary {
+                verified: 0,
+                errors: 0,
+                warnings: 0,
+                worst_margin_ns: i64::MAX,
+            }),
+            schedule_digests: HashMap::new(),
+        }
+    }
+
+    /// Folds the next scenario's record. Call in index order.
+    pub fn push(&mut self, record: ScenarioRecord) {
+        *self
+            .schedule_digests
+            .entry(record.schedule_digest)
+            .or_insert(0) += 1;
+        self.scenarios.push(record.outcome);
+        self.degradations.extend(record.degradation);
+        self.traces.absorb(record.traces);
+        if let (Some(v), Some((exact, max_div))) = (self.validation.as_mut(), record.validation) {
+            v.validated += 1;
+            if exact {
+                v.exact += 1;
+            }
+            v.max_divergence_ns = v.max_divergence_ns.max(max_div);
+        }
+        if let (Some(v), Some((errors, warnings, margin))) =
+            (self.verification.as_mut(), record.verification)
+        {
+            v.verified += 1;
+            v.errors += errors;
+            v.warnings += warnings;
+            if let Some(m) = margin {
+                v.worst_margin_ns = v.worst_margin_ns.min(m);
+            }
+        }
+    }
+
+    /// Number of records folded so far.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// `true` when nothing has been folded yet.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Finishes the fold into the deterministic summary and the merged
+    /// telemetry stream.
+    pub fn finish(mut self) -> (SweepSummary, RecordingSink) {
+        if let Some(v) = self.verification.as_mut() {
+            if v.worst_margin_ns == i64::MAX {
+                v.worst_margin_ns = 0;
+            }
+        }
+        let cache_hits = self
+            .schedule_digests
+            .values()
+            .map(|&count| count.saturating_sub(1))
+            .sum();
+        let cache_misses = self.schedule_digests.len() as u64;
+        (
+            SweepSummary {
+                scenarios: self.scenarios,
+                cost_bound_ratio: self.cost_bound_ratio,
+                cache_hits,
+                cache_misses,
+                degradations: self.degradations,
+                validation: self.validation,
+                verification: self.verification,
+            },
+            self.traces,
+        )
+    }
+}
 
 /// Records the synthesis/simulation wall-clock split of one
 /// [`cosim::run_scheduled_phased`] call as two back-to-back profile
@@ -630,6 +1117,53 @@ fn scheduled_cosim(
     }
 }
 
+/// The latency report a scenario's verification phase reads: freshly
+/// extracted, or shared out of the [`ReportCache`].
+enum ScenarioReport {
+    Fresh(LatencyReport),
+    Cached(Arc<ReportEntry>),
+}
+
+impl ScenarioReport {
+    fn get(&self) -> &LatencyReport {
+        match self {
+            ScenarioReport::Fresh(report) => report,
+            ScenarioReport::Cached(entry) => &entry.report,
+        }
+    }
+}
+
+/// Extracts the Metrics-phase yield of one run: the latency report
+/// (lenient under faults), its actuation histogram at the sweep shape,
+/// the worst actuation and the overrun count — everything a
+/// [`ReportCache`] hit must reproduce bit-exactly.
+fn build_report_entry(
+    run: &LoopResult,
+    lenient: bool,
+    bound_ns: i64,
+) -> Result<ReportEntry, CoreError> {
+    let report = if lenient {
+        run.latency_report_lenient()?
+    } else {
+        run.latency_report()?
+    };
+    let mut hist = Histogram::new(bound_ns, SWEEP_BUCKETS);
+    let mut worst = 0i64;
+    for series in &report.actuation {
+        for &v in series.values() {
+            hist.record(v.as_nanos());
+            worst = worst.max(v.as_nanos());
+        }
+    }
+    let overruns = report.total_overruns();
+    Ok(ReportEntry {
+        report,
+        hist,
+        worst_actuation_ns: worst,
+        overruns,
+    })
+}
+
 /// Runs one scenario end to end: jitter → (cached) adequation →
 /// (memoized) graph-of-delays co-simulation → metrics. With
 /// [`SweepConfig::memoize_scheduled`], untraced co-simulations are
@@ -645,17 +1179,24 @@ fn scheduled_cosim(
 /// Every stage is wrapped in a [`WorkerProfile`] phase; with profiling
 /// off the wrappers are branch-only no-ops and the computation is the
 /// same expression either way, so results cannot depend on the flag.
+///
+/// `scratch` is the worker's reused actuation histogram (created once
+/// per worker at the [`sweep_bound_ns`]/[`SWEEP_BUCKETS`] shape): the
+/// scenario's latencies are recorded (or, on a report-memo hit, merged)
+/// into it in place, so the hot loop allocates no per-scenario
+/// histograms. `index` is a *global* scenario index — seeds, labels and
+/// trace prefixes derive from it — which is how a daemon shards one
+/// logical sweep into chunks without perturbing a single byte.
 #[allow(clippy::too_many_arguments)]
-fn run_scenario(
+pub fn run_scenario(
     spec: &LoopSpec,
     base: &SplitScenario,
     config: &SweepConfig,
-    cache: &ScheduleCache,
-    ideal_memo: &IdealRunCache,
-    scheduled_memo: &ScheduledRunCache,
+    caches: &SweepCaches,
     index: usize,
     wp: &mut WorkerProfile,
-) -> Result<ScenarioYield, CoreError> {
+    scratch: &mut Histogram,
+) -> Result<ScenarioRecord, CoreError> {
     let (scenario, db, mut spec2) = wp.phase(index, Phase::Derive, |_| {
         let scenario = Scenario::derive(config, base, index);
         let db = scenario.jittered_db(base);
@@ -669,7 +1210,8 @@ fn run_scenario(
         policy: scenario.policy,
     };
     let (schedule, digest, hit) = wp.phase(index, Phase::Adequation, |_| {
-        cache
+        caches
+            .schedule
             .get_or_compute_traced(&base.alg, &base.arch, &db, options)
             .map_err(CoreError::from)
     })?;
@@ -686,7 +1228,7 @@ fn run_scenario(
     // only in its period across the sweep — so it is memoized by content
     // digest: one simulation per distinct period, everything else is an
     // `Arc` clone out of the shared table.
-    let ideal = wp.phase(index, Phase::IdealSim, |_| ideal_memo.get_or_run(&spec2))?;
+    let ideal = wp.phase(index, Phase::IdealSim, |_| caches.ideal.get_or_run(&spec2))?;
     let traced = index < config.trace_scenarios;
     let periods = (spec2.horizon / spec2.ts).floor().max(1.0) as u32;
     // The plan is a pure function of (config, schedule, arch, periods),
@@ -711,7 +1253,7 @@ fn run_scenario(
         // degraded replay would double the sink for no new information).
         let baseline = scheduled_cosim(
             config,
-            scheduled_memo,
+            &caches.scheduled,
             &spec2,
             base,
             &schedule,
@@ -722,7 +1264,7 @@ fn run_scenario(
         )?;
         let faulty = scheduled_cosim(
             config,
-            scheduled_memo,
+            &caches.scheduled,
             &spec2,
             base,
             &schedule,
@@ -756,7 +1298,7 @@ fn run_scenario(
     } else {
         let run = scheduled_cosim(
             config,
-            scheduled_memo,
+            &caches.scheduled,
             &spec2,
             base,
             &schedule,
@@ -768,23 +1310,12 @@ fn run_scenario(
         (run, None, RecordingSink::default())
     };
 
-    let (outcome, hist, report) = wp.phase(index, Phase::Metrics, |_| {
+    let bound = sweep_bound_ns(spec, config);
+    let (outcome, report) = wp.phase(index, Phase::Metrics, |_| {
         // Forced rendezvous under faults legitimately pushes sampling
         // past its period, so degraded runs are measured leniently.
-        let report = if scenario.has_faults() {
-            run.latency_report_lenient()?
-        } else {
-            run.latency_report()?
-        };
-        let mut hist = Histogram::new(sweep_bound_ns(spec, config), SWEEP_BUCKETS);
-        let mut worst = 0i64;
-        for series in &report.actuation {
-            for &v in series.values() {
-                hist.record(v.as_nanos());
-                worst = worst.max(v.as_nanos());
-            }
-        }
-        let outcome = ScenarioOutcome {
+        let lenient = scenario.has_faults();
+        let outcome_for = |worst: i64, overruns: usize| ScenarioOutcome {
             index,
             seed: scenario.seed,
             label: scenario.label(),
@@ -792,9 +1323,37 @@ fn run_scenario(
             cost_ratio: run.cost / ideal.cost,
             makespan_ns: schedule.makespan().as_nanos(),
             worst_actuation_ns: worst,
-            overruns: report.total_overruns(),
+            overruns,
         };
-        Ok::<_, CoreError>((outcome, hist, report))
+        if config.memoize_reports && !traced {
+            let key = report_digest(
+                cosim::scheduled_run_digest(&spec2, digest, plan.as_ref()),
+                bound,
+            );
+            let (entry, _local_hit) = caches
+                .reports
+                .get_or_build(key, || build_report_entry(&run, lenient, bound))?;
+            scratch.merge(&entry.hist);
+            Ok::<_, CoreError>((
+                outcome_for(entry.worst_actuation_ns, entry.overruns),
+                ScenarioReport::Cached(entry),
+            ))
+        } else {
+            let report = if lenient {
+                run.latency_report_lenient()?
+            } else {
+                run.latency_report()?
+            };
+            let mut worst = 0i64;
+            for series in &report.actuation {
+                for &v in series.values() {
+                    scratch.record(v.as_nanos());
+                    worst = worst.max(v.as_nanos());
+                }
+            }
+            let overruns = report.total_overruns();
+            Ok((outcome_for(worst, overruns), ScenarioReport::Fresh(report)))
+        }
     })?;
 
     // Measured-vs-modeled cross-validation: execute the generated
@@ -851,8 +1410,9 @@ fn run_scenario(
                 None
             } else {
                 let mut margin: Option<i64> = None;
-                let sensors = base.io.sensors.iter().zip(&report.sampling);
-                let actuators = base.io.actuators.iter().zip(&report.actuation);
+                let rep = report.get();
+                let sensors = base.io.sensors.iter().zip(&rep.sampling);
+                let actuators = base.io.actuators.iter().zip(&rep.actuation);
                 for (op, series) in sensors.chain(actuators) {
                     if let Some(b) = bounds.bound_for(*op) {
                         for &v in series.values() {
@@ -872,7 +1432,14 @@ fn run_scenario(
     } else {
         None
     };
-    Ok((outcome, degradation, hist, sink, validation, verification))
+    Ok(ScenarioRecord {
+        outcome,
+        degradation,
+        traces: sink,
+        validation,
+        verification,
+        schedule_digest: digest,
+    })
 }
 
 /// Runs the whole sweep on `config.workers` threads.
@@ -890,98 +1457,61 @@ pub fn run_sweep(
     base: &SplitScenario,
     config: &SweepConfig,
 ) -> Result<SweepOutput, CoreError> {
-    let cache = ScheduleCache::new();
-    let ideal_memo = IdealRunCache::new();
-    let scheduled_memo = ScheduledRunCache::new();
+    let caches = SweepCaches::new();
     // One shared epoch so every worker's spans share a time base; the
     // buffers themselves are per-worker state — no hot-path sharing.
     let epoch = Instant::now();
+    let bound = sweep_bound_ns(spec, config);
     let (results, buffers) = map_indexed_with(
         config.scenario_count,
         config.workers,
-        |worker| WorkerProfile::new(worker, epoch, config.profile),
-        |i, wp| {
-            wp.task(|wp| {
-                run_scenario(
-                    spec,
-                    base,
-                    config,
-                    &cache,
-                    &ideal_memo,
-                    &scheduled_memo,
-                    i,
-                    wp,
-                )
-            })
+        |worker| {
+            (
+                WorkerProfile::new(worker, epoch, config.profile),
+                Histogram::new(bound, SWEEP_BUCKETS),
+            )
+        },
+        |i, state: &mut (WorkerProfile, Histogram)| {
+            let (wp, scratch) = state;
+            wp.task(|wp| run_scenario(spec, base, config, &caches, i, wp, scratch))
         },
     );
     let wall_ns = epoch.elapsed().as_nanos() as u64;
+    // Bucket sums are commutative and associative, so merging the
+    // per-worker scratch histograms (in worker-index order) yields bytes
+    // identical to a per-scenario merge for any claim interleaving.
+    let mut merged = Histogram::new(bound, SWEEP_BUCKETS);
+    let mut profiles = Vec::with_capacity(buffers.len());
+    for (wp, scratch) in buffers {
+        merged.merge(&scratch);
+        profiles.push(wp);
+    }
     let profile = config
         .profile
-        .then(|| ProfileReport::from_workers(wall_ns, buffers));
+        .then(|| ProfileReport::from_workers(wall_ns, profiles));
 
-    let mut scenarios = Vec::with_capacity(config.scenario_count);
-    let mut degradations = Vec::new();
-    let mut merged = Histogram::new(sweep_bound_ns(spec, config), SWEEP_BUCKETS);
-    let mut traces = RecordingSink::default();
-    let mut validation: Option<ValidationSummary> =
-        config.validate_executive.then_some(ValidationSummary {
-            validated: 0,
-            exact: 0,
-            max_divergence_ns: 0,
-        });
-    let mut verification: Option<VerificationSummary> =
-        config.verify_static.then_some(VerificationSummary {
-            verified: 0,
-            errors: 0,
-            warnings: 0,
-            worst_margin_ns: i64::MAX,
-        });
+    let mut acc = SweepAccumulator::new(config);
     for result in results {
-        let (outcome, degradation, hist, sink, validated, verified) = result?;
-        scenarios.push(outcome);
-        degradations.extend(degradation);
-        merged.merge(&hist);
-        traces.absorb(sink);
-        if let (Some(v), Some((exact, max_div))) = (validation.as_mut(), validated) {
-            v.validated += 1;
-            if exact {
-                v.exact += 1;
-            }
-            v.max_divergence_ns = v.max_divergence_ns.max(max_div);
-        }
-        if let (Some(v), Some((errors, warnings, margin))) = (verification.as_mut(), verified) {
-            v.verified += 1;
-            v.errors += errors;
-            v.warnings += warnings;
-            if let Some(m) = margin {
-                v.worst_margin_ns = v.worst_margin_ns.min(m);
-            }
-        }
+        acc.push(result?);
     }
-    if let Some(v) = verification.as_mut() {
-        if v.worst_margin_ns == i64::MAX {
-            v.worst_margin_ns = 0;
-        }
-    }
+    let (summary, traces) = acc.finish();
     Ok(SweepOutput {
-        summary: SweepSummary {
-            scenarios,
-            cost_bound_ratio: config.cost_bound_ratio,
-            cache_hits: cache.hits(),
-            cache_misses: cache.misses(),
-            degradations,
-            validation,
-            verification,
-        },
+        summary,
         actuation_hist: merged,
         traces,
         profile,
-        ideal_hits: ideal_memo.hits(),
-        ideal_misses: ideal_memo.misses(),
-        scheduled_hits: scheduled_memo.hits(),
-        scheduled_misses: scheduled_memo.misses(),
-        races: [cache.races(), ideal_memo.races(), scheduled_memo.races()],
+        ideal_hits: caches.ideal.hits(),
+        ideal_misses: caches.ideal.misses(),
+        scheduled_hits: caches.scheduled.hits(),
+        scheduled_misses: caches.scheduled.misses(),
+        report_hits: caches.reports.hits(),
+        report_misses: caches.reports.misses(),
+        races: [
+            caches.schedule.races(),
+            caches.ideal.races(),
+            caches.scheduled.races(),
+            caches.reports.races(),
+        ],
     })
 }
 
@@ -1559,6 +2089,194 @@ mod tests {
         );
         assert_eq!(serial.summary, parallel.summary);
         assert_eq!(serial.summary.render(), parallel.summary.render());
+    }
+
+    #[test]
+    fn fleet_pool_matches_scoped_pool_and_survives_reuse() {
+        let pool = FleetPool::new(3);
+        assert_eq!(pool.workers(), 3);
+        for round in 0..3usize {
+            let (results, states) = pool.run_with(
+                20,
+                |lane| (lane, 0usize),
+                move |i, s: &mut (usize, usize)| {
+                    s.1 += 1;
+                    i * 2 + round
+                },
+            );
+            assert_eq!(results, (0..20).map(|i| i * 2 + round).collect::<Vec<_>>());
+            assert_eq!(states.len(), 3);
+            for (lane, state) in states.iter().enumerate() {
+                assert_eq!(state.0, lane);
+            }
+            assert_eq!(states.iter().map(|s| s.1).sum::<usize>(), 20);
+        }
+        // An empty job completes without claiming anything.
+        let (results, states) = pool.run_with(0, |lane| lane, |i, _s: &mut usize| i);
+        assert!(results.is_empty());
+        assert_eq!(states.len(), 1);
+    }
+
+    /// The resident-pool sharding a daemon uses — [`FleetPool::run_with`]
+    /// over the public [`run_scenario`] folded by a [`SweepAccumulator`]
+    /// — must reproduce [`run_sweep`]'s artifacts byte for byte, cold
+    /// *and* warm: the second pass over the same shared [`SweepCaches`]
+    /// answers from the memos (zero new co-simulations) yet yields the
+    /// identical summary, because the accumulator derives its cache
+    /// counters from the job's own digest multiset, not the global
+    /// tables.
+    #[test]
+    fn pooled_sweep_reproduces_scoped_sweep_bytes_cold_and_warm() {
+        let spec = dc_motor_loop(0.3).unwrap();
+        let config = SweepConfig {
+            memoize_scheduled: true,
+            memoize_reports: true,
+            ..small_config(4)
+        };
+        let reference = run_sweep(&spec, &small_base(), &config).unwrap();
+
+        let pool = FleetPool::new(4);
+        let caches = Arc::new(SweepCaches::new());
+        let spec = Arc::new(spec);
+        let base = Arc::new(small_base());
+        let config = Arc::new(config);
+        let bound = sweep_bound_ns(&spec, &config);
+        let run_pass = || {
+            let epoch = Instant::now();
+            let profile_on = config.profile;
+            let (results, buffers) = pool.run_with(
+                config.scenario_count,
+                move |lane| {
+                    (
+                        WorkerProfile::new(lane, epoch, profile_on),
+                        Histogram::new(bound, SWEEP_BUCKETS),
+                    )
+                },
+                {
+                    let caches = Arc::clone(&caches);
+                    let spec = Arc::clone(&spec);
+                    let base = Arc::clone(&base);
+                    let config = Arc::clone(&config);
+                    move |i, state: &mut (WorkerProfile, Histogram)| {
+                        let (wp, scratch) = state;
+                        wp.task(|wp| run_scenario(&spec, &base, &config, &caches, i, wp, scratch))
+                    }
+                },
+            );
+            let mut merged = Histogram::new(bound, SWEEP_BUCKETS);
+            for (_wp, scratch) in buffers {
+                merged.merge(&scratch);
+            }
+            let mut acc = SweepAccumulator::new(&config);
+            for result in results {
+                acc.push(result.unwrap());
+            }
+            let (summary, traces) = acc.finish();
+            (summary, traces, merged)
+        };
+
+        let (cold_summary, cold_traces, cold_hist) = run_pass();
+        assert_eq!(cold_summary, reference.summary);
+        assert_eq!(cold_summary.render(), reference.summary.render());
+        assert_eq!(cold_summary.to_json(), reference.summary.to_json());
+        assert_eq!(cold_traces, reference.traces);
+        assert_eq!(cold_hist, reference.actuation_hist);
+
+        let computes_after_cold = caches.scheduled.computes();
+        let (warm_summary, warm_traces, warm_hist) = run_pass();
+        assert_eq!(warm_summary, reference.summary);
+        assert_eq!(warm_summary.render(), reference.summary.render());
+        assert_eq!(warm_traces, reference.traces);
+        assert_eq!(warm_hist, reference.actuation_hist);
+        assert_eq!(
+            caches.scheduled.computes(),
+            computes_after_cold,
+            "a warm pass must answer every untraced co-simulation from the memo"
+        );
+    }
+
+    #[test]
+    fn report_memo_keeps_artifacts_identical_and_counts() {
+        let base = small_base();
+        let spec = dc_motor_loop(0.3).unwrap();
+        let config = |workers| SweepConfig {
+            scenario_count: 8,
+            workers,
+            trace_scenarios: 2,
+            wcet_tables: 1,
+            period_scales: vec![1.0],
+            memoize_reports: true,
+            ..SweepConfig::default()
+        };
+        // The unmemoized pipeline is the reference: the memoized sweep
+        // must reproduce its artifacts byte for byte.
+        let fresh = run_sweep(
+            &spec,
+            &base,
+            &SweepConfig {
+                memoize_reports: false,
+                ..config(1)
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            (fresh.report_hits, fresh.report_misses),
+            (0, 0),
+            "the unmemoized pipeline never touches the report memo"
+        );
+        let serial = run_sweep(&spec, &base, &config(1)).unwrap();
+        let parallel = run_sweep(&spec, &base, &config(4)).unwrap();
+        assert_eq!(fresh.summary, serial.summary);
+        assert_eq!(fresh.summary.render(), serial.summary.render());
+        assert_eq!(fresh.actuation_hist, serial.actuation_hist);
+        assert_eq!(fresh.traces, serial.traces);
+        // One lookup per untraced scenario; one WCET table and one period
+        // scale bound the keys by the policy axis, so pigeonhole forces
+        // hits.
+        assert_eq!(serial.report_hits + serial.report_misses, 6);
+        assert!(
+            serial.report_misses <= 2,
+            "6 untraced scenarios over <= 2 (policy) keys, got {} misses",
+            serial.report_misses
+        );
+        assert!(serial.report_hits >= 4);
+        assert_eq!(
+            (serial.report_hits, serial.report_misses),
+            (parallel.report_hits, parallel.report_misses),
+            "memo counters must not depend on worker count"
+        );
+        assert_eq!(serial.summary, parallel.summary);
+        assert_eq!(serial.summary.render(), parallel.summary.render());
+        assert_eq!(serial.summary.to_json(), parallel.summary.to_json());
+        assert_eq!(serial.actuation_hist, parallel.actuation_hist);
+        assert_eq!(serial.traces, parallel.traces);
+    }
+
+    /// Degraded runs are measured leniently; the report key marks plan
+    /// presence, so memoized lenient entries can never answer a strict
+    /// lookup (or vice versa) and fault-sweep artifacts stay identical.
+    #[test]
+    fn report_memo_is_lenient_safe_under_faults() {
+        let base = small_base();
+        let spec = dc_motor_loop(0.3).unwrap();
+        let on = run_sweep(
+            &spec,
+            &base,
+            &SweepConfig {
+                memoize_reports: true,
+                ..faulty_config(1)
+            },
+        )
+        .unwrap();
+        let off = run_sweep(&spec, &base, &faulty_config(1)).unwrap();
+        assert_eq!(on.summary, off.summary);
+        assert_eq!(on.summary.render(), off.summary.render());
+        assert_eq!(on.actuation_hist, off.actuation_hist);
+        assert_eq!(
+            on.report_hits + on.report_misses,
+            6,
+            "one report lookup per (faulty) scenario"
+        );
     }
 
     proptest! {

@@ -18,6 +18,7 @@ use ecl_control::metrics;
 use ecl_control::StateSpace;
 use ecl_linalg::Mat;
 use ecl_sim::{BlockId, EngineStats, Model, SimOptions, SimResult, Simulator};
+use ecl_telemetry::bytes::{ByteReader, ByteWriter, CodecError};
 use ecl_telemetry::{Collector, Event, Histogram, Sink};
 
 use crate::delays::{self, DelayGraphConfig};
@@ -248,7 +249,151 @@ impl LoopResult {
         }
         events
     }
+
+    /// Serializes the run's *metrics-grade* state for the on-disk memo
+    /// cache (`results/cache/{ideal,scheduled}/`): cost, period, the
+    /// sampling/actuation instants, hot-loop counters, latency histograms
+    /// and block activity — everything the untraced fleet metrics path
+    /// (latency reports, degradation twins, verification margins) reads.
+    /// The raw simulation trace (`result`) and the per-`BlockId`
+    /// activation vector are deliberately **not** persisted: only traced
+    /// scenarios read them, and traced scenarios bypass the memo caches
+    /// entirely.
+    pub fn to_metric_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::with_capacity(256);
+        w.put_raw(LOOP_RESULT_MAGIC);
+        w.put_u32(LOOP_RESULT_VERSION);
+        w.put_f64(self.cost);
+        w.put_f64(self.ts);
+        let put_instants = |w: &mut ByteWriter, series: &[Vec<TimeNs>]| {
+            w.put_seq_len(series.len());
+            for s in series {
+                w.put_seq_len(s.len());
+                for &t in s {
+                    w.put_i64(t.as_nanos());
+                }
+            }
+        };
+        put_instants(&mut w, &self.sample_instants);
+        put_instants(&mut w, &self.actuation_instants);
+        w.put_u64(self.stats.events_delivered);
+        w.put_u64(self.stats.event_instants);
+        w.put_usize(self.stats.calendar_peak);
+        w.put_usize(self.stats.max_cascade);
+        w.put_u64(self.stats.integration_spans);
+        w.put_u64(self.stats.hot_allocs);
+        w.put_u64(self.stats.ode.steps_accepted);
+        w.put_u64(self.stats.ode.steps_rejected);
+        w.put_u64(self.stats.ode.rhs_evals);
+        let put_hists = |w: &mut ByteWriter, hists: &[Histogram]| {
+            w.put_seq_len(hists.len());
+            for h in hists {
+                h.encode_into(w);
+            }
+        };
+        put_hists(&mut w, &self.sampling_hist);
+        put_hists(&mut w, &self.actuation_hist);
+        w.put_seq_len(self.activity.len());
+        for (name, count) in &self.activity {
+            w.put_str(name);
+            w.put_u64(*count);
+        }
+        w.into_bytes()
+    }
+
+    /// Reconstructs a run serialized by [`to_metric_bytes`]. The raw
+    /// trace rehydrates as the empty [`SimResult`] and the per-`BlockId`
+    /// activation vector as empty — callers that need either (traced
+    /// scenarios) must re-simulate instead of decoding. Corruption
+    /// decodes to a typed [`CodecError`], never a panic.
+    ///
+    /// [`to_metric_bytes`]: LoopResult::to_metric_bytes
+    ///
+    /// # Errors
+    ///
+    /// Returns the structural [`CodecError`] describing the corruption.
+    pub fn from_metric_bytes(bytes: &[u8]) -> Result<LoopResult, CoreError> {
+        LoopResult::decode_metric(bytes).map_err(|e| CoreError::InvalidInput {
+            reason: format!("loop-result cache payload: {e}"),
+        })
+    }
+
+    // `EngineStats` keeps its per-block activation vector private, so the
+    // counters are necessarily rebuilt field-by-field on a `default()`.
+    #[allow(clippy::field_reassign_with_default)]
+    fn decode_metric(bytes: &[u8]) -> Result<LoopResult, CodecError> {
+        let mut r = ByteReader::new(bytes);
+        r.expect_magic(LOOP_RESULT_MAGIC)?;
+        let version = r.get_u32()?;
+        if version != LOOP_RESULT_VERSION {
+            return Err(CodecError::BadMagic {
+                expected: format!("loop-result v{LOOP_RESULT_VERSION}"),
+                found: format!("loop-result v{version}"),
+            });
+        }
+        let cost = r.get_f64()?;
+        let ts = r.get_f64()?;
+        let get_instants = |r: &mut ByteReader<'_>| -> Result<Vec<Vec<TimeNs>>, CodecError> {
+            let n = r.get_seq_len()?;
+            let mut series = Vec::with_capacity(n);
+            for _ in 0..n {
+                let len = r.get_seq_len()?;
+                let mut s = Vec::with_capacity(len);
+                for _ in 0..len {
+                    s.push(TimeNs::from_nanos(r.get_i64()?));
+                }
+                series.push(s);
+            }
+            Ok(series)
+        };
+        let sample_instants = get_instants(&mut r)?;
+        let actuation_instants = get_instants(&mut r)?;
+        let mut stats = EngineStats::default();
+        stats.events_delivered = r.get_u64()?;
+        stats.event_instants = r.get_u64()?;
+        stats.calendar_peak = r.get_usize()?;
+        stats.max_cascade = r.get_usize()?;
+        stats.integration_spans = r.get_u64()?;
+        stats.hot_allocs = r.get_u64()?;
+        stats.ode.steps_accepted = r.get_u64()?;
+        stats.ode.steps_rejected = r.get_u64()?;
+        stats.ode.rhs_evals = r.get_u64()?;
+        let get_hists = |r: &mut ByteReader<'_>| -> Result<Vec<Histogram>, CodecError> {
+            let n = r.get_seq_len()?;
+            let mut hists = Vec::with_capacity(n);
+            for _ in 0..n {
+                hists.push(Histogram::decode_from(r)?);
+            }
+            Ok(hists)
+        };
+        let sampling_hist = get_hists(&mut r)?;
+        let actuation_hist = get_hists(&mut r)?;
+        let n = r.get_seq_len()?;
+        let mut activity = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = r.get_str()?;
+            let count = r.get_u64()?;
+            activity.push((name, count));
+        }
+        r.finish()?;
+        Ok(LoopResult {
+            result: SimResult::default(),
+            cost,
+            sample_instants,
+            actuation_instants,
+            ts,
+            stats,
+            sampling_hist,
+            actuation_hist,
+            activity,
+        })
+    }
 }
+
+/// Magic tag of the [`LoopResult::to_metric_bytes`] layout.
+const LOOP_RESULT_MAGIC: &[u8] = b"ECLR";
+/// Version of the [`LoopResult::to_metric_bytes`] layout; bump on change.
+const LOOP_RESULT_VERSION: u32 = 1;
 
 /// Wall-clock split of one scheduled run, measured by
 /// [`run_scheduled_phased`]: model assembly + graph-of-delays synthesis
@@ -1011,6 +1156,48 @@ impl IdealRunCache {
         state.local_misses.saturating_sub(state.map.len() as u64)
     }
 
+    /// Lookups that actually simulated in *this* process — unlike
+    /// [`misses`](IdealRunCache::misses) it excludes entries answered
+    /// from a [`seed`](IdealRunCache::seed)ed (on-disk) result, so a
+    /// warm-started daemon can assert it re-simulated nothing. Includes
+    /// racing double-computes — sidecar-only.
+    pub fn computes(&self) -> u64 {
+        self.state.lock().expect("ideal memo lock").local_misses
+    }
+
+    /// Inserts a run computed by an earlier process under its
+    /// [`loop_spec_digest`] key — the warm-start path of the on-disk
+    /// cache layer (typically a metrics-grade
+    /// [`LoopResult::from_metric_bytes`] decode). Returns `false` and
+    /// keeps the resident entry when the digest is already cached.
+    /// Seeding is not a lookup and not a compute.
+    pub fn seed(&self, digest: u64, result: LoopResult) -> bool {
+        let mut state = self.state.lock().expect("ideal memo lock");
+        match state.map.entry(digest) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(IdealSlot {
+                    result: Arc::new(result),
+                    lookups: 0,
+                });
+                true
+            }
+        }
+    }
+
+    /// Every cached `(digest, run)` pair, sorted by digest — the
+    /// write-back path of the on-disk cache layer.
+    pub fn snapshot(&self) -> Vec<(u64, Arc<LoopResult>)> {
+        let state = self.state.lock().expect("ideal memo lock");
+        let mut out: Vec<_> = state
+            .map
+            .iter()
+            .map(|(&digest, slot)| (digest, Arc::clone(&slot.result)))
+            .collect();
+        out.sort_by_key(|&(digest, _)| digest);
+        out
+    }
+
     /// Number of distinct ideal runs currently cached.
     pub fn len(&self) -> usize {
         self.state.lock().expect("ideal memo lock").map.len()
@@ -1198,6 +1385,48 @@ impl ScheduledRunCache {
     pub fn races(&self) -> u64 {
         let state = self.state.lock().expect("scheduled memo lock");
         state.local_misses.saturating_sub(state.map.len() as u64)
+    }
+
+    /// Lookups that actually co-simulated in *this* process — unlike
+    /// [`misses`](ScheduledRunCache::misses) it excludes entries answered
+    /// from a [`seed`](ScheduledRunCache::seed)ed (on-disk) result, so a
+    /// warm-started daemon can assert it re-simulated nothing. Includes
+    /// racing double-computes — sidecar-only.
+    pub fn computes(&self) -> u64 {
+        self.state.lock().expect("scheduled memo lock").local_misses
+    }
+
+    /// Inserts a run computed by an earlier process under its
+    /// [`scheduled_run_digest`] key — the warm-start path of the on-disk
+    /// cache layer (typically a metrics-grade
+    /// [`LoopResult::from_metric_bytes`] decode). Returns `false` and
+    /// keeps the resident entry when the digest is already cached.
+    /// Seeding is not a lookup and not a compute.
+    pub fn seed(&self, digest: u64, result: LoopResult) -> bool {
+        let mut state = self.state.lock().expect("scheduled memo lock");
+        match state.map.entry(digest) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(ScheduledSlot {
+                    result: Arc::new(result),
+                    lookups: 0,
+                });
+                true
+            }
+        }
+    }
+
+    /// Every cached `(digest, run)` pair, sorted by digest — the
+    /// write-back path of the on-disk cache layer.
+    pub fn snapshot(&self) -> Vec<(u64, Arc<LoopResult>)> {
+        let state = self.state.lock().expect("scheduled memo lock");
+        let mut out: Vec<_> = state
+            .map
+            .iter()
+            .map(|(&digest, slot)| (digest, Arc::clone(&slot.result)))
+            .collect();
+        out.sort_by_key(|&(digest, _)| digest);
+        out
     }
 
     /// Number of distinct scheduled runs currently cached.
@@ -1494,6 +1723,60 @@ mod tests {
             r_weight: 0.1,
             disturbance: DisturbanceKind::None,
         }
+    }
+
+    /// The metrics-grade byte codec preserves every field the untraced
+    /// fleet path reads (bit-exact cost/period, instants, counters,
+    /// histograms, activity) while dropping the raw trace, and a memo
+    /// cache seeded from the bytes serves lookups with zero computes.
+    #[test]
+    fn metric_codec_round_trips_and_seeds_caches() {
+        let spec = dc_motor_spec();
+        let fresh = run_ideal(&spec).unwrap();
+        let bytes = fresh.to_metric_bytes();
+        let back = LoopResult::from_metric_bytes(&bytes).unwrap();
+        assert_eq!(back.cost.to_bits(), fresh.cost.to_bits());
+        assert_eq!(back.ts.to_bits(), fresh.ts.to_bits());
+        assert_eq!(back.sample_instants, fresh.sample_instants);
+        assert_eq!(back.actuation_instants, fresh.actuation_instants);
+        assert_eq!(back.sampling_hist, fresh.sampling_hist);
+        assert_eq!(back.actuation_hist, fresh.actuation_hist);
+        assert_eq!(back.activity, fresh.activity);
+        assert_eq!(back.stats.events_delivered, fresh.stats.events_delivered);
+        assert_eq!(back.stats.ode, fresh.stats.ode);
+        // Derived metrics are byte-identical too.
+        assert_eq!(
+            format!("{:?}", back.latency_report().unwrap()),
+            format!("{:?}", fresh.latency_report().unwrap())
+        );
+        // Canonical: re-encoding the decode reproduces the bytes.
+        assert_eq!(back.to_metric_bytes(), bytes);
+        // The raw trace is intentionally not persisted.
+        assert!(back.result.signal("x0").is_none());
+
+        // Corruption decodes to a typed error at every truncation point.
+        for cut in [0, 3, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                LoopResult::from_metric_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+
+        // A cache seeded from the bytes answers without simulating.
+        let digest = loop_spec_digest(&spec);
+        let cache = IdealRunCache::new();
+        assert!(cache.seed(digest, LoopResult::from_metric_bytes(&bytes).unwrap()));
+        assert!(!cache.seed(digest, LoopResult::from_metric_bytes(&bytes).unwrap()));
+        let (served, key, hit) = cache.get_or_run_traced(&spec).unwrap();
+        assert!(hit);
+        assert_eq!(key, digest);
+        assert_eq!(cache.computes(), 0);
+        assert_eq!(served.cost.to_bits(), fresh.cost.to_bits());
+        // The snapshot reproduces the seeded entry, sorted by digest.
+        let snap = cache.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].0, digest);
+        assert_eq!(snap[0].1.to_metric_bytes(), bytes);
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! A blocking client for the daemon: submit, stream, verify, collect.
+//!
+//! [`Client::submit`] drives one job to completion: it sends the
+//! request, then collects the `Queued` ack, every progress `Delta`, the
+//! final `Report` and the `Done` trailer into a [`JobOutcome`]. The
+//! client re-derives the report's FNV-1a payload digest locally and
+//! refuses a mismatching frame — response integrity is checked
+//! end-to-end, not trusted.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use ecl_aaa::Fnv1a;
+
+use crate::wire::{
+    recv_server, send_client, ClientMsg, ResponseSource, ServerMsg, SweepRequest, WireError,
+};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport or codec failure.
+    Wire(WireError),
+    /// The server answered with a typed error.
+    Server {
+        /// Stable machine token (e.g. `rate_limited`).
+        code: String,
+        /// Human-readable detail.
+        msg: String,
+    },
+    /// The server violated the reply protocol (wrong message order,
+    /// digest mismatch, ...).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "wire failure: {e}"),
+            ClientError::Server { code, msg } => write!(f, "server error [{code}]: {msg}"),
+            ClientError::Protocol(reason) => write!(f, "protocol violation: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Everything one completed job returned.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The request digest the server answered.
+    pub digest: u64,
+    /// The report bytes (integrity-checked against `payload_digest`).
+    pub payload: Vec<u8>,
+    /// FNV-1a digest of `payload`, as stamped by the server.
+    pub payload_digest: u64,
+    /// Where the server got the payload.
+    pub source: ResponseSource,
+    /// `(position, depth)` from the `Queued` ack.
+    pub queued: (usize, usize),
+    /// Every `(done, total, worst_ns, overruns)` progress delta, in
+    /// arrival order.
+    pub deltas: Vec<(usize, usize, i64, u64)>,
+    /// The daemon's lifetime schedule-compute count after this job.
+    pub sched_computes: u64,
+}
+
+/// A blocking connection to one daemon.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Submits `req` and blocks until the job completes (or fails).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for typed rejections (rate limit, unknown
+    /// case, sweep failure), [`ClientError::Wire`] for transport loss,
+    /// [`ClientError::Protocol`] for reply-order or digest violations.
+    pub fn submit(&mut self, req: &SweepRequest) -> Result<JobOutcome, ClientError> {
+        send_client(&mut self.stream, &ClientMsg::Submit(req.clone()))?;
+        let mut queued = None;
+        let mut deltas = Vec::new();
+        let mut report: Option<(u64, u64, ResponseSource, Vec<u8>)> = None;
+        loop {
+            match recv_server(&mut self.stream)? {
+                ServerMsg::Queued { position, depth } => {
+                    queued = Some((position, depth));
+                }
+                ServerMsg::Delta {
+                    done,
+                    total,
+                    worst_ns,
+                    overruns,
+                } => deltas.push((done, total, worst_ns, overruns)),
+                ServerMsg::Report {
+                    digest,
+                    payload_digest,
+                    source,
+                    payload,
+                } => {
+                    let mut h = Fnv1a::new();
+                    h.write(&payload);
+                    if h.finish() != payload_digest {
+                        return Err(ClientError::Protocol(
+                            "report payload does not match its stamped digest".into(),
+                        ));
+                    }
+                    report = Some((digest, payload_digest, source, payload));
+                }
+                ServerMsg::Done { sched_computes } => {
+                    let Some((digest, payload_digest, source, payload)) = report else {
+                        return Err(ClientError::Protocol("done before report".into()));
+                    };
+                    return Ok(JobOutcome {
+                        digest,
+                        payload,
+                        payload_digest,
+                        source,
+                        queued: queued
+                            .ok_or_else(|| ClientError::Protocol("missing queued ack".into()))?,
+                        deltas,
+                        sched_computes,
+                    });
+                }
+                ServerMsg::Err { code, msg } => return Err(ClientError::Server { code, msg }),
+                ServerMsg::Stats(_) => {
+                    return Err(ClientError::Protocol("stats reply to a submit".into()))
+                }
+            }
+        }
+    }
+
+    /// Fetches the daemon's counter sidecar.
+    ///
+    /// # Errors
+    ///
+    /// Same classes as [`submit`](Client::submit).
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, ClientError> {
+        send_client(&mut self.stream, &ClientMsg::Stats)?;
+        match recv_server(&mut self.stream)? {
+            ServerMsg::Stats(counters) => Ok(counters),
+            ServerMsg::Err { code, msg } => Err(ClientError::Server { code, msg }),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected reply to stats: {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to shut down (fire-and-forget).
+    ///
+    /// # Errors
+    ///
+    /// Propagates send failures.
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        send_client(&mut self.stream, &ClientMsg::Shutdown)?;
+        Ok(())
+    }
+}

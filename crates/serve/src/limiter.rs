@@ -1,0 +1,127 @@
+//! Token-bucket admission control.
+//!
+//! Each client connection owns one bucket: a request costs one token,
+//! the bucket holds at most `capacity` and refills continuously at
+//! `refill_per_sec`. Bursts up to the capacity pass immediately; a
+//! sustained flood is clipped to the refill rate and rejected with a
+//! typed `rate_limited` error instead of queuing unboundedly.
+//!
+//! The bucket is driven by an *explicit* clock (`now_ns`), not by
+//! reading the system time internally — the server feeds it a monotonic
+//! instant, and the unit tests feed it a virtual clock, so refill
+//! arithmetic is testable without sleeping.
+
+/// A continuously refilling token bucket.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: f64,
+    refill_per_sec: f64,
+    tokens: f64,
+    last_ns: u64,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full at `now_ns`.
+    ///
+    /// `capacity` is clamped to at least one token (a zero-capacity
+    /// bucket would reject everything forever); a non-positive refill
+    /// rate is allowed and means the bucket never refills.
+    pub fn new(capacity: f64, refill_per_sec: f64, now_ns: u64) -> TokenBucket {
+        let capacity = if capacity.is_finite() {
+            capacity.max(1.0)
+        } else {
+            1.0
+        };
+        let refill_per_sec = if refill_per_sec.is_finite() {
+            refill_per_sec.max(0.0)
+        } else {
+            0.0
+        };
+        TokenBucket {
+            capacity,
+            refill_per_sec,
+            tokens: capacity,
+            last_ns: now_ns,
+        }
+    }
+
+    /// Refills for the elapsed time, then takes `cost` tokens if
+    /// available. Returns whether the request is admitted. A clock that
+    /// jumps backwards refills nothing (never panics, never mints).
+    pub fn try_acquire(&mut self, now_ns: u64, cost: f64) -> bool {
+        let elapsed_ns = now_ns.saturating_sub(self.last_ns);
+        self.last_ns = self.last_ns.max(now_ns);
+        self.tokens =
+            (self.tokens + elapsed_ns as f64 * 1e-9 * self.refill_per_sec).min(self.capacity);
+        if self.tokens + 1e-12 >= cost {
+            self.tokens -= cost;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after the last refill).
+    pub fn available(&self) -> f64 {
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    #[test]
+    fn burst_up_to_capacity_then_rejects() {
+        let mut b = TokenBucket::new(3.0, 1.0, 0);
+        assert!(b.try_acquire(0, 1.0));
+        assert!(b.try_acquire(0, 1.0));
+        assert!(b.try_acquire(0, 1.0));
+        assert!(!b.try_acquire(0, 1.0), "burst beyond capacity must clip");
+    }
+
+    #[test]
+    fn refills_at_the_configured_rate() {
+        let mut b = TokenBucket::new(2.0, 2.0, 0);
+        assert!(b.try_acquire(0, 2.0));
+        assert!(!b.try_acquire(0, 1.0));
+        // 250 ms at 2 tokens/s mints half a token — still not enough.
+        assert!(!b.try_acquire(SEC / 4, 1.0));
+        // By 600 ms, 1.2 tokens have been minted in total.
+        assert!(b.try_acquire(6 * SEC / 10, 1.0));
+        assert!(!b.try_acquire(6 * SEC / 10, 1.0));
+    }
+
+    #[test]
+    fn refill_saturates_at_capacity() {
+        let mut b = TokenBucket::new(2.0, 100.0, 0);
+        assert!(b.try_acquire(0, 1.0));
+        // An hour of refill still caps at 2 tokens.
+        assert!(b.try_acquire(3600 * SEC, 1.0));
+        assert!(b.try_acquire(3600 * SEC, 1.0));
+        assert!(!b.try_acquire(3600 * SEC, 1.0));
+    }
+
+    #[test]
+    fn backwards_clock_mints_nothing() {
+        let mut b = TokenBucket::new(1.0, 1000.0, 10 * SEC);
+        assert!(b.try_acquire(10 * SEC, 1.0));
+        assert!(
+            !b.try_acquire(5 * SEC, 1.0),
+            "a rewound clock must not refill"
+        );
+        assert!(
+            b.try_acquire(11 * SEC, 1.0),
+            "refill resumes from the high-water mark"
+        );
+    }
+
+    #[test]
+    fn zero_refill_never_recovers() {
+        let mut b = TokenBucket::new(1.0, 0.0, 0);
+        assert!(b.try_acquire(0, 1.0));
+        assert!(!b.try_acquire(u64::MAX, 1.0));
+    }
+}

@@ -1,0 +1,136 @@
+//! The daemon's job queue: strict priority, FIFO within a priority.
+//!
+//! A plain `BinaryHeap` over `(priority, Reverse(seq))` — higher
+//! priorities pop first and ties resolve to submission order, so two
+//! equal-priority jobs can never starve each other or reorder. The
+//! queue is a pure data structure; the server wraps it in a
+//! `Mutex`/`Condvar` pair and a single executor thread drains it, which
+//! is what serializes sweep jobs onto the shared fleet pool.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One queued entry: ordering key plus payload.
+#[derive(Debug)]
+struct Entry<T> {
+    priority: u8,
+    seq: u64,
+    job: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.priority, Reverse(self.seq)).cmp(&(other.priority, Reverse(other.seq)))
+    }
+}
+
+/// A priority queue of jobs: max-priority first, FIFO within equals.
+#[derive(Debug)]
+pub struct JobQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for JobQueue<T> {
+    fn default() -> Self {
+        JobQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<T> JobQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        JobQueue::default()
+    }
+
+    /// Enqueues `job` at `priority` and returns its 0-based position in
+    /// the pop order at this instant (0 = next to pop).
+    pub fn push(&mut self, priority: u8, job: T) -> usize {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        // Everything of a strictly higher priority, plus same-priority
+        // entries submitted earlier, pops before this one.
+        let ahead = self
+            .heap
+            .iter()
+            .filter(|e| e.priority > priority || (e.priority == priority && e.seq < seq))
+            .count();
+        self.heap.push(Entry { priority, seq, job });
+        ahead
+    }
+
+    /// Pops the highest-priority (earliest within ties) job.
+    pub fn pop(&mut self) -> Option<T> {
+        self.heap.pop().map(|e| e.job)
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_priority_pops_first() {
+        let mut q = JobQueue::new();
+        q.push(0, "low");
+        q.push(9, "high");
+        q.push(5, "mid");
+        assert_eq!(q.pop(), Some("high"));
+        assert_eq!(q.pop(), Some("mid"));
+        assert_eq!(q.pop(), Some("low"));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_priority_is_fifo() {
+        let mut q = JobQueue::new();
+        for i in 0..10 {
+            q.push(3, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+    }
+
+    #[test]
+    fn push_reports_the_pop_position() {
+        let mut q = JobQueue::new();
+        assert_eq!(q.push(1, "a"), 0);
+        assert_eq!(q.push(1, "b"), 1, "same priority queues behind");
+        assert_eq!(q.push(7, "c"), 0, "higher priority jumps the line");
+        assert_eq!(q.push(1, "d"), 3);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.pop(), Some("c"));
+        assert_eq!(q.pop(), Some("a"));
+        assert_eq!(q.pop(), Some("b"));
+        assert_eq!(q.pop(), Some("d"));
+        assert!(q.is_empty());
+    }
+}

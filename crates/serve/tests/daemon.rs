@@ -1,0 +1,242 @@
+//! End-to-end daemon tests over real TCP.
+//!
+//! The load-bearing property: one request yields byte-identical report
+//! payloads whether the answer is computed cold, replayed from the
+//! in-memory response cache, or replayed from the on-disk store after a
+//! full daemon restart — and none of that depends on how many fleet
+//! workers the pool runs.
+
+use std::path::PathBuf;
+
+use ecl_serve::{
+    Client, ClientError, Engine, EngineConfig, ResponseSource, Server, ServerConfig, SweepRequest,
+};
+
+/// A per-test scratch directory under the OS temp root, removed on drop.
+struct TempStore {
+    dir: PathBuf,
+}
+
+impl TempStore {
+    fn new(tag: &str) -> TempStore {
+        let dir =
+            std::env::temp_dir().join(format!("ecl-serve-daemon-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempStore { dir }
+    }
+}
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn request() -> SweepRequest {
+    SweepRequest {
+        seed: 0xdae_0001,
+        scenarios: 12,
+        chunk: 5, // uneven on purpose: 12 scenarios / chunk 5 = 3 deltas
+        period_scales: vec![1.0, 1.25],
+        frame_loss: vec![0.25],
+        ..SweepRequest::default()
+    }
+}
+
+fn server(workers: usize, store: Option<&TempStore>) -> Server {
+    Server::start(ServerConfig {
+        workers,
+        store_dir: store.map(|s| s.dir.clone()),
+        ..ServerConfig::default()
+    })
+    .expect("server start")
+}
+
+fn counter(stats: &[(String, u64)], key: &str) -> u64 {
+    stats
+        .iter()
+        .find(|(k, _)| k == key)
+        .unwrap_or_else(|| panic!("missing stats counter {key:?}"))
+        .1
+}
+
+/// Cold, warm and post-restart answers are all byte-identical, for a
+/// 1-worker and a 4-worker pool alike — and the two pool sizes agree
+/// with each other.
+#[test]
+fn cold_warm_restart_payloads_are_byte_identical_across_worker_counts() {
+    let mut per_workers = Vec::new();
+    for workers in [1usize, 4] {
+        let store = TempStore::new(&format!("cwr{workers}"));
+        let srv = server(workers, Some(&store));
+        let mut client = Client::connect(srv.addr()).expect("connect");
+
+        let cold = client.submit(&request()).expect("cold submit");
+        assert_eq!(cold.source, ResponseSource::Computed);
+        assert_eq!(cold.deltas.len(), 3, "12 scenarios in chunks of 5");
+        assert_eq!(cold.deltas.last().map(|d| (d.0, d.1)), Some((12, 12)));
+
+        let warm = client.submit(&request()).expect("warm submit");
+        assert_eq!(warm.source, ResponseSource::Memory);
+        assert_eq!(warm.payload, cold.payload, "warm bytes drifted");
+        assert_eq!(warm.payload_digest, cold.payload_digest);
+        assert!(warm.deltas.is_empty(), "replayed answers stream no deltas");
+
+        drop(client);
+        drop(srv);
+
+        let srv = server(workers, Some(&store));
+        let mut client = Client::connect(srv.addr()).expect("reconnect");
+        let restarted = client.submit(&request()).expect("restart submit");
+        assert_eq!(restarted.source, ResponseSource::Disk);
+        assert_eq!(restarted.payload, cold.payload, "restart bytes drifted");
+        assert_eq!(restarted.sched_computes, 0, "restart recomputed schedules");
+
+        per_workers.push(cold.payload);
+    }
+    assert_eq!(
+        per_workers[0], per_workers[1],
+        "1-worker and 4-worker payloads differ"
+    );
+}
+
+/// A restarted daemon stays warm below the response layer too: a *new*
+/// request over the same schedule axes recomputes the sweep but finds
+/// every schedule (and memoized run) already seeded from disk.
+#[test]
+fn restart_serves_new_requests_without_recomputing_schedules() {
+    let store = TempStore::new("axes");
+    let srv = server(2, Some(&store));
+    let mut client = Client::connect(srv.addr()).expect("connect");
+    client.submit(&request()).expect("seed the store");
+    drop(client);
+    drop(srv);
+
+    let srv = server(2, Some(&store));
+    let mut client = Client::connect(srv.addr()).expect("reconnect");
+    let half = SweepRequest {
+        scenarios: 6, // strict subset of the seeded 0..12 index range
+        ..request()
+    };
+    let outcome = client.submit(&half).expect("half-size submit");
+    assert_eq!(outcome.source, ResponseSource::Computed);
+    let stats = client.stats().expect("stats");
+    assert_eq!(
+        counter(&stats, "schedule_computes"),
+        0,
+        "schedules should come from the disk-seeded cache"
+    );
+    assert_eq!(counter(&stats, "response_disk_hits"), 0);
+    assert_eq!(counter(&stats, "jobs_computed"), 1);
+}
+
+/// `priority` and `chunk` steer scheduling only — two engines given the
+/// same request with different knobs produce identical bytes and share
+/// one request digest.
+#[test]
+fn scheduling_knobs_never_reach_the_report_bytes() {
+    let a_engine = Engine::new(EngineConfig {
+        workers: 3,
+        store_dir: None,
+    })
+    .expect("engine a");
+    let b_engine = Engine::new(EngineConfig {
+        workers: 1,
+        store_dir: None,
+    })
+    .expect("engine b");
+    let a = a_engine
+        .run_job(&request(), |_, _, _, _| {})
+        .expect("job a");
+    let b_req = SweepRequest {
+        priority: 9,
+        chunk: 1,
+        ..request()
+    };
+    let b = b_engine.run_job(&b_req, |_, _, _, _| {}).expect("job b");
+    assert_eq!(a.digest, b.digest, "digest must ignore priority/chunk");
+    assert_eq!(*a.payload, *b.payload);
+    assert_eq!(a.payload_digest, b.payload_digest);
+}
+
+/// Without a store, a fresh engine recomputes from scratch — restart
+/// warmth is a property of the disk store, not an accident of state.
+#[test]
+fn no_store_means_no_restart_warmth() {
+    let req = SweepRequest {
+        scenarios: 4,
+        ..request()
+    };
+    let engine = Engine::new(EngineConfig::default()).expect("engine");
+    assert_eq!(
+        engine.run_job(&req, |_, _, _, _| {}).unwrap().source,
+        ResponseSource::Computed
+    );
+    assert_eq!(
+        engine.run_job(&req, |_, _, _, _| {}).unwrap().source,
+        ResponseSource::Memory
+    );
+    let fresh = Engine::new(EngineConfig::default()).expect("fresh engine");
+    assert_eq!(
+        fresh.run_job(&req, |_, _, _, _| {}).unwrap().source,
+        ResponseSource::Computed
+    );
+}
+
+/// An exhausted token bucket rejects with the typed `rate_limited` code
+/// and the connection stays usable for non-submit traffic.
+#[test]
+fn rate_limited_submit_is_typed_and_survivable() {
+    let srv = Server::start(ServerConfig {
+        workers: 1,
+        rate_capacity: 1.0,
+        rate_refill_per_sec: 0.001,
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let mut client = Client::connect(srv.addr()).expect("connect");
+    let small = SweepRequest {
+        scenarios: 2,
+        ..request()
+    };
+    client.submit(&small).expect("first submit fits the bucket");
+    match client.submit(&small) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "rate_limited"),
+        other => panic!("expected rate_limited rejection, got {other:?}"),
+    }
+    let stats = client.stats().expect("stats after rejection");
+    assert_eq!(counter(&stats, "jobs"), 1, "rejected submit must not run");
+}
+
+/// Unknown cases are rejected by name, before touching queue or bucket
+/// bookkeeping of the job counters.
+#[test]
+fn unknown_case_is_rejected_by_name() {
+    let srv = server(1, None);
+    let mut client = Client::connect(srv.addr()).expect("connect");
+    let bogus = SweepRequest {
+        case: "no_such_plant".into(),
+        ..request()
+    };
+    match client.submit(&bogus) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, "unknown_case"),
+        other => panic!("expected unknown_case rejection, got {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(counter(&stats, "jobs"), 0);
+}
+
+/// Two clients sharing one daemon both get correct, digest-verified
+/// answers; the second identical request is a memory hit even when it
+/// arrives on a different connection.
+#[test]
+fn response_cache_is_shared_across_connections() {
+    let srv = server(2, None);
+    let mut first = Client::connect(srv.addr()).expect("connect first");
+    let mut second = Client::connect(srv.addr()).expect("connect second");
+    let cold = first.submit(&request()).expect("cold");
+    let warm = second.submit(&request()).expect("warm via other conn");
+    assert_eq!(cold.source, ResponseSource::Computed);
+    assert_eq!(warm.source, ResponseSource::Memory);
+    assert_eq!(warm.payload, cold.payload);
+}

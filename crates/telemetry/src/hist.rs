@@ -1,5 +1,7 @@
 //! Streaming fixed-bucket histograms for latency series.
 
+use crate::bytes::{ByteReader, ByteWriter, CodecError};
+
 /// A streaming histogram over integer-nanosecond values with fixed-width
 /// buckets on `[0, upper_bound_ns)` plus underflow/overflow buckets.
 ///
@@ -186,6 +188,80 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Appends the histogram's full state to a [`ByteWriter`] (the
+    /// content-addressed cache layer's layout; see [`decode_from`]).
+    ///
+    /// [`decode_from`]: Histogram::decode_from
+    pub fn encode_into(&self, w: &mut ByteWriter) {
+        w.put_i64(self.upper_bound);
+        w.put_seq_len(self.buckets.len());
+        for &b in &self.buckets {
+            w.put_u64(b);
+        }
+        w.put_u64(self.underflow);
+        w.put_u64(self.overflow);
+        w.put_u64(self.count);
+        w.put_i128(self.sum);
+        w.put_i64(self.min);
+        w.put_i64(self.max);
+    }
+
+    /// Reconstructs a histogram written by [`encode_into`], revalidating
+    /// the structural invariants (`bucket_width` is re-derived from the
+    /// bound exactly as [`new`] does, and the total count must equal the
+    /// routed counts) so a corrupt cache file decodes to a typed error,
+    /// never a histogram that lies.
+    ///
+    /// [`encode_into`]: Histogram::encode_into
+    /// [`new`]: Histogram::new
+    pub fn decode_from(r: &mut ByteReader<'_>) -> Result<Histogram, CodecError> {
+        let upper_bound = r.get_i64()?;
+        if upper_bound <= 0 {
+            return Err(CodecError::Invalid {
+                reason: format!("histogram bound {upper_bound} must be positive"),
+            });
+        }
+        let n = r.get_seq_len()?;
+        if n == 0 {
+            return Err(CodecError::Invalid {
+                reason: "histogram needs buckets".into(),
+            });
+        }
+        let mut buckets = Vec::with_capacity(n);
+        for _ in 0..n {
+            buckets.push(r.get_u64()?);
+        }
+        let underflow = r.get_u64()?;
+        let overflow = r.get_u64()?;
+        let count = r.get_u64()?;
+        let sum = r.get_i128()?;
+        let min = r.get_i64()?;
+        let max = r.get_i64()?;
+        let routed = buckets
+            .iter()
+            .try_fold(underflow + overflow, |acc, &b| acc.checked_add(b))
+            .ok_or_else(|| CodecError::Invalid {
+                reason: "histogram counts overflow".into(),
+            })?;
+        if routed != count {
+            return Err(CodecError::Invalid {
+                reason: format!("histogram count {count} != routed {routed}"),
+            });
+        }
+        let bucket_width = ((upper_bound + n as i64 - 1) / n as i64).max(1);
+        Ok(Histogram {
+            upper_bound,
+            bucket_width,
+            buckets,
+            underflow,
+            overflow,
+            count,
+            sum,
+            min,
+            max,
+        })
+    }
+
     /// The standard summary (count, exact extrema/mean, p50/p95/p99).
     pub fn summary(&self) -> Summary {
         Summary {
@@ -332,6 +408,46 @@ mod tests {
     fn merge_rejects_mismatched_shape() {
         let mut a = Histogram::new(1_000, 8);
         a.merge(&Histogram::new(500, 8));
+    }
+
+    #[test]
+    fn codec_round_trips_exactly() {
+        let mut h = Histogram::new(1_000, 64);
+        for v in [-3i64, 0, 999, 1_000, 5_000, 137, 137] {
+            h.record(v);
+        }
+        let mut w = ByteWriter::new();
+        h.encode_into(&mut w);
+        let buf = w.into_bytes();
+        let mut r = ByteReader::new(&buf);
+        let back = Histogram::decode_from(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, h);
+        // An empty histogram round-trips too.
+        let empty = Histogram::new(17, 3);
+        let mut w = ByteWriter::new();
+        empty.encode_into(&mut w);
+        let buf = w.into_bytes();
+        assert_eq!(
+            Histogram::decode_from(&mut ByteReader::new(&buf)).unwrap(),
+            empty
+        );
+    }
+
+    #[test]
+    fn codec_rejects_corrupt_counts() {
+        let mut h = Histogram::new(1_000, 4);
+        h.record(10);
+        let mut w = ByteWriter::new();
+        h.encode_into(&mut w);
+        let mut buf = w.into_bytes();
+        // Flip the total-count field (after bound + len + 4 buckets +
+        // under/overflow = 8 + 4 + 32 + 16 bytes).
+        buf[60] ^= 0xff;
+        assert!(matches!(
+            Histogram::decode_from(&mut ByteReader::new(&buf)),
+            Err(CodecError::Invalid { .. })
+        ));
     }
 
     #[test]

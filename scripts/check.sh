@@ -130,4 +130,25 @@ grep -q '"scheduled_hit_rate_ge_999":true' results/BENCH_exp17.json
 test -s results/PROFILE_exp17.json
 test -s results/exp17_scale.txt
 
+# E18-SERVE: the resident daemon must answer concurrent clients with
+# byte-identical reports whether the payload is computed cold, replayed
+# from the in-memory response cache, or replayed from results/cache/
+# after a full restart — for any pool worker count. The binary asserts
+# the phases internally; the gate re-diffs the digest report across
+# worker counts and greps the boolean verdicts out of BENCH_exp18.json.
+echo "== E18-SERVE daemon cold/warm/restart + determinism check =="
+ECL_FLEET_WORKERS=1 cargo run -q --offline --release -p ecl-serve --bin exp18_serve >/dev/null
+cp results/exp18_serve.txt results/exp18_serve.w1.txt
+ECL_FLEET_WORKERS=4 cargo run -q --offline --release -p ecl-serve --bin exp18_serve >/dev/null
+diff results/exp18_serve.w1.txt results/exp18_serve.txt
+rm results/exp18_serve.w1.txt
+grep -q '"warm_hit_rate_100pct":true' results/BENCH_exp18.json
+grep -q '"restart_all_disk":true' results/BENCH_exp18.json
+grep -q '"restart_sched_computes_zero":true' results/BENCH_exp18.json
+grep -q '"payload_worker_invariant":true' results/BENCH_exp18.json
+grep -q '"rate_limit_enforced":true' results/BENCH_exp18.json
+test -s results/BENCH_exp18.json
+test -s results/exp18_serve.txt
+cargo test -q --offline -p ecl-serve --lib -- --test-threads=1
+
 echo "All checks passed."
