@@ -36,10 +36,11 @@ use ecl_aaa::{
     codegen, AdequationOptions, Fnv1a, MappingPolicy, Schedule, ScheduleCache, TimeNs, TimingDb,
 };
 use ecl_core::cosim::{self, CosimPhases, IdealRunCache, LoopResult, LoopSpec, ScheduledRunCache};
-use ecl_core::faults::{FaultConfig, FaultPlan};
+use ecl_core::faults::{FaultConfig, FaultFamily, FaultPlan};
 use ecl_core::latency::LatencyReport;
 use ecl_core::report::{
-    DegradationSummary, ScenarioOutcome, SweepSummary, ValidationSummary, VerificationSummary,
+    DegradationSummary, PruneSummary, ScenarioOutcome, SweepSummary, ValidationSummary,
+    VerificationSummary,
 };
 use ecl_core::xval;
 use ecl_core::CoreError;
@@ -226,6 +227,18 @@ pub struct SweepConfig {
     /// off. Off by default for the same baseline-benchmark reason as
     /// [`memoize_scheduled`](SweepConfig::memoize_scheduled).
     pub memoize_reports: bool,
+    /// Statically prune scenarios by fault-envelope abstract
+    /// interpretation: before co-simulating, evaluate the sound
+    /// `[lo, hi]` completion envelope of the scenario's *fault family*
+    /// (`ecl_verify::fault_envelope`). A conclusively safe or unsafe
+    /// verdict skips the ideal run and the co-simulation entirely and
+    /// contributes a statically derived report row (cost 0, worst
+    /// actuation = envelope upper bound) — a pure function of
+    /// `(config, index)`, so pruned sweeps stay byte-identical for any
+    /// worker count. Traced scenarios are never pruned (their telemetry
+    /// is the point). Off by default; the report grows a `### Static
+    /// pruning` section only when on.
+    pub prune_static: bool,
 }
 
 impl Default for SweepConfig {
@@ -249,6 +262,7 @@ impl Default for SweepConfig {
             profile: false,
             memoize_scheduled: false,
             memoize_reports: false,
+            prune_static: false,
         }
     }
 }
@@ -754,6 +768,10 @@ pub struct ScenarioRecord {
     pub validation: Option<(bool, i64)>,
     /// `(errors, warnings, margin ns)` of the static verification.
     pub verification: Option<(usize, usize, Option<i64>)>,
+    /// Verdict of the static fault-envelope pruning pass: `None` when
+    /// the pass did not run (pruning off, or a traced scenario);
+    /// conclusive verdicts mean the scenario skipped co-simulation.
+    pub prune: Option<ecl_verify::EnvelopeVerdict>,
     /// Adequation digest of this scenario's schedule.
     pub schedule_digest: u64,
 }
@@ -944,6 +962,7 @@ pub struct SweepAccumulator {
     traces: RecordingSink,
     validation: Option<ValidationSummary>,
     verification: Option<VerificationSummary>,
+    prune: Option<PruneSummary>,
     schedule_digests: HashMap<u64, u64>,
 }
 
@@ -965,6 +984,12 @@ impl SweepAccumulator {
                 errors: 0,
                 warnings: 0,
                 worst_margin_ns: i64::MAX,
+            }),
+            prune: config.prune_static.then_some(PruneSummary {
+                evaluated: 0,
+                pruned_safe: 0,
+                pruned_unsafe: 0,
+                simulated: 0,
             }),
             schedule_digests: HashMap::new(),
         }
@@ -994,6 +1019,19 @@ impl SweepAccumulator {
             v.warnings += warnings;
             if let Some(m) = margin {
                 v.worst_margin_ns = v.worst_margin_ns.min(m);
+            }
+        }
+        if let Some(p) = self.prune.as_mut() {
+            match record.prune {
+                Some(v) => {
+                    p.evaluated += 1;
+                    match v {
+                        ecl_verify::EnvelopeVerdict::Safe => p.pruned_safe += 1,
+                        ecl_verify::EnvelopeVerdict::Unsafe => p.pruned_unsafe += 1,
+                        ecl_verify::EnvelopeVerdict::Inconclusive => p.simulated += 1,
+                    }
+                }
+                None => p.simulated += 1,
             }
         }
     }
@@ -1031,6 +1069,7 @@ impl SweepAccumulator {
                 degradations: self.degradations,
                 validation: self.validation,
                 verification: self.verification,
+                prune: self.prune,
             },
             self.traces,
         )
@@ -1224,12 +1263,62 @@ pub fn run_scenario(
         spec2.ts = makespan_s * 1.05;
     }
 
+    let traced = index < config.trace_scenarios;
+    // Static pruning: evaluate the sound completion envelope of the
+    // scenario's whole fault *family* before running anything. The
+    // verdict is a pure function of `(config, index)` — no PRNG state
+    // beyond the scenario derivation, no shared caches — so pruned rows
+    // are byte-stable for any worker count. Conclusive verdicts return
+    // a statically derived row; inconclusive ones fall through to the
+    // full pipeline and are counted as simulated.
+    let prune = if config.prune_static && !traced {
+        let family = FaultFamily::from_config(&scenario.fault_config(&config.faults));
+        let period = TimeNs::from_secs_f64(spec2.ts);
+        let envelope = wp.phase(index, Phase::Envelope, |_| {
+            ecl_verify::fault_envelope(&base.alg, &base.arch, &schedule, period, &family, None)
+        });
+        let verdict = envelope.verdict();
+        if verdict != ecl_verify::EnvelopeVerdict::Inconclusive {
+            let overruns = if verdict == ecl_verify::EnvelopeVerdict::Unsafe {
+                // Every period's actuation can land past the deadline.
+                (spec2.horizon / spec2.ts).floor().max(1.0) as usize
+            } else {
+                0
+            };
+            let suffix = if verdict == ecl_verify::EnvelopeVerdict::Safe {
+                "safe"
+            } else {
+                "unsafe"
+            };
+            return Ok(ScenarioRecord {
+                outcome: ScenarioOutcome {
+                    index,
+                    seed: scenario.seed,
+                    label: format!("{} pruned:{suffix}", scenario.label()),
+                    cost: 0.0,
+                    cost_ratio: 0.0,
+                    makespan_ns: schedule.makespan().as_nanos(),
+                    worst_actuation_ns: envelope.max_actuation_hi().as_nanos(),
+                    overruns,
+                },
+                degradation: None,
+                traces: RecordingSink::default(),
+                validation: None,
+                verification: None,
+                prune: Some(verdict),
+                schedule_digest: digest,
+            });
+        }
+        Some(verdict)
+    } else {
+        None
+    };
+
     // The stroboscopic reference is pure in `spec2` — and `spec2` varies
     // only in its period across the sweep — so it is memoized by content
     // digest: one simulation per distinct period, everything else is an
     // `Arc` clone out of the shared table.
     let ideal = wp.phase(index, Phase::IdealSim, |_| caches.ideal.get_or_run(&spec2))?;
-    let traced = index < config.trace_scenarios;
     let periods = (spec2.horizon / spec2.ts).floor().max(1.0) as u32;
     // The plan is a pure function of (config, schedule, arch, periods),
     // so the co-simulation and the virtual executive below are driven by
@@ -1438,6 +1527,7 @@ pub fn run_scenario(
         traces: sink,
         validation,
         verification,
+        prune,
         schedule_digest: digest,
     })
 }
@@ -2089,6 +2179,85 @@ mod tests {
         );
         assert_eq!(serial.summary, parallel.summary);
         assert_eq!(serial.summary.render(), parallel.summary.render());
+    }
+
+    /// Static pruning: fault-free scenarios carry a trivial family whose
+    /// envelope is exact, so they prune conclusively safe; frame-loss
+    /// scenarios admit drops and stay inconclusive (they co-simulate).
+    /// Pruned rows are pure functions of `(config, index)` — worker-count
+    /// invariant — and their envelope bounds must dominate what an
+    /// unpruned sweep actually measures at the same index.
+    #[test]
+    fn pruned_sweep_is_sound_and_worker_count_invariant() {
+        let base = small_base();
+        let spec = dc_motor_loop(0.3).unwrap();
+        let config = |workers| SweepConfig {
+            scenario_count: 16,
+            workers,
+            prune_static: true,
+            faults: FaultAxes {
+                frame_loss_rates: vec![0.0, 0.25],
+                ..FaultAxes::default()
+            },
+            ..SweepConfig::default()
+        };
+        let serial = run_sweep(&spec, &base, &config(1)).unwrap();
+        let parallel = run_sweep(&spec, &base, &config(4)).unwrap();
+        assert_eq!(serial.summary, parallel.summary);
+        assert_eq!(serial.summary.render(), parallel.summary.render());
+        assert_eq!(serial.summary.to_json(), parallel.summary.to_json());
+        assert_eq!(serial.actuation_hist, parallel.actuation_hist);
+
+        let p = serial.summary.prune.expect("pruning was requested");
+        assert_eq!(p.evaluated, 16, "no traced scenarios: every envelope runs");
+        assert_eq!(p.pruned_safe + p.pruned_unsafe + p.simulated, 16);
+        assert!(p.pruned_safe > 0, "fault-free scenarios must prune safe");
+        assert!(
+            p.simulated > 0,
+            "drop-admitting families must stay inconclusive"
+        );
+        assert!(serial.summary.render().contains("### Static pruning"));
+        assert!(serial.summary.to_json().contains("\"prune\""));
+
+        // Sampled soundness audit: the unpruned sweep at the same config
+        // is ground truth, row for row.
+        let unpruned = run_sweep(
+            &spec,
+            &base,
+            &SweepConfig {
+                prune_static: false,
+                ..config(1)
+            },
+        )
+        .unwrap();
+        assert!(
+            unpruned.summary.prune.is_none(),
+            "pruning is off by default"
+        );
+        let mut audited_safe = 0;
+        for (pr, gt) in serial
+            .summary
+            .scenarios
+            .iter()
+            .zip(&unpruned.summary.scenarios)
+        {
+            if pr.label.ends_with(" pruned:safe") {
+                audited_safe += 1;
+                assert_eq!(gt.overruns, 0, "safe-pruned scenario #{} overran", gt.index);
+                assert!(
+                    gt.worst_actuation_ns <= pr.worst_actuation_ns,
+                    "scenario #{}: measured {} exceeds envelope bound {}",
+                    gt.index,
+                    gt.worst_actuation_ns,
+                    pr.worst_actuation_ns
+                );
+                assert_eq!((pr.cost, pr.cost_ratio), (0.0, 0.0));
+            } else {
+                assert!(!pr.label.contains("pruned:"), "unexpected unsafe prune");
+                assert_eq!(pr, gt, "unpruned scenarios must be untouched");
+            }
+        }
+        assert_eq!(audited_safe, p.pruned_safe, "every safe prune was audited");
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Property-based soundness of the fault-envelope abstract
+//! interpretation (DESIGN.md §15): for randomly drawn deployments and
+//! fault families, every *concrete* completion instant the dynamic
+//! stack produces — the `ecl-exec` virtual machine under family-member
+//! fault plans, and the co-simulated fleet sweep — must land inside the
+//! static `[lo, hi]` envelope. Pruned sweeps must additionally stay
+//! byte-identical across worker counts.
+
+use ecl_aaa::{adequation, codegen, AdequationOptions, TimeNs};
+use ecl_bench::fleet::{run_sweep, FaultAxes, Scenario, SweepConfig};
+use ecl_bench::{dc_motor_loop, split_scenario};
+use ecl_core::faults::{FaultConfig, FaultFamily, FaultPlan};
+use ecl_exec::ExecOptions;
+use proptest::prelude::*;
+
+const PERIODS: u32 = 10;
+
+fn us(v: i64) -> TimeNs {
+    TimeNs::from_micros(v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8 })]
+
+    /// The virtual machine, executing under any plan the family can
+    /// draw, never produces a completion instant outside the envelope:
+    /// for every measured op, `lo <= offset <= hi`, nominally and under
+    /// several drawn plans.
+    #[test]
+    fn vm_completions_stay_inside_the_envelope(
+        n_inputs in 1usize..4,
+        n_outputs in 1usize..3,
+        bus_us in 50i64..400,
+        io_us in 20i64..120,
+        compute_us in 100i64..900,
+        frame in 0.0f64..0.5,
+        outage in 0.0f64..0.3,
+        dropout in 0.0f64..0.15,
+        retries in 0u32..4,
+        plan_seed in 0u64..(1u64 << 32),
+    ) {
+        let base = split_scenario(n_inputs, n_outputs, us(bus_us), us(io_us), us(compute_us))
+            .expect("scenario");
+        let schedule = adequation(&base.alg, &base.arch, &base.db, AdequationOptions::default())
+            .expect("adequation");
+        let period = TimeNs::from_nanos(schedule.makespan().as_nanos() * 5 / 4 + 1);
+        let config = FaultConfig {
+            seed: plan_seed,
+            frame_loss_rate: frame,
+            link_outage_rate: outage,
+            proc_dropout_rate: dropout,
+            max_retries: retries,
+            ..FaultConfig::default()
+        };
+        let family = FaultFamily::from_config(&config);
+        let envelope = ecl_verify::fault_envelope(
+            &base.alg, &base.arch, &schedule, period, &family, None,
+        );
+        let generated = codegen::generate(&schedule, &base.alg, &base.arch).expect("generate");
+
+        // The trivial plan is a member of every family (every rate < 1
+        // can draw a fault-free seed), and several concrete draws are.
+        let mut plans = vec![None];
+        for s in 0..4u64 {
+            let drawn = FaultPlan::generate(
+                &FaultConfig { seed: plan_seed.wrapping_add(s), ..config },
+                &schedule,
+                &base.arch,
+                PERIODS,
+            )
+            .expect("plan");
+            prop_assert!(family.contains_config(&config));
+            plans.push(Some(drawn));
+        }
+        for plan in &plans {
+            let opts = ExecOptions {
+                period,
+                periods: PERIODS,
+                faults: plan.as_ref(),
+            };
+            let measured = ecl_exec::run(&generated, &base.arch, &schedule, &opts)
+                .expect("vm run");
+            prop_assert!(!measured.ops.is_empty());
+            for r in &measured.ops {
+                let Some(e) = envelope.envelope_for(r.op) else { continue };
+                let offset = r.end.as_nanos() - period.as_nanos() * i64::from(r.period);
+                prop_assert!(
+                    e.completion.lo().as_nanos() <= offset
+                        && offset <= e.completion.hi().as_nanos(),
+                    "op{} period {} completed at offset {offset} ns, outside envelope {} \
+                     (family {:?}, plan {:?})",
+                    r.op.index(),
+                    r.period,
+                    e.completion,
+                    family,
+                    plan.is_some(),
+                );
+            }
+        }
+    }
+
+    /// Co-simulated fleet sweeps: every scenario's measured worst
+    /// actuation stays at or below the envelope's actuation upper bound
+    /// for that scenario's family — and the pruned sweep is
+    /// byte-identical on 1 and 4 workers, with pruned rows agreeing
+    /// with the ground truth the full pipeline computes.
+    #[test]
+    fn cosim_worst_actuation_stays_inside_the_envelope(
+        base_seed in 0u64..(1u64 << 48),
+        bus_us in 100i64..400,
+        frame in 0.0f64..0.4,
+        dropout in 0.0f64..0.1,
+    ) {
+        let base = split_scenario(2, 1, us(bus_us), us(50), us(500)).expect("scenario");
+        let spec = dc_motor_loop(0.25).expect("spec");
+        let config = |workers: usize, prune: bool| SweepConfig {
+            base_seed,
+            scenario_count: 8,
+            workers,
+            // Zero entries on each axis so some scenarios draw trivial
+            // families and actually prune Safe.
+            faults: FaultAxes {
+                frame_loss_rates: vec![0.0, frame],
+                proc_dropout_rates: vec![0.0, dropout],
+                ..FaultAxes::default()
+            },
+            prune_static: prune,
+            ..SweepConfig::default()
+        };
+
+        // Ground truth: the unpruned sweep simulates everything.
+        let full = run_sweep(&spec, &base, &config(1, false)).expect("sweep");
+        let unpruned_config = config(1, false);
+        for row in &full.summary.scenarios {
+            let scenario = Scenario::derive(&unpruned_config, &base, row.index);
+            let db = scenario.jittered_db(&base);
+            let schedule = adequation(
+                &base.alg,
+                &base.arch,
+                &db,
+                AdequationOptions { policy: scenario.policy },
+            )
+            .expect("adequation");
+            let mut ts = spec.ts * scenario.period_scale;
+            let makespan_s = schedule.makespan().as_secs_f64();
+            if makespan_s > ts {
+                ts = makespan_s * 1.05;
+            }
+            let family =
+                FaultFamily::from_config(&scenario.fault_config(&unpruned_config.faults));
+            let envelope = ecl_verify::fault_envelope(
+                &base.alg,
+                &base.arch,
+                &schedule,
+                TimeNs::from_secs_f64(ts),
+                &family,
+                None,
+            );
+            prop_assert!(
+                row.worst_actuation_ns <= envelope.max_actuation_hi().as_nanos(),
+                "scenario {} measured worst actuation {} ns above the envelope bound {} \
+                 (family {:?})",
+                row.index,
+                row.worst_actuation_ns,
+                envelope.max_actuation_hi(),
+                family,
+            );
+        }
+
+        // Pruned sweeps: worker-count invariant to the byte.
+        let p1 = run_sweep(&spec, &base, &config(1, true)).expect("pruned 1w");
+        let p4 = run_sweep(&spec, &base, &config(4, true)).expect("pruned 4w");
+        prop_assert_eq!(&p1.summary, &p4.summary);
+        prop_assert_eq!(p1.summary.render(), p4.summary.render());
+        prop_assert_eq!(p1.summary.to_json(), p4.summary.to_json());
+        let prune = p1.summary.prune.expect("prune summary requested");
+        prop_assert_eq!(prune.evaluated, 8);
+        prop_assert_eq!(
+            prune.pruned_safe + prune.pruned_unsafe + prune.simulated,
+            prune.evaluated
+        );
+        // A pruned-safe row's ground truth must be overrun-free.
+        for (pruned, gt) in p1.summary.scenarios.iter().zip(&full.summary.scenarios) {
+            if pruned.label.ends_with(" pruned:safe") {
+                prop_assert_eq!(gt.overruns, 0, "safe-pruned scenario {} overran", gt.index);
+            }
+        }
+    }
+}

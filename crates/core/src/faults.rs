@@ -112,6 +112,79 @@ impl FaultConfig {
     }
 }
 
+/// The *family* of fault plans a configuration can draw: which fault
+/// classes are enabled at all, plus the retransmission budget.
+///
+/// The fault-envelope analysis (DESIGN.md §15) abstracts over every plan
+/// [`FaultPlan::generate`] can emit for *any* seed under a given set of
+/// rates — only whether a rate is non-zero matters for what a plan *can*
+/// contain, so the family is the right index for a sound `[lo, hi]`
+/// interval bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultFamily {
+    /// `true` iff frames can be lost (some member plan draws retries, and
+    /// drops once the retry budget is exhausted).
+    pub frame_loss: bool,
+    /// Retransmission budget per communication slot and period.
+    pub max_retries: u32,
+    /// `true` iff media can enter outage windows (member plans drop every
+    /// transfer of an affected medium for whole periods).
+    pub link_outage: bool,
+    /// `true` iff processors can die permanently (member plans silence
+    /// every operation of a dead processor from its death period on).
+    pub proc_dropout: bool,
+}
+
+impl FaultFamily {
+    /// The family containing only the trivial (fault-free) plan.
+    pub fn trivial() -> FaultFamily {
+        FaultFamily {
+            frame_loss: false,
+            max_retries: 0,
+            link_outage: false,
+            proc_dropout: false,
+        }
+    }
+
+    /// The smallest family containing every plan `config` can generate,
+    /// over all seeds.
+    pub fn from_config(config: &FaultConfig) -> FaultFamily {
+        FaultFamily {
+            frame_loss: config.frame_loss_rate > 0.0,
+            max_retries: config.max_retries,
+            link_outage: config.link_outage_rate > 0.0,
+            proc_dropout: config.proc_dropout_rate > 0.0,
+        }
+    }
+
+    /// `true` iff the family contains only the trivial plan.
+    pub fn is_trivial(&self) -> bool {
+        !self.frame_loss && !self.link_outage && !self.proc_dropout
+    }
+
+    /// `true` iff some member plan can drop a transfer outright (budget
+    /// exhaustion, outage window, or dead producer) — degradation is then
+    /// deadline-forced rather than stretch-bounded.
+    pub fn admits_drops(&self) -> bool {
+        self.frame_loss || self.link_outage || self.proc_dropout
+    }
+
+    /// `true` iff some member plan can stretch a transfer by
+    /// retransmissions.
+    pub fn admits_retries(&self) -> bool {
+        self.frame_loss && self.max_retries > 0
+    }
+
+    /// `true` iff every plan `config` can generate (any seed) is a member
+    /// of this family.
+    pub fn contains_config(&self, config: &FaultConfig) -> bool {
+        (self.frame_loss || config.frame_loss_rate == 0.0)
+            && (self.link_outage || config.link_outage_rate == 0.0)
+            && (self.proc_dropout || config.proc_dropout_rate == 0.0)
+            && (config.frame_loss_rate == 0.0 || config.max_retries <= self.max_retries)
+    }
+}
+
 /// The fate of one communication slot in one period.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CommFault {
@@ -623,5 +696,70 @@ mod tests {
             seen_retry,
             "rate 0.5 over 64 periods must retry at least once"
         );
+    }
+
+    #[test]
+    fn family_abstracts_configs_by_enabled_classes() {
+        assert!(FaultFamily::trivial().is_trivial());
+        assert!(!FaultFamily::trivial().admits_drops());
+        let cfg = FaultConfig {
+            frame_loss_rate: 0.2,
+            max_retries: 3,
+            ..FaultConfig::default()
+        };
+        let fam = FaultFamily::from_config(&cfg);
+        assert!(!fam.is_trivial());
+        assert!(fam.admits_drops(), "loss beyond the budget drops");
+        assert!(fam.admits_retries());
+        assert!(fam.contains_config(&cfg));
+        assert!(fam.contains_config(&FaultConfig::default()));
+        // A bigger retry budget escapes the family; so does a new class.
+        assert!(!fam.contains_config(&FaultConfig {
+            frame_loss_rate: 0.1,
+            max_retries: 4,
+            ..FaultConfig::default()
+        }));
+        assert!(!fam.contains_config(&FaultConfig {
+            proc_dropout_rate: 0.1,
+            ..FaultConfig::default()
+        }));
+        // Loss disabled: the retry budget is irrelevant.
+        let quiet = FaultFamily {
+            frame_loss: false,
+            max_retries: 0,
+            link_outage: true,
+            proc_dropout: false,
+        };
+        assert!(!quiet.admits_retries());
+        assert!(quiet.contains_config(&FaultConfig {
+            link_outage_rate: 0.5,
+            max_retries: 9,
+            ..FaultConfig::default()
+        }));
+    }
+
+    #[test]
+    fn every_generated_plan_is_within_its_family() {
+        let (_, arch, schedule) = distributed_fixture();
+        let cfg = FaultConfig {
+            seed: 11,
+            frame_loss_rate: 0.3,
+            max_retries: 2,
+            link_outage_rate: 0.1,
+            proc_dropout_rate: 0.05,
+            ..FaultConfig::default()
+        };
+        let fam = FaultFamily::from_config(&cfg);
+        for seed in 0..32 {
+            let plan =
+                FaultPlan::generate(&FaultConfig { seed, ..cfg }, &schedule, &arch, 16).unwrap();
+            for i in 0..schedule.comms().len() {
+                for k in 0..plan.periods() {
+                    if let CommFault::Retry(r) = plan.comm_fault(i, k) {
+                        assert!(fam.admits_retries() && r <= fam.max_retries);
+                    }
+                }
+            }
+        }
     }
 }

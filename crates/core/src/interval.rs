@@ -1,0 +1,145 @@
+//! Closed time intervals `[lo, hi]` — the abstract domain of the
+//! fault-envelope analysis (DESIGN.md §15).
+//!
+//! An interval abstracts the set of instants an event can occur at under
+//! *any* fault plan drawn from a [`FaultFamily`](crate::faults::FaultFamily):
+//! the concrete instant of every family member must lie inside it. The
+//! operations mirror what the abstract interpreter needs — shifting by a
+//! slot duration, widening the upper bound by a retry stretch, and the
+//! pointwise join/meet used at synchronization barriers — and each one
+//! preserves the `lo <= hi` invariant by construction.
+
+use std::fmt;
+
+use ecl_aaa::TimeNs;
+
+/// A closed interval `[lo, hi]` of instants, `lo <= hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeInterval {
+    lo: TimeNs,
+    hi: TimeNs,
+}
+
+impl TimeInterval {
+    /// The interval `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` — an inverted interval is always a logic error
+    /// in the caller, never a recoverable condition.
+    pub fn new(lo: TimeNs, hi: TimeNs) -> TimeInterval {
+        assert!(lo <= hi, "inverted interval [{lo}, {hi}]");
+        TimeInterval { lo, hi }
+    }
+
+    /// The degenerate interval `[t, t]` — an exactly-known instant.
+    pub fn point(t: TimeNs) -> TimeInterval {
+        TimeInterval { lo: t, hi: t }
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> TimeNs {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> TimeNs {
+        self.hi
+    }
+
+    /// Width `hi - lo` — zero iff the instant is exactly known.
+    pub fn width(&self) -> TimeNs {
+        self.hi - self.lo
+    }
+
+    /// `true` iff `t` lies inside the interval.
+    pub fn contains(&self, t: TimeNs) -> bool {
+        self.lo <= t && t <= self.hi
+    }
+
+    /// Both bounds shifted by `d` (a slot or transfer duration).
+    pub fn shift(&self, d: TimeNs) -> TimeInterval {
+        TimeInterval {
+            lo: self.lo + d,
+            hi: self.hi + d,
+        }
+    }
+
+    /// The upper bound widened by `d >= 0` (a worst-case retry stretch);
+    /// the lower bound is untouched.
+    pub fn stretch_hi(&self, d: TimeNs) -> TimeInterval {
+        TimeInterval {
+            lo: self.lo,
+            hi: self.hi + d,
+        }
+    }
+
+    /// The convex hull of two intervals — the join of the domain.
+    pub fn hull(&self, other: &TimeInterval) -> TimeInterval {
+        TimeInterval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(v: i64) -> TimeNs {
+        TimeNs::from_nanos(v)
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let iv = TimeInterval::new(ns(3), ns(9));
+        assert_eq!(iv.lo(), ns(3));
+        assert_eq!(iv.hi(), ns(9));
+        assert_eq!(iv.width(), ns(6));
+        let p = TimeInterval::point(ns(5));
+        assert_eq!(p.width(), TimeNs::ZERO);
+        assert!(p.contains(ns(5)));
+        assert!(!p.contains(ns(6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted interval")]
+    fn inverted_interval_panics() {
+        let _ = TimeInterval::new(ns(2), ns(1));
+    }
+
+    #[test]
+    fn shift_and_stretch_preserve_invariants() {
+        let iv = TimeInterval::new(ns(10), ns(20)).shift(ns(5));
+        assert_eq!(iv, TimeInterval::new(ns(15), ns(25)));
+        let wide = iv.stretch_hi(ns(7));
+        assert_eq!(wide.lo(), ns(15));
+        assert_eq!(wide.hi(), ns(32));
+    }
+
+    #[test]
+    fn hull_is_the_convex_join() {
+        let a = TimeInterval::new(ns(1), ns(4));
+        let b = TimeInterval::new(ns(3), ns(9));
+        let h = a.hull(&b);
+        assert_eq!(h, TimeInterval::new(ns(1), ns(9)));
+        // Hull with a disjoint interval spans the gap.
+        let c = TimeInterval::new(ns(20), ns(21));
+        assert_eq!(a.hull(&c), TimeInterval::new(ns(1), ns(21)));
+        // Commutative.
+        assert_eq!(a.hull(&b), b.hull(&a));
+    }
+
+    #[test]
+    fn display_renders_both_bounds() {
+        let iv = TimeInterval::new(ns(1), ns(2));
+        assert_eq!(format!("{iv}"), "[1ns, 2ns]");
+    }
+}

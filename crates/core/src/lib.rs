@@ -67,6 +67,7 @@ pub mod cosim;
 pub mod delays;
 mod error;
 pub mod faults;
+pub mod interval;
 pub mod latency;
 pub mod lifecycle;
 pub mod report;

@@ -326,6 +326,30 @@ pub struct VerificationSummary {
     pub worst_margin_ns: i64,
 }
 
+/// Aggregate of a sweep's static fault-envelope pruning (experiment
+/// E19-ENVELOPE): scenarios whose envelope verdict was conclusive
+/// skipped co-simulation entirely and contributed a statically derived
+/// report row instead.
+///
+/// Defined here (plain counts, no dependency on the verifier crate) for
+/// the same reason as [`VerificationSummary`]: the renderers stay in one
+/// place and the sweep engine populates it from `ecl-verify` envelopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PruneSummary {
+    /// Scenarios whose fault envelope was evaluated (traced scenarios
+    /// are never pruned, so they do not count here).
+    pub evaluated: usize,
+    /// Scenarios pruned with a conclusively *safe* envelope (no period
+    /// or budget violation is possible for any plan in the family).
+    pub pruned_safe: usize,
+    /// Scenarios pruned with a conclusively *unsafe* envelope (every
+    /// plan in the family violates the period or budget).
+    pub pruned_unsafe: usize,
+    /// Scenarios that went on to co-simulate (inconclusive envelope, or
+    /// traced/pass-skipped).
+    pub simulated: usize,
+}
+
 /// The sweep-level report: per-scenario rows plus robustness statistics.
 ///
 /// Rendering is deliberately free of wall-clock content — two sweeps over
@@ -354,6 +378,10 @@ pub struct SweepSummary {
     /// the verifier, in which case neither renderer emits the section
     /// (keeping earlier artifacts byte-identical).
     pub verification: Option<VerificationSummary>,
+    /// Static fault-envelope pruning aggregate; `None` when the sweep
+    /// did not prune, in which case neither renderer emits the section
+    /// (keeping earlier artifacts byte-identical).
+    pub prune: Option<PruneSummary>,
 }
 
 impl SweepSummary {
@@ -508,6 +536,14 @@ impl SweepSummary {
                 v.verified, v.errors, v.warnings, v.worst_margin_ns
             ));
         }
+        if let Some(p) = &self.prune {
+            s.push_str("\n### Static pruning\n\n");
+            s.push_str(&format!(
+                "{} envelopes evaluated: {} pruned safe, {} pruned unsafe, \
+                 {} co-simulated.\n",
+                p.evaluated, p.pruned_safe, p.pruned_unsafe, p.simulated
+            ));
+        }
         s
     }
 
@@ -590,6 +626,13 @@ impl SweepSummary {
                 ",\n  \"verification\": {{\"verified\": {}, \"errors\": {}, \
                  \"warnings\": {}, \"worst_margin_ns\": {}}}",
                 v.verified, v.errors, v.warnings, v.worst_margin_ns
+            ));
+        }
+        if let Some(p) = &self.prune {
+            s.push_str(&format!(
+                ",\n  \"prune\": {{\"evaluated\": {}, \"pruned_safe\": {}, \
+                 \"pruned_unsafe\": {}, \"simulated\": {}}}",
+                p.evaluated, p.pruned_safe, p.pruned_unsafe, p.simulated
             ));
         }
         s.push_str("\n}\n");
@@ -695,6 +738,7 @@ mod tests {
             degradations: vec![],
             validation: None,
             verification: None,
+            prune: None,
         }
     }
 
@@ -713,6 +757,7 @@ mod tests {
             degradations: vec![],
             validation: None,
             verification: None,
+            prune: None,
         };
         assert_eq!(empty.robustness_margin(), 0.0);
         assert!(empty.worst().is_none());
@@ -742,6 +787,7 @@ mod tests {
             degradations: vec![],
             validation: None,
             verification: None,
+            prune: None,
         }
     }
 
@@ -901,6 +947,46 @@ mod tests {
         let json = both.to_json();
         assert!(json.find("\"validation\"").unwrap() < json.find("\"verification\"").unwrap());
         assert!(json.ends_with("}\n}\n"));
+    }
+
+    #[test]
+    fn prune_section_renders_only_when_present() {
+        let plain = sample_sweep();
+        assert!(!plain.render().contains("Static pruning"));
+        assert!(!plain.to_json().contains("\"prune\""));
+        let mut pruned = sample_sweep();
+        pruned.prune = Some(PruneSummary {
+            evaluated: 8,
+            pruned_safe: 3,
+            pruned_unsafe: 1,
+            simulated: 4,
+        });
+        let md = pruned.render();
+        assert!(md.contains("### Static pruning"));
+        assert!(
+            md.contains("8 envelopes evaluated: 3 pruned safe, 1 pruned unsafe, 4 co-simulated")
+        );
+        // Purely additive: the unpruned rendering is a byte-exact prefix.
+        assert!(md.starts_with(&plain.render()));
+        let json = pruned.to_json();
+        assert!(json.contains(
+            "\"prune\": {\"evaluated\": 8, \"pruned_safe\": 3, \
+             \"pruned_unsafe\": 1, \"simulated\": 4}"
+        ));
+        assert!(json.starts_with(json_common_prefix(&plain.to_json())));
+        assert!(json.ends_with("}\n}\n"));
+        // ...and it composes: pruning renders after verification.
+        let mut both = pruned.clone();
+        both.verification = Some(VerificationSummary {
+            verified: 4,
+            errors: 0,
+            warnings: 0,
+            worst_margin_ns: 10,
+        });
+        let md = both.render();
+        assert!(md.find("Static verification").unwrap() < md.find("Static pruning").unwrap());
+        let json = both.to_json();
+        assert!(json.find("\"verification\"").unwrap() < json.find("\"prune\"").unwrap());
     }
 
     #[test]

@@ -27,6 +27,14 @@ pub enum ClientError {
         /// Human-readable detail.
         msg: String,
     },
+    /// The server refused the request before queueing it: semantic
+    /// defect codes (`bad_*`) or fault-envelope admission EV codes.
+    Rejected {
+        /// Every rejection code, in the server's deterministic order.
+        codes: Vec<String>,
+        /// Human-readable detail.
+        msg: String,
+    },
     /// The server violated the reply protocol (wrong message order,
     /// digest mismatch, ...).
     Protocol(String),
@@ -37,6 +45,9 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::Wire(e) => write!(f, "wire failure: {e}"),
             ClientError::Server { code, msg } => write!(f, "server error [{code}]: {msg}"),
+            ClientError::Rejected { codes, msg } => {
+                write!(f, "request rejected [{}]: {msg}", codes.join(","))
+            }
             ClientError::Protocol(reason) => write!(f, "protocol violation: {reason}"),
         }
     }
@@ -92,8 +103,10 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// [`ClientError::Server`] for typed rejections (rate limit, unknown
-    /// case, sweep failure), [`ClientError::Wire`] for transport loss,
+    /// [`ClientError::Server`] for typed errors (rate limit, unknown
+    /// case, sweep failure), [`ClientError::Rejected`] for pre-queue
+    /// refusals (semantic defects, envelope admission),
+    /// [`ClientError::Wire`] for transport loss, and
     /// [`ClientError::Protocol`] for reply-order or digest violations.
     pub fn submit(&mut self, req: &SweepRequest) -> Result<JobOutcome, ClientError> {
         send_client(&mut self.stream, &ClientMsg::Submit(req.clone()))?;
@@ -142,6 +155,9 @@ impl Client {
                     });
                 }
                 ServerMsg::Err { code, msg } => return Err(ClientError::Server { code, msg }),
+                ServerMsg::Rejected { codes, msg } => {
+                    return Err(ClientError::Rejected { codes, msg })
+                }
                 ServerMsg::Stats(_) => {
                     return Err(ClientError::Protocol("stats reply to a submit".into()))
                 }

@@ -27,13 +27,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use ecl_aaa::{Fnv1a, MappingPolicy, Schedule, TimeNs};
+use ecl_aaa::{AdequationOptions, Fnv1a, MappingPolicy, Schedule, TimeNs};
 use ecl_bench::fleet::{
     run_scenario, sweep_bound_ns, FaultAxes, FleetPool, SweepAccumulator, SweepCaches, SweepConfig,
     SWEEP_BUCKETS,
 };
 use ecl_bench::{dc_motor_loop, split_scenario, SplitScenario};
 use ecl_core::cosim::{LoopResult, LoopSpec};
+use ecl_core::faults::FaultFamily;
 use ecl_core::report::SweepSummary;
 use ecl_core::CoreError;
 use ecl_telemetry::{Histogram, WorkerProfile};
@@ -114,6 +115,7 @@ struct EngineMetrics {
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
     persist_errors: AtomicU64,
+    rejected: AtomicU64,
 }
 
 /// The resident sweep engine. See the module docs for the determinism
@@ -223,6 +225,79 @@ impl Engine {
     /// `true` when `case` names a registered deployment.
     pub fn knows_case(&self, case: &str) -> bool {
         self.deployments.contains_key(case)
+    }
+
+    /// Static admission control (DESIGN.md §15): evaluates the
+    /// fault-envelope of the request's deployment at every requested
+    /// `(policy, period_scale)` combination on the *unjittered*
+    /// schedule, before anything is queued. A combination whose
+    /// envelope is conclusively [`ecl_verify::EnvelopeVerdict::Unsafe`]
+    /// — every plan in the requested fault family overruns the
+    /// requested period — contributes its error-severity EV diagnostic
+    /// codes to the result; a non-empty result means the request must
+    /// be rejected without spending a single co-simulation. Jitter only
+    /// lengthens slots, so an unjittered lower-bound violation is a
+    /// fortiori one for every jittered sweep member: admission rejects
+    /// only deployments no scenario could satisfy.
+    ///
+    /// Codes are sorted and deduplicated, so the reply bytes are a pure
+    /// function of the request.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidInput`] for an unregistered case; adequation
+    /// failures propagate.
+    pub fn admission_codes(&self, req: &SweepRequest) -> Result<Vec<String>, CoreError> {
+        let deployment =
+            self.deployments
+                .get(&req.case)
+                .ok_or_else(|| CoreError::InvalidInput {
+                    reason: format!("unknown deployment case {:?}", req.case),
+                })?;
+        let family = FaultFamily {
+            frame_loss: req.frame_loss.iter().any(|r| *r > 0.0),
+            max_retries: req.max_retries,
+            link_outage: req.link_outage.iter().any(|r| *r > 0.0),
+            proc_dropout: req.proc_dropout.iter().any(|r| *r > 0.0),
+        };
+        let base = &deployment.base;
+        let mut codes: Vec<String> = Vec::new();
+        for policy in &req.policies {
+            let options = AdequationOptions {
+                policy: match policy {
+                    Policy::Pressure => MappingPolicy::SchedulePressure,
+                    Policy::Earliest => MappingPolicy::EarliestFinish,
+                },
+            };
+            let (schedule, _digest, _hit) = self
+                .caches
+                .schedule
+                .get_or_compute_traced(&base.alg, &base.arch, &base.db, options)?;
+            for &scale in &req.period_scales {
+                let period = TimeNs::from_secs_f64(deployment.spec.ts * scale);
+                let report = ecl_verify::fault_envelope(
+                    &base.alg, &base.arch, &schedule, period, &family, None,
+                );
+                if report.verdict() != ecl_verify::EnvelopeVerdict::Unsafe {
+                    continue;
+                }
+                for d in ecl_verify::envelope_diagnostics(&base.alg, &report) {
+                    if d.severity == ecl_verify::Severity::Error {
+                        codes.push(d.code.to_string());
+                    }
+                }
+            }
+        }
+        codes.sort();
+        codes.dedup();
+        Ok(codes)
+    }
+
+    /// Records one rejected submit (semantic defect or envelope
+    /// admission refusal); shows up as `jobs_rejected` in
+    /// [`stats`](Engine::stats).
+    pub fn note_rejected(&self) {
+        self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Maps a validated wire request onto the fleet sweep configuration.
@@ -433,6 +508,10 @@ impl Engine {
             (
                 "jobs_computed".into(),
                 self.metrics.computed.load(Ordering::Relaxed),
+            ),
+            (
+                "jobs_rejected".into(),
+                self.metrics.rejected.load(Ordering::Relaxed),
             ),
             (
                 "response_memory_hits".into(),

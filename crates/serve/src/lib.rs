@@ -42,4 +42,4 @@ pub use limiter::TokenBucket;
 pub use queue::JobQueue;
 pub use server::{Server, ServerConfig};
 pub use store::DiskStore;
-pub use wire::{ClientMsg, ResponseSource, ServerMsg, SweepRequest, WireError};
+pub use wire::{ClientMsg, RequestDefect, ResponseSource, ServerMsg, SweepRequest, WireError};

@@ -15,9 +15,16 @@
 //! holds that lock across enqueue + `Queued` ack, so the ack always
 //! precedes the job's first delta.
 //!
-//! Admission: a per-connection [`TokenBucket`] (one token per submit,
-//! stats and shutdown are free) — over-rate submits are rejected with a
-//! typed `rate_limited` error instead of queuing unboundedly.
+//! Admission is three gates, each typed, each leaving the connection
+//! usable: a per-connection [`TokenBucket`] (one token per submit,
+//! stats and shutdown are free) rejects over-rate submits with
+//! `rate_limited`; [`SweepRequest::validate`] rejects semantically
+//! out-of-range requests with [`ServerMsg::Rejected`] listing every
+//! defect code; and the engine's fault-envelope admission control
+//! ([`Engine::admission_codes`]) rejects deployments that are
+//! statically infeasible at a requested period with the EV diagnostic
+//! codes that condemned them — before the job spends a single
+//! co-simulation.
 
 use std::io::{ErrorKind, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -196,6 +203,23 @@ fn serve_connection(
                     }
                     continue;
                 }
+                // Semantic validation: a parseable request with
+                // out-of-range fields is *rejected* (typed, with every
+                // defect code), not treated as a protocol error.
+                let defects = req.validate();
+                if !defects.is_empty() {
+                    engine.note_rejected();
+                    let codes = defects.iter().map(|d| d.code.to_string()).collect();
+                    let msg = defects
+                        .iter()
+                        .map(|d| d.detail.as_str())
+                        .collect::<Vec<_>>()
+                        .join("; ");
+                    if !send(&ServerMsg::Rejected { codes, msg }) {
+                        return;
+                    }
+                    continue;
+                }
                 if !engine.knows_case(&req.case) {
                     if !send(&ServerMsg::Err {
                         code: "unknown_case".into(),
@@ -204,6 +228,34 @@ fn serve_connection(
                         return;
                     }
                     continue;
+                }
+                // Envelope admission control: a deployment whose
+                // completion envelope is conclusively infeasible at a
+                // requested period is refused before queueing, carrying
+                // the EV diagnostic codes that condemned it.
+                match engine.admission_codes(&req) {
+                    Ok(codes) if !codes.is_empty() => {
+                        engine.note_rejected();
+                        if !send(&ServerMsg::Rejected {
+                            codes,
+                            msg: "fault-envelope admission: every plan in the requested \
+                                  fault family overruns a requested period"
+                                .into(),
+                        }) {
+                            return;
+                        }
+                        continue;
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        if !send(&ServerMsg::Err {
+                            code: "admission_failed".into(),
+                            msg: e.to_string(),
+                        }) {
+                            return;
+                        }
+                        continue;
+                    }
                 }
                 // Enqueue and ack under the write lock: the executor's
                 // first delta must queue behind the `Queued` frame.

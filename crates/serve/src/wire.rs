@@ -16,8 +16,12 @@
 //! Failures are *typed*: a peer hanging up is [`WireError::Disconnected`]
 //! (mid-frame or between frames), an over-limit length prefix is
 //! [`WireError::Oversized`], and any text-level violation — unknown
-//! kind, missing or duplicate key, malformed number, out-of-range value —
-//! is [`WireError::Malformed`] with a reason naming the offending field.
+//! kind, missing or duplicate key, malformed number — is
+//! [`WireError::Malformed`] with a reason naming the offending field.
+//! *Semantic* violations (an out-of-range but parseable field) are not
+//! wire errors at all: [`SweepRequest::validate`] collects them as
+//! [`RequestDefect`]s and the server answers with
+//! [`ServerMsg::Rejected`], keeping the connection usable.
 
 use std::io::{ErrorKind, Read, Write};
 
@@ -274,32 +278,50 @@ impl SweepRequest {
         h.finish()
     }
 
-    fn validate(&self) -> Result<(), WireError> {
+    /// Semantic validation of an already well-formed request: every
+    /// violated range constraint becomes one [`RequestDefect`]. All
+    /// defects are collected, not just the first, so a client gets the
+    /// full list in a single [`ServerMsg::Rejected`] round trip. An
+    /// empty vector means the request is semantically admissible.
+    pub fn validate(&self) -> Vec<RequestDefect> {
+        let mut defects = Vec::new();
+        let mut defect = |code: &'static str, detail: String| {
+            defects.push(RequestDefect { code, detail });
+        };
         if self.case.is_empty()
             || !self
                 .case
                 .chars()
                 .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
         {
-            return Err(malformed(format!(
-                "case must be a non-empty [A-Za-z0-9_-] token, got {:?}",
-                self.case
-            )));
+            defect(
+                "bad_case",
+                format!(
+                    "case must be a non-empty [A-Za-z0-9_-] token, got {:?}",
+                    self.case
+                ),
+            );
         }
         if self.scenarios == 0 || self.scenarios > MAX_SCENARIOS {
-            return Err(malformed(format!(
-                "scenarios must be in 1..={MAX_SCENARIOS}, got {}",
-                self.scenarios
-            )));
+            defect(
+                "bad_scenarios",
+                format!(
+                    "scenarios must be in 1..={MAX_SCENARIOS}, got {}",
+                    self.scenarios
+                ),
+            );
         }
         if self.wcet_tables == 0 {
-            return Err(malformed("wcet_tables must be at least 1"));
+            defect("bad_wcet_tables", "wcet_tables must be at least 1".into());
         }
         if !self.wcet_jitter.is_finite() || !(0.0..=10.0).contains(&self.wcet_jitter) {
-            return Err(malformed(format!(
-                "wcet_jitter must be finite in [0, 10], got {:?}",
-                self.wcet_jitter
-            )));
+            defect(
+                "bad_wcet_jitter",
+                format!(
+                    "wcet_jitter must be finite in [0, 10], got {:?}",
+                    self.wcet_jitter
+                ),
+            );
         }
         if self.period_scales.is_empty()
             || self
@@ -307,27 +329,41 @@ impl SweepRequest {
                 .iter()
                 .any(|s| !s.is_finite() || *s <= 0.0)
         {
-            return Err(malformed(
-                "period_scales must be non-empty, finite and positive",
-            ));
+            defect(
+                "bad_period_scales",
+                "period_scales must be non-empty, finite and positive".into(),
+            );
         }
         if self.policies.is_empty() {
-            return Err(malformed("policies must be non-empty"));
+            defect("bad_policies", "policies must be non-empty".into());
         }
-        for (name, axis) in [
-            ("frame_loss", &self.frame_loss),
-            ("link_outage", &self.link_outage),
-            ("proc_dropout", &self.proc_dropout),
+        for (code, name, axis) in [
+            ("bad_frame_loss", "frame_loss", &self.frame_loss),
+            ("bad_link_outage", "link_outage", &self.link_outage),
+            ("bad_proc_dropout", "proc_dropout", &self.proc_dropout),
         ] {
             if axis
                 .iter()
                 .any(|r| !r.is_finite() || !(0.0..=1.0).contains(r))
             {
-                return Err(malformed(format!("{name} rates must be finite in [0, 1]")));
+                defect(code, format!("{name} rates must be finite in [0, 1]"));
             }
         }
-        Ok(())
+        defects
     }
+}
+
+/// One semantic defect of an otherwise well-formed [`SweepRequest`]: the
+/// frame parsed, but a field violates its documented range. Defects are
+/// *rejections*, not protocol errors — the connection stays usable and
+/// the server answers with [`ServerMsg::Rejected`] carrying every code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestDefect {
+    /// Stable machine token naming the defective field (e.g.
+    /// `bad_scenarios`). Tokens never contain spaces or commas.
+    pub code: &'static str,
+    /// Human-readable detail, single line.
+    pub detail: String,
 }
 
 /// A client-to-server message.
@@ -382,6 +418,17 @@ pub enum ServerMsg {
     },
     /// Counter sidecar, as `name value` pairs.
     Stats(Vec<(String, u64)>),
+    /// The request was understood but refused before queueing: either a
+    /// semantic defect ([`SweepRequest::validate`] codes like
+    /// `bad_scenarios`) or static admission control (fault-envelope
+    /// EV diagnostic codes like `EV401`). The connection stays usable.
+    Rejected {
+        /// Every rejection code, in deterministic order (defect codes
+        /// in field order, EV codes sorted). Never empty.
+        codes: Vec<String>,
+        /// Human-readable detail (single line).
+        msg: String,
+    },
     /// The request failed; `code` is a stable machine token.
     Err {
         /// Stable error token (e.g. `rate_limited`, `unknown_case`).
@@ -566,7 +613,12 @@ impl ClientMsg {
                         .map_err(|_| malformed("outage_periods must fit in u32"))?,
                 };
                 f.finish()?;
-                req.validate()?;
+                // Range checking is deliberately NOT part of decoding:
+                // a parseable request with out-of-range fields reaches
+                // the server, which answers with a typed
+                // [`ServerMsg::Rejected`] listing every defect
+                // ([`SweepRequest::validate`]) instead of a blanket
+                // `malformed` error.
                 Ok(ClientMsg::Submit(req))
             }
             "req stats" => {
@@ -623,6 +675,18 @@ impl ServerMsg {
                     s.push_str(&format!("{name} {value}\n"));
                 }
                 s.into_bytes()
+            }
+            ServerMsg::Rejected { codes, msg } => {
+                let one_line: String = msg
+                    .chars()
+                    .map(|c| if c == '\n' || c == '\r' { ' ' } else { c })
+                    .collect();
+                let joined = if codes.is_empty() {
+                    "-".to_string()
+                } else {
+                    codes.join(",")
+                };
+                format!("rsp rejected\ncodes {joined}\nmsg {one_line}\n").into_bytes()
             }
             ServerMsg::Err { code, msg } => {
                 let one_line: String = msg
@@ -712,6 +776,21 @@ impl ServerMsg {
                     .map(|&(k, v)| Ok((k.to_string(), parse_u64(k, v)?)))
                     .collect::<Result<Vec<_>, WireError>>()?;
                 Ok(ServerMsg::Stats(counters))
+            }
+            "rsp rejected" => {
+                let mut f = Fields::parse(rest)?;
+                let codes_raw = f.take("codes")?;
+                let codes = if codes_raw == "-" {
+                    Vec::new()
+                } else {
+                    codes_raw.split(',').map(str::to_string).collect()
+                };
+                let msg = ServerMsg::Rejected {
+                    codes,
+                    msg: f.take("msg")?.to_string(),
+                };
+                f.finish()?;
+                Ok(msg)
             }
             "rsp err" => {
                 let mut f = Fields::parse(rest)?;
@@ -841,6 +920,52 @@ mod tests {
         };
         let back = ServerMsg::decode(&msg.encode()).unwrap();
         assert_eq!(back, msg);
+    }
+
+    #[test]
+    fn rejected_round_trips_with_and_without_codes() {
+        for codes in [
+            vec!["bad_scenarios".to_string(), "EV401".to_string()],
+            Vec::new(),
+        ] {
+            let msg = ServerMsg::Rejected {
+                codes,
+                msg: "nope".into(),
+            };
+            assert_eq!(ServerMsg::decode(&msg.encode()).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn validate_collects_every_defect_with_stable_codes() {
+        assert!(SweepRequest::default().validate().is_empty());
+        let bad = SweepRequest {
+            case: "dc motor".into(),
+            scenarios: 0,
+            wcet_tables: 0,
+            wcet_jitter: f64::NAN,
+            period_scales: vec![-1.0],
+            policies: Vec::new(),
+            frame_loss: vec![1.5],
+            ..SweepRequest::default()
+        };
+        let codes: Vec<&str> = bad.validate().iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            [
+                "bad_case",
+                "bad_scenarios",
+                "bad_wcet_tables",
+                "bad_wcet_jitter",
+                "bad_period_scales",
+                "bad_policies",
+                "bad_frame_loss",
+            ]
+        );
+        // Out-of-range fields still *decode*: rejection is the server's
+        // business, not the codec's.
+        let decoded = ClientMsg::decode(&ClientMsg::Submit(bad.clone()).encode());
+        assert!(matches!(decoded, Ok(ClientMsg::Submit(_))));
     }
 
     #[test]

@@ -226,6 +226,67 @@ fn unknown_case_is_rejected_by_name() {
     assert_eq!(counter(&stats, "jobs"), 0);
 }
 
+/// A parseable but semantically out-of-range request is refused with a
+/// typed `Rejected` reply listing every defect code — and the
+/// connection stays usable for a corrected submit afterwards.
+#[test]
+fn semantic_defects_are_rejected_with_typed_codes() {
+    let srv = server(1, None);
+    let mut client = Client::connect(srv.addr()).expect("connect");
+    let bad = SweepRequest {
+        scenarios: 0,
+        wcet_tables: 0,
+        ..request()
+    };
+    match client.submit(&bad) {
+        Err(ClientError::Rejected { codes, .. }) => {
+            assert_eq!(codes, ["bad_scenarios", "bad_wcet_tables"]);
+        }
+        other => panic!("expected typed rejection, got {other:?}"),
+    }
+    let stats = client.stats().expect("stats after rejection");
+    assert_eq!(counter(&stats, "jobs"), 0, "rejected submit must not run");
+    assert_eq!(counter(&stats, "jobs_rejected"), 1);
+    let small = SweepRequest {
+        scenarios: 2,
+        ..request()
+    };
+    client
+        .submit(&small)
+        .expect("connection must survive a rejection");
+}
+
+/// Fault-envelope admission control: a deployment whose completion
+/// envelope provably overruns a requested period is refused before
+/// queueing, carrying the EV code that condemned it — no co-simulation
+/// is spent on it.
+#[test]
+fn infeasible_period_is_rejected_by_envelope_admission() {
+    let srv = server(1, None);
+    let mut client = Client::connect(srv.addr()).expect("connect");
+    // Fault-free family: the envelope is exact, so a period far below
+    // the schedule makespan yields a conclusive lower-bound violation.
+    let infeasible = SweepRequest {
+        period_scales: vec![1e-9],
+        frame_loss: vec![],
+        ..request()
+    };
+    match client.submit(&infeasible) {
+        Err(ClientError::Rejected { codes, .. }) => assert_eq!(codes, ["EV401"]),
+        other => panic!("expected EV401 admission rejection, got {other:?}"),
+    }
+    let stats = client.stats().expect("stats");
+    assert_eq!(counter(&stats, "jobs"), 0, "rejected job must not run");
+    assert_eq!(counter(&stats, "jobs_rejected"), 1);
+    // The same deployment at a sane period is admitted and completes.
+    let sane = SweepRequest {
+        scenarios: 2,
+        frame_loss: vec![],
+        ..request()
+    };
+    client.submit(&sane).expect("feasible request is admitted");
+}
+
 /// Two clients sharing one daemon both get correct, digest-verified
 /// answers; the second identical request is a memory hit even when it
 /// arrives on a different connection.

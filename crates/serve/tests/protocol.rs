@@ -127,6 +127,11 @@ proptest! {
             ServerMsg::Done { sched_computes: overruns },
             ServerMsg::Stats(vec![("jobs".into(), overruns), ("depth".into(), a as u64)]),
             ServerMsg::Err { code: "rate_limited".into(), msg: "slow down".into() },
+            ServerMsg::Rejected {
+                codes: vec!["bad_scenarios".into(), "EV401".into()],
+                msg: "refused before queueing".into(),
+            },
+            ServerMsg::Rejected { codes: vec![], msg: "no codes".into() },
         ];
         for msg in msgs {
             let decoded = ServerMsg::decode(&msg.encode()).unwrap();
@@ -219,35 +224,38 @@ fn malformed_payloads_are_typed_and_named() {
     }
 }
 
-/// Range validation is part of decoding: a request that parses but
-/// violates the documented bounds is malformed, not accepted.
+/// Range validation is a *rejection*, not a codec concern: an
+/// out-of-range request decodes intact, and `validate` names each
+/// defect with a stable code the server can send in `rsp rejected`.
 #[test]
-fn out_of_range_requests_are_malformed() {
-    let encode_with = |patch: &dyn Fn(&mut SweepRequest)| {
+fn out_of_range_requests_decode_and_validate_with_typed_codes() {
+    type Patch<'a> = &'a dyn Fn(&mut SweepRequest);
+    let cases: Vec<(Patch, &str)> = vec![
+        (&|r| r.scenarios = 0, "bad_scenarios"),
+        (&|r| r.wcet_tables = 0, "bad_wcet_tables"),
+        (&|r| r.period_scales = vec![], "bad_period_scales"),
+        (&|r| r.period_scales = vec![-1.0], "bad_period_scales"),
+        (&|r| r.policies = vec![], "bad_policies"),
+        (&|r| r.frame_loss = vec![1.5], "bad_frame_loss"),
+        (&|r| r.wcet_jitter = -0.5, "bad_wcet_jitter"),
+        (&|r| r.wcet_jitter = f64::NAN, "bad_wcet_jitter"),
+    ];
+    for (patch, code) in cases {
         let mut req = SweepRequest::default();
         patch(&mut req);
-        ClientMsg::Submit(req).encode()
-    };
-    let cases: Vec<Vec<u8>> = vec![
-        encode_with(&|r| r.scenarios = 0),
-        encode_with(&|r| r.wcet_tables = 0),
-        encode_with(&|r| r.period_scales = vec![]),
-        encode_with(&|r| r.period_scales = vec![-1.0]),
-        encode_with(&|r| r.policies = vec![]),
-        encode_with(&|r| r.frame_loss = vec![1.5]),
-        encode_with(&|r| r.wcet_jitter = -0.5),
-        encode_with(&|r| r.wcet_jitter = f64::NAN),
-    ];
-    for payload in cases {
-        assert!(
-            matches!(
-                ClientMsg::decode(&payload),
-                Err(WireError::Malformed { .. })
-            ),
-            "out-of-range request must be malformed: {:?}",
-            String::from_utf8_lossy(&payload)
-        );
+        let payload = ClientMsg::Submit(req.clone()).encode();
+        let decoded = ClientMsg::decode(&payload)
+            .unwrap_or_else(|e| panic!("out-of-range request must still decode ({code}): {e}"));
+        // Byte comparison instead of PartialEq: NaN jitter must round-trip
+        // too, and NaN != NaN.
+        assert_eq!(decoded.encode(), payload, "decode drift");
+        let codes: Vec<&str> = req.validate().iter().map(|d| d.code).collect();
+        assert_eq!(codes, [code], "defect codes for {code}");
     }
+    assert!(
+        SweepRequest::default().validate().is_empty(),
+        "the default request must be admissible"
+    );
 }
 
 /// A report whose declared byte count disagrees with its body is

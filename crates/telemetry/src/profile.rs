@@ -41,6 +41,8 @@ pub enum Phase {
     Derive,
     /// Schedule lookup/computation (the `ScheduleCache` + list scheduler).
     Adequation,
+    /// Fault-envelope abstract interpretation (static sweep pruning).
+    Envelope,
     /// The stroboscopic reference run the cost ratio is measured against.
     IdealSim,
     /// Deterministic fault-plan generation (faulty scenarios only).
@@ -59,9 +61,10 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in canonical report order.
-    pub const ALL: [Phase; 9] = [
+    pub const ALL: [Phase; 10] = [
         Phase::Derive,
         Phase::Adequation,
+        Phase::Envelope,
         Phase::IdealSim,
         Phase::FaultPlan,
         Phase::Synthesis,
@@ -77,6 +80,7 @@ impl Phase {
         match self {
             Phase::Derive => "derive",
             Phase::Adequation => "adequation",
+            Phase::Envelope => "fault envelope",
             Phase::IdealSim => "ideal co-simulation",
             Phase::FaultPlan => "fault planning",
             Phase::Synthesis => "delay-graph synthesis",
@@ -92,6 +96,7 @@ impl Phase {
         match self {
             Phase::Derive => 'd',
             Phase::Adequation => 'a',
+            Phase::Envelope => 'e',
             Phase::IdealSim => 'i',
             Phase::FaultPlan => 'f',
             Phase::Synthesis => 'g',

@@ -8,13 +8,16 @@
 //!
 //! Under a bounded-retry fault plan every retransmission of transfer `i`
 //! stretches that slot by `comm_retry_cost(i)`; any completion in period
-//! `k` trails its nominal instant by at most the sum of all retry
-//! stretches drawn in `k` (every wait chain passes through a subset of
-//! the transfer slots, and a receive forced at the deadline only fires
-//! *earlier* than the stretched arrival). The *fault-aware* bound adds
-//! the worst per-period total stretch to the nominal bound. Plans that
-//! drop frames or kill processors degrade through deadline forcing
-//! instead; their bounds are flagged unsound ([`LatencyBoundReport::drop_capable`]).
+//! `k` trails its nominal instant by at most the sum of the retry
+//! stretches drawn in `k` **on the transfer slots its wait chains can
+//! pass through** (its dependency cone — a receive forced at the
+//! deadline only fires *earlier* than the stretched arrival). The
+//! *fault-aware* bound of an operation therefore adds the worst
+//! per-period stretch of its own cone: a sensor with no inbound
+//! transfers keeps its nominal bound exactly, while an actuator fed by
+//! every transfer absorbs the full per-period total. Plans that drop
+//! frames or kill processors degrade through deadline forcing instead;
+//! their bounds are flagged unsound ([`LatencyBoundReport::drop_capable`]).
 
 use ecl_aaa::analysis::wcet_chain_bounds;
 use ecl_aaa::{AaaError, AlgorithmGraph, ArchitectureGraph, OpId, Schedule, TimeNs, TimingDb};
@@ -29,7 +32,10 @@ pub struct LatencyBound {
     /// execution — the static `Ls_j`/`La_j` of eq. (1)/(2).
     pub nominal: TimeNs,
     /// Sound bound under the bounded-retry fault plan: `nominal` plus the
-    /// worst per-period retry stretch. Equals `nominal` without a plan.
+    /// worst per-period retry stretch of the transfer slots in the
+    /// operation's dependency cone. Equals `nominal` without a plan, and
+    /// never exceeds `nominal` plus the plan-wide
+    /// [`LatencyBoundReport::retry_stretch`].
     pub faulty: TimeNs,
     /// Critical-path lower bound on the operation's completion (longest
     /// minimal-WCET chain ending at the operation, communications
@@ -148,11 +154,24 @@ pub fn worst_retry_stretch(
     arch: &ArchitectureGraph,
     plan: &FaultPlan,
 ) -> TimeNs {
-    let n = schedule.comms().len();
+    let all: Vec<usize> = (0..schedule.comms().len()).collect();
+    per_cone_retry_stretch(schedule, arch, plan, &all)
+}
+
+/// The worst per-period retransmission stretch of `plan` over the
+/// transfer slots in `cone` only — the per-operation refinement of
+/// [`worst_retry_stretch`] (an operation's completion can trail its
+/// nominal instant only by stretches its wait chains actually cross).
+pub fn per_cone_retry_stretch(
+    schedule: &Schedule,
+    arch: &ArchitectureGraph,
+    plan: &FaultPlan,
+    cone: &[usize],
+) -> TimeNs {
     (0..plan.periods())
         .map(|k| {
-            (0..n)
-                .map(|i| match plan.comm_fault(i, k) {
+            cone.iter()
+                .map(|&i| match plan.comm_fault(i, k) {
                     CommFault::Retry(r) => {
                         let cost = schedule.comm_retry_cost(arch, i).unwrap_or(TimeNs::ZERO);
                         TimeNs::from_nanos(cost.as_nanos() * i64::from(r))
@@ -187,14 +206,24 @@ pub fn latency_bounds(
             plan_is_drop_capable(p, schedule.comms().len(), arch.num_processors()),
         ),
     };
+    let cones = crate::envelope::comm_cones(alg, arch, schedule);
     let entries = |instants: Vec<(OpId, TimeNs)>| {
         instants
             .into_iter()
-            .map(|(op, end)| LatencyBound {
-                op,
-                nominal: end,
-                faulty: end + retry_stretch,
-                chain: chains.get(op.index()).copied().unwrap_or(TimeNs::ZERO),
+            .map(|(op, end)| {
+                let stretch = match faults {
+                    None => TimeNs::ZERO,
+                    Some(p) => cones
+                        .get(&op)
+                        .map(|cone| per_cone_retry_stretch(schedule, arch, p, cone))
+                        .unwrap_or(retry_stretch),
+                };
+                LatencyBound {
+                    op,
+                    nominal: end,
+                    faulty: end + stretch,
+                    chain: chains.get(op.index()).copied().unwrap_or(TimeNs::ZERO),
+                }
             })
             .collect::<Vec<_>>()
     };

@@ -5,6 +5,7 @@
 use std::fmt;
 
 use crate::bounds::LatencyBoundReport;
+use crate::envelope::EnvelopeReport;
 
 /// Severity of a diagnostic. Orders `Info < Warn < Error`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -105,6 +106,8 @@ pub struct VerifyReport {
     diagnostics: Vec<Diagnostic>,
     /// Static `Ls`/`La` bounds, when the bounds pass ran.
     pub bounds: Option<LatencyBoundReport>,
+    /// Fault-family completion envelopes, when the envelope pass ran.
+    pub envelope: Option<EnvelopeReport>,
 }
 
 impl VerifyReport {
@@ -121,6 +124,7 @@ impl VerifyReport {
         VerifyReport {
             diagnostics,
             bounds: None,
+            envelope: None,
         }
     }
 
@@ -173,6 +177,9 @@ impl VerifyReport {
         if let Some(b) = &self.bounds {
             s.push_str(&b.render());
         }
+        if let Some(e) = &self.envelope {
+            s.push_str(&e.render());
+        }
         s
     }
 
@@ -203,14 +210,15 @@ impl VerifyReport {
         } else {
             s.push_str("\n  ]");
         }
-        match &self.bounds {
-            None => s.push_str("\n}\n"),
-            Some(b) => {
-                s.push_str(",\n");
-                s.push_str(&b.json_fragment());
-                s.push_str("\n}\n");
-            }
+        if let Some(b) = &self.bounds {
+            s.push_str(",\n");
+            s.push_str(&b.json_fragment());
         }
+        if let Some(e) = &self.envelope {
+            s.push_str(",\n");
+            s.push_str(&e.json_fragment());
+        }
+        s.push_str("\n}\n");
         s
     }
 }

@@ -17,7 +17,13 @@
 //!   operations, dead transfers);
 //! * pass (d) — [`lint_delay_graph`]: condition-mapping exhaustiveness,
 //!   orphan delay blocks, unarmed synchronization timeouts, period
-//!   overrun.
+//!   overrun;
+//! * pass (e) — [`fault_envelope`]: abstract interpretation of the
+//!   graph-of-delays semantics over the interval domain, yielding sound
+//!   `[lo, hi]` completion envelopes for an entire
+//!   [`FaultFamily`](ecl_core::faults::FaultFamily) of plans (frame loss
+//!   with bounded retransmission, link-outage windows, processor
+//!   dropout) and a conclusive safe/unsafe/inconclusive verdict.
 //!
 //! All passes report through one diagnostics engine ([`Diagnostic`],
 //! [`VerifyReport`]) with stable rule codes (`EV001`…, registry in
@@ -30,19 +36,24 @@
 mod bounds;
 mod delay_lint;
 mod diag;
+mod envelope;
 mod executives;
 mod feasibility;
 
 pub use bounds::{
-    latency_bounds, plan_is_drop_capable, worst_retry_stretch, LatencyBound, LatencyBoundReport,
+    latency_bounds, per_cone_retry_stretch, plan_is_drop_capable, worst_retry_stretch,
+    LatencyBound, LatencyBoundReport,
 };
 pub use delay_lint::lint_delay_graph;
 pub use diag::{Anchor, Diagnostic, Severity, VerifyReport};
+pub use envelope::{
+    envelope_diagnostics, fault_envelope, EnvelopeReport, EnvelopeVerdict, OpEnvelope,
+};
 pub use executives::verify_executives;
 pub use feasibility::verify_schedule;
 
 use ecl_aaa::{codegen, AaaError, AlgorithmGraph, ArchitectureGraph, Schedule, TimeNs, TimingDb};
-use ecl_core::faults::FaultPlan;
+use ecl_core::faults::{FaultFamily, FaultPlan};
 
 /// Runs every pass over one adequation result: feasibility, latency
 /// bounds, executive generation + happens-before analysis, and the
@@ -124,6 +135,33 @@ pub fn verify(
 
     let mut report = VerifyReport::from_diagnostics(diagnostics);
     report.bounds = Some(bounds);
+    Ok(report)
+}
+
+/// Runs every pass of [`verify`] plus the fault-envelope abstract
+/// interpretation (pass e) over a whole [`FaultFamily`]: the returned
+/// report additionally carries the [`EnvelopeReport`] and any EV4xx
+/// diagnostics (period or latency-budget envelope violations).
+///
+/// # Errors
+///
+/// Propagates the same artifact errors as [`verify`].
+pub fn verify_family(
+    alg: &AlgorithmGraph,
+    arch: &ArchitectureGraph,
+    db: &TimingDb,
+    schedule: &Schedule,
+    period: TimeNs,
+    family: &FaultFamily,
+    budget: Option<TimeNs>,
+) -> Result<VerifyReport, AaaError> {
+    let base = verify(alg, arch, db, schedule, period, None)?;
+    let env = fault_envelope(alg, arch, schedule, period, family, budget);
+    let mut diagnostics = base.diagnostics().to_vec();
+    diagnostics.extend(envelope_diagnostics(alg, &env));
+    let mut report = VerifyReport::from_diagnostics(diagnostics);
+    report.bounds = base.bounds;
+    report.envelope = Some(env);
     Ok(report)
 }
 
@@ -214,8 +252,16 @@ mod tests {
         assert!(!bounds.drop_capable);
         assert!(bounds.retry_stretch > TimeNs::ZERO);
         for b in bounds.sensors.iter().chain(bounds.actuators.iter()) {
-            assert_eq!(b.faulty, b.nominal + bounds.retry_stretch);
+            assert!(b.faulty >= b.nominal);
+            assert!(b.faulty <= b.nominal + bounds.retry_stretch);
         }
+        // Per-cone refinement: the sensor waits on no transfer, so its
+        // bound stays exactly nominal; the actuator's wait chains cross
+        // every transfer, so it absorbs the full per-period stretch.
+        let s = &bounds.sensors[0];
+        assert_eq!(s.faulty, s.nominal);
+        let a = &bounds.actuators[0];
+        assert_eq!(a.faulty, a.nominal + bounds.retry_stretch);
     }
 
     #[test]
@@ -435,6 +481,153 @@ mod tests {
         assert!(report.has_code("EV103"));
         assert!(report.has_code("EV305"));
         assert!(report.bounds.as_ref().unwrap().drop_capable);
+    }
+
+    #[test]
+    fn trivial_family_envelope_is_exact_and_safe() {
+        use ecl_core::interval::TimeInterval;
+        let (alg, arch, _, schedule) = distributed_case();
+        let env = fault_envelope(
+            &alg,
+            &arch,
+            &schedule,
+            period(),
+            &FaultFamily::trivial(),
+            None,
+        );
+        assert_eq!(env.verdict(), EnvelopeVerdict::Safe);
+        for e in &env.ops {
+            let slot = schedule.slot(e.op).unwrap();
+            assert_eq!(
+                e.nominal, slot.end,
+                "nominal replay instant is the slot end"
+            );
+            assert_eq!(e.completion, TimeInterval::point(slot.end));
+            assert!(!e.may_be_absent);
+        }
+        assert_eq!(env.sensors.len(), 1);
+        assert_eq!(env.actuators.len(), 1);
+        assert_eq!(env.max_actuation_hi(), env.actuators[0].nominal);
+    }
+
+    #[test]
+    fn drop_family_envelope_caps_at_the_forced_deadline() {
+        use ecl_core::interval::TimeInterval;
+        let (alg, arch, db, schedule) = distributed_case();
+        let fam = FaultFamily {
+            frame_loss: true,
+            max_retries: 3,
+            link_outage: false,
+            proc_dropout: false,
+        };
+        let env = fault_envelope(&alg, &arch, &schedule, period(), &fam, None);
+        assert_eq!(env.verdict(), EnvelopeVerdict::Inconclusive);
+        // The sensor waits on nothing: its envelope stays a point even
+        // though the family is fault-active.
+        let s = &env.sensors[0];
+        assert_eq!(s.completion, TimeInterval::point(s.nominal));
+        assert!(!s.may_be_absent);
+        // Worst case for the actuator: its rendezvous is forced at
+        // kP + (P - 1ns), then its own slot runs.
+        let a = &env.actuators[0];
+        let a_slot = schedule.slot(a.op).unwrap();
+        let forced = period() - TimeNs::from_nanos(1) + (a_slot.end - a_slot.start);
+        assert_eq!(a.completion.hi(), forced);
+        assert!(a.completion.lo() <= a.nominal && a.nominal <= a.completion.hi());
+        assert!(a.may_be_absent, "a dropped transfer can silence actuation");
+        // verify_family surfaces the envelope as EV402 + EV403 without
+        // making the schedule an error.
+        let report = verify_family(&alg, &arch, &db, &schedule, period(), &fam, None).unwrap();
+        assert!(report.is_clean(), "{}", report.render());
+        assert!(report.has_code("EV402"), "{}", report.render());
+        assert!(report.has_code("EV403"));
+        assert!(report.envelope.is_some());
+    }
+
+    #[test]
+    fn infeasible_period_is_conclusively_unsafe() {
+        let (alg, arch, db, schedule) = distributed_case();
+        let env = fault_envelope(
+            &alg,
+            &arch,
+            &schedule,
+            us(100),
+            &FaultFamily::trivial(),
+            None,
+        );
+        assert_eq!(env.verdict(), EnvelopeVerdict::Unsafe);
+        let report = verify_family(
+            &alg,
+            &arch,
+            &db,
+            &schedule,
+            us(100),
+            &FaultFamily::trivial(),
+            None,
+        )
+        .unwrap();
+        assert!(report.has_code("EV401"), "{}", report.render());
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn latency_budget_violations_are_typed() {
+        let (alg, arch, db, schedule) = distributed_case();
+        // The nominal actuation instant already exceeds a 200us budget:
+        // conclusively infeasible.
+        let tight = verify_family(
+            &alg,
+            &arch,
+            &db,
+            &schedule,
+            period(),
+            &FaultFamily::trivial(),
+            Some(us(200)),
+        )
+        .unwrap();
+        assert!(tight.has_code("EV405"), "{}", tight.render());
+        assert!(!tight.is_clean());
+        assert_eq!(
+            tight.envelope.as_ref().unwrap().verdict(),
+            EnvelopeVerdict::Unsafe
+        );
+        // A 300us budget fits the nominal instant but not the widened
+        // envelope: possible violation only.
+        let fam = FaultFamily {
+            frame_loss: true,
+            max_retries: 3,
+            link_outage: false,
+            proc_dropout: false,
+        };
+        let loose =
+            verify_family(&alg, &arch, &db, &schedule, period(), &fam, Some(us(300))).unwrap();
+        assert!(loose.has_code("EV404"), "{}", loose.render());
+        assert!(!loose.has_code("EV405"));
+        assert!(loose.is_clean());
+    }
+
+    #[test]
+    fn family_report_rendering_is_deterministic_and_complete() {
+        let (alg, arch, db, schedule) = distributed_case();
+        let fam = FaultFamily {
+            frame_loss: true,
+            max_retries: 2,
+            link_outage: true,
+            proc_dropout: true,
+        };
+        let r1 = verify_family(&alg, &arch, &db, &schedule, period(), &fam, Some(us(500))).unwrap();
+        let r2 = verify_family(&alg, &arch, &db, &schedule, period(), &fam, Some(us(500))).unwrap();
+        assert_eq!(r1.render(), r2.render());
+        assert_eq!(r1.to_json(), r2.to_json());
+        let text = r1.render();
+        assert!(text.contains("### Static latency bounds"));
+        assert!(text.contains("### Fault envelope"));
+        assert!(text.contains("verdict:"));
+        let json = r1.to_json();
+        assert!(json.contains("\"bounds\""));
+        assert!(json.contains("\"envelope\""));
+        assert!(json.contains("\"verdict\""));
+        assert!(json.ends_with("\n}\n"));
     }
 
     #[test]

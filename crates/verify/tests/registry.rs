@@ -1,0 +1,95 @@
+//! EV rule-code registry sync: every code the crate can emit has a
+//! DESIGN.md §10 registry row, and every registry row names a code that
+//! actually appears in the crate — both directions, so the table can
+//! neither rot behind the implementation nor advertise codes that no
+//! longer exist.
+
+use std::collections::BTreeSet;
+
+/// Every `ecl-verify` source file that can mention an EV code, embedded
+/// at compile time so the test needs no filesystem conventions.
+const SOURCES: &[(&str, &str)] = &[
+    ("lib.rs", include_str!("../src/lib.rs")),
+    ("bounds.rs", include_str!("../src/bounds.rs")),
+    ("delay_lint.rs", include_str!("../src/delay_lint.rs")),
+    ("diag.rs", include_str!("../src/diag.rs")),
+    ("envelope.rs", include_str!("../src/envelope.rs")),
+    ("executives.rs", include_str!("../src/executives.rs")),
+    ("feasibility.rs", include_str!("../src/feasibility.rs")),
+];
+
+const DESIGN: &str = include_str!("../../../DESIGN.md");
+
+/// Collects every `EV` + three-digit token in `text`.
+fn ev_codes(text: &str) -> BTreeSet<String> {
+    let bytes = text.as_bytes();
+    let mut codes = BTreeSet::new();
+    for at in 0..bytes.len().saturating_sub(4) {
+        if &bytes[at..at + 2] == b"EV"
+            && bytes[at + 2..at + 5].iter().all(u8::is_ascii_digit)
+            && (at == 0 || !bytes[at - 1].is_ascii_alphanumeric())
+            && bytes.get(at + 5).is_none_or(|b| !b.is_ascii_alphanumeric())
+        {
+            codes.insert(String::from_utf8_lossy(&bytes[at..at + 5]).into_owned());
+        }
+    }
+    codes
+}
+
+/// The registry rows: `| EVnnn | Sev | pass | meaning |` lines of the
+/// DESIGN.md rule-code table.
+fn registry_codes() -> BTreeSet<String> {
+    DESIGN
+        .lines()
+        .filter(|line| line.starts_with("| EV"))
+        .flat_map(|line| {
+            ev_codes(line.split('|').nth(1).unwrap_or_default().trim())
+                .into_iter()
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[test]
+fn every_emitted_code_has_a_registry_row() {
+    let registry = registry_codes();
+    assert!(
+        !registry.is_empty(),
+        "DESIGN.md rule-code registry table not found"
+    );
+    for (file, text) in SOURCES {
+        for code in ev_codes(text) {
+            assert!(
+                registry.contains(&code),
+                "{file} mentions {code} but DESIGN.md §10 has no registry row for it"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_registry_row_names_a_live_code() {
+    let mut crate_codes = BTreeSet::new();
+    for (_, text) in SOURCES {
+        crate_codes.extend(ev_codes(text));
+    }
+    assert!(!crate_codes.is_empty(), "no EV codes found in sources");
+    for code in registry_codes() {
+        assert!(
+            crate_codes.contains(&code),
+            "DESIGN.md §10 registers {code} but no ecl-verify source mentions it"
+        );
+    }
+}
+
+#[test]
+fn envelope_codes_are_registered_and_emitted() {
+    // The EV4xx block specifically: the envelope pass is new, so pin
+    // that all five codes exist on both sides.
+    let registry = registry_codes();
+    let envelope = ev_codes(SOURCES.iter().find(|(f, _)| *f == "envelope.rs").unwrap().1);
+    for code in ["EV401", "EV402", "EV403", "EV404", "EV405"] {
+        assert!(registry.contains(code), "{code} missing from DESIGN.md §10");
+        assert!(envelope.contains(code), "{code} missing from envelope.rs");
+    }
+}

@@ -151,4 +151,23 @@ test -s results/BENCH_exp18.json
 test -s results/exp18_serve.txt
 cargo test -q --offline -p ecl-serve --lib -- --test-threads=1
 
+# E19-ENVELOPE: the fault-envelope abstract interpretation must prune a
+# 10^6-scenario sweep (pruned > 0) with zero unsound prunes under the
+# sampled ground-truth audit (booleans recorded in BENCH_exp19.json),
+# and the pruned sweep's deterministic digest report must stay
+# byte-identical across worker counts. The VM/co-sim soundness property
+# tests run single-threaded alongside.
+echo "== E19-ENVELOPE static pruning + soundness audit check =="
+ECL_FLEET_WORKERS=1 cargo run -q --offline --release -p ecl-bench --bin exp19_envelope >/dev/null
+cp results/exp19_envelope.txt results/exp19_envelope.w1.txt
+ECL_FLEET_WORKERS=4 cargo run -q --offline --release -p ecl-bench --bin exp19_envelope >/dev/null
+diff results/exp19_envelope.w1.txt results/exp19_envelope.txt
+rm results/exp19_envelope.w1.txt
+grep -q '"pruned_gt_zero":true' results/BENCH_exp19.json
+grep -q '"prune_unsound_zero":true' results/BENCH_exp19.json
+test -s results/BENCH_exp19.json
+test -s results/exp19_envelope.txt
+cargo test -q --offline -p ecl-bench --test envelope_soundness -- --test-threads=1
+cargo test -q --offline -p ecl-verify --test registry
+
 echo "All checks passed."
